@@ -1,0 +1,4 @@
+//! Regenerates Figure 10; see `mortar_bench::experiments::fig0910`.
+fn main() {
+    mortar_bench::experiments::fig0910::run_fig10();
+}

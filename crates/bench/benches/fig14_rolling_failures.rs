@@ -1,0 +1,4 @@
+//! Regenerates Figure 14; see `mortar_bench::experiments::fig14`.
+fn main() {
+    mortar_bench::experiments::fig14::run_fig14();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper figure; see `mortar_bench::experiments::fig17`.
+fn main() {
+    mortar_bench::experiments::fig17::run();
+}

@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks of Mortar's core data structures: TS-list
+//! insert/evict, the routing-policy decision, sibling derivation, k-means,
+//! Vivaldi rounds, and the reconciliation hash.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mortar_cluster::kmeans;
+use mortar_coords::VivaldiSystem;
+use mortar_core::tslist::{summary, TimeSpaceList};
+use mortar_core::value::AggState;
+use mortar_overlay::planner::{derive_sibling, plan_primary};
+use mortar_overlay::{route_decision, RouteState, TreeSet};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_tslist(c: &mut Criterion) {
+    c.bench_function("tslist/insert_exact_match", |b| {
+        let mut ts = TimeSpaceList::new();
+        ts.insert(&summary(0, 1_000, AggState::Sum(0.0), 1, 0), 0, 1_000_000);
+        let s = summary(0, 1_000, AggState::Sum(1.0), 1, 0);
+        b.iter(|| ts.insert(black_box(&s), 100, 1_000_000));
+    });
+    c.bench_function("tslist/insert_disjoint_64", |b| {
+        b.iter_batched(
+            TimeSpaceList::new,
+            |mut ts| {
+                for k in 0..64i64 {
+                    ts.insert(&summary(k * 10, k * 10 + 10, AggState::Sum(1.0), 1, 0), 0, 1_000_000);
+                }
+                ts
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("tslist/split_partial_overlap", |b| {
+        b.iter_batched(
+            || {
+                let mut ts = TimeSpaceList::new();
+                ts.insert(&summary(0, 100, AggState::Sum(1.0), 1, 0), 0, 1_000_000);
+                ts
+            },
+            |mut ts| ts.insert(&summary(50, 150, AggState::Sum(2.0), 1, 0), 0, 1_000_000),
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("tslist/pop_due_64", |b| {
+        b.iter_batched(
+            || {
+                let mut ts = TimeSpaceList::new();
+                for k in 0..64i64 {
+                    ts.insert(&summary(k * 10, k * 10 + 10, AggState::Sum(1.0), 1, 0), 0, 50);
+                }
+                ts
+            },
+            |mut ts| ts.pop_due(1_000_000),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let coords: Vec<Vec<f64>> =
+        (0..512).map(|i| vec![(i % 23) as f64, (i / 23) as f64]).collect();
+    let primary = plan_primary(&coords, 0, 16, 20, &mut rng);
+    let trees = TreeSet::new(vec![
+        primary.clone(),
+        derive_sibling(&primary, &mut rng),
+        derive_sibling(&primary, &mut rng),
+        derive_sibling(&primary, &mut rng),
+    ]);
+    c.bench_function("routing/decision_all_live", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut st = RouteState::at_origin(&trees, 300);
+            route_decision(
+                &trees,
+                black_box(300),
+                0,
+                &mut st,
+                &[true, true, true, true],
+                &mut |_, _| true,
+                &mut rng,
+            )
+        });
+    });
+    c.bench_function("routing/decision_failover", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut st = RouteState::at_origin(&trees, 300);
+            route_decision(
+                &trees,
+                black_box(300),
+                0,
+                &mut st,
+                &[false, false, true, true],
+                &mut |_, _| true,
+                &mut rng,
+            )
+        });
+    });
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let coords: Vec<Vec<f64>> =
+        (0..512).map(|i| vec![(i % 23) as f64 * 10.0, (i / 23) as f64 * 10.0]).collect();
+    c.bench_function("planner/primary_512_bf16", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| plan_primary(black_box(&coords), 0, 16, 20, &mut rng));
+    });
+    c.bench_function("planner/sibling_512", |b| {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let primary = plan_primary(&coords, 0, 16, 20, &mut rng);
+        b.iter(|| derive_sibling(black_box(&primary), &mut rng));
+    });
+    c.bench_function("cluster/kmeans_512x2_k16", |b| {
+        let mut rng = SmallRng::seed_from_u64(6);
+        b.iter(|| kmeans(black_box(&coords), 16, 20, &mut rng));
+    });
+}
+
+fn bench_vivaldi(c: &mut Criterion) {
+    let n = 256;
+    let lat: Vec<Vec<f64>> = (0..n)
+        .map(|a| (0..n).map(|b| ((a as f64) - (b as f64)).abs() + 1.0).collect())
+        .collect();
+    c.bench_function("vivaldi/round_256x8", |b| {
+        let mut sys = VivaldiSystem::new(n, 3, 7);
+        b.iter(|| sys.round(black_box(&lat), 8));
+    });
+}
+
+fn bench_reconcile(c: &mut Criterion) {
+    use mortar_core::reconcile::store_hash;
+    let entries: Vec<(String, u64)> =
+        (0..100).map(|i| (format!("query-{i}"), i as u64)).collect();
+    c.bench_function("reconcile/store_hash_100", |b| {
+        b.iter(|| store_hash(black_box(&entries).iter().map(|(n, s)| (n.as_str(), *s))));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tslist, bench_routing, bench_planning, bench_vivaldi, bench_reconcile
+);
+criterion_main!(benches);

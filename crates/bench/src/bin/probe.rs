@@ -1,0 +1,40 @@
+use mortar_coords::VivaldiSystem;
+use mortar_net::Topology;
+use mortar_overlay::planner::{derive_sibling, percentile, plan_primary, root_latencies};
+use mortar_overlay::tree::random_tree;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let hosts = 340;
+    let n = 179;
+    let topo = Topology::paper_inet(hosts, 170);
+    let full = topo.latency_matrix_ms();
+    let mut rng = SmallRng::seed_from_u64(170);
+    let mut ids: Vec<usize> = (0..hosts).collect();
+    ids.shuffle(&mut rng);
+    let members: Vec<usize> = ids.into_iter().take(n).collect();
+    let lat: Vec<Vec<f64>> = members.iter().map(|&a| members.iter().map(|&b| full[a][b]).collect()).collect();
+
+    let mut viv = VivaldiSystem::new(n, 3, 171);
+    viv.run(&lat, 30, 8);
+    println!("vivaldi rel err after 30 rounds: {:.3}", viv.mean_relative_error(&lat));
+    let vcoords: Vec<Vec<f64>> = viv.coords().into_iter().map(|c| c.0).collect();
+
+    for (name, coords) in [("vivaldi", &vcoords), ("perfect(lat rows)", &lat)] {
+        for bf in [4usize, 16] {
+            let trials = 10;
+            let (mut r, mut p, mut d) = (0.0, 0.0, 0.0);
+            for _ in 0..trials {
+                let t = random_tree(n, 0, bf, &mut rng);
+                r += percentile(&root_latencies(&t, &lat), 0.9);
+                let pt = plan_primary(coords, 0, bf, 30, &mut rng);
+                p += percentile(&root_latencies(&pt, &lat), 0.9);
+                let dt = derive_sibling(&pt, &mut rng);
+                d += percentile(&root_latencies(&dt, &lat), 0.9);
+            }
+            println!("{name} bf={bf}: random={:.0} planned={:.0} derived={:.0}", r/10.0, p/10.0, d/10.0);
+        }
+    }
+}

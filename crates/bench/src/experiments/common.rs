@@ -1,0 +1,53 @@
+//! Shared experiment plumbing: the paper's standard sum query, engine
+//! construction, and failure scripting.
+
+use mortar_core::engine::{Engine, EngineConfig};
+use mortar_core::op::OpKind;
+use mortar_core::query::{QuerySpec, SensorSpec};
+use mortar_core::window::WindowSpec;
+use mortar_net::NodeId;
+
+/// The microbenchmark query (Section 7.2): a sum subscribing to a stream at
+/// every peer, counting peers; time window with range = slide = 1 s; each
+/// sensor emits the integer 1 every second.
+pub fn count_peers_spec(name: &str, n: usize, slide_us: u64) -> QuerySpec {
+    QuerySpec {
+        name: name.to_string(),
+        root: 0,
+        members: (0..n as NodeId).collect(),
+        op: OpKind::Sum { field: 0 },
+        window: WindowSpec::time_tumbling_us(slide_us),
+        filter: None,
+        sensor: SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
+        post: None,
+    }
+}
+
+/// The paper's standard engine: Inet-like topology, four trees, bf 16.
+/// Planning runs on the true latency matrix (equivalent tree shapes,
+/// minutes faster over parameter sweeps); Figure 17 exercises Vivaldi
+/// planning explicitly.
+pub fn standard_engine(n: usize, trees: usize, bf: usize, seed: u64) -> Engine {
+    let mut cfg = EngineConfig::paper(n, seed);
+    cfg.plan_on_true_latency = true;
+    cfg.planner.tree_count = trees;
+    cfg.planner.branching_factor = bf;
+    Engine::new(cfg)
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Standard deviation of a slice.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}

@@ -1,0 +1,120 @@
+//! Figures 9 & 10: true completeness and result latency versus clock-offset
+//! scale, for syncless Mortar, timestamped Mortar, and the centralized
+//! StreamBase-like baseline (Section 5.1).
+//!
+//! Paper setup: 439 peers over the Inet topology; clocks set per a
+//! PlanetLab-observed offset distribution scaled 0–2 along the x-axis;
+//! in-network sum with a 5-second window; StreamBase's BSort reorder buffer
+//! configured to 5k tuples. Syncless averages 91% true completeness with a
+//! flat ~6 s latency; timestamps degrade in both, latency by ~8x.
+
+use super::common::{count_peers_spec, mean, stddev};
+use crate::{banner, header, row, scaled};
+use mortar_core::centralized::{CentralConfig, CentralNode};
+use mortar_core::engine::{Engine, EngineConfig};
+use mortar_core::metrics::{mean_report_latency_secs, true_completeness};
+use mortar_core::peer::IndexingMode;
+use mortar_net::{ClockModel, SimBuilder, Topology};
+
+const SLIDE_US: u64 = 5_000_000;
+
+/// One Mortar run; returns (true completeness %, latency s).
+fn mortar_run(mode: IndexingMode, scale: f64, n: usize, secs: f64, seed: u64) -> (f64, f64) {
+    let mut cfg = EngineConfig::paper(n, seed);
+    cfg.plan_on_true_latency = true;
+    cfg.peer.indexing = mode;
+    cfg.clock_model = ClockModel::planetlab_like(scale);
+    let mut eng = Engine::new(cfg);
+    eng.install(count_peers_spec("sum5", n, SLIDE_US));
+    eng.run_secs(secs);
+    let results = eng.results(0);
+    (true_completeness(results, SLIDE_US, 3), mean_report_latency_secs(results))
+}
+
+/// One centralized (StreamBase-like) run.
+fn central_run(scale: f64, n: usize, secs: f64, seed: u64) -> (f64, f64) {
+    let cfg = CentralConfig { slide_us: SLIDE_US, ..CentralConfig::default() };
+    let topo = Topology::paper_inet(n, seed);
+    let mut sim = SimBuilder::new(topo, seed)
+        .clock_model(ClockModel::planetlab_like(scale))
+        .build(move |id| CentralNode::new(id, cfg));
+    sim.run_for_secs(secs);
+    let now = sim.now();
+    sim.app_mut(0).flush(now);
+    let results = &sim.app(0).results;
+    (true_completeness(results, SLIDE_US, 3), mean_report_latency_secs(results))
+}
+
+/// Sweep results per system: `(label, completeness series, latency series)`.
+pub fn sweep() -> (Vec<f64>, Vec<(&'static str, Vec<f64>, Vec<f64>, Vec<f64>)>) {
+    let n = scaled(120, 439);
+    let secs = scaled(150.0, 300.0);
+    let runs = scaled(2, 5);
+    let scales: Vec<f64> = vec![0.0, 0.5, 1.0, 1.5, 2.0];
+    let mut out: Vec<(&'static str, Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
+    for (label, which) in
+        [("Syncless", 0usize), ("Timestamp", 1), ("StreamBase-like", 2)]
+    {
+        let mut comp = Vec::new();
+        let mut comp_sd = Vec::new();
+        let mut lat = Vec::new();
+        for &s in &scales {
+            let samples: Vec<(f64, f64)> = (0..runs)
+                .map(|r| {
+                    let seed = 40 + r as u64 * 17;
+                    match which {
+                        0 => mortar_run(IndexingMode::Syncless, s, n, secs, seed),
+                        1 => mortar_run(IndexingMode::Timestamp, s, n, secs, seed),
+                        _ => central_run(s, n, secs, seed),
+                    }
+                })
+                .collect();
+            let cs: Vec<f64> = samples.iter().map(|x| x.0).collect();
+            let ls: Vec<f64> = samples.iter().map(|x| x.1).collect();
+            comp.push(mean(&cs));
+            comp_sd.push(stddev(&cs));
+            lat.push(mean(&ls));
+        }
+        out.push((label, comp, comp_sd, lat));
+    }
+    (scales, out)
+}
+
+/// Prints Figure 9 (true completeness).
+pub fn run_fig09() {
+    banner("Figure 9", "true completeness vs. clock-offset scale (5 s window)");
+    let (scales, systems) = sweep();
+    header(
+        "true completeness (%)",
+        &scales.iter().map(|s| format!("x{s:.1}")).collect::<Vec<_>>(),
+    );
+    for (label, comp, sd, _) in &systems {
+        row(label, comp);
+        row(&format!("{label} (σ)"), sd);
+    }
+    println!(
+        "\nExpected shape (paper): syncless flat (~91%); timestamp and the\n\
+         centralized processor degrade as offsets scale."
+    );
+}
+
+/// Prints Figure 10 (result latency).
+pub fn run_fig10() {
+    banner("Figure 10", "result latency vs. clock-offset scale (5 s window)");
+    let (scales, systems) = sweep();
+    header(
+        "latency (s)",
+        &scales.iter().map(|s| format!("x{s:.1}")).collect::<Vec<_>>(),
+    );
+    for (label, _, _, lat) in &systems {
+        row(label, lat);
+    }
+    let sync1 = systems[0].3[2];
+    let ts1 = systems[1].3[2];
+    println!(
+        "\nAt scale 1.0: timestamps {ts1:.1}s vs syncless {sync1:.1}s — a {:.1}x\n\
+         improvement (paper reports ~8x). StreamBase-like latency is buffer-bound\n\
+         and roughly flat.",
+        ts1 / sync1.max(0.1)
+    );
+}

@@ -1,0 +1,70 @@
+//! Experiment harnesses regenerating every table and figure of the Mortar
+//! paper's evaluation (Section 7), plus shared scaffolding.
+//!
+//! Each figure is a `[[bench]]` target with `harness = false`; run them all
+//! with `cargo bench -p mortar-bench` or one with
+//! `cargo bench --bench fig12_tree_count`. By default the harnesses run at
+//! reduced scale so the whole suite finishes in minutes; set
+//! `MORTAR_BENCH_FULL=1` for paper-scale runs (680 peers, 10k-node graph
+//! simulations, full trial counts).
+//!
+//! The printed series correspond directly to the paper's plots; measured
+//! values are recorded against the paper's in `EXPERIMENTS.md`.
+
+pub mod experiments;
+
+/// Whether full paper-scale experiments were requested.
+pub fn full_scale() -> bool {
+    std::env::var("MORTAR_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Picks `quick` or `full` depending on [`full_scale`].
+pub fn scaled<T>(quick: T, full: T) -> T {
+    if full_scale() {
+        full
+    } else {
+        quick
+    }
+}
+
+/// Prints a figure banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+    println!(
+        "    scale: {} (set MORTAR_BENCH_FULL=1 for paper scale)",
+        if full_scale() { "FULL (paper)" } else { "quick" }
+    );
+}
+
+/// Prints one table row of `f64` cells after a label.
+pub fn row(label: &str, cells: &[f64]) {
+    print!("{label:>26}");
+    for c in cells {
+        if c.is_nan() {
+            print!("{:>9}", "-");
+        } else {
+            print!("{c:>9.1}");
+        }
+    }
+    println!();
+}
+
+/// Prints a header row.
+pub fn header(label: &str, cols: &[String]) {
+    print!("{label:>26}");
+    for c in cols {
+        print!("{c:>9}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaled_picks_quick_by_default() {
+        // The test environment does not set MORTAR_BENCH_FULL.
+        if !super::full_scale() {
+            assert_eq!(super::scaled(1, 2), 1);
+        }
+    }
+}

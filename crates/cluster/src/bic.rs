@@ -1,0 +1,94 @@
+//! Bayesian Information Criterion scoring for X-means.
+//!
+//! Uses the spherical-Gaussian formulation from Pelleg & Moore (2000): the
+//! log-likelihood of the data under a mixture of identical-variance spherical
+//! Gaussians centred at the centroids, penalized by the parameter count.
+
+use crate::{dist2, Point};
+
+/// BIC of a clustering (higher is better).
+///
+/// `points` is the full dataset, `assignments[i]` the cluster of point `i`,
+/// and `centroids` the cluster centres.
+pub fn bic_score(points: &[Point], assignments: &[usize], centroids: &[Point]) -> f64 {
+    let n = points.len();
+    let k = centroids.len();
+    if n == 0 || k == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let dim = points[0].len() as f64;
+    // Pooled maximum-likelihood variance estimate.
+    let rss: f64 = points
+        .iter()
+        .zip(assignments)
+        .map(|(p, &a)| dist2(p, &centroids[a]))
+        .sum();
+    let denom = (n.saturating_sub(k)) as f64;
+    let variance = if denom > 0.0 { (rss / (denom * dim)).max(1e-12) } else { 1e-12 };
+
+    let mut sizes = vec![0usize; k];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+    let nf = n as f64;
+    let mut loglik = 0.0;
+    for &sz in &sizes {
+        if sz == 0 {
+            continue;
+        }
+        let rn = sz as f64;
+        loglik += rn * (rn / nf).ln()
+            - rn * dim / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
+            - (rn - 1.0) * dim / 2.0;
+    }
+    // Free parameters: k-1 mixing weights, k*dim centroid coords, 1 variance.
+    let params = (k as f64 - 1.0) + k as f64 * dim + 1.0;
+    loglik - params / 2.0 * nf.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::kmeans;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn blobs(centers: &[f64], per: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for (ci, &c) in centers.iter().enumerate() {
+            for i in 0..per {
+                // Small deterministic spread.
+                pts.push(vec![c + (i as f64 % 5.0) * 0.05, (ci as f64 + i as f64 * 0.01) % 0.3]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn two_blob_data_prefers_two_clusters() {
+        let pts = blobs(&[0.0, 50.0], 20);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let c1 = kmeans(&pts, 1, 100, &mut rng);
+        let c2 = kmeans(&pts, 2, 100, &mut rng);
+        let b1 = bic_score(&pts, &c1.assignments, &c1.centroids);
+        let b2 = bic_score(&pts, &c2.assignments, &c2.centroids);
+        assert!(b2 > b1, "BIC should prefer k=2: {b1} vs {b2}");
+    }
+
+    #[test]
+    fn empty_input_is_neg_infinity() {
+        assert_eq!(bic_score(&[], &[], &[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn overfitting_penalized() {
+        // One tight blob: more clusters should not keep improving BIC.
+        let pts = blobs(&[0.0], 30);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let c1 = kmeans(&pts, 1, 100, &mut rng);
+        let c5 = kmeans(&pts, 5, 100, &mut rng);
+        let b1 = bic_score(&pts, &c1.assignments, &c1.centroids);
+        let b5 = bic_score(&pts, &c5.assignments, &c5.centroids);
+        assert!(b1 > b5, "BIC should penalize overfitting: {b1} vs {b5}");
+    }
+}

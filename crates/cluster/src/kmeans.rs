@@ -1,0 +1,207 @@
+//! Lloyd's algorithm with k-means++ seeding.
+
+use crate::{dist2, Point};
+use rand::Rng;
+
+/// Result of a clustering run.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Cluster centers.
+    pub centroids: Vec<Point>,
+    /// Number of clusters actually produced (≤ requested `k`).
+    pub k: usize,
+}
+
+impl Clustering {
+    /// Indices of the points in cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == c).then_some(i))
+            .collect()
+    }
+
+    /// Total within-cluster sum of squared distances.
+    pub fn inertia(&self, points: &[Point]) -> f64 {
+        points
+            .iter()
+            .zip(&self.assignments)
+            .map(|(p, &a)| dist2(p, &self.centroids[a]))
+            .sum()
+    }
+}
+
+/// k-means++ initial centroid selection.
+fn seed_centroids<R: Rng + ?Sized>(points: &[Point], k: usize, rng: &mut R) -> Vec<Point> {
+    let mut centroids: Vec<Point> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with existing centroids; pick arbitrarily.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut idx = points.len() - 1;
+            for (i, w) in d2.iter().enumerate() {
+                if target <= *w {
+                    idx = i;
+                    break;
+                }
+                target -= w;
+            }
+            idx
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(dist2(p, centroids.last().expect("just pushed")));
+        }
+    }
+    centroids
+}
+
+/// Clusters `points` into at most `k` groups.
+///
+/// Returns fewer than `k` clusters if there are fewer distinct points.
+/// Empty clusters arising during iteration are re-seeded from the point
+/// farthest from its centroid, so the output never contains empty clusters.
+pub fn kmeans<R: Rng + ?Sized>(
+    points: &[Point],
+    k: usize,
+    max_iter: usize,
+    rng: &mut R,
+) -> Clustering {
+    assert!(!points.is_empty(), "kmeans requires at least one point");
+    let k = k.clamp(1, points.len());
+    let mut centroids = seed_centroids(points, k, rng);
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..max_iter {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(p, &centroids[a])
+                        .partial_cmp(&dist2(p, &centroids[b]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids; re-seed empties from the worst-fit point.
+        let dim = points[0].len();
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                let far = (0..points.len())
+                    .max_by(|&a, &b| {
+                        dist2(&points[a], &centroids[assignments[a]])
+                            .partial_cmp(&dist2(&points[b], &centroids[assignments[b]]))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("points nonempty");
+                centroids[c] = points[far].clone();
+                assignments[far] = c;
+                changed = true;
+            } else {
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroids[c][j] = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Clustering { assignments, centroids, k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![i as f64 * 0.01, 0.0]);
+            pts.push(vec![100.0 + i as f64 * 0.01, 0.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let c = kmeans(&pts, 2, 100, &mut rng);
+        assert_eq!(c.k, 2);
+        // Points 0,2,4.. are one blob (even indices), 1,3,5.. the other.
+        let a0 = c.assignments[0];
+        for i in (0..pts.len()).step_by(2) {
+            assert_eq!(c.assignments[i], a0);
+        }
+        for i in (1..pts.len()).step_by(2) {
+            assert_ne!(c.assignments[i], a0);
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let c = kmeans(&pts, 10, 10, &mut rng);
+        assert!(c.k <= 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let c = kmeans(&pts, 1, 10, &mut rng);
+        assert!((c.centroids[0][0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_empty_clusters() {
+        let pts = two_blobs();
+        for seed in 0..10 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let c = kmeans(&pts, 4, 50, &mut rng);
+            for cl in 0..c.k {
+                assert!(!c.members(cl).is_empty(), "cluster {cl} empty (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_points_dont_panic() {
+        let pts = vec![vec![3.0, 3.0]; 8];
+        let mut rng = SmallRng::seed_from_u64(2);
+        let c = kmeans(&pts, 3, 20, &mut rng);
+        assert_eq!(c.assignments.len(), 8);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let pts = two_blobs();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let c1 = kmeans(&pts, 1, 100, &mut rng);
+        let c2 = kmeans(&pts, 2, 100, &mut rng);
+        assert!(c2.inertia(&pts) < c1.inertia(&pts));
+    }
+}

@@ -1,0 +1,78 @@
+//! K-means and X-means clustering.
+//!
+//! Mortar's planner "invokes a clustering algorithm that builds full trees
+//! with a particular branching factor", using X-means (Pelleg & Moore, ICML
+//! 2000) to cluster network coordinates (Section 3.1 / Section 7). This crate
+//! implements Lloyd's k-means with k-means++ seeding and X-means with
+//! BIC-scored cluster splitting.
+//!
+//! # Examples
+//!
+//! ```
+//! use mortar_cluster::{kmeans, Point};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let pts: Vec<Point> = vec![
+//!     vec![0.0, 0.0], vec![0.1, 0.2], vec![0.2, 0.1],
+//!     vec![9.0, 9.0], vec![9.1, 8.8], vec![8.8, 9.2],
+//! ];
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let c = kmeans(&pts, 2, 50, &mut rng);
+//! assert_eq!(c.k, 2);
+//! assert_eq!(c.assignments[0], c.assignments[1]);
+//! assert_ne!(c.assignments[0], c.assignments[3]);
+//! ```
+
+pub mod bic;
+pub mod kmeans;
+pub mod xmeans;
+
+pub use bic::bic_score;
+pub use kmeans::{kmeans, Clustering};
+pub use xmeans::{xmeans, XMeansConfig};
+
+/// A point in coordinate space (row of the dataset).
+pub type Point = Vec<f64>;
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "point dims differ");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Index (within `candidates`) of the candidate point nearest to `target`.
+///
+/// The planner uses this to place an operator on the *actual peer* closest to
+/// a cluster centroid.
+pub fn nearest_to(candidates: &[Point], target: &[f64]) -> Option<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            dist2(a, target)
+                .partial_cmp(&dist2(b, target))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist2_is_squared_euclidean() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist2(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn nearest_to_picks_closest() {
+        let pts = vec![vec![0.0], vec![5.0], vec![9.0]];
+        assert_eq!(nearest_to(&pts, &[6.0]), Some(1));
+        assert_eq!(nearest_to(&pts, &[100.0]), Some(2));
+        assert_eq!(nearest_to(&[], &[0.0]), None);
+    }
+}

@@ -1,0 +1,119 @@
+//! X-means: k-means with BIC-driven model selection.
+//!
+//! Starting from `k_min` clusters, each cluster is tentatively split in two;
+//! the split is kept if it improves the BIC of that region. Iterates until no
+//! split helps or `k_max` is reached (Pelleg & Moore, ICML 2000).
+
+use crate::bic::bic_score;
+use crate::kmeans::{kmeans, Clustering};
+use crate::Point;
+use rand::Rng;
+
+/// X-means parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct XMeansConfig {
+    /// Initial number of clusters.
+    pub k_min: usize,
+    /// Upper bound on clusters.
+    pub k_max: usize,
+    /// Lloyd iterations per (sub-)clustering.
+    pub max_iter: usize,
+}
+
+impl Default for XMeansConfig {
+    fn default() -> Self {
+        Self { k_min: 1, k_max: 16, max_iter: 50 }
+    }
+}
+
+/// Runs X-means over `points`.
+pub fn xmeans<R: Rng + ?Sized>(points: &[Point], cfg: &XMeansConfig, rng: &mut R) -> Clustering {
+    assert!(!points.is_empty(), "xmeans requires at least one point");
+    assert!(cfg.k_min >= 1 && cfg.k_max >= cfg.k_min, "invalid k range");
+    let mut current = kmeans(points, cfg.k_min, cfg.max_iter, rng);
+    loop {
+        if current.k >= cfg.k_max {
+            return current;
+        }
+        let mut new_centroids: Vec<Point> = Vec::new();
+        let mut any_split = false;
+        for c in 0..current.k {
+            let member_idx = current.members(c);
+            let members: Vec<Point> = member_idx.iter().map(|&i| points[i].clone()).collect();
+            if members.len() < 4 || current.k + new_centroids.len() >= cfg.k_max + c + 1 {
+                new_centroids.push(current.centroids[c].clone());
+                continue;
+            }
+            // Score the region as one cluster vs. split in two.
+            let parent_assign = vec![0usize; members.len()];
+            let parent_bic =
+                bic_score(&members, &parent_assign, std::slice::from_ref(&current.centroids[c]));
+            let child = kmeans(&members, 2, cfg.max_iter, rng);
+            let child_bic = bic_score(&members, &child.assignments, &child.centroids);
+            if child.k == 2 && child_bic > parent_bic {
+                new_centroids.extend(child.centroids);
+                any_split = true;
+            } else {
+                new_centroids.push(current.centroids[c].clone());
+            }
+        }
+        if !any_split {
+            return current;
+        }
+        let k = new_centroids.len().min(cfg.k_max).min(points.len());
+        // Refine globally with the grown centroid set as the new k.
+        current = kmeans(points, k, cfg.max_iter, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn blobs(centers: &[(f64, f64)], per: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for &(cx, cy) in centers {
+            for i in 0..per {
+                let dx = (i % 7) as f64 * 0.1;
+                let dy = (i % 5) as f64 * 0.1;
+                pts.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn discovers_three_blobs() {
+        let pts = blobs(&[(0.0, 0.0), (60.0, 0.0), (0.0, 60.0)], 25);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let c = xmeans(&pts, &XMeansConfig { k_min: 1, k_max: 8, max_iter: 60 }, &mut rng);
+        assert!(c.k >= 3, "found only {} clusters", c.k);
+        assert!(c.k <= 5, "severely over-split: {}", c.k);
+    }
+
+    #[test]
+    fn respects_k_max() {
+        let pts = blobs(&[(0.0, 0.0), (60.0, 0.0), (0.0, 60.0), (60.0, 60.0)], 20);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let c = xmeans(&pts, &XMeansConfig { k_min: 1, k_max: 2, max_iter: 40 }, &mut rng);
+        assert!(c.k <= 2);
+    }
+
+    #[test]
+    fn single_blob_stays_single() {
+        let pts = blobs(&[(5.0, 5.0)], 30);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let c = xmeans(&pts, &XMeansConfig::default(), &mut rng);
+        assert_eq!(c.k, 1, "one tight blob should not split");
+    }
+
+    #[test]
+    fn tiny_input_ok() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let mut rng = SmallRng::seed_from_u64(14);
+        let c = xmeans(&pts, &XMeansConfig::default(), &mut rng);
+        assert!(c.k >= 1 && c.k <= 2);
+    }
+}

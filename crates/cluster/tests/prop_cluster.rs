@@ -1,0 +1,65 @@
+//! Property-based tests for k-means / X-means.
+
+use mortar_cluster::{dist2, kmeans, nearest_to, xmeans, Point, XMeansConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(
+        (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| vec![x, y]),
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn kmeans_output_is_well_formed(points in arb_points(), k in 1usize..8, seed in 0u64..100) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let c = kmeans(&points, k, 30, &mut rng);
+        prop_assert_eq!(c.assignments.len(), points.len());
+        prop_assert!(c.k >= 1 && c.k <= k.min(points.len()));
+        for &a in &c.assignments {
+            prop_assert!(a < c.k);
+        }
+        // No empty clusters.
+        for cl in 0..c.k {
+            prop_assert!(c.assignments.iter().any(|&a| a == cl), "cluster {cl} empty");
+        }
+    }
+
+    #[test]
+    fn kmeans_assigns_to_nearest_centroid(points in arb_points(), seed in 0u64..100) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let c = kmeans(&points, 3, 50, &mut rng);
+        for (p, &a) in points.iter().zip(&c.assignments) {
+            let mine = dist2(p, &c.centroids[a]);
+            for other in 0..c.k {
+                prop_assert!(
+                    mine <= dist2(p, &c.centroids[other]) + 1e-9,
+                    "point not assigned to nearest centroid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xmeans_respects_bounds(points in arb_points(), kmax in 1usize..10, seed in 0u64..100) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = XMeansConfig { k_min: 1, k_max: kmax, max_iter: 20 };
+        let c = xmeans(&points, &cfg, &mut rng);
+        prop_assert!(c.k >= 1 && c.k <= kmax.min(points.len()));
+        prop_assert_eq!(c.assignments.len(), points.len());
+    }
+
+    #[test]
+    fn nearest_to_is_argmin(points in arb_points(), tx in 0.0f64..100.0, ty in 0.0f64..100.0) {
+        let target = vec![tx, ty];
+        let i = nearest_to(&points, &target).unwrap();
+        for p in &points {
+            prop_assert!(dist2(&points[i], &target) <= dist2(p, &target) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! A StreamBase-like centralized stream processor (the Figures 9–10
+//! comparison system).
+//!
+//! Every peer ships raw tuples, stamped with its local clock, to one
+//! central node. The central node runs a BSort-style bounded reorder
+//! buffer (the paper configures StreamBase's BSort to hold 5000 tuples):
+//! tuples are released in timestamp order once the buffer overflows, then
+//! windowed by their stamps. Clock offset therefore corrupts both window
+//! assignment (true completeness) and — unlike Mortar's dynamic timeouts —
+//! leaves latency roughly constant at the buffer drain time.
+
+use crate::metrics::ResultRecord;
+use crate::tuple::TruthMeta;
+use crate::value::AggState;
+use mortar_net::{App, Ctx, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Configuration for the centralized baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct CentralConfig {
+    /// The hub node collecting all streams.
+    pub hub: NodeId,
+    /// Source emission period, local µs.
+    pub period_us: u64,
+    /// Emitted value.
+    pub value: f64,
+    /// Window slide (= range; tumbling), µs.
+    pub slide_us: u64,
+    /// BSort reorder-buffer capacity in tuples (paper: 5000).
+    pub bsort_cap: usize,
+    /// Modelled wire size of one raw tuple.
+    pub tuple_bytes: u32,
+}
+
+impl Default for CentralConfig {
+    fn default() -> Self {
+        Self {
+            hub: 0,
+            period_us: 1_000_000,
+            value: 1.0,
+            slide_us: 5_000_000,
+            bsort_cap: 5_000,
+            tuple_bytes: 64,
+        }
+    }
+}
+
+/// Messages: a stamped raw tuple.
+#[derive(Debug, Clone)]
+pub struct StampedTuple {
+    /// Sender's local timestamp.
+    pub stamp_us: i64,
+    /// Value.
+    pub value: f64,
+    /// Ground truth: the sender's true window at emission.
+    pub true_window: i64,
+}
+
+/// One node of the centralized system (hub or source).
+pub struct CentralNode {
+    cfg: CentralConfig,
+    id: NodeId,
+    // Hub state.
+    bsort: BinaryHeap<Reverse<(i64, u64)>>,
+    payloads: BTreeMap<u64, StampedTuple>,
+    seq: u64,
+    open: BTreeMap<i64, (f64, u32, TruthMeta)>,
+    delivered_max: i64,
+    /// Results emitted by the hub.
+    pub results: Vec<ResultRecord>,
+}
+
+const EMIT: u64 = 1;
+
+impl CentralNode {
+    /// Creates a node; `id == cfg.hub` makes it the hub.
+    pub fn new(id: NodeId, cfg: CentralConfig) -> Self {
+        Self {
+            cfg,
+            id,
+            bsort: BinaryHeap::new(),
+            payloads: BTreeMap::new(),
+            seq: 0,
+            open: BTreeMap::new(),
+            delivered_max: i64::MIN,
+            results: Vec::new(),
+        }
+    }
+
+    fn deliver_in_order(&mut self, t: StampedTuple, true_now_us: u64) {
+        // Tuples leave the BSort in stamp order. A tuple stamped before the
+        // in-order watermark can no longer be re-ordered into its window —
+        // BSort discards it (a completeness loss, not a latency one).
+        let slide = self.cfg.slide_us as i64;
+        if self.delivered_max != i64::MIN
+            && t.stamp_us < self.delivered_max.div_euclid(slide) * slide
+        {
+            return;
+        }
+        self.delivered_max = self.delivered_max.max(t.stamp_us);
+        let k = t.stamp_us.div_euclid(slide);
+        let entry = self.open.entry(k).or_insert_with(|| (0.0, 0, TruthMeta::default()));
+        entry.0 += t.value;
+        entry.1 += 1;
+        entry.2.add(t.true_window, 1);
+        // Close every window whose end precedes the in-order watermark.
+        let due: Vec<i64> = self
+            .open
+            .keys()
+            .copied()
+            .filter(|&w| (w + 1) * slide <= self.delivered_max)
+            .collect();
+        for w in due {
+            self.close_window(w, true_now_us);
+        }
+    }
+
+    fn close_window(&mut self, k: i64, true_now_us: u64) {
+        let Some((sum, n, truth)) = self.open.remove(&k) else { return };
+        let slide = self.cfg.slide_us as i64;
+        self.results.push(ResultRecord {
+            query: "central".into(),
+            tb: k * slide,
+            te: (k + 1) * slide,
+            state: AggState::Sum(sum),
+            scalar: Some(sum),
+            participants: n,
+            emit_local_us: 0,
+            emit_true_us: true_now_us,
+            age_us: 0,
+            // The hub's stamp frame ≈ true time (it is one well-known
+            // machine); lateness is measured against the index due point.
+            due_lag_us: true_now_us as i64 - (k + 1) * slide,
+            path_len: 1,
+            truth,
+        });
+    }
+
+    /// Flushes the BSort buffer and all open windows (end of run).
+    pub fn flush(&mut self, true_now_us: u64) {
+        while let Some(Reverse((_, seq))) = self.bsort.pop() {
+            if let Some(t) = self.payloads.remove(&seq) {
+                self.deliver_in_order(t, true_now_us);
+            }
+        }
+        let ks: Vec<i64> = self.open.keys().copied().collect();
+        for k in ks {
+            self.close_window(k, true_now_us);
+        }
+    }
+}
+
+impl App for CentralNode {
+    type Msg = StampedTuple;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, StampedTuple>) {
+        ctx.set_timer_local_us(self.cfg.period_us, EMIT);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, StampedTuple>, _from: NodeId, msg: StampedTuple, _b: u32) {
+        if self.id != self.cfg.hub {
+            return;
+        }
+        let true_now = ctx.true_now_us();
+        self.seq += 1;
+        let seq = self.seq;
+        self.bsort.push(Reverse((msg.stamp_us, seq)));
+        self.payloads.insert(seq, msg);
+        while self.bsort.len() > self.cfg.bsort_cap {
+            let Reverse((_, s)) = self.bsort.pop().expect("nonempty");
+            if let Some(t) = self.payloads.remove(&s) {
+                self.deliver_in_order(t, true_now);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, StampedTuple>, tag: u64) {
+        if tag != EMIT {
+            return;
+        }
+        let stamp = ctx.local_now_us();
+        let true_w = (ctx.true_now_us() as i64).div_euclid(self.cfg.slide_us as i64);
+        let msg = StampedTuple { stamp_us: stamp, value: self.cfg.value, true_window: true_w };
+        let hub = self.cfg.hub;
+        let bytes = self.cfg.tuple_bytes;
+        if self.id == hub {
+            // The hub's own stream is delivered locally.
+            let m = msg.clone();
+            let tn = ctx.true_now_us();
+            self.seq += 1;
+            let seq = self.seq;
+            self.bsort.push(Reverse((m.stamp_us, seq)));
+            self.payloads.insert(seq, m);
+            while self.bsort.len() > self.cfg.bsort_cap {
+                let Reverse((_, s)) = self.bsort.pop().expect("nonempty");
+                if let Some(t) = self.payloads.remove(&s) {
+                    self.deliver_in_order(t, tn);
+                }
+            }
+        } else {
+            ctx.send(hub, msg, bytes);
+        }
+        ctx.set_timer_local_us(self.cfg.period_us, EMIT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mean_result_latency_secs, true_completeness};
+    use mortar_net::{ClockModel, SimBuilder, Topology};
+
+    fn run(scale: f64, secs: f64, n: usize) -> Vec<ResultRecord> {
+        let cfg = CentralConfig { slide_us: 5_000_000, ..CentralConfig::default() };
+        let topo = Topology::paper_inet(n, 11);
+        let mut sim = SimBuilder::new(topo, 11)
+            .clock_model(ClockModel::planetlab_like(scale))
+            .build(move |id| CentralNode::new(id, cfg));
+        sim.run_for_secs(secs);
+        let now = sim.now();
+        sim.app_mut(0).flush(now);
+        sim.app(0).results.clone()
+    }
+
+    #[test]
+    fn perfect_clocks_give_high_true_completeness() {
+        let results = run(0.0, 120.0, 60);
+        assert!(!results.is_empty());
+        let tc = true_completeness(&results, 5_000_000, 2);
+        assert!(tc > 95.0, "true completeness {tc}");
+    }
+
+    #[test]
+    fn skew_degrades_completeness() {
+        let good = true_completeness(&run(0.0, 120.0, 60), 5_000_000, 2);
+        let bad = true_completeness(&run(2.0, 120.0, 60), 5_000_000, 2);
+        assert!(bad < good - 5.0, "skew should hurt: {good} vs {bad}");
+    }
+
+    #[test]
+    fn latency_is_buffer_bound() {
+        // 60 sources × 1 tuple/s with a 5000-tuple buffer ⇒ the buffer
+        // holds ~83 s of data; latency should be near that regardless of
+        // clock scale (the paper's "nearly constant" StreamBase latency).
+        let l0 = mean_result_latency_secs(&run(0.0, 200.0, 60), 5_000_000);
+        assert!(l0 > 5.0, "latency {l0} too small for a bounded buffer");
+    }
+}

@@ -1,0 +1,254 @@
+//! Experiment harness: wires topology, coordinates, planner, clocks and
+//! peers into a runnable system.
+//!
+//! The engine mirrors the paper's deployment flow: Vivaldi runs over the
+//! topology to produce network coordinates (Section 3.1), the physical
+//! dataflow planner arranges each query's operators into a primary +
+//! sibling tree set, and the install command is injected at the query root,
+//! which chunk-multicasts it (Section 6). Harnesses then script failures
+//! with [`Engine::set_host_up`] and read results from the root peer.
+
+use crate::metrics::ResultRecord;
+use crate::msg::MortarMsg;
+use crate::op::OpRegistry;
+use crate::peer::{MortarPeer, PeerConfig};
+use crate::query::{build_records, QuerySpec};
+use crate::store::ObjectStore;
+use mortar_coords::VivaldiSystem;
+use mortar_net::{ClockModel, NodeId, SimBuilder, Simulator, Topology};
+use mortar_overlay::{plan_tree_set, PlannerConfig, TreeSet};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The network topology (defines the host count).
+    pub topology: Topology,
+    /// Deterministic seed for clocks, planning and routing randomness.
+    pub seed: u64,
+    /// Peer protocol configuration.
+    pub peer: PeerConfig,
+    /// Clock error model (Figures 9–10 use the PlanetLab-like model).
+    pub clock_model: ClockModel,
+    /// Planner configuration (branching factor, tree count).
+    pub planner: PlannerConfig,
+    /// Vivaldi rounds before planning (paper: at least ten).
+    pub vivaldi_rounds: usize,
+    /// Coordinate dimensionality (the prototype uses 3).
+    pub vivaldi_dim: usize,
+    /// If true, plan directly on the true latency matrix instead of running
+    /// Vivaldi (faster for large parameter sweeps; same tree shapes).
+    pub plan_on_true_latency: bool,
+}
+
+impl EngineConfig {
+    /// The paper's standard evaluation setup over `hosts` peers.
+    pub fn paper(hosts: usize, seed: u64) -> Self {
+        Self {
+            topology: Topology::paper_inet(hosts, seed),
+            seed,
+            peer: PeerConfig::default(),
+            clock_model: ClockModel::perfect(),
+            planner: PlannerConfig::default(),
+            vivaldi_rounds: 10,
+            vivaldi_dim: 3,
+            plan_on_true_latency: false,
+        }
+    }
+}
+
+/// A running Mortar system.
+pub struct Engine {
+    /// The underlying simulator (exposed for failure scripting).
+    pub sim: Simulator<MortarPeer>,
+    store: ObjectStore,
+    coords: Vec<Vec<f64>>,
+    planner: PlannerConfig,
+    rng: SmallRng,
+}
+
+impl Engine {
+    /// Builds the system (topology → coordinates → peers).
+    pub fn new(cfg: EngineConfig) -> Self {
+        Self::with_registry(cfg, OpRegistry::new())
+    }
+
+    /// Builds the system with user-defined operators registered.
+    pub fn with_registry(cfg: EngineConfig, registry: OpRegistry) -> Self {
+        let hosts = cfg.topology.hosts();
+        let lat = cfg.topology.latency_matrix_ms();
+        let coords: Vec<Vec<f64>> = if cfg.plan_on_true_latency {
+            // Use latency rows directly as high-dimensional coordinates:
+            // close nodes have similar rows, so clustering behaves like
+            // clustering converged network coordinates.
+            lat.clone()
+        } else {
+            let mut viv = VivaldiSystem::new(hosts, cfg.vivaldi_dim, cfg.seed ^ 0x5eed);
+            viv.run(&lat, cfg.vivaldi_rounds, 8);
+            viv.coords().into_iter().map(|c| c.0).collect()
+        };
+        let peer_cfg = cfg.peer;
+        let sim = SimBuilder::new(cfg.topology, cfg.seed)
+            .clock_model(cfg.clock_model)
+            .build(move |id| MortarPeer::new(id, peer_cfg, registry.clone()));
+        Self {
+            sim,
+            store: ObjectStore::new(),
+            coords,
+            planner: cfg.planner,
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0x9e37),
+        }
+    }
+
+    /// The planner's coordinate view (for diagnostics and custom planning).
+    pub fn coords(&self) -> &[Vec<f64>] {
+        &self.coords
+    }
+
+    /// Plans a tree set for `spec.members` rooted at `spec.root`.
+    pub fn plan(&mut self, spec: &QuerySpec) -> TreeSet {
+        let member_coords: Vec<Vec<f64>> = spec
+            .members
+            .iter()
+            .map(|&p| self.coords[p as usize].clone())
+            .collect();
+        let root_member = spec
+            .member_of(spec.root)
+            .expect("query root must be a member") as usize;
+        plan_tree_set(&member_coords, root_member, &self.planner, &mut self.rng)
+    }
+
+    /// Plans, then injects the install command at the query root.
+    /// Returns the planned tree set for analysis.
+    pub fn install(&mut self, spec: QuerySpec) -> TreeSet {
+        let trees = self.plan(&spec);
+        self.install_with_trees(spec, trees.clone());
+        trees
+    }
+
+    /// Injects an install with an externally planned tree set.
+    pub fn install_with_trees(&mut self, spec: QuerySpec, trees: TreeSet) {
+        let records = build_records(&spec.members, &trees);
+        let seq = self.store.issue_install(&spec.name);
+        let root = spec.root;
+        let msg = MortarMsg::Install { spec, seq, records, issue_age_us: 0 };
+        let bytes = msg.wire_bytes();
+        self.sim.inject(root, root, msg, bytes);
+    }
+
+    /// Injects a removal command at the query root.
+    pub fn remove(&mut self, name: &str, root: NodeId) {
+        let seq = self.store.issue_remove(name);
+        let msg = MortarMsg::Remove { name: name.to_string(), seq };
+        let bytes = msg.wire_bytes();
+        self.sim.inject(root, root, msg, bytes);
+    }
+
+    /// Runs `s` seconds of true time.
+    pub fn run_secs(&mut self, s: f64) {
+        self.sim.run_for_secs(s);
+    }
+
+    /// Connects/disconnects a host's access link.
+    pub fn set_host_up(&mut self, node: NodeId, up: bool) {
+        self.sim.set_host_up(node, up);
+    }
+
+    /// Disconnects a random `frac` of hosts, never touching `protect`.
+    /// Returns the disconnected set.
+    pub fn disconnect_random(&mut self, frac: f64, protect: NodeId) -> Vec<NodeId> {
+        let hosts = self.sim.topology().hosts() as NodeId;
+        let mut candidates: Vec<NodeId> = (0..hosts).filter(|&n| n != protect).collect();
+        candidates.shuffle(&mut self.rng);
+        let k = ((hosts as f64) * frac).round() as usize;
+        let chosen: Vec<NodeId> = candidates.into_iter().take(k).collect();
+        for &n in &chosen {
+            self.sim.set_host_up(n, false);
+        }
+        chosen
+    }
+
+    /// Reconnects the given hosts.
+    pub fn reconnect(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            self.sim.set_host_up(n, true);
+        }
+    }
+
+    /// Results recorded by a query root so far.
+    pub fn results(&self, root: NodeId) -> &[ResultRecord] {
+        &self.sim.app(root).results
+    }
+
+    /// How many peers have the query installed (record or not).
+    pub fn installed_count(&self, name: &str) -> usize {
+        self.sim.apps().filter(|p| p.has_query(name)).count()
+    }
+
+    /// How many peers have the query installed *and* connected.
+    pub fn active_count(&self, name: &str) -> usize {
+        self.sim.apps().filter(|p| p.is_active(name)).count()
+    }
+
+    /// Mean over peers of the number of distinct heartbeat children — the
+    /// Figure 13 scaling metric.
+    pub fn mean_heartbeat_children(&self) -> f64 {
+        let hosts = self.sim.topology().hosts();
+        let total: usize = self.sim.apps().map(|p| p.heartbeat_children()).sum();
+        total as f64 / hosts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+    use crate::query::SensorSpec;
+    use crate::window::WindowSpec;
+
+    fn sum_spec(n: usize) -> QuerySpec {
+        QuerySpec {
+            name: "sum".into(),
+            root: 0,
+            members: (0..n as NodeId).collect(),
+            op: OpKind::Sum { field: 0 },
+            window: WindowSpec::time_tumbling_us(1_000_000),
+            filter: None,
+            sensor: SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
+            post: None,
+        }
+    }
+
+    #[test]
+    fn end_to_end_sum_over_paper_topology() {
+        let n = 48;
+        let mut cfg = EngineConfig::paper(n, 7);
+        cfg.plan_on_true_latency = true;
+        cfg.planner.branching_factor = 4;
+        let mut eng = Engine::new(cfg);
+        let trees = eng.install(sum_spec(n));
+        assert_eq!(trees.width(), 4);
+        eng.run_secs(40.0);
+        assert_eq!(eng.active_count("sum"), n);
+        let results = eng.results(0);
+        assert!(!results.is_empty());
+        let complete = crate::metrics::mean_completeness(results, n, 10);
+        assert!(complete > 90.0, "steady-state completeness {complete}");
+    }
+
+    #[test]
+    fn remove_cleans_up() {
+        let n = 16;
+        let mut cfg = EngineConfig::paper(n, 9);
+        cfg.plan_on_true_latency = true;
+        let mut eng = Engine::new(cfg);
+        eng.install(sum_spec(n));
+        eng.run_secs(10.0);
+        assert_eq!(eng.installed_count("sum"), n);
+        eng.remove("sum", 0);
+        eng.run_secs(15.0);
+        assert_eq!(eng.installed_count("sum"), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Chunked-multicast query installation (Section 6).
+//!
+//! A peer installs a query using the primary tree as the basis for an
+//! unreliable multicast. Because the trees are static, the install message
+//! must carry topology; to reduce message size and lessen the impact of
+//! failed nodes, the installer breaks the primary tree into `n` components
+//! and multicasts each in parallel (the paper uses 16 chunks). Within a
+//! component, every node keeps its own record and forwards the remainder to
+//! its primary-tree children. Reconciliation repairs any chunk lost to a
+//! down node.
+
+use crate::query::InstallRecord;
+use mortar_net::NodeId;
+use std::collections::HashMap;
+
+/// Splits the full record set into ≤ `chunks` connected primary-tree
+/// components of roughly equal size. Component roots are chosen by a
+/// post-order size-accumulation cut, so every component is a subtree (or
+/// the residual top component containing the query root).
+///
+/// `peers` maps member indices to peer ids so the peer ids inside each
+/// record's links can be translated back to member indices; `None` means
+/// peer ids equal member indices (convenient in tests).
+pub fn chunk_components_with_peers(
+    records: &[InstallRecord],
+    peers: Option<&[NodeId]>,
+    chunks: usize,
+) -> Vec<Vec<InstallRecord>> {
+    let n = records.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let member_of: HashMap<NodeId, usize> = match peers {
+        Some(p) => p.iter().enumerate().map(|(m, &id)| (id, m)).collect(),
+        None => (0..n).map(|m| (m as NodeId, m)).collect(),
+    };
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut root = 0usize;
+    for (m, r) in records.iter().enumerate() {
+        match r.links[0].parent {
+            Some(p) => {
+                let pm = member_of[&p];
+                children[pm].push(m);
+            }
+            None => root = m,
+        }
+    }
+    // Post-order size accumulation: cut a subtree once it reaches the
+    // target size.
+    let target = n.div_ceil(chunks).max(1);
+    let mut comp_of: Vec<usize> = vec![usize::MAX; n];
+    let mut comp_count = 0usize;
+    let mut sizes = vec![1usize; n];
+    // Iterative post-order.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut stack = vec![(root, 0usize)];
+    while let Some((u, ci)) = stack.pop() {
+        if ci < children[u].len() {
+            stack.push((u, ci + 1));
+            stack.push((children[u][ci], 0));
+        } else {
+            order.push(u);
+        }
+    }
+    for &u in &order {
+        let kid_size: usize =
+            children[u].iter().filter(|&&c| comp_of[c] == usize::MAX).map(|&c| sizes[c]).sum();
+        sizes[u] = 1 + kid_size;
+        if sizes[u] >= target && u != root && comp_count + 1 < chunks {
+            // Cut here: u and its uncut descendants form a component.
+            mark_component(u, &children, &mut comp_of, comp_count);
+            comp_count += 1;
+            sizes[u] = 0;
+        }
+    }
+    // Residual component containing the root.
+    mark_component(root, &children, &mut comp_of, comp_count);
+    comp_count += 1;
+    let mut out: Vec<Vec<InstallRecord>> = vec![Vec::new(); comp_count];
+    for (m, r) in records.iter().enumerate() {
+        out[comp_of[m]].push(r.clone());
+    }
+    out.retain(|c| !c.is_empty());
+    out
+}
+
+fn mark_component(start: usize, children: &[Vec<usize>], comp_of: &mut [usize], id: usize) {
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        if comp_of[u] != usize::MAX {
+            continue;
+        }
+        comp_of[u] = id;
+        for &c in &children[u] {
+            if comp_of[c] == usize::MAX {
+                stack.push(c);
+            }
+        }
+    }
+}
+
+/// The component root of a chunk: the record whose primary parent lies
+/// outside the chunk (or the query root).
+pub fn component_root(chunk: &[InstallRecord], peers: Option<&[NodeId]>) -> u32 {
+    let members: std::collections::HashSet<u32> = chunk.iter().map(|r| r.member).collect();
+    let member_idx = |peer: NodeId| -> Option<u32> {
+        match peers {
+            Some(p) => p.iter().position(|&id| id == peer).map(|m| m as u32),
+            None => Some(peer),
+        }
+    };
+    for r in chunk {
+        match r.links[0].parent {
+            None => return r.member,
+            Some(p) => match member_idx(p) {
+                Some(pm) if members.contains(&pm) => {}
+                _ => return r.member,
+            },
+        }
+    }
+    chunk[0].member
+}
+
+/// Splits a record set a forwarding node received into per-primary-child
+/// groups: each group contains the records reachable through that child in
+/// the primary tree (restricted to the record set).
+pub fn forward_groups(
+    my_member: u32,
+    records: &[InstallRecord],
+    peers: Option<&[NodeId]>,
+) -> HashMap<NodeId, Vec<InstallRecord>> {
+    let by_member: HashMap<u32, &InstallRecord> =
+        records.iter().map(|r| (r.member, r)).collect();
+    let member_idx = |peer: NodeId| -> Option<u32> {
+        match peers {
+            Some(p) => p.iter().position(|&id| id == peer).map(|m| m as u32),
+            None => Some(peer),
+        }
+    };
+    let peer_id = |member: u32| -> NodeId {
+        match peers {
+            Some(p) => p[member as usize],
+            None => member,
+        }
+    };
+    let mut groups: HashMap<NodeId, Vec<InstallRecord>> = HashMap::new();
+    for r in records {
+        if r.member == my_member {
+            continue;
+        }
+        // Walk the primary parent chain (within the record set) to find
+        // which of my children this record hangs under.
+        let mut cur = r.member;
+        let mut via: Option<u32> = None;
+        let mut guard = 0;
+        while let Some(rec) = by_member.get(&cur) {
+            guard += 1;
+            if guard > records.len() + 1 {
+                break; // Defensive: malformed record set.
+            }
+            match rec.links[0].parent.and_then(member_idx) {
+                Some(pm) if pm == my_member => {
+                    via = Some(cur);
+                    break;
+                }
+                Some(pm) if by_member.contains_key(&pm) => cur = pm,
+                _ => break,
+            }
+        }
+        if let Some(child_member) = via {
+            groups.entry(peer_id(child_member)).or_default().push(r.clone());
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::build_records;
+    use mortar_overlay::{Tree, TreeSet};
+
+    /// A 7-member primary chain-of-pairs: 0←{1,2}, 1←{3,4}, 2←{5,6}.
+    fn records7() -> Vec<InstallRecord> {
+        let t = Tree::from_parents(
+            0,
+            vec![None, Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)],
+        );
+        let ts = TreeSet::new(vec![t]);
+        let peers: Vec<NodeId> = (0..7).collect();
+        build_records(&peers, &ts)
+    }
+
+    #[test]
+    fn chunks_partition_all_records() {
+        let recs = records7();
+        for k in [1usize, 2, 3, 7] {
+            let chunks = chunk_components_with_peers(&recs, None, k);
+            let total: usize = chunks.iter().map(Vec::len).sum();
+            assert_eq!(total, 7, "k={k} lost records");
+            assert!(chunks.len() <= k.max(1), "k={k} produced {} chunks", chunks.len());
+        }
+    }
+
+    #[test]
+    fn single_chunk_is_whole_tree() {
+        let recs = records7();
+        let chunks = chunk_components_with_peers(&recs, None, 1);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].len(), 7);
+        assert_eq!(component_root(&chunks[0], None), 0);
+    }
+
+    #[test]
+    fn components_are_connected_subtrees() {
+        let recs = records7();
+        let chunks = chunk_components_with_peers(&recs, None, 3);
+        for c in &chunks {
+            let root = component_root(c, None);
+            // Every record in the chunk must reach the component root by
+            // walking primary parents inside the chunk.
+            let members: std::collections::HashSet<u32> =
+                c.iter().map(|r| r.member).collect();
+            for r in c {
+                let mut cur = r.member;
+                let mut steps = 0;
+                while cur != root {
+                    let rec = c.iter().find(|x| x.member == cur).unwrap();
+                    let p = rec.links[0].parent.expect("non-root chunk member has parent");
+                    assert!(members.contains(&(p as u32)), "disconnected chunk");
+                    cur = p as u32;
+                    steps += 1;
+                    assert!(steps <= 7, "cycle in chunk");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_groups_route_through_correct_child() {
+        let recs = records7();
+        // Node 0 holds everything: children 1 and 2 get their subtrees.
+        let groups = forward_groups(0, &recs, None);
+        let g1: Vec<u32> = {
+            let mut v: Vec<u32> = groups[&1].iter().map(|r| r.member).collect();
+            v.sort();
+            v
+        };
+        let g2: Vec<u32> = {
+            let mut v: Vec<u32> = groups[&2].iter().map(|r| r.member).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(g1, vec![1, 3, 4]);
+        assert_eq!(g2, vec![2, 5, 6]);
+    }
+
+    #[test]
+    fn forward_groups_empty_for_leaf() {
+        let recs = records7();
+        let only_me = vec![recs[3].clone()];
+        let groups = forward_groups(3, &only_me, None);
+        assert!(groups.is_empty());
+    }
+}

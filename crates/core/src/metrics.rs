@@ -1,0 +1,265 @@
+//! Result records and the paper's accuracy metrics.
+//!
+//! * **Completeness** — the percentage of peers whose data is included in a
+//!   window's final result (Section 2, the primary accuracy metric).
+//! * **True completeness** — the percentage of raw values assigned to the
+//!   *correct* window (Section 5); a constant frame shift between the
+//!   root's indices and true windows is not an error (syncless indices are
+//!   purely local), so the metric reports the best constant alignment.
+//! * **Result latency** — time between when a result was due and when the
+//!   root reported it (Section 7.2.2), computed per constituent tuple from
+//!   ground truth.
+
+use crate::tuple::TruthMeta;
+use crate::value::AggState;
+use std::collections::BTreeMap;
+
+/// One value emitted by a query's root operator.
+#[derive(Debug, Clone)]
+pub struct ResultRecord {
+    /// Query name.
+    pub query: String,
+    /// Index interval begin (mode frame, µs).
+    pub tb: i64,
+    /// Index interval end (exclusive).
+    pub te: i64,
+    /// Finalized aggregate.
+    pub state: AggState,
+    /// Scalar rendering, when meaningful.
+    pub scalar: Option<f64>,
+    /// Source participants included.
+    pub participants: u32,
+    /// Root-local emission time, µs.
+    pub emit_local_us: i64,
+    /// True (simulator) emission time, µs.
+    pub emit_true_us: u64,
+    /// Weighted average constituent age at emission, µs.
+    pub age_us: i64,
+    /// How far past the window's own due point (its interval end, in the
+    /// indexing frame) the root reported this value. Negative = reported
+    /// before the index was due (future-stamped data).
+    pub due_lag_us: i64,
+    /// Maximum overlay hops among the result's constituents.
+    pub path_len: u8,
+    /// Ground truth: true-window → constituent raw-tuple counts.
+    pub truth: TruthMeta,
+}
+
+/// Sums participants per index interval (late partials for the same index
+/// accumulate — time-division guarantees they are disjoint).
+pub fn participants_by_index(results: &[ResultRecord]) -> BTreeMap<i64, u32> {
+    let mut map = BTreeMap::new();
+    for r in results {
+        *map.entry(r.tb).or_insert(0) += r.participants;
+    }
+    map
+}
+
+/// Mean completeness (%) over the index range `[skip_first, len−skip_last)`
+/// of the per-index participant sums, against `total` expected sources.
+pub fn mean_completeness(results: &[ResultRecord], total: usize, skip_first: usize) -> f64 {
+    let by_index = participants_by_index(results);
+    let vals: Vec<u32> = by_index.values().copied().collect();
+    if vals.len() <= skip_first + 1 {
+        return 0.0;
+    }
+    // Skip warm-up windows and the final (possibly still-draining) window.
+    let slice = &vals[skip_first..vals.len() - 1];
+    let sum: u64 = slice.iter().map(|&v| v.min(total as u32) as u64).sum();
+    100.0 * sum as f64 / (slice.len() as f64 * total as f64)
+}
+
+/// Completeness (%) per true second: the Figures 14–15 time series.
+///
+/// Participants are first aggregated per window index (late partials for
+/// the same window are disjoint and sum), then each window is bucketed at
+/// its *due* instant in true time (reconstructed as `emit − due_lag`).
+pub fn completeness_timeline(
+    results: &[ResultRecord],
+    total: usize,
+    horizon_secs: usize,
+) -> Vec<f64> {
+    // index → (participant sum, due second).
+    let mut windows: BTreeMap<i64, (u64, usize)> = BTreeMap::new();
+    for r in results {
+        let due_true_us = r.emit_true_us as i64 - r.due_lag_us.max(0);
+        let sec = (due_true_us.max(0) / 1_000_000) as usize;
+        let e = windows.entry(r.tb).or_insert((0, sec));
+        e.0 += r.participants as u64;
+        e.1 = e.1.min(sec);
+    }
+    let mut sums = vec![0u64; horizon_secs];
+    let mut counts = vec![0u64; horizon_secs];
+    for (_, (participants, sec)) in windows {
+        if sec < horizon_secs {
+            sums[sec] += participants.min(total as u64);
+            counts[sec] += 1;
+        }
+    }
+    (0..horizon_secs)
+        .map(|s| {
+            if counts[s] == 0 {
+                f64::NAN
+            } else {
+                100.0 * sums[s] as f64 / (counts[s] as f64 * total as f64)
+            }
+        })
+        .collect()
+}
+
+/// True completeness (%): the share of constituent raw tuples whose
+/// assigned window matches their true window, under the best constant
+/// index alignment in `−shift_search..=shift_search`.
+pub fn true_completeness(results: &[ResultRecord], slide_us: u64, shift_search: i64) -> f64 {
+    let slide = slide_us as i64;
+    let mut best = 0.0f64;
+    let total: u64 = results.iter().map(|r| r.truth.total()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    for shift in -shift_search..=shift_search {
+        let mut correct = 0u64;
+        for r in results {
+            let assigned = r.tb.div_euclid(slide);
+            if let Some(&n) = r.truth.counts.get(&(assigned - shift)) {
+                correct += n;
+            }
+        }
+        best = best.max(100.0 * correct as f64 / total as f64);
+    }
+    best
+}
+
+/// Mean result latency in seconds, per the paper's definition: "the time
+/// between when the result was due and when the root operator reported the
+/// value". Every reported value lags its window's due point (the interval
+/// end) by `due_lag`; the mean weights each report by the amount of data it
+/// carries (participants), so the headline result reflects when the bulk of
+/// the data was reported. Early (future-stamped) reports clamp to zero.
+pub fn mean_report_latency_secs(results: &[ResultRecord]) -> f64 {
+    let mut weighted = 0.0f64;
+    let mut weight = 0u64;
+    for r in results {
+        let w = r.participants.max(1) as u64;
+        weighted += r.due_lag_us.max(0) as f64 * w as f64;
+        weight += w;
+    }
+    if weight == 0 {
+        0.0
+    } else {
+        weighted / weight as f64 / 1e6
+    }
+}
+
+/// Mean result latency in seconds computed from ground truth: for each
+/// emission, each constituent raw tuple was due at the end of its true
+/// window; the latency contribution is `emit_true − window_end` clamped at
+/// zero, weighted by tuple count. A diagnostic complement to
+/// [`mean_report_latency_secs`] (it measures data freshness rather than
+/// report punctuality).
+pub fn mean_result_latency_secs(results: &[ResultRecord], slide_us: u64) -> f64 {
+    let slide = slide_us as i64;
+    let mut weighted = 0.0f64;
+    let mut weight = 0u64;
+    for r in results {
+        for (&w, &n) in &r.truth.counts {
+            let due_us = (w + 1) * slide;
+            let lat = (r.emit_true_us as i64 - due_us).max(0);
+            weighted += lat as f64 * n as f64;
+            weight += n;
+        }
+    }
+    if weight == 0 {
+        0.0
+    } else {
+        weighted / weight as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tb: i64, participants: u32, emit_s: u64, truth: &[(i64, u64)]) -> ResultRecord {
+        let mut t = TruthMeta::default();
+        for &(w, n) in truth {
+            t.add(w, n);
+        }
+        ResultRecord {
+            query: "q".into(),
+            tb,
+            te: tb + 1_000_000,
+            state: AggState::Sum(1.0),
+            scalar: Some(1.0),
+            participants,
+            emit_local_us: 0,
+            emit_true_us: emit_s * 1_000_000,
+            age_us: 0,
+            due_lag_us: emit_s as i64 * 1_000_000 - (tb + 1_000_000),
+            path_len: 0,
+            truth: t,
+        }
+    }
+
+    #[test]
+    fn report_latency_weights_by_participants() {
+        // Index 0 (due at 1 s): lag 1 s with 3 participants, lag 4 s with 1.
+        // Index 1s (due at 2 s): lag 0 with 4 participants.
+        let rs = vec![rec(0, 3, 2, &[]), rec(0, 1, 5, &[]), rec(1_000_000, 4, 2, &[])];
+        let l = mean_report_latency_secs(&rs);
+        let expect = (3.0 * 1.0 + 1.0 * 4.0 + 4.0 * 0.0) / 8.0;
+        assert!((l - expect).abs() < 1e-9, "expected {expect}, got {l}");
+        assert_eq!(mean_report_latency_secs(&[]), 0.0);
+    }
+
+    #[test]
+    fn participants_accumulate_per_index() {
+        let rs = vec![rec(0, 3, 1, &[]), rec(0, 2, 2, &[]), rec(1_000_000, 4, 2, &[])];
+        let m = participants_by_index(&rs);
+        assert_eq!(m[&0], 5);
+        assert_eq!(m[&1_000_000], 4);
+    }
+
+    #[test]
+    fn mean_completeness_skips_warmup_and_tail() {
+        let rs = vec![
+            rec(0, 1, 1, &[]),          // warm-up, skipped
+            rec(1_000_000, 4, 2, &[]),
+            rec(2_000_000, 2, 3, &[]),
+            rec(3_000_000, 1, 4, &[]),  // tail, skipped
+        ];
+        let c = mean_completeness(&rs, 4, 1);
+        assert!((c - 75.0).abs() < 1e-9, "got {c}");
+    }
+
+    #[test]
+    fn true_completeness_with_alignment() {
+        // All tuples systematically shifted one window: still 100%.
+        let rs = vec![
+            rec(1_000_000, 1, 1, &[(0, 10)]),
+            rec(2_000_000, 1, 2, &[(1, 10)]),
+        ];
+        assert_eq!(true_completeness(&rs, 1_000_000, 2), 100.0);
+        // Half the tuples in the wrong window.
+        let rs2 = vec![rec(1_000_000, 1, 1, &[(1, 5), (5, 5)])];
+        assert_eq!(true_completeness(&rs2, 1_000_000, 2), 50.0);
+    }
+
+    #[test]
+    fn latency_weighted_by_tuples() {
+        // Window 0 due at t=1s; emitted at t=3s → 2 s late (weight 1).
+        // Window 1 due at t=2s; emitted at t=3s → 1 s late (weight 3).
+        let rs = vec![rec(0, 1, 3, &[(0, 1), (1, 3)])];
+        let l = mean_result_latency_secs(&rs, 1_000_000);
+        assert!((l - 1.25).abs() < 1e-9, "got {l}");
+    }
+
+    #[test]
+    fn timeline_has_nan_for_silent_seconds() {
+        let rs = vec![rec(0, 2, 1, &[])];
+        let tl = completeness_timeline(&rs, 4, 3);
+        assert!(tl[0].is_nan());
+        assert!((tl[1] - 50.0).abs() < 1e-9);
+        assert!(tl[2].is_nan());
+    }
+}

@@ -1,0 +1,138 @@
+//! Wire messages exchanged between Mortar peers.
+//!
+//! Sizes are modelled (not serialized) — the simulator charges
+//! `wire_bytes × hops` to the bandwidth accounting, which is how the
+//! paper's "total network load" figures are reproduced.
+
+use crate::query::{InstallRecord, QuerySpec};
+use crate::tuple::SummaryTuple;
+
+/// A (query name, sequence) pair in reconciliation exchanges.
+pub type NameSeq = (String, u64);
+
+/// The Mortar peer protocol.
+#[derive(Debug, Clone)]
+pub enum MortarMsg {
+    /// A routed summary tuple for `query`, travelling on `tree`.
+    Summary {
+        /// Query name.
+        query: String,
+        /// The tuple.
+        tuple: SummaryTuple,
+        /// Tree the tuple is (now) travelling on.
+        tree: u8,
+        /// Optional piggybacked store hash (removal reconciliation rides
+        /// the child→parent data flow, Section 6.1).
+        store_hash: Option<u64>,
+    },
+    /// Parent→child liveness beacon; every `reconcile_every`-th beat
+    /// carries the sender's store hash.
+    Heartbeat {
+        /// Store hash, present on reconciliation beats.
+        store_hash: Option<u64>,
+    },
+    /// Pair-wise reconciliation exchange: the sender's installed set and
+    /// removal cache.
+    Reconcile {
+        /// Installed queries with their install sequence and the query's
+        /// age (µs since issuance, per the sender's reference clock).
+        installed: Vec<(QuerySpec, u64, i64)>,
+        /// Cached removals.
+        removed: Vec<NameSeq>,
+        /// Whether the receiver should reply with its own sets.
+        reply: bool,
+    },
+    /// Chunked-multicast query installation.
+    Install {
+        /// The query.
+        spec: QuerySpec,
+        /// Store sequence of the install command.
+        seq: u64,
+        /// Records for this chunk's members (receiver keeps its own and
+        /// forwards the rest down the primary tree).
+        records: Vec<InstallRecord>,
+        /// Age of the install command since issuance, µs.
+        issue_age_us: i64,
+    },
+    /// Query removal, multicast down the primary tree.
+    Remove {
+        /// Query name.
+        name: String,
+        /// Store sequence of the removal command.
+        seq: u64,
+    },
+    /// Ask the query root (topology server) for this peer's record.
+    TopoRequest {
+        /// Query name.
+        name: String,
+    },
+    /// Topology service reply.
+    TopoReply {
+        /// Query name.
+        name: String,
+        /// Install sequence.
+        seq: u64,
+        /// The query spec (the requester may only know the name).
+        spec: QuerySpec,
+        /// The requester's record.
+        record: InstallRecord,
+        /// Age of the query since issuance, µs.
+        issue_age_us: i64,
+    },
+}
+
+impl MortarMsg {
+    /// Modelled wire size in bytes.
+    pub fn wire_bytes(&self) -> u32 {
+        match self {
+            MortarMsg::Summary { query, tuple, store_hash, .. } => {
+                16 + query.len() as u32
+                    + tuple.wire_bytes()
+                    + if store_hash.is_some() { 8 } else { 0 }
+            }
+            MortarMsg::Heartbeat { store_hash } => {
+                24 + if store_hash.is_some() { 8 } else { 0 }
+            }
+            MortarMsg::Reconcile { installed, removed, .. } => {
+                16 + installed
+                    .iter()
+                    .map(|(s, _, _)| s.wire_bytes() + 16)
+                    .sum::<u32>()
+                    + removed.iter().map(|(n, _)| n.len() as u32 + 12).sum::<u32>()
+            }
+            MortarMsg::Install { spec, records, .. } => {
+                24 + spec.wire_bytes()
+                    + records.iter().map(InstallRecord::wire_bytes).sum::<u32>()
+            }
+            MortarMsg::Remove { name, .. } => 20 + name.len() as u32,
+            MortarMsg::TopoRequest { name } => 12 + name.len() as u32,
+            MortarMsg::TopoReply { spec, record, .. } => {
+                28 + spec.wire_bytes() + record.wire_bytes()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tslist::summary;
+    use crate::value::AggState;
+
+    #[test]
+    fn heartbeat_sizes() {
+        assert_eq!(MortarMsg::Heartbeat { store_hash: None }.wire_bytes(), 24);
+        assert_eq!(MortarMsg::Heartbeat { store_hash: Some(1) }.wire_bytes(), 32);
+    }
+
+    #[test]
+    fn summary_size_includes_tuple() {
+        let m = MortarMsg::Summary {
+            query: "q1".into(),
+            tuple: summary(0, 10, AggState::Sum(1.0), 1, 0),
+            tree: 0,
+            store_hash: None,
+        };
+        assert!(m.wire_bytes() > 40);
+    }
+}

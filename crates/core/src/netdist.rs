@@ -1,0 +1,119 @@
+//! The dynamic timeout estimator (Section 4.3).
+//!
+//! "Operators maintain a latency estimate, called netDist, using an EWMA of
+//! the maximum received sample" (α = 10% worked well in practice). When the
+//! first tuple for an index arrives, the TS list sets the entry's timeout in
+//! proportion to `netDist − T.age`: by the time that tuple arrived, `T.age`
+//! time had already passed, so the most-delayed tuple should already be in
+//! flight.
+
+/// EWMA-of-maximum latency estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct NetDist {
+    /// Smoothing factor (paper: 0.10).
+    pub alpha: f64,
+    estimate_us: f64,
+    window_max_us: f64,
+    samples_in_window: u32,
+}
+
+impl NetDist {
+    /// Creates an estimator with the given initial estimate.
+    pub fn new(initial_us: u64, alpha: f64) -> Self {
+        Self {
+            alpha,
+            estimate_us: initial_us as f64,
+            window_max_us: 0.0,
+            samples_in_window: 0,
+        }
+    }
+
+    /// Feeds one observed tuple age (clamped at zero — timestamp mode can
+    /// produce "future" tuples with negative apparent age).
+    pub fn observe(&mut self, age_us: i64) {
+        let a = age_us.max(0) as f64;
+        self.window_max_us = self.window_max_us.max(a);
+        self.samples_in_window += 1;
+        // Fast-raise: a sample beyond the estimate pulls it up immediately,
+        // since under-estimating the timeout drops live data.
+        if a > self.estimate_us {
+            self.estimate_us += self.alpha * (a - self.estimate_us);
+        }
+    }
+
+    /// Folds the per-window maximum into the EWMA; call once per eviction.
+    pub fn roll(&mut self) {
+        if self.samples_in_window > 0 {
+            self.estimate_us += self.alpha * (self.window_max_us - self.estimate_us);
+            self.window_max_us = 0.0;
+            self.samples_in_window = 0;
+        }
+    }
+
+    /// Current estimate, microseconds.
+    pub fn estimate_us(&self) -> u64 {
+        self.estimate_us.max(0.0) as u64
+    }
+
+    /// The timeout for an entry whose first tuple has the given age:
+    /// `max(min_timeout, netDist − age)`.
+    pub fn timeout_us(&self, first_age_us: i64, min_timeout_us: u64) -> u64 {
+        let remaining = self.estimate_us - first_age_us.max(0) as f64;
+        (remaining.max(0.0) as u64).max(min_timeout_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_estimate_used() {
+        let nd = NetDist::new(2_000_000, 0.1);
+        assert_eq!(nd.estimate_us(), 2_000_000);
+        assert_eq!(nd.timeout_us(0, 100_000), 2_000_000);
+    }
+
+    #[test]
+    fn old_tuples_wait_less() {
+        let nd = NetDist::new(2_000_000, 0.1);
+        assert_eq!(nd.timeout_us(1_500_000, 100_000), 500_000);
+        // Already older than the estimate: floor at min timeout.
+        assert_eq!(nd.timeout_us(5_000_000, 100_000), 100_000);
+    }
+
+    #[test]
+    fn negative_age_clamped() {
+        let nd = NetDist::new(1_000_000, 0.1);
+        assert_eq!(nd.timeout_us(-3_000_000, 100_000), 1_000_000);
+    }
+
+    #[test]
+    fn estimate_rises_quickly_on_larger_samples() {
+        let mut nd = NetDist::new(1_000_000, 0.1);
+        for _ in 0..40 {
+            nd.observe(4_000_000);
+            nd.roll();
+        }
+        assert!(nd.estimate_us() > 3_500_000, "estimate {}", nd.estimate_us());
+    }
+
+    #[test]
+    fn estimate_decays_toward_smaller_max() {
+        let mut nd = NetDist::new(4_000_000, 0.1);
+        for _ in 0..60 {
+            nd.observe(500_000);
+            nd.roll();
+        }
+        let e = nd.estimate_us();
+        assert!(e < 1_000_000, "estimate should decay: {e}");
+        assert!(e >= 500_000, "but not below observed max: {e}");
+    }
+
+    #[test]
+    fn roll_without_samples_is_noop() {
+        let mut nd = NetDist::new(1_000_000, 0.1);
+        nd.roll();
+        assert_eq!(nd.estimate_us(), 1_000_000);
+    }
+}

@@ -1,0 +1,1210 @@
+//! The Mortar peer: a complete, transport-agnostic protocol state machine.
+//!
+//! A peer hosts one operator instance per installed query. Its duties per
+//! the paper:
+//!
+//! * **Data plane** — window local raw tuples into summary tuples (merging
+//!   across time), merge arriving summaries into the time-space list
+//!   (merging across space), and on expiry route the merged summary toward
+//!   the query root with dynamic striping (Sections 3.3–5).
+//! * **Liveness** — parent→child heartbeats every 2 s; a silent neighbour
+//!   is presumed down after three missed beats (Section 7.2.2).
+//! * **Persistence** — chunked-multicast install/remove with pair-wise
+//!   reconciliation every third heartbeat and a query-root topology service
+//!   (Section 6).
+//!
+//! All timing uses the peer's *local* clock; in syncless mode no global
+//! time ever enters the data path.
+
+use crate::install::{chunk_components_with_peers, component_root, forward_groups};
+use crate::metrics::ResultRecord;
+use crate::msg::MortarMsg;
+use crate::netdist::NetDist;
+use crate::op::OpRegistry;
+use crate::query::{InstallRecord, QuerySpec, SensorSpec};
+use crate::reconcile::{reconcile, store_hash};
+use crate::tslist::TimeSpaceList;
+use crate::tuple::{RawTuple, SummaryTuple, TruthMeta};
+use crate::value::AggState;
+use crate::window::WindowKind;
+use mortar_net::{App, Ctx, NodeId, TrafficClass};
+use mortar_overlay::{route_decision_local, Decision, RouteState};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// How operators index tuples in time (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexingMode {
+    /// Syncless: ages instead of timestamps; immune to clock offset.
+    Syncless,
+    /// Traditional timestamps from the local wall clock.
+    Timestamp,
+}
+
+/// Peer configuration (defaults follow the paper's evaluation settings).
+#[derive(Debug, Clone, Copy)]
+pub struct PeerConfig {
+    /// Internal scheduling granularity, local µs.
+    pub tick_us: u64,
+    /// Heartbeat period (paper: 2 s).
+    pub hb_period_us: u64,
+    /// Beats without contact before a neighbour is presumed down (3).
+    pub hb_timeout_beats: u32,
+    /// Reconciliation runs every Nth heartbeat (3 ⇒ every 6 s).
+    pub reconcile_every: u32,
+    /// Modelled per-hop transit added to tuple age on send.
+    pub hop_age_est_us: u64,
+    /// Indexing mode.
+    pub indexing: IndexingMode,
+    /// Floor for the dynamic timeout.
+    pub min_timeout_us: u64,
+    /// Initial netDist estimate.
+    pub netdist_init_us: u64,
+    /// netDist EWMA constant (paper: 0.10).
+    pub netdist_alpha: f64,
+    /// Attach a store hash to every Nth outgoing summary (removal
+    /// reconciliation rides the data flow).
+    pub data_hash_every: u32,
+    /// Install multicast chunk count (paper: 16).
+    pub install_chunks: usize,
+    /// Record ground-truth metadata for metrics.
+    pub track_truth: bool,
+    /// Staleness horizon: arriving summaries whose apparent age exceeds
+    /// this are dropped (the bounded-reorder-buffer analog; prevents
+    /// multi-thousand-second offsets from poisoning state forever).
+    pub max_age_us: u64,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        Self {
+            tick_us: 200_000,
+            hb_period_us: 2_000_000,
+            hb_timeout_beats: 3,
+            reconcile_every: 3,
+            hop_age_est_us: 15_000,
+            indexing: IndexingMode::Syncless,
+            min_timeout_us: 250_000,
+            netdist_init_us: 2_500_000,
+            netdist_alpha: 0.1,
+            data_hash_every: 8,
+            install_chunks: 16,
+            track_truth: true,
+            max_age_us: 90_000_000,
+        }
+    }
+}
+
+/// Peer-side counters for diagnostics and experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PeerStats {
+    /// Summaries dropped by the routing policy (stage 5).
+    pub route_drops: u64,
+    /// TS-list evictions performed.
+    pub evictions: u64,
+    /// Summaries received.
+    pub summaries_in: u64,
+    /// Reconciliation exchanges initiated.
+    pub reconciles: u64,
+    /// Installs applied (including via reconciliation).
+    pub installs: u64,
+    /// Removals applied.
+    pub removals: u64,
+    /// Sum over delivered-to-root tuples of overlay hops travelled.
+    pub hops_accum: u64,
+    /// Count of root deliveries contributing to `hops_accum`.
+    pub hops_samples: u64,
+}
+
+/// One open raw-data window (merging across time).
+#[derive(Debug, Default)]
+struct Bucket {
+    state: Option<AggState>,
+    truth: TruthMeta,
+    count: u64,
+}
+
+/// Per-query runtime state at one peer.
+struct QueryState {
+    spec: QuerySpec,
+    seq: u64,
+    record: Option<InstallRecord>,
+    /// Local µs corresponding to the query's issue instant.
+    t_ref_base_us: i64,
+    ts: TimeSpaceList,
+    netdist: NetDist,
+    stripe_rr: usize,
+    buckets: BTreeMap<i64, Bucket>,
+    next_close_k: i64,
+    next_emit_local_us: i64,
+    /// Tuple-window buffer: (frame arrival time, tuple).
+    tuple_buf: Vec<(i64, RawTuple)>,
+    tuples_seen: u64,
+    summaries_out: u64,
+}
+
+impl QueryState {
+    fn member(&self) -> Option<u32> {
+        self.record.as_ref().map(|r| r.member)
+    }
+
+    fn active(&self) -> bool {
+        self.record.is_some()
+    }
+}
+
+/// The Mortar peer application.
+pub struct MortarPeer {
+    /// This peer's identifier.
+    pub id: NodeId,
+    cfg: PeerConfig,
+    registry: OpRegistry,
+    queries: HashMap<String, QueryState>,
+    removed: HashMap<String, u64>,
+    last_heard: HashMap<NodeId, i64>,
+    hb_children: HashSet<NodeId>,
+    hb_count: u64,
+    next_hb_local_us: i64,
+    /// Topology service state (query roots only).
+    topo: HashMap<String, Vec<InstallRecord>>,
+    /// Results recorded by the root operator.
+    pub results: Vec<ResultRecord>,
+    /// Replay trace for `SensorSpec::Replay` (local-µs offset, tuple).
+    replay: Vec<(u64, RawTuple)>,
+    replay_pos: usize,
+    /// Counters.
+    pub stats: PeerStats,
+}
+
+/// Timer tag for the peer's single periodic tick.
+const TICK: u64 = 1;
+
+impl MortarPeer {
+    /// Creates a peer with the given configuration and operator registry.
+    pub fn new(id: NodeId, cfg: PeerConfig, registry: OpRegistry) -> Self {
+        Self {
+            id,
+            cfg,
+            registry,
+            queries: HashMap::new(),
+            removed: HashMap::new(),
+            last_heard: HashMap::new(),
+            hb_children: HashSet::new(),
+            hb_count: 0,
+            next_hb_local_us: i64::MIN,
+            topo: HashMap::new(),
+            results: Vec::new(),
+            replay: Vec::new(),
+            replay_pos: 0,
+            stats: PeerStats::default(),
+        }
+    }
+
+    /// Sets the replay trace used by `SensorSpec::Replay` queries.
+    /// Offsets are local µs from query activation.
+    pub fn set_replay(&mut self, trace: Vec<(u64, RawTuple)>) {
+        self.replay = trace;
+        self.replay_pos = 0;
+    }
+
+    /// Whether a query is installed (record may still be pending).
+    pub fn has_query(&self, name: &str) -> bool {
+        self.queries.contains_key(name)
+    }
+
+    /// Whether a query is installed *and* connected to the physical plan.
+    pub fn is_active(&self, name: &str) -> bool {
+        self.queries.get(name).is_some_and(QueryState::active)
+    }
+
+    /// Names of installed queries.
+    pub fn installed_names(&self) -> Vec<&str> {
+        self.queries.keys().map(String::as_str).collect()
+    }
+
+    /// Current netDist estimate for a query (diagnostics).
+    pub fn netdist_us(&self, name: &str) -> Option<u64> {
+        self.queries.get(name).map(|q| q.netdist.estimate_us())
+    }
+
+    /// Number of distinct children this peer heartbeats (Figure 13's
+    /// scaling metric: heartbeats are shared across trees and queries).
+    pub fn heartbeat_children(&self) -> usize {
+        self.hb_children.len()
+    }
+
+    fn my_store_hash(&self) -> u64 {
+        store_hash(
+            self.queries
+                .iter()
+                .map(|(n, q)| (n.as_str(), q.seq))
+                .chain(self.removed.iter().map(|(n, &s)| (n.as_str(), s.wrapping_add(1 << 63)))),
+        )
+    }
+
+    fn installed_seqs(&self) -> HashMap<String, u64> {
+        self.queries.iter().map(|(n, q)| (n.clone(), q.seq)).collect()
+    }
+
+    fn alive(&self, peer: NodeId, now: i64) -> bool {
+        let horizon = (self.cfg.hb_period_us * self.cfg.hb_timeout_beats as u64) as i64
+            + self.cfg.tick_us as i64;
+        self.last_heard.get(&peer).is_some_and(|&t| now - t <= horizon)
+    }
+
+    fn rebuild_hb_children(&mut self) {
+        self.hb_children.clear();
+        for q in self.queries.values() {
+            if let Some(rec) = &q.record {
+                for link in &rec.links {
+                    self.hb_children.extend(link.children.iter().copied());
+                }
+            }
+        }
+        self.hb_children.remove(&self.id);
+    }
+
+    // ------------------------------------------------------------------
+    // Install / remove / reconcile.
+    // ------------------------------------------------------------------
+
+    fn install_query(
+        &mut self,
+        spec: QuerySpec,
+        seq: u64,
+        record: Option<InstallRecord>,
+        issue_age_us: i64,
+        local_now: i64,
+    ) {
+        if let Some(&rseq) = self.removed.get(&spec.name) {
+            if rseq >= seq {
+                return; // A newer removal wins.
+            }
+            self.removed.remove(&spec.name);
+        }
+        if let Some(existing) = self.queries.get(&spec.name) {
+            if existing.seq >= seq && existing.record.is_some() {
+                return; // Already current.
+            }
+        }
+        let window = spec.window;
+        window.validate();
+        let t_ref_base = local_now - issue_age_us;
+        let frame_now = match self.cfg.indexing {
+            IndexingMode::Syncless => local_now - t_ref_base,
+            IndexingMode::Timestamp => local_now,
+        };
+        let slide = window.slide as i64;
+        let state = QueryState {
+            spec,
+            seq,
+            record,
+            t_ref_base_us: t_ref_base,
+            ts: TimeSpaceList::new(),
+            netdist: NetDist::new(self.cfg.netdist_init_us, self.cfg.netdist_alpha),
+            stripe_rr: self.id as usize, // Stagger striping across peers.
+            buckets: BTreeMap::new(),
+            next_close_k: if window.kind == WindowKind::Time {
+                frame_now.div_euclid(slide)
+            } else {
+                0
+            },
+            next_emit_local_us: local_now,
+            tuple_buf: Vec::new(),
+            tuples_seen: 0,
+            summaries_out: 0,
+        };
+        let name = state.spec.name.clone();
+        let need_topo = state.record.is_none();
+        self.queries.insert(name.clone(), state);
+        self.stats.installs += 1;
+        self.rebuild_hb_children();
+        // Mark known neighbours as recently heard so routing starts
+        // optimistic (the paper installs assuming the plan is live).
+        let neighbours: Vec<NodeId> = self
+            .queries
+            .get(&name)
+            .and_then(|q| q.record.as_ref())
+            .map(|r| {
+                r.links
+                    .iter()
+                    .flat_map(|l| l.parent.into_iter().chain(l.children.iter().copied()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for p in neighbours {
+            self.last_heard.entry(p).or_insert(local_now);
+        }
+        let _ = need_topo;
+    }
+
+    fn remove_query(&mut self, name: &str, seq: u64) -> Option<Vec<NodeId>> {
+        let q = self.queries.get(name)?;
+        if q.seq >= seq {
+            return None;
+        }
+        let fwd: Vec<NodeId> = q
+            .record
+            .as_ref()
+            .map(|r| r.links[0].children.clone())
+            .unwrap_or_default();
+        self.queries.remove(name);
+        self.removed.insert(name.to_string(), seq);
+        self.stats.removals += 1;
+        self.rebuild_hb_children();
+        Some(fwd)
+    }
+
+    fn reconcile_payload(&self, local_now: i64, reply: bool) -> MortarMsg {
+        MortarMsg::Reconcile {
+            installed: self
+                .queries
+                .values()
+                .map(|q| (q.spec.clone(), q.seq, local_now - q.t_ref_base_us))
+                .collect(),
+            removed: self.removed.iter().map(|(n, &s)| (n.clone(), s)).collect(),
+            reply,
+        }
+    }
+
+    fn handle_reconcile(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        from: NodeId,
+        installed: Vec<(QuerySpec, u64, i64)>,
+        removed: Vec<(String, u64)>,
+        reply: bool,
+    ) {
+        let local_now = ctx.local_now_us();
+        let other_installed: HashMap<String, u64> =
+            installed.iter().map(|(s, q, _)| (s.name.clone(), *q)).collect();
+        let other_removed: HashMap<String, u64> = removed.into_iter().collect();
+        let outcome = reconcile(
+            &self.installed_seqs(),
+            &self.removed,
+            &other_installed,
+            &other_removed,
+        );
+        if reply {
+            let payload = self.reconcile_payload(local_now, false);
+            let bytes = payload.wire_bytes();
+            ctx.send_classified(from, payload, bytes, TrafficClass::Control);
+        }
+        for (name, seq) in outcome.to_install {
+            if let Some((spec, _, age)) = installed.iter().find(|(s, _, _)| s.name == name) {
+                let age = age + self.cfg.hop_age_est_us as i64;
+                let root = spec.root;
+                self.install_query(spec.clone(), seq, None, age, local_now);
+                // Fetch this peer's physical-plan record from the root.
+                let req = MortarMsg::TopoRequest { name: name.clone() };
+                let bytes = req.wire_bytes();
+                ctx.send_classified(root, req, bytes, TrafficClass::Control);
+            }
+        }
+        for (name, seq) in outcome.to_remove {
+            self.remove_query(&name, seq);
+        }
+    }
+
+    fn handle_install(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        spec: QuerySpec,
+        seq: u64,
+        records: Vec<InstallRecord>,
+        issue_age_us: i64,
+    ) {
+        let local_now = ctx.local_now_us();
+        if self.removed.get(&spec.name).is_some_and(|&r| r >= seq) {
+            return;
+        }
+        let my_member = spec.member_of(self.id);
+        let is_root = spec.root == self.id;
+        if is_root && records.len() == spec.members.len() {
+            // Acting as the installer: keep the full plan for the topology
+            // service, then chunk and multicast.
+            self.topo.insert(spec.name.clone(), records.clone());
+            if let Some(m) = my_member {
+                if let Some(rec) = records.iter().find(|r| r.member == m) {
+                    self.install_query(spec.clone(), seq, Some(rec.clone()), issue_age_us, local_now);
+                }
+            }
+            let chunks =
+                chunk_components_with_peers(&records, Some(&spec.members), self.cfg.install_chunks);
+            let age = issue_age_us + self.cfg.hop_age_est_us as i64;
+            for chunk in chunks {
+                let croot = component_root(&chunk, Some(&spec.members));
+                let croot_peer = spec.members[croot as usize];
+                if croot_peer == self.id {
+                    // Our own component: forward directly to children.
+                    self.forward_install(ctx, &spec, seq, &chunk, age);
+                    continue;
+                }
+                let msg = MortarMsg::Install {
+                    spec: spec.clone(),
+                    seq,
+                    records: chunk,
+                    issue_age_us: age,
+                };
+                let bytes = msg.wire_bytes();
+                ctx.send_classified(croot_peer, msg, bytes, TrafficClass::Control);
+            }
+            return;
+        }
+        if let Some(m) = my_member {
+            if let Some(rec) = records.iter().find(|r| r.member == m) {
+                self.install_query(spec.clone(), seq, Some(rec.clone()), issue_age_us, local_now);
+            }
+        }
+        let age = issue_age_us + self.cfg.hop_age_est_us as i64;
+        self.forward_install(ctx, &spec, seq, &records, age);
+    }
+
+    fn forward_install(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        spec: &QuerySpec,
+        seq: u64,
+        records: &[InstallRecord],
+        issue_age_us: i64,
+    ) {
+        let Some(m) = spec.member_of(self.id) else { return };
+        let groups = forward_groups(m, records, Some(&spec.members));
+        for (child_peer, group) in groups {
+            let msg = MortarMsg::Install {
+                spec: spec.clone(),
+                seq,
+                records: group,
+                issue_age_us,
+            };
+            let bytes = msg.wire_bytes();
+            ctx.send_classified(child_peer, msg, bytes, TrafficClass::Control);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane.
+    // ------------------------------------------------------------------
+
+    fn ingest_raw(&mut self, name: &str, tuple: RawTuple, local_now: i64, true_now_us: u64) {
+        let Some(q) = self.queries.get_mut(name) else { return };
+        if !q.active() {
+            return;
+        }
+        if let Some(pred) = &q.spec.filter {
+            if !pred.eval(&tuple) {
+                return;
+            }
+        }
+        let member = q.member().unwrap_or(0);
+        let track = self.cfg.track_truth;
+        match q.spec.window.kind {
+            WindowKind::Time => {
+                let frame = match self.cfg.indexing {
+                    IndexingMode::Syncless => local_now - q.t_ref_base_us,
+                    IndexingMode::Timestamp => local_now,
+                };
+                let w = q.spec.window;
+                let slide = w.slide as i64;
+                let range = w.range as i64;
+                for k in w.windows_for_instant(frame) {
+                    // Precise containment check for non-multiple ranges.
+                    let wk_begin = (k + 1) * slide - range;
+                    if frame < wk_begin || frame >= (k + 1) * slide {
+                        continue;
+                    }
+                    let b = q.buckets.entry(k).or_default();
+                    let st = b
+                        .state
+                        .get_or_insert_with(|| q.spec.op.zero(&self.registry));
+                    q.spec.op.lift(&self.registry, st, member, &tuple);
+                    b.count += 1;
+                    if track {
+                        let tw = (true_now_us as i64).div_euclid(slide);
+                        b.truth.add(tw, 1);
+                    }
+                }
+            }
+            WindowKind::Tuples => {
+                let frame = match self.cfg.indexing {
+                    IndexingMode::Syncless => local_now - q.t_ref_base_us,
+                    IndexingMode::Timestamp => local_now,
+                };
+                q.tuple_buf.push((frame, tuple));
+                q.tuples_seen += 1;
+                let range = q.spec.window.range as usize;
+                let slide = q.spec.window.slide;
+                if q.tuples_seen % slide == 0 && q.tuple_buf.len() >= range.min(1) {
+                    // Summarize the last `range` tuples.
+                    let start = q.tuple_buf.len().saturating_sub(range);
+                    let win = &q.tuple_buf[start..];
+                    let mut st = q.spec.op.zero(&self.registry);
+                    for (_, t) in win {
+                        q.spec.op.lift(&self.registry, &mut st, member, t);
+                    }
+                    let tb = win.first().map(|(f, _)| *f).unwrap_or(frame);
+                    let te = win.last().map(|(f, _)| *f + 1).unwrap_or(frame + 1);
+                    let levels =
+                        q.record.as_ref().map(|r| r.levels()).unwrap_or_default();
+                    q.stripe_rr = (q.stripe_rr + 1) % levels.len().max(1);
+                    let s = SummaryTuple {
+                        tb,
+                        te,
+                        age_us: 0,
+                        participants: 1,
+                        has_value: true,
+                        state: st,
+                        route: RouteState::from_levels(levels),
+                        hops: 0,
+                        stripe_tree: q.stripe_rr as u8,
+                        truth: TruthMeta::default(),
+                    };
+                    let timeout =
+                        q.netdist.timeout_us(0, self.cfg.min_timeout_us);
+                    q.ts.insert(&s, local_now, timeout);
+                    // Trim the buffer.
+                    let keep = q.tuple_buf.len().saturating_sub(range);
+                    q.tuple_buf.drain(..keep);
+                }
+            }
+        }
+    }
+
+    fn close_windows(&mut self, name: &str, local_now: i64) {
+        let Some(q) = self.queries.get_mut(name) else { return };
+        if !q.active() || q.spec.window.kind != WindowKind::Time {
+            return;
+        }
+        let frame = match self.cfg.indexing {
+            IndexingMode::Syncless => local_now - q.t_ref_base_us,
+            IndexingMode::Timestamp => local_now,
+        };
+        let slide = q.spec.window.slide as i64;
+        let cur_k = frame.div_euclid(slide);
+        let levels = q.record.as_ref().map(|r| r.levels()).unwrap_or_default();
+        let width = levels.len().max(1);
+        while q.next_close_k < cur_k {
+            let k = q.next_close_k;
+            q.next_close_k += 1;
+            // One EWMA step per window slide: netDist is an EWMA of the
+            // *per-window* maximum age sample (Section 4.3).
+            q.netdist.roll();
+            let (tb, te) = q.spec.window.interval_of(k);
+            let bucket = q.buckets.remove(&k);
+            // Inception is anchored at the *centre* of the identifying
+            // interval: re-indexing from age then tolerates up to slide/2
+            // of accumulated age error instead of flip-flopping across the
+            // boundary (the tight dispersion bound of Section 5.1).
+            let age = frame - (tb + te) / 2;
+            q.stripe_rr = (q.stripe_rr + 1) % width;
+            let stripe = q.stripe_rr as u8;
+            let mut s = match bucket {
+                Some(b) if b.state.is_some() => SummaryTuple {
+                    tb,
+                    te,
+                    age_us: age,
+                    participants: 1,
+                    has_value: true,
+                    state: b.state.expect("checked"),
+                    route: RouteState::from_levels(levels.clone()),
+                    hops: 0,
+                    stripe_tree: stripe,
+                    truth: b.truth,
+                },
+                _ => {
+                    // Stalled or empty source: boundary tuple keeps the
+                    // completeness metric honest.
+                    let mut b = SummaryTuple::boundary(tb, te, RouteState::from_levels(levels.clone()));
+                    b.age_us = age;
+                    b
+                }
+            };
+            s.stripe_tree = stripe;
+            let timeout = q.netdist.timeout_us(s.age_us, self.cfg.min_timeout_us);
+            q.ts.insert(&s, local_now, timeout);
+        }
+        // Garbage-collect pathological bucket growth (timestamp mode with
+        // huge offsets can mint far-future buckets).
+        if q.buckets.len() > 1024 {
+            while q.buckets.len() > 1024 {
+                let _ = q.buckets.pop_first();
+            }
+        }
+    }
+
+    fn pump_sensor(&mut self, name: &str, ctx: &mut Ctx<'_, MortarMsg>) {
+        let local_now = ctx.local_now_us();
+        let true_now = ctx.true_now_us();
+        let Some(q) = self.queries.get_mut(name) else { return };
+        if !q.active() {
+            return;
+        }
+        match q.spec.sensor.clone() {
+            SensorSpec::Periodic { period_us, value } => {
+                let mut due: Vec<RawTuple> = Vec::new();
+                while q.next_emit_local_us <= local_now {
+                    due.push(RawTuple::of(value));
+                    q.next_emit_local_us += period_us as i64;
+                }
+                for t in due {
+                    self.ingest_raw(name, t, local_now, true_now);
+                }
+            }
+            SensorSpec::Replay => {
+                let base = q.t_ref_base_us;
+                let mut due: Vec<RawTuple> = Vec::new();
+                while self.replay_pos < self.replay.len() {
+                    let (off, ref t) = self.replay[self.replay_pos];
+                    if base + off as i64 <= local_now {
+                        due.push(t.clone());
+                        self.replay_pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                for t in due {
+                    self.ingest_raw(name, t, local_now, true_now);
+                }
+            }
+            // Subscription ingest happens where the upstream root emits.
+            SensorSpec::Subscribe { .. } | SensorSpec::None => {}
+        }
+    }
+
+    fn evict_and_route(&mut self, name: &str, ctx: &mut Ctx<'_, MortarMsg>) {
+        let local_now = ctx.local_now_us();
+        let true_now = ctx.true_now_us();
+        let Some(q) = self.queries.get_mut(name) else { return };
+        if !q.active() {
+            return;
+        }
+        let due = q.ts.pop_due(local_now);
+        if due.is_empty() {
+            return;
+        }
+        let rec = q.record.clone().expect("active query has a record");
+        let is_root = q.spec.root == self.id;
+        let width = rec.width();
+        let spec_members = q.spec.members.clone();
+        for entry in due {
+            self.stats.evictions += 1;
+            let q = self.queries.get_mut(name).expect("query exists");
+            let mut summary = entry.into_summary(local_now);
+            if is_root {
+                let mut finalized = q.spec.op.finalize(&self.registry, &summary.state);
+                if let Some(post) = &q.spec.post {
+                    finalized = self.registry.get(post).finalize(&finalized);
+                }
+                // The window was due at its interval end, measured in the
+                // root's indexing frame.
+                let frame_now = match self.cfg.indexing {
+                    IndexingMode::Syncless => local_now - q.t_ref_base_us,
+                    IndexingMode::Timestamp => local_now,
+                };
+                let scalar = finalized.scalar();
+                self.results.push(ResultRecord {
+                    query: name.to_string(),
+                    tb: summary.tb,
+                    te: summary.te,
+                    scalar,
+                    state: finalized,
+                    participants: summary.participants,
+                    emit_local_us: local_now,
+                    emit_true_us: true_now,
+                    age_us: summary.age_us,
+                    due_lag_us: frame_now - summary.te,
+                    path_len: summary.hops,
+                    truth: summary.truth.clone(),
+                });
+                // Composition: feed the result into co-located queries
+                // subscribed to this one (Section 2.2).
+                if let Some(v) = scalar {
+                    let participants = summary.participants;
+                    let subscribers: Vec<String> = self
+                        .queries
+                        .iter()
+                        .filter(|(_, sq)| {
+                            matches!(&sq.spec.sensor, SensorSpec::Subscribe { query }
+                                if query == name)
+                        })
+                        .map(|(n, _)| n.clone())
+                        .collect();
+                    for sub in subscribers {
+                        self.ingest_raw(
+                            &sub,
+                            RawTuple { key: 0, vals: vec![v, participants as f64] },
+                            local_now,
+                            true_now,
+                        );
+                    }
+                }
+                continue;
+            }
+            // The tuple continues up the tree it was striped onto (stage
+            // 1); failures migrate it per the staged policy.
+            let arrival_tree = (summary.stripe_tree as usize).min(width.saturating_sub(1));
+            let levels = rec.levels();
+            let parent_live: Vec<bool> = (0..width)
+                .map(|x| {
+                    rec.links[x]
+                        .parent
+                        .is_some_and(|p| self.alive(p, local_now))
+                })
+                .collect();
+            let children_idx: Vec<Vec<usize>> = (0..width)
+                .map(|x| (0..rec.links[x].children.len()).collect())
+                .collect();
+            let child_liveness: Vec<Vec<bool>> = (0..width)
+                .map(|x| {
+                    rec.links[x]
+                        .children
+                        .iter()
+                        .map(|&peer| self.alive(peer, local_now))
+                        .collect()
+                })
+                .collect();
+            let mut child_live = |x: usize, c: usize| child_liveness[x][c];
+            let decision = route_decision_local(
+                &levels,
+                &children_idx,
+                arrival_tree,
+                &mut summary.route,
+                &parent_live,
+                &mut child_live,
+                ctx.rng(),
+            );
+            let (dest, tree) = match decision {
+                Decision::Parent { tree } => {
+                    (rec.links[tree].parent.expect("live parent exists"), tree)
+                }
+                Decision::Child { tree, child } => (rec.links[tree].children[child], tree),
+                Decision::Drop => {
+                    self.stats.route_drops += 1;
+                    continue;
+                }
+            };
+            summary.stripe_tree = tree as u8;
+            let q = self.queries.get_mut(name).expect("query exists");
+            summary.age_us += self.cfg.hop_age_est_us as i64;
+            summary.hops = summary.hops.saturating_add(1);
+            q.summaries_out += 1;
+            let hash = if q.summaries_out % self.cfg.data_hash_every as u64 == 0 {
+                Some(self.my_store_hash())
+            } else {
+                None
+            };
+            let msg = MortarMsg::Summary {
+                query: name.to_string(),
+                tuple: summary,
+                tree: tree as u8,
+                store_hash: hash,
+            };
+            let bytes = msg.wire_bytes();
+            ctx.send_classified(dest, msg, bytes, TrafficClass::Data);
+            let _ = &spec_members;
+        }
+    }
+
+    fn handle_summary(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        from: NodeId,
+        name: String,
+        mut tuple: SummaryTuple,
+        tree: u8,
+        store_hash_in: Option<u64>,
+    ) {
+        self.stats.summaries_in += 1;
+        let local_now = ctx.local_now_us();
+        if let Some(h) = store_hash_in {
+            if h != self.my_store_hash() {
+                self.stats.reconciles += 1;
+                let payload = self.reconcile_payload(local_now, true);
+                let bytes = payload.wire_bytes();
+                ctx.send_classified(from, payload, bytes, TrafficClass::Control);
+            }
+        }
+        let Some(q) = self.queries.get_mut(&name) else {
+            // Data for a query we removed: tell the sender (Section 6.1's
+            // overloading of the child→parent data flow).
+            if self.removed.contains_key(&name) {
+                let payload = self.reconcile_payload(local_now, false);
+                let bytes = payload.wire_bytes();
+                ctx.send_classified(from, payload, bytes, TrafficClass::Control);
+            }
+            return;
+        };
+        let Some(rec) = q.record.clone() else { return };
+        // Record arrival position on the tree the tuple travelled.
+        let t = (tree as usize).min(rec.width().saturating_sub(1));
+        let lvl = rec.links[t].level;
+        if let Some(slot) = tuple.route.last_level.get_mut(t) {
+            *slot = (*slot).min(lvl);
+        }
+        tuple.stripe_tree = t as u8;
+        if q.spec.window.kind == WindowKind::Time {
+            match self.cfg.indexing {
+                IndexingMode::Syncless => {
+                    // Re-index from age: the receiving operator assigns the
+                    // tuple to its own local window (Figure 7).
+                    let t_ref = local_now - q.t_ref_base_us;
+                    let slide = q.spec.window.slide as i64;
+                    let inception = t_ref - tuple.age_us;
+                    let k = inception.div_euclid(slide);
+                    tuple.tb = k * slide;
+                    tuple.te = (k + 1) * slide;
+                }
+                IndexingMode::Timestamp => {
+                    // Apparent age derives from the (possibly offset)
+                    // stamps — the mechanism Section 5 indicts.
+                    tuple.age_us = local_now - tuple.te;
+                }
+            }
+        }
+        // The latency estimator sees the (capped) apparent age *before* any
+        // staleness drop: with timestamps, badly offset sources inflate
+        // netDist — and with it every entry's timeout — which is exactly
+        // the Section 5 pathology syncless operation avoids.
+        q.netdist.observe(tuple.age_us.min(self.cfg.max_age_us as i64));
+        if tuple.age_us > self.cfg.max_age_us as i64 {
+            // Beyond the staleness horizon: drop rather than resurrect
+            // long-dead windows (bounded-buffer behaviour).
+            self.stats.route_drops += 1;
+            return;
+        }
+        let timeout = q.netdist.timeout_us(tuple.age_us, self.cfg.min_timeout_us);
+        q.ts.insert(&tuple, local_now, timeout);
+    }
+
+    fn send_heartbeats(&mut self, ctx: &mut Ctx<'_, MortarMsg>) {
+        self.hb_count += 1;
+        let hash = if self.hb_count % self.cfg.reconcile_every as u64 == 0 {
+            Some(self.my_store_hash())
+        } else {
+            None
+        };
+        let children: Vec<NodeId> = self.hb_children.iter().copied().collect();
+        for c in children {
+            let msg = MortarMsg::Heartbeat { store_hash: hash };
+            let bytes = msg.wire_bytes();
+            ctx.send_classified(c, msg, bytes, TrafficClass::Heartbeat);
+        }
+    }
+}
+
+impl App for MortarPeer {
+    type Msg = MortarMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, MortarMsg>) {
+        self.next_hb_local_us = ctx.local_now_us() + self.cfg.hb_period_us as i64;
+        ctx.set_timer_local_us(self.cfg.tick_us, TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, MortarMsg>, from: NodeId, msg: MortarMsg, _b: u32) {
+        let local_now = ctx.local_now_us();
+        if from != self.id {
+            self.last_heard.insert(from, local_now);
+        }
+        match msg {
+            MortarMsg::Summary { query, tuple, tree, store_hash } => {
+                self.handle_summary(ctx, from, query, tuple, tree, store_hash);
+            }
+            MortarMsg::Heartbeat { store_hash } => {
+                if let Some(h) = store_hash {
+                    if h != self.my_store_hash() {
+                        self.stats.reconciles += 1;
+                        let payload = self.reconcile_payload(local_now, true);
+                        let bytes = payload.wire_bytes();
+                        ctx.send_classified(from, payload, bytes, TrafficClass::Control);
+                    }
+                }
+            }
+            MortarMsg::Reconcile { installed, removed, reply } => {
+                self.handle_reconcile(ctx, from, installed, removed, reply);
+            }
+            MortarMsg::Install { spec, seq, records, issue_age_us } => {
+                self.handle_install(ctx, spec, seq, records, issue_age_us);
+            }
+            MortarMsg::Remove { name, seq } => {
+                if let Some(children) = self.remove_query(&name, seq) {
+                    for c in children {
+                        let msg = MortarMsg::Remove { name: name.clone(), seq };
+                        let bytes = msg.wire_bytes();
+                        ctx.send_classified(c, msg, bytes, TrafficClass::Control);
+                    }
+                }
+            }
+            MortarMsg::TopoRequest { name } => {
+                let reply = self.topo.get(&name).and_then(|records| {
+                    let q = self.queries.get(&name)?;
+                    let m = q.spec.member_of(from)?;
+                    let rec = records.iter().find(|r| r.member == m)?.clone();
+                    Some(MortarMsg::TopoReply {
+                        name: name.clone(),
+                        seq: q.seq,
+                        spec: q.spec.clone(),
+                        record: rec,
+                        issue_age_us: local_now - q.t_ref_base_us,
+                    })
+                });
+                if let Some(reply) = reply {
+                    let bytes = reply.wire_bytes();
+                    ctx.send_classified(from, reply, bytes, TrafficClass::Control);
+                }
+            }
+            MortarMsg::TopoReply { name, seq, spec, record, issue_age_us } => {
+                let age = issue_age_us + self.cfg.hop_age_est_us as i64;
+                match self.queries.get_mut(&name) {
+                    Some(q) if q.record.is_none() => {
+                        q.record = Some(record);
+                        q.seq = q.seq.max(seq);
+                        let slide = q.spec.window.slide as i64;
+                        let frame = match self.cfg.indexing {
+                            IndexingMode::Syncless => local_now - q.t_ref_base_us,
+                            IndexingMode::Timestamp => local_now,
+                        };
+                        q.next_close_k = frame.div_euclid(slide);
+                        q.next_emit_local_us = local_now;
+                        self.rebuild_hb_children();
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.install_query(spec, seq, Some(record), age, local_now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, MortarMsg>, tag: u64) {
+        if tag != TICK {
+            return;
+        }
+        let local_now = ctx.local_now_us();
+        let names: Vec<String> = self.queries.keys().cloned().collect();
+        for name in &names {
+            self.pump_sensor(name, ctx);
+            self.close_windows(name, local_now);
+            self.evict_and_route(name, ctx);
+        }
+        if local_now >= self.next_hb_local_us {
+            self.next_hb_local_us += self.cfg.hb_period_us as i64;
+            self.send_heartbeats(ctx);
+        }
+        ctx.set_timer_local_us(self.cfg.tick_us, TICK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+    use crate::query::{build_records, SensorSpec};
+    use crate::window::WindowSpec;
+    use mortar_net::{SimBuilder, Topology};
+    use mortar_overlay::{Tree, TreeSet};
+
+    fn count_spec(n: usize) -> QuerySpec {
+        QuerySpec {
+            name: "count".into(),
+            root: 0,
+            members: (0..n as NodeId).collect(),
+            op: OpKind::Sum { field: 0 },
+            window: WindowSpec::time_tumbling_us(1_000_000),
+            filter: None,
+            sensor: SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
+            post: None,
+        }
+    }
+
+    /// Builds a chain tree set over n members (two chains, reversed).
+    fn chain_trees(n: usize) -> TreeSet {
+        let t0 = Tree::from_parents(
+            0,
+            (0..n).map(|m| if m == 0 { None } else { Some(m - 1) }).collect(),
+        );
+        // Second tree: a star (everyone under the root).
+        let t1 =
+            Tree::from_parents(0, (0..n).map(|m| if m == 0 { None } else { Some(0) }).collect());
+        TreeSet::new(vec![t0, t1])
+    }
+
+    fn build_sim(n: usize) -> mortar_net::Simulator<MortarPeer> {
+        let topo = Topology::star(n, 1_000);
+        let cfg = PeerConfig::default();
+        let reg = OpRegistry::new();
+        SimBuilder::new(topo, 42).build(move |id| MortarPeer::new(id, cfg, reg.clone()))
+    }
+
+    fn inject_install(sim: &mut mortar_net::Simulator<MortarPeer>, spec: QuerySpec, trees: TreeSet) {
+        let records = build_records(&spec.members, &trees);
+        let root = spec.root;
+        let msg = MortarMsg::Install { spec, seq: 1, records, issue_age_us: 0 };
+        sim.inject(root, root, msg, 256);
+    }
+
+    #[test]
+    fn install_reaches_all_members() {
+        let n = 8;
+        let mut sim = build_sim(n);
+        inject_install(&mut sim, count_spec(n), chain_trees(n));
+        sim.run_for_secs(3.0);
+        for id in 0..n as NodeId {
+            assert!(sim.app(id).is_active("count"), "peer {id} not installed");
+        }
+    }
+
+    #[test]
+    fn sum_query_reaches_full_completeness() {
+        let n = 8;
+        let mut sim = build_sim(n);
+        inject_install(&mut sim, count_spec(n), chain_trees(n));
+        sim.run_for_secs(40.0);
+        let results = &sim.app(0).results;
+        assert!(!results.is_empty(), "root produced no results");
+        // Steady-state windows should reflect all 8 peers.
+        let tail: Vec<&ResultRecord> =
+            results.iter().filter(|r| r.participants as usize == n).collect();
+        assert!(
+            tail.len() > 10,
+            "expected many complete windows, got {} of {}",
+            tail.len(),
+            results.len()
+        );
+        let full: Vec<f64> = tail.iter().filter_map(|r| r.scalar).collect();
+        assert!(
+            full.iter().any(|&v| (v - n as f64).abs() < 1e-9),
+            "no window summed to {n}: {full:?}"
+        );
+    }
+
+    #[test]
+    fn removal_propagates() {
+        let n = 8;
+        let mut sim = build_sim(n);
+        inject_install(&mut sim, count_spec(n), chain_trees(n));
+        sim.run_for_secs(5.0);
+        sim.inject(0, 0, MortarMsg::Remove { name: "count".into(), seq: 2 }, 32);
+        sim.run_for_secs(10.0);
+        for id in 0..n as NodeId {
+            assert!(!sim.app(id).has_query("count"), "peer {id} still has the query");
+        }
+    }
+
+    #[test]
+    fn reconciliation_installs_missed_nodes() {
+        let n = 8;
+        let mut sim = build_sim(n);
+        // Disconnect node 5 before install.
+        sim.set_host_up(5, false);
+        inject_install(&mut sim, count_spec(n), chain_trees(n));
+        sim.run_for_secs(5.0);
+        assert!(!sim.app(5).has_query("count"));
+        sim.set_host_up(5, true);
+        // Reconciliation every 3rd heartbeat (6 s) + topology fetch.
+        sim.run_for_secs(20.0);
+        assert!(sim.app(5).is_active("count"), "reconciliation failed to install");
+    }
+
+    #[test]
+    fn query_composition_via_subscribe() {
+        // A sum query over 8 peers feeds a single-member max query at the
+        // root: the composed query reports the largest windowed sum.
+        let n = 8;
+        let mut sim = build_sim(n);
+        inject_install(&mut sim, count_spec(n), chain_trees(n));
+        // The downstream query lives entirely on peer 0 and subscribes to
+        // the upstream's output stream.
+        let sub = QuerySpec {
+            name: "peak".into(),
+            root: 0,
+            members: vec![0],
+            op: OpKind::Max { field: 0 },
+            window: WindowSpec::time_tumbling_us(5_000_000),
+            filter: None,
+            sensor: SensorSpec::Subscribe { query: "count".into() },
+            post: None,
+        };
+        let trees = TreeSet::new(vec![Tree::from_parents(0, vec![None])]);
+        let records = build_records(&sub.members, &trees);
+        sim.inject(0, 0, MortarMsg::Install { spec: sub, seq: 2, records, issue_age_us: 0 }, 128);
+        sim.run_for_secs(40.0);
+        let peaks: Vec<f64> = sim
+            .app(0)
+            .results
+            .iter()
+            .filter(|r| r.query == "peak")
+            .filter_map(|r| r.scalar)
+            .collect();
+        assert!(!peaks.is_empty(), "composed query produced no results");
+        assert!(
+            peaks.iter().any(|&v| (v - n as f64).abs() < 1e-9),
+            "peak of windowed sums should reach {n}: {peaks:?}"
+        );
+    }
+
+    #[test]
+    fn distinct_count_query_end_to_end() {
+        // Each peer replays tuples with overlapping key sets; the HLL union
+        // at the root estimates the number of distinct keys fleet-wide.
+        let n = 8;
+        let mut sim = build_sim(n);
+        let spec = QuerySpec {
+            name: "uniq".into(),
+            root: 0,
+            members: (0..n as NodeId).collect(),
+            op: OpKind::Distinct,
+            window: WindowSpec::time_tumbling_us(2_000_000),
+            filter: None,
+            sensor: SensorSpec::Replay,
+            post: None,
+        };
+        // Peer i contributes keys [i*50, i*50 + 100): adjacent peers share
+        // half their keys, so the fleet-wide distinct count is 450.
+        for i in 0..n as NodeId {
+            let trace: Vec<(u64, crate::tuple::RawTuple)> = (0..100u64)
+                .map(|k| {
+                    (
+                        k * 150_000,
+                        crate::tuple::RawTuple { key: i as u64 * 50 + k, vals: vec![] },
+                    )
+                })
+                .collect();
+            sim.app_mut(i).set_replay(trace);
+        }
+        inject_install(&mut sim, spec, chain_trees(n));
+        sim.run_for_secs(30.0);
+        let ests: Vec<f64> = sim
+            .app(0)
+            .results
+            .iter()
+            .filter(|r| r.participants as usize == n)
+            .filter_map(|r| r.scalar)
+            .collect();
+        assert!(!ests.is_empty(), "no complete distinct-count windows");
+        // Windows where every peer reported ~13 keys each with 50% overlap.
+        let best = ests.iter().copied().fold(0.0f64, f64::max);
+        assert!(best > 40.0 && best < 200.0, "distinct estimate off: {best}");
+    }
+
+    #[test]
+    fn failure_detection_reroutes_data() {
+        let n = 8;
+        let mut sim = build_sim(n);
+        inject_install(&mut sim, count_spec(n), chain_trees(n));
+        sim.run_for_secs(20.0);
+        // Disconnect member 1 — on the chain tree this severs 2..7, but the
+        // star tree gives every member a direct path to the root.
+        sim.set_host_up(1, false);
+        sim.run_for_secs(30.0);
+        let results = &sim.app(0).results;
+        // Late windows should still count 7 participants (all but node 1):
+        // aggregate per index since late partials arrive as separate
+        // emissions (disjoint by time-division).
+        let by_index = crate::metrics::participants_by_index(results);
+        let late: Vec<u32> = by_index.values().rev().take(8).copied().collect();
+        assert!(
+            late.iter().filter(|&&p| p >= (n - 1) as u32).count() >= 3,
+            "rerouting failed; late per-index participants: {late:?}"
+        );
+    }
+}

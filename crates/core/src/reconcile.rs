@@ -1,0 +1,158 @@
+//! Pair-wise reconciliation (Section 6.1).
+//!
+//! Nodes periodically exchange a hash of their installed-query set; on
+//! disagreement they exchange full sets and each side computes:
+//!
+//! ```text
+//! IC_A = I_B − (I_B ∩ I_A) − (I_B ∩ R_A)      (installs A missed)
+//! RC_A = I_A ∩ R_B                            (removals A missed)
+//! ```
+//!
+//! Sequence numbers issued by the injecting peer's object store break
+//! install/remove races: a removal only cancels installs with a smaller
+//! sequence, and a re-install with a larger sequence overrides a cached
+//! removal. The protocol is eventually consistent (single-writer storage,
+//! structured communication — the paper's streamlining of Bayou).
+
+use std::collections::HashMap;
+
+/// The outcome of one reconciliation computation for the local node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReconcileOutcome {
+    /// Names the local node must install (with the remote's sequence).
+    pub to_install: Vec<(String, u64)>,
+    /// Names the local node must remove (with the removal sequence).
+    pub to_remove: Vec<(String, u64)>,
+}
+
+/// Computes the local node's install/remove candidates.
+///
+/// `my_installed`/`my_removed` map names to sequences; likewise for the
+/// remote sets.
+pub fn reconcile(
+    my_installed: &HashMap<String, u64>,
+    my_removed: &HashMap<String, u64>,
+    other_installed: &HashMap<String, u64>,
+    other_removed: &HashMap<String, u64>,
+) -> ReconcileOutcome {
+    let mut out = ReconcileOutcome::default();
+    // IC: remote installs I don't have and haven't removed with a newer seq.
+    for (name, &seq) in other_installed {
+        let have = my_installed.get(name).is_some_and(|&mine| mine >= seq);
+        let removed_newer = my_removed.get(name).is_some_and(|&r| r >= seq);
+        if !have && !removed_newer {
+            out.to_install.push((name.clone(), seq));
+        }
+    }
+    // RC: my installs the remote has removed with a newer sequence.
+    for (name, &mine) in my_installed {
+        if let Some(&rseq) = other_removed.get(name) {
+            if rseq > mine {
+                out.to_remove.push((name.clone(), rseq));
+            }
+        }
+    }
+    out.to_install.sort();
+    out.to_remove.sort();
+    out
+}
+
+/// FNV-1a hash of the (name, seq) pairs ordered by name — the summary the
+/// paper computes with MD5. Identical sets ⇒ identical hashes; used to skip
+/// full exchanges.
+pub fn store_hash<'a>(entries: impl Iterator<Item = (&'a str, u64)>) -> u64 {
+    let mut pairs: Vec<(&str, u64)> = entries.collect();
+    pairs.sort();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for (name, seq) in pairs {
+        for b in name.bytes().chain(seq.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(entries: &[(&str, u64)]) -> HashMap<String, u64> {
+        entries.iter().map(|(n, s)| (n.to_string(), *s)).collect()
+    }
+
+    #[test]
+    fn missing_install_detected() {
+        let out = reconcile(&map(&[]), &map(&[]), &map(&[("q1", 1)]), &map(&[]));
+        assert_eq!(out.to_install, vec![("q1".to_string(), 1)]);
+        assert!(out.to_remove.is_empty());
+    }
+
+    #[test]
+    fn removal_cache_blocks_reinstall_of_stale_seq() {
+        // I removed q1 at seq 5; remote still has the seq-3 install.
+        let out = reconcile(&map(&[]), &map(&[("q1", 5)]), &map(&[("q1", 3)]), &map(&[]));
+        assert!(out.to_install.is_empty(), "stale install must not come back");
+    }
+
+    #[test]
+    fn newer_reinstall_overrides_removal_cache() {
+        // q1 was removed at seq 5 but re-issued at seq 7.
+        let out = reconcile(&map(&[]), &map(&[("q1", 5)]), &map(&[("q1", 7)]), &map(&[]));
+        assert_eq!(out.to_install, vec![("q1".to_string(), 7)]);
+    }
+
+    #[test]
+    fn remote_removal_detected() {
+        let out = reconcile(&map(&[("q1", 1)]), &map(&[]), &map(&[]), &map(&[("q1", 2)]));
+        assert_eq!(out.to_remove, vec![("q1".to_string(), 2)]);
+    }
+
+    #[test]
+    fn stale_remote_removal_ignored() {
+        // Remote removed seq 2, but I hold a newer install (seq 3).
+        let out = reconcile(&map(&[("q1", 3)]), &map(&[]), &map(&[]), &map(&[("q1", 2)]));
+        assert!(out.to_remove.is_empty());
+    }
+
+    #[test]
+    fn symmetric_reconciliation_converges() {
+        // A has q1; B has q2 and removed q3 (which A still runs).
+        let a_i = map(&[("q1", 1), ("q3", 1)]);
+        let a_r = map(&[]);
+        let b_i = map(&[("q2", 4)]);
+        let b_r = map(&[("q3", 9)]);
+        let a_out = reconcile(&a_i, &a_r, &b_i, &b_r);
+        let b_out = reconcile(&b_i, &b_r, &a_i, &a_r);
+        assert_eq!(a_out.to_install, vec![("q2".to_string(), 4)]);
+        assert_eq!(a_out.to_remove, vec![("q3".to_string(), 9)]);
+        assert_eq!(b_out.to_install, vec![("q1".to_string(), 1)]);
+        assert!(b_out.to_remove.is_empty(), "B's removal cache blocks q3");
+        // After applying both outcomes, the installed sets agree.
+        let mut a_final: Vec<&str> = vec!["q1", "q2"];
+        let mut b_final: Vec<&str> = vec!["q2", "q1"];
+        a_final.sort();
+        b_final.sort();
+        assert_eq!(a_final, b_final);
+    }
+
+    #[test]
+    fn reconcile_is_idempotent() {
+        let a_i = map(&[("q1", 1)]);
+        let none = map(&[]);
+        let first = reconcile(&a_i, &none, &a_i, &none);
+        assert_eq!(first, ReconcileOutcome::default());
+    }
+
+    #[test]
+    fn hash_is_order_insensitive_and_seq_sensitive() {
+        let h1 = store_hash([("a", 1u64), ("b", 2)].into_iter());
+        let h2 = store_hash([("b", 2u64), ("a", 1)].into_iter());
+        let h3 = store_hash([("a", 1u64), ("b", 3)].into_iter());
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+        assert_ne!(h1, store_hash(std::iter::empty()));
+    }
+}

@@ -1,0 +1,79 @@
+//! The injector-side object store (Section 6).
+//!
+//! Query management commands (install/remove) carry sequence numbers
+//! "issued by the object store" so peers can determine the latest command
+//! for a query name during reconciliation. The store guarantees
+//! single-writer semantics per query name: the injecting peer owns the
+//! name's sequence space.
+
+use std::collections::HashMap;
+
+/// A monotone command-sequence store for one injecting peer.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    next_seq: u64,
+    latest: HashMap<String, (u64, Command)>,
+}
+
+/// The two management commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// The query is (re)installed.
+    Install,
+    /// The query is removed.
+    Remove,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self { next_seq: 1, latest: HashMap::new() }
+    }
+
+    /// Issues a sequence number for an install of `name`.
+    pub fn issue_install(&mut self, name: &str) -> u64 {
+        self.issue(name, Command::Install)
+    }
+
+    /// Issues a sequence number for a removal of `name`.
+    pub fn issue_remove(&mut self, name: &str) -> u64 {
+        self.issue(name, Command::Remove)
+    }
+
+    fn issue(&mut self, name: &str, cmd: Command) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.latest.insert(name.to_string(), (seq, cmd));
+        seq
+    }
+
+    /// The latest command for a name, if any.
+    pub fn latest(&self, name: &str) -> Option<(u64, Command)> {
+        self.latest.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_strictly_increasing() {
+        let mut s = ObjectStore::new();
+        let a = s.issue_install("q1");
+        let b = s.issue_remove("q1");
+        let c = s.issue_install("q1");
+        assert!(a < b && b < c);
+        assert_eq!(s.latest("q1"), Some((c, Command::Install)));
+    }
+
+    #[test]
+    fn independent_names_share_sequence_space() {
+        let mut s = ObjectStore::new();
+        let a = s.issue_install("a");
+        let b = s.issue_install("b");
+        assert_ne!(a, b);
+        assert_eq!(s.latest("a"), Some((a, Command::Install)));
+        assert_eq!(s.latest("nope"), None);
+    }
+}

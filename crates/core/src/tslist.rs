@@ -1,0 +1,444 @@
+//! The time-space (TS) list (Section 4.2).
+//!
+//! A per-operator sorted list of disjoint-interval summary tuples — the
+//! potential final values the operator will emit. Arriving summaries are
+//! merged by index: exact interval matches merge in place; partially
+//! overlapping indices split into ≤3 segments (the overlap merged, the
+//! non-overlapping remainders retaining their original values with shrunk
+//! intervals), so **values are counted only once for any given interval of
+//! time**.
+//!
+//! Entries expire on a dynamic timeout set when their first tuple arrives
+//! (Section 4.3); eviction produces the summary tuple forwarded toward the
+//! root, with its age set to the participant-weighted average age of its
+//! constituents (Section 5.1, Figure 7).
+
+use crate::tuple::{SummaryTuple, TruthMeta};
+use crate::value::AggState;
+use mortar_overlay::RouteState;
+
+/// One TS-list entry: a candidate output for one index interval.
+#[derive(Debug, Clone)]
+pub struct TsEntry {
+    /// Interval begin (inclusive), local µs of the owning mode's frame.
+    pub tb: i64,
+    /// Interval end (exclusive).
+    pub te: i64,
+    /// Merged partial aggregate.
+    pub state: AggState,
+    /// Participants represented.
+    pub participants: u32,
+    /// Whether any constituent carried a value.
+    pub has_value: bool,
+    /// Conservative multipath routing state (per-tree min, TTL-down max).
+    pub route: RouteState,
+    /// Local time at which the entry expires and is emitted.
+    pub deadline_us: i64,
+    /// Σ weight·(age_at_arrival − arrival_local): lets the eviction compute
+    /// the weighted average *current* age as `acc/weight + now`.
+    age_acc: f64,
+    /// Total constituent weight (participants).
+    weight: f64,
+    /// Maximum overlay hops among constituents.
+    pub hops: u8,
+    /// Stripe tree of the first constituent (kept across merges so the
+    /// merged summary continues up the same tree).
+    pub stripe_tree: u8,
+    /// Ground-truth bookkeeping.
+    pub truth: TruthMeta,
+}
+
+impl TsEntry {
+    fn from_tuple(t: &SummaryTuple, now_us: i64, deadline_us: i64) -> Self {
+        let w = t.participants.max(1) as f64;
+        Self {
+            tb: t.tb,
+            te: t.te,
+            state: t.state.clone(),
+            participants: t.participants,
+            has_value: t.has_value,
+            route: t.route.clone(),
+            deadline_us,
+            age_acc: w * (t.age_us - now_us) as f64,
+            weight: w,
+            hops: t.hops,
+            stripe_tree: t.stripe_tree,
+            truth: t.truth.clone(),
+        }
+    }
+
+    fn absorb_tuple(&mut self, t: &SummaryTuple, now_us: i64) {
+        if t.has_value {
+            self.state.merge(&t.state);
+            self.has_value = true;
+        }
+        self.participants += t.participants;
+        self.route.absorb(&t.route);
+        self.truth.merge(&t.truth);
+        let w = t.participants.max(1) as f64;
+        self.age_acc += w * (t.age_us - now_us) as f64;
+        self.weight += w;
+        self.hops = self.hops.max(t.hops);
+    }
+
+    /// The participant-weighted average constituent age at local time `now`.
+    pub fn avg_age_us(&self, now_us: i64) -> i64 {
+        if self.weight <= 0.0 {
+            return 0;
+        }
+        (self.age_acc / self.weight + now_us as f64).round() as i64
+    }
+
+    /// Renders the entry as an outgoing summary tuple at eviction time.
+    pub fn into_summary(self, now_us: i64) -> SummaryTuple {
+        let age = self.avg_age_us(now_us).max(0);
+        SummaryTuple {
+            tb: self.tb,
+            te: self.te,
+            age_us: age,
+            participants: self.participants,
+            has_value: self.has_value,
+            state: self.state,
+            route: self.route,
+            hops: self.hops,
+            stripe_tree: self.stripe_tree,
+            truth: self.truth,
+        }
+    }
+
+    /// Clones the entry with a new sub-interval, retaining value/metadata
+    /// (the paper's rule: non-overlapping regions retain their initial
+    /// values and shrink their intervals).
+    fn slice(&self, tb: i64, te: i64) -> Self {
+        let mut e = self.clone();
+        e.tb = tb;
+        e.te = te;
+        e
+    }
+}
+
+/// The time-space list.
+#[derive(Debug, Default)]
+pub struct TimeSpaceList {
+    /// Disjoint entries sorted by `tb`.
+    entries: Vec<TsEntry>,
+}
+
+impl TimeSpaceList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of active entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are active.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Read-only access to the active entries (sorted, disjoint).
+    pub fn entries(&self) -> &[TsEntry] {
+        &self.entries
+    }
+
+    /// Inserts an arriving summary tuple.
+    ///
+    /// `now_us` is the operator's local time; `timeout_us` is the dynamic
+    /// timeout to apply to any *newly created* entry segment (existing
+    /// segments keep their deadlines; merged overlaps keep the earlier one).
+    /// Returns `true` if at least one new entry segment was created.
+    pub fn insert(&mut self, tuple: &SummaryTuple, now_us: i64, timeout_us: u64) -> bool {
+        assert!(tuple.tb < tuple.te, "summary interval must be nonempty");
+        let new_deadline = now_us + timeout_us as i64;
+        // Fast path: exact index match (the common case for time windows).
+        if let Ok(i) = self.entries.binary_search_by(|e| e.tb.cmp(&tuple.tb)) {
+            if self.entries[i].te == tuple.te {
+                self.entries[i].absorb_tuple(tuple, now_us);
+                return false;
+            }
+        }
+        // General path: split against all overlapping entries.
+        let mut out: Vec<TsEntry> = Vec::with_capacity(self.entries.len() + 2);
+        let mut created = false;
+        let (mut cur_tb, cur_te) = (tuple.tb, tuple.te);
+        let mut done = false;
+        for e in self.entries.drain(..) {
+            if done || e.te <= cur_tb || e.tb >= cur_te {
+                out.push(e);
+                continue;
+            }
+            // Uncovered part of the incoming tuple before this entry.
+            if cur_tb < e.tb {
+                let mut seg = TsEntry::from_tuple(tuple, now_us, new_deadline);
+                seg.tb = cur_tb;
+                seg.te = e.tb;
+                out.push(seg);
+                created = true;
+                cur_tb = e.tb;
+            }
+            // Part of the existing entry before the overlap.
+            if e.tb < cur_tb {
+                out.push(e.slice(e.tb, cur_tb));
+            }
+            // The overlap: merged region (T3 in the paper's terms).
+            let ov_te = e.te.min(cur_te);
+            let mut ov = e.slice(cur_tb, ov_te);
+            ov.absorb_tuple(tuple, now_us);
+            ov.deadline_us = ov.deadline_us.min(new_deadline);
+            out.push(ov);
+            // Part of the existing entry after the overlap.
+            if e.te > cur_te {
+                out.push(e.slice(cur_te, e.te));
+            }
+            cur_tb = ov_te;
+            if cur_tb >= cur_te {
+                done = true;
+            }
+        }
+        if !done && cur_tb < cur_te {
+            let mut seg = TsEntry::from_tuple(tuple, now_us, new_deadline);
+            seg.tb = cur_tb;
+            seg.te = cur_te;
+            out.push(seg);
+            created = true;
+        }
+        out.sort_by_key(|e| e.tb);
+        self.entries = out;
+        created
+    }
+
+    /// Extends the validity interval of the entry ending at `old_te` to
+    /// `new_te` (boundary tuples extending a stalled tuple-window summary,
+    /// Section 4.3). No-op if no such entry exists or the extension would
+    /// overlap the next entry.
+    pub fn extend_validity(&mut self, old_te: i64, new_te: i64) -> bool {
+        if new_te <= old_te {
+            return false;
+        }
+        let Some(i) = self.entries.iter().position(|e| e.te == old_te) else {
+            return false;
+        };
+        if let Some(next) = self.entries.get(i + 1) {
+            if next.tb < new_te {
+                return false;
+            }
+        }
+        self.entries[i].te = new_te;
+        true
+    }
+
+    /// Removes and returns all entries due at `now_us`, earliest first.
+    pub fn pop_due(&mut self, now_us: i64) -> Vec<TsEntry> {
+        let mut due: Vec<TsEntry> = Vec::new();
+        self.entries.retain_mut(|e| {
+            if e.deadline_us <= now_us {
+                due.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|e| e.tb);
+        due
+    }
+
+    /// Asserts the disjoint-sorted invariant (test/diagnostic helper).
+    pub fn check_invariants(&self) {
+        for w in self.entries.windows(2) {
+            assert!(w[0].tb < w[0].te, "empty interval");
+            assert!(w[0].te <= w[1].tb, "entries overlap or unsorted");
+        }
+        if let Some(last) = self.entries.last() {
+            assert!(last.tb < last.te, "empty interval");
+        }
+    }
+}
+
+/// Convenience constructor for tests and examples.
+pub fn summary(tb: i64, te: i64, state: AggState, participants: u32, age_us: i64) -> SummaryTuple {
+    SummaryTuple {
+        tb,
+        te,
+        age_us,
+        participants,
+        has_value: !matches!(state, AggState::None),
+        state,
+        route: RouteState { last_level: vec![0], ttl_down: 0 },
+        hops: 0,
+        stripe_tree: 0,
+        truth: TruthMeta::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum(v: f64) -> AggState {
+        AggState::Sum(v)
+    }
+
+    #[test]
+    fn exact_match_merges() {
+        let mut ts = TimeSpaceList::new();
+        assert!(ts.insert(&summary(0, 10, sum(1.0), 1, 0), 100, 50));
+        assert!(!ts.insert(&summary(0, 10, sum(2.0), 1, 0), 110, 50));
+        assert_eq!(ts.len(), 1);
+        let e = &ts.entries()[0];
+        assert_eq!(e.state, sum(3.0));
+        assert_eq!(e.participants, 2);
+        ts.check_invariants();
+    }
+
+    #[test]
+    fn disjoint_inserts_coexist() {
+        let mut ts = TimeSpaceList::new();
+        ts.insert(&summary(10, 20, sum(1.0), 1, 0), 0, 100);
+        ts.insert(&summary(0, 10, sum(2.0), 1, 0), 0, 100);
+        ts.insert(&summary(30, 40, sum(3.0), 1, 0), 0, 100);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.entries()[0].tb, 0);
+        assert_eq!(ts.entries()[2].tb, 30);
+        ts.check_invariants();
+    }
+
+    #[test]
+    fn partial_overlap_splits_into_three() {
+        // T1=[0,10) value 1, T2=[5,15) value 2 → [0,5)=1, [5,10)=3, [10,15)=2.
+        let mut ts = TimeSpaceList::new();
+        ts.insert(&summary(0, 10, sum(1.0), 1, 0), 0, 100);
+        ts.insert(&summary(5, 15, sum(2.0), 1, 0), 0, 100);
+        assert_eq!(ts.len(), 3);
+        let e = ts.entries();
+        assert_eq!((e[0].tb, e[0].te), (0, 5));
+        assert_eq!(e[0].state, sum(1.0));
+        assert_eq!((e[1].tb, e[1].te), (5, 10));
+        assert_eq!(e[1].state, sum(3.0));
+        assert_eq!((e[2].tb, e[2].te), (10, 15));
+        assert_eq!(e[2].state, sum(2.0));
+        ts.check_invariants();
+    }
+
+    #[test]
+    fn containment_splits_into_three() {
+        // T1=[0,30) value 1, T2=[10,20) value 2.
+        let mut ts = TimeSpaceList::new();
+        ts.insert(&summary(0, 30, sum(1.0), 1, 0), 0, 100);
+        ts.insert(&summary(10, 20, sum(2.0), 1, 0), 0, 100);
+        let e = ts.entries();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(e[1].state, sum(3.0));
+        assert_eq!((e[0].te, e[2].tb), (10, 20));
+        ts.check_invariants();
+    }
+
+    #[test]
+    fn incoming_spanning_multiple_entries() {
+        // Existing [0,10) and [20,30); incoming [5,25) overlaps both.
+        let mut ts = TimeSpaceList::new();
+        ts.insert(&summary(0, 10, sum(1.0), 1, 0), 0, 100);
+        ts.insert(&summary(20, 30, sum(4.0), 1, 0), 0, 100);
+        ts.insert(&summary(5, 25, sum(2.0), 1, 0), 0, 100);
+        ts.check_invariants();
+        // Segments: [0,5)=1, [5,10)=3, [10,20)=2, [20,25)=6, [25,30)=4.
+        let vals: Vec<(i64, i64, AggState)> =
+            ts.entries().iter().map(|e| (e.tb, e.te, e.state.clone())).collect();
+        assert_eq!(
+            vals,
+            vec![
+                (0, 5, sum(1.0)),
+                (5, 10, sum(3.0)),
+                (10, 20, sum(2.0)),
+                (20, 25, sum(6.0)),
+                (25, 30, sum(4.0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn eviction_pops_due_entries_in_order() {
+        let mut ts = TimeSpaceList::new();
+        ts.insert(&summary(10, 20, sum(1.0), 1, 0), 0, 50);
+        ts.insert(&summary(0, 10, sum(2.0), 1, 0), 0, 200);
+        let due = ts.pop_due(60);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].tb, 10);
+        assert_eq!(ts.len(), 1);
+        let rest = ts.pop_due(1_000);
+        assert_eq!(rest.len(), 1);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn merge_does_not_extend_deadline() {
+        let mut ts = TimeSpaceList::new();
+        ts.insert(&summary(0, 10, sum(1.0), 1, 0), 0, 50);
+        // Second arrival at t=40 with a long timeout must not push the
+        // deadline (set at first arrival) outward.
+        ts.insert(&summary(0, 10, sum(1.0), 1, 0), 40, 10_000);
+        let due = ts.pop_due(55);
+        assert_eq!(due.len(), 1, "entry must still expire at its original deadline");
+    }
+
+    #[test]
+    fn eviction_age_is_weighted_average() {
+        let mut ts = TimeSpaceList::new();
+        // One participant with age 100 at t=0, three with age 500 at t=0.
+        ts.insert(&summary(0, 10, sum(1.0), 1, 100), 0, 1_000);
+        ts.insert(&summary(0, 10, sum(3.0), 3, 500), 0, 1_000);
+        let due = ts.pop_due(2_000);
+        let s = due.into_iter().next().unwrap().into_summary(200);
+        // At eviction (local t=200) each constituent aged 200 further:
+        // weighted avg = (1·300 + 3·700)/4 = 600.
+        assert_eq!(s.age_us, 600);
+    }
+
+    #[test]
+    fn boundary_merge_counts_participants_without_value() {
+        let mut ts = TimeSpaceList::new();
+        ts.insert(&summary(0, 10, sum(5.0), 2, 0), 0, 100);
+        ts.insert(&summary(0, 10, AggState::None, 1, 0), 0, 100);
+        let e = &ts.entries()[0];
+        assert_eq!(e.participants, 3);
+        assert_eq!(e.state, sum(5.0), "boundary tuples never carry values");
+    }
+
+    #[test]
+    fn extend_validity_grows_interval() {
+        let mut ts = TimeSpaceList::new();
+        ts.insert(&summary(0, 10, sum(1.0), 1, 0), 0, 100);
+        assert!(ts.extend_validity(10, 25));
+        assert_eq!(ts.entries()[0].te, 25);
+        // Blocked by a following entry.
+        ts.insert(&summary(30, 40, sum(1.0), 1, 0), 0, 100);
+        assert!(!ts.extend_validity(25, 35));
+        assert!(ts.extend_validity(25, 30));
+        ts.check_invariants();
+    }
+
+    #[test]
+    fn values_counted_once_per_interval() {
+        // Integral conservation: total value×length before == after split.
+        let mut ts = TimeSpaceList::new();
+        ts.insert(&summary(0, 10, sum(1.0), 1, 0), 0, 100);
+        ts.insert(&summary(5, 15, sum(2.0), 1, 0), 0, 100);
+        // Sum over entries of value must equal 1+2 only in overlap regions:
+        // check no region double-counts by verifying segment values.
+        let total: f64 = ts
+            .entries()
+            .iter()
+            .map(|e| match e.state {
+                AggState::Sum(v) => v * (e.te - e.tb) as f64,
+                _ => 0.0,
+            })
+            .sum();
+        // [0,5)*1 + [5,10)*3 + [10,15)*2 = 5 + 15 + 10 = 30, and the
+        // "mass" interpretation: T1 contributes 10 units over its 10-length
+        // interval, T2 contributes 20 — total 30. Conserved.
+        assert_eq!(total, 30.0);
+    }
+}

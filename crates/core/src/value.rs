@@ -1,0 +1,451 @@
+//! Partial aggregate states.
+//!
+//! Every in-network operator reduces data to an [`AggState`] that can be
+//! merged associatively and commutatively across time and space. Because
+//! time-division partitioning guarantees duplicate-free delivery, these are
+//! ordinary partial aggregates — no duplicate-insensitive synopses are
+//! required (the paper's contrast with synopsis diffusion, Section 8).
+
+use std::collections::BTreeMap;
+
+/// Number of 64-bit words in a bloom filter state (2048 bits).
+pub const BLOOM_WORDS: usize = 32;
+
+/// Number of HyperLogLog registers (must be a power of two).
+pub const HLL_REGISTERS: usize = 256;
+
+/// An entry in a top-k state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKEntry {
+    /// Ranking score (larger is "louder").
+    pub score: f64,
+    /// Source member that produced the entry.
+    pub source: u32,
+    /// Auxiliary payload fields (e.g. the full frame record).
+    pub payload: Vec<f64>,
+}
+
+/// A row for union (pass-through) operators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Source member.
+    pub source: u32,
+    /// Row key.
+    pub key: u64,
+    /// Fields.
+    pub vals: Vec<f64>,
+}
+
+/// A mergeable partial aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    /// No data (boundary tuples).
+    None,
+    /// Running sum.
+    Sum(f64),
+    /// Running count.
+    Count(u64),
+    /// Running minimum.
+    Min(f64),
+    /// Running maximum.
+    Max(f64),
+    /// Sum and count for averages.
+    Avg {
+        /// Sum of samples.
+        sum: f64,
+        /// Number of samples.
+        n: u64,
+    },
+    /// The k largest-scoring entries, sorted descending.
+    TopK {
+        /// Capacity.
+        k: usize,
+        /// Entries, sorted by descending score, length ≤ k.
+        entries: Vec<TopKEntry>,
+    },
+    /// Bounded row union.
+    Rows {
+        /// Capacity (rows beyond it are dropped, oldest kept).
+        cap: usize,
+        /// Collected rows.
+        rows: Vec<Row>,
+    },
+    /// Categorical frequency counts (entropy aggregates).
+    Freq {
+        /// Maximum distinct keys tracked.
+        cap: usize,
+        /// key → count.
+        counts: BTreeMap<u64, u64>,
+    },
+    /// Bloom-filter bit union (distributed index maintenance).
+    Bloom {
+        /// 2048-bit filter.
+        bits: Box<[u64; BLOOM_WORDS]>,
+    },
+    /// A computed coordinate or generic numeric vector (e.g. trilateration
+    /// output at a query root).
+    Vector(Vec<f64>),
+    /// HyperLogLog registers for approximate distinct counting (256
+    /// registers ⇒ ~6.5% standard error) — e.g. distinct source addresses
+    /// across an enterprise.
+    Hll {
+        /// Per-register maximum leading-zero ranks.
+        registers: Box<[u8; HLL_REGISTERS]>,
+    },
+}
+
+impl AggState {
+    /// Merges `other` into `self`. Both must be the same variant (or either
+    /// side [`AggState::None`], which acts as the identity).
+    pub fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (_, AggState::None) => {}
+            (me @ AggState::None, _) => *me = other.clone(),
+            (AggState::Sum(a), AggState::Sum(b)) => *a += b,
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Min(a), AggState::Min(b)) => *a = a.min(*b),
+            (AggState::Max(a), AggState::Max(b)) => *a = a.max(*b),
+            (AggState::Avg { sum: s1, n: n1 }, AggState::Avg { sum: s2, n: n2 }) => {
+                *s1 += s2;
+                *n1 += n2;
+            }
+            (AggState::TopK { k, entries }, AggState::TopK { entries: other_e, .. }) => {
+                entries.extend(other_e.iter().cloned());
+                entries.sort_by(|a, b| {
+                    b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                entries.truncate(*k);
+            }
+            (AggState::Rows { cap, rows }, AggState::Rows { rows: other_r, .. }) => {
+                for r in other_r {
+                    if rows.len() >= *cap {
+                        break;
+                    }
+                    rows.push(r.clone());
+                }
+            }
+            (AggState::Freq { cap, counts }, AggState::Freq { counts: other_c, .. }) => {
+                for (k, v) in other_c {
+                    if counts.len() >= *cap && !counts.contains_key(k) {
+                        continue; // Bounded state: overflow keys dropped.
+                    }
+                    *counts.entry(*k).or_insert(0) += v;
+                }
+            }
+            (AggState::Bloom { bits }, AggState::Bloom { bits: other_b }) => {
+                for (a, b) in bits.iter_mut().zip(other_b.iter()) {
+                    *a |= b;
+                }
+            }
+            (AggState::Vector(a), AggState::Vector(b)) => {
+                // Vectors don't combine meaningfully; keep the longer one.
+                if b.len() > a.len() {
+                    *a = b.clone();
+                }
+            }
+            (AggState::Hll { registers: a }, AggState::Hll { registers: b }) => {
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    *x = (*x).max(*y);
+                }
+            }
+            (me, other) => {
+                debug_assert!(
+                    false,
+                    "merging mismatched aggregate variants: {me:?} vs {other:?}"
+                );
+            }
+        }
+    }
+
+    /// Scalar rendering of the final value, where meaningful.
+    pub fn scalar(&self) -> Option<f64> {
+        match self {
+            AggState::Sum(v) | AggState::Min(v) | AggState::Max(v) => Some(*v),
+            AggState::Count(n) => Some(*n as f64),
+            AggState::Avg { sum, n } => (*n > 0).then(|| sum / *n as f64),
+            AggState::Freq { counts, .. } => Some(entropy(counts)),
+            AggState::TopK { entries, .. } => entries.first().map(|e| e.score),
+            AggState::Rows { rows, .. } => Some(rows.len() as f64),
+            AggState::Bloom { bits } => {
+                Some(bits.iter().map(|w| w.count_ones() as u64).sum::<u64>() as f64)
+            }
+            AggState::Vector(v) => v.first().copied(),
+            AggState::Hll { registers } => Some(hll_estimate(registers)),
+            AggState::None => None,
+        }
+    }
+
+    /// Estimated wire size in bytes for bandwidth accounting.
+    pub fn wire_bytes(&self) -> u32 {
+        match self {
+            AggState::None => 0,
+            AggState::Sum(_) | AggState::Count(_) | AggState::Min(_) | AggState::Max(_) => 8,
+            AggState::Avg { .. } => 16,
+            AggState::TopK { entries, .. } => {
+                entries.iter().map(|e| 12 + 8 * e.payload.len() as u32).sum::<u32>() + 4
+            }
+            AggState::Rows { rows, .. } => {
+                rows.iter().map(|r| 12 + 8 * r.vals.len() as u32).sum::<u32>() + 4
+            }
+            AggState::Freq { counts, .. } => 16 * counts.len() as u32 + 4,
+            AggState::Bloom { .. } => (BLOOM_WORDS * 8) as u32,
+            AggState::Vector(v) => 8 * v.len() as u32 + 4,
+            AggState::Hll { .. } => HLL_REGISTERS as u32,
+        }
+    }
+}
+
+/// Inserts a key into a HyperLogLog state.
+pub fn hll_insert(registers: &mut [u8; HLL_REGISTERS], key: u64) {
+    // One FNV-1a pass; low bits pick the register, the rank comes from the
+    // remaining bits' leading zeros.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let idx = (h & (HLL_REGISTERS as u64 - 1)) as usize;
+    let rest = h >> 8;
+    // `rest` has 56 usable bits (top 8 are zero after the shift), so the
+    // rank of the first set bit is leading_zeros − 8 + 1.
+    let rank = (rest.leading_zeros() as u8).saturating_sub(8) + 1;
+    registers[idx] = registers[idx].max(rank);
+}
+
+/// The HyperLogLog cardinality estimate with small-range correction.
+pub fn hll_estimate(registers: &[u8; HLL_REGISTERS]) -> f64 {
+    let m = HLL_REGISTERS as f64;
+    let alpha = 0.7213 / (1.0 + 1.079 / m);
+    let sum: f64 = registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+    let raw = alpha * m * m / sum;
+    let zeros = registers.iter().filter(|&&r| r == 0).count();
+    if raw <= 2.5 * m && zeros > 0 {
+        // Linear counting for small cardinalities.
+        m * (m / zeros as f64).ln()
+    } else {
+        raw
+    }
+}
+
+/// Shannon entropy (bits) of a frequency table.
+pub fn entropy(counts: &BTreeMap<u64, u64>) -> f64 {
+    let total: u64 = counts.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let tf = total as f64;
+    counts
+        .values()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / tf;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Inserts a key into a bloom filter state using three FNV-derived hashes.
+pub fn bloom_insert(bits: &mut [u64; BLOOM_WORDS], key: u64) {
+    for h in bloom_hashes(key) {
+        bits[(h / 64) as usize % BLOOM_WORDS] |= 1u64 << (h % 64);
+    }
+}
+
+/// Tests membership (may yield false positives, never false negatives).
+pub fn bloom_contains(bits: &[u64; BLOOM_WORDS], key: u64) -> bool {
+    bloom_hashes(key)
+        .iter()
+        .all(|&h| bits[(h / 64) as usize % BLOOM_WORDS] & (1u64 << (h % 64)) != 0)
+}
+
+fn bloom_hashes(key: u64) -> [u64; 3] {
+    // FNV-1a over the key bytes with three different seeds.
+    let mut out = [0u64; 3];
+    for (i, seed) in [0xcbf29ce484222325u64, 0x100000001b3, 0x9e3779b97f4a7c15].iter().enumerate()
+    {
+        let mut h = *seed ^ 0xcbf29ce484222325;
+        for b in key.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        out[i] = h % (BLOOM_WORDS as u64 * 64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_merge() {
+        let mut a = AggState::Sum(2.0);
+        a.merge(&AggState::Sum(3.0));
+        assert_eq!(a.scalar(), Some(5.0));
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut a = AggState::Sum(2.0);
+        a.merge(&AggState::None);
+        assert_eq!(a, AggState::Sum(2.0));
+        let mut b = AggState::None;
+        b.merge(&AggState::Count(4));
+        assert_eq!(b, AggState::Count(4));
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let mut mn = AggState::Min(3.0);
+        mn.merge(&AggState::Min(1.0));
+        assert_eq!(mn.scalar(), Some(1.0));
+        let mut mx = AggState::Max(3.0);
+        mx.merge(&AggState::Max(9.0));
+        assert_eq!(mx.scalar(), Some(9.0));
+        let mut av = AggState::Avg { sum: 10.0, n: 2 };
+        av.merge(&AggState::Avg { sum: 2.0, n: 2 });
+        assert_eq!(av.scalar(), Some(3.0));
+    }
+
+    #[test]
+    fn topk_keeps_largest() {
+        let e = |s: f64| TopKEntry { score: s, source: 0, payload: vec![] };
+        let mut a = AggState::TopK { k: 2, entries: vec![e(5.0), e(1.0)] };
+        a.merge(&AggState::TopK { k: 2, entries: vec![e(3.0), e(7.0)] });
+        match a {
+            AggState::TopK { entries, .. } => {
+                let scores: Vec<f64> = entries.iter().map(|x| x.score).collect();
+                assert_eq!(scores, vec![7.0, 5.0]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn topk_merge_is_commutative() {
+        let e = |s: f64| TopKEntry { score: s, source: 0, payload: vec![] };
+        let x = AggState::TopK { k: 3, entries: vec![e(5.0), e(1.0)] };
+        let y = AggState::TopK { k: 3, entries: vec![e(3.0), e(7.0), e(0.5)] };
+        let mut xy = x.clone();
+        xy.merge(&y);
+        let mut yx = y.clone();
+        yx.merge(&x);
+        assert_eq!(xy, yx);
+    }
+
+    #[test]
+    fn freq_entropy() {
+        let mut c = BTreeMap::new();
+        c.insert(1u64, 1u64);
+        c.insert(2, 1);
+        assert!((entropy(&c) - 1.0).abs() < 1e-12, "two equally likely symbols = 1 bit");
+        c.insert(3, 2);
+        assert!((entropy(&c) - 1.5).abs() < 1e-12);
+        assert_eq!(entropy(&BTreeMap::new()), 0.0);
+    }
+
+    #[test]
+    fn freq_merge_respects_cap() {
+        let mut a = AggState::Freq { cap: 2, counts: BTreeMap::from([(1, 1)]) };
+        a.merge(&AggState::Freq { cap: 2, counts: BTreeMap::from([(2, 1), (3, 1)]) });
+        match a {
+            AggState::Freq { counts, .. } => {
+                assert_eq!(counts.len(), 2, "cap enforced");
+                assert!(counts.contains_key(&1));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn bloom_membership() {
+        let mut bits = Box::new([0u64; BLOOM_WORDS]);
+        for k in 0..100u64 {
+            bloom_insert(&mut bits, k);
+        }
+        for k in 0..100u64 {
+            assert!(bloom_contains(&bits, k), "false negative for {k}");
+        }
+        let fp = (1_000..2_000u64).filter(|&k| bloom_contains(&bits, k)).count();
+        assert!(fp < 100, "false positive rate too high: {fp}/1000");
+    }
+
+    #[test]
+    fn bloom_merge_is_union() {
+        let mut a = Box::new([0u64; BLOOM_WORDS]);
+        let mut b = Box::new([0u64; BLOOM_WORDS]);
+        bloom_insert(&mut a, 42);
+        bloom_insert(&mut b, 43);
+        let mut sa = AggState::Bloom { bits: a };
+        sa.merge(&AggState::Bloom { bits: b });
+        match sa {
+            AggState::Bloom { bits } => {
+                assert!(bloom_contains(&bits, 42));
+                assert!(bloom_contains(&bits, 43));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn hll_estimates_within_error_bound() {
+        let mut regs = Box::new([0u8; HLL_REGISTERS]);
+        for k in 0..10_000u64 {
+            hll_insert(&mut regs, k.wrapping_mul(0x9E3779B97F4A7C15));
+        }
+        let est = hll_estimate(&regs);
+        let err = (est - 10_000.0).abs() / 10_000.0;
+        assert!(err < 0.15, "estimate {est} off by {err}");
+    }
+
+    #[test]
+    fn hll_small_range_is_accurate() {
+        let mut regs = Box::new([0u8; HLL_REGISTERS]);
+        for k in 0..20u64 {
+            hll_insert(&mut regs, k.wrapping_mul(0x9E3779B97F4A7C15));
+        }
+        let est = hll_estimate(&regs);
+        assert!((est - 20.0).abs() < 5.0, "small-range estimate {est}");
+    }
+
+    #[test]
+    fn hll_merge_is_union() {
+        let mut a = Box::new([0u8; HLL_REGISTERS]);
+        let mut b = Box::new([0u8; HLL_REGISTERS]);
+        for k in 0..2_000u64 {
+            hll_insert(&mut a, k.wrapping_mul(0x9E3779B97F4A7C15));
+        }
+        for k in 1_000..3_000u64 {
+            hll_insert(&mut b, k.wrapping_mul(0x9E3779B97F4A7C15));
+        }
+        let mut sa = AggState::Hll { registers: a };
+        sa.merge(&AggState::Hll { registers: b });
+        let est = sa.scalar().unwrap();
+        let err = (est - 3_000.0).abs() / 3_000.0;
+        assert!(err < 0.15, "union estimate {est} (distinct = 3000)");
+    }
+
+    #[test]
+    fn hll_idempotent_reinsertion() {
+        let mut a = Box::new([0u8; HLL_REGISTERS]);
+        for _ in 0..3 {
+            for k in 0..500u64 {
+                hll_insert(&mut a, k.wrapping_mul(0x9E3779B97F4A7C15));
+            }
+        }
+        let est = hll_estimate(&a);
+        let err = (est - 500.0).abs() / 500.0;
+        assert!(err < 0.15, "duplicates inflated the estimate: {est}");
+    }
+
+    #[test]
+    fn rows_bounded() {
+        let row = |s: u32| Row { source: s, key: 0, vals: vec![] };
+        let mut a = AggState::Rows { cap: 2, rows: vec![row(1)] };
+        a.merge(&AggState::Rows { cap: 2, rows: vec![row(2), row(3)] });
+        match a {
+            AggState::Rows { rows, .. } => assert_eq!(rows.len(), 2),
+            _ => unreachable!(),
+        }
+    }
+}

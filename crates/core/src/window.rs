@@ -1,0 +1,115 @@
+//! Window specifications (Section 2.2).
+//!
+//! Operators compute over sliding windows: the *range* is how much input a
+//! result summarizes (the last x seconds, or the last x tuples), the *slide*
+//! is the update frequency. Both time and tuple windows are identified by a
+//! time range — hence "time-division" partitioning.
+
+/// How a window's extent is measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Range and slide measured in microseconds of stream time.
+    Time,
+    /// Range and slide measured in tuple counts per source.
+    Tuples,
+}
+
+/// A window specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Time- or tuple-based.
+    pub kind: WindowKind,
+    /// Window range (µs for time windows, count for tuple windows).
+    pub range: u64,
+    /// Window slide (µs for time windows, count for tuple windows).
+    pub slide: u64,
+}
+
+impl WindowSpec {
+    /// A tumbling time window: range = slide = `us` microseconds.
+    pub fn time_tumbling_us(us: u64) -> Self {
+        Self { kind: WindowKind::Time, range: us, slide: us }
+    }
+
+    /// A sliding time window.
+    pub fn time_sliding_us(range_us: u64, slide_us: u64) -> Self {
+        Self { kind: WindowKind::Time, range: range_us, slide: slide_us }
+    }
+
+    /// A tuple window: report over the last `range` tuples every `slide`.
+    pub fn tuples(range: u64, slide: u64) -> Self {
+        Self { kind: WindowKind::Tuples, range, slide }
+    }
+
+    /// Validates invariants; panics on nonsense configs (setup bugs).
+    pub fn validate(&self) {
+        assert!(self.range > 0, "window range must be positive");
+        assert!(self.slide > 0, "window slide must be positive");
+        assert!(
+            self.range >= self.slide,
+            "range smaller than slide would drop data between windows"
+        );
+    }
+
+    /// For time windows: how many windows each instant belongs to.
+    pub fn overlap_factor(&self) -> u64 {
+        self.range.div_ceil(self.slide)
+    }
+
+    /// For time windows: the window indices (slide numbers) that a stream
+    /// instant at local reference time `t_us` contributes to. Window `k`
+    /// covers `[k*slide - (range - slide), k*slide + slide)`; equivalently a
+    /// point contributes to windows `floor(t/slide) .. floor(t/slide) +
+    /// overlap`.
+    pub fn windows_for_instant(&self, t_us: i64) -> impl Iterator<Item = i64> {
+        let slide = self.slide as i64;
+        let base = t_us.div_euclid(slide);
+        let overlap = self.overlap_factor() as i64;
+        base..(base + overlap)
+    }
+
+    /// For time windows: the `[tb, te)` interval identifying window `k`.
+    /// The interval is the slide's worth of fresh data the window admits,
+    /// which uniquely identifies the window per Section 4.1.
+    pub fn interval_of(&self, k: i64) -> (i64, i64) {
+        let slide = self.slide as i64;
+        (k * slide, (k + 1) * slide)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_basics() {
+        let w = WindowSpec::time_tumbling_us(1_000_000);
+        w.validate();
+        assert_eq!(w.overlap_factor(), 1);
+        assert_eq!(w.windows_for_instant(1_500_000).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(w.interval_of(1), (1_000_000, 2_000_000));
+    }
+
+    #[test]
+    fn sliding_overlap() {
+        // 20-tuple range every 10: the paper's example shape in time form.
+        let w = WindowSpec::time_sliding_us(2_000_000, 1_000_000);
+        w.validate();
+        assert_eq!(w.overlap_factor(), 2);
+        assert_eq!(w.windows_for_instant(500_000).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn negative_time_instants_index_correctly() {
+        // Syncless indices may be negative for some tuples (Section 5.1).
+        let w = WindowSpec::time_tumbling_us(1_000_000);
+        assert_eq!(w.windows_for_instant(-500_000).collect::<Vec<_>>(), vec![-1]);
+        assert_eq!(w.interval_of(-1), (-1_000_000, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "range smaller than slide")]
+    fn validate_rejects_gappy_window() {
+        WindowSpec::time_sliding_us(1, 2).validate();
+    }
+}

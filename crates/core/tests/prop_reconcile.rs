@@ -1,0 +1,128 @@
+//! Property-based tests of the reconciliation algebra (Section 6.1):
+//! convergence, idempotence, and removal-cache correctness.
+
+use mortar_core::reconcile::{reconcile, store_hash};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+type Store = (HashMap<String, u64>, HashMap<String, u64>);
+
+/// A global command history: the injector's object store issues strictly
+/// increasing, unique sequence numbers (single-writer semantics), so a
+/// command is (name, seq = position + 1, install/remove).
+type History = Vec<(String, u64, bool)>;
+
+fn arb_history() -> impl Strategy<Value = History> {
+    proptest::collection::vec((0u8..6, proptest::bool::ANY), 0..14).prop_map(|cmds| {
+        cmds.into_iter()
+            .enumerate()
+            .map(|(i, (name, is_install))| (format!("q{name}"), i as u64 + 1, is_install))
+            .collect()
+    })
+}
+
+/// Builds a store from the subset of history commands a node received
+/// (per-name latest command wins; best-effort delivery loses arbitrary
+/// commands, which is what reconciliation must repair).
+fn replay(history: &History, mask: u64) -> Store {
+    let mut installed: HashMap<String, u64> = HashMap::new();
+    let mut removed: HashMap<String, u64> = HashMap::new();
+    for (i, (name, seq, is_install)) in history.iter().enumerate() {
+        if (mask >> (i % 63)) & 1 == 0 {
+            continue; // This command was lost in transit.
+        }
+        if *is_install {
+            if removed.get(name).is_some_and(|&r| r >= *seq) {
+                continue;
+            }
+            if installed.get(name).is_some_and(|&x| x >= *seq) {
+                continue;
+            }
+            removed.remove(name);
+            installed.insert(name.clone(), *seq);
+        } else {
+            if installed.get(name).is_some_and(|&x| x > *seq) {
+                continue;
+            }
+            installed.remove(name);
+            let e = removed.entry(name.clone()).or_insert(0);
+            *e = (*e).max(*seq);
+        }
+    }
+    (installed, removed)
+}
+
+/// Applies a reconcile outcome to a store.
+fn apply(store: &mut Store, other: &Store) {
+    let out = reconcile(&store.0, &store.1, &other.0, &other.1);
+    for (name, seq) in out.to_install {
+        store.1.remove(&name);
+        store.0.insert(name, seq);
+    }
+    for (name, seq) in out.to_remove {
+        store.0.remove(&name);
+        store.1.insert(name, seq);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn pairwise_reconciliation_converges(
+        history in arb_history(),
+        mask_a in 0u64..u64::MAX,
+        mask_b in 0u64..u64::MAX,
+    ) {
+        let mut sa = replay(&history, mask_a);
+        let mut sb = replay(&history, mask_b);
+        // One full exchange: both sides compute against the other's
+        // original sets (as the wire protocol does), then apply.
+        let snap_a = sa.clone();
+        let snap_b = sb.clone();
+        apply(&mut sa, &snap_b);
+        apply(&mut sb, &snap_a);
+        // A second round must reach a fixpoint with identical installs.
+        let snap_a2 = sa.clone();
+        let snap_b2 = sb.clone();
+        apply(&mut sa, &snap_b2);
+        apply(&mut sb, &snap_a2);
+        let mut ia: Vec<_> = sa.0.iter().collect();
+        let mut ib: Vec<_> = sb.0.iter().collect();
+        ia.sort();
+        ib.sort();
+        prop_assert_eq!(ia, ib, "installed sets diverged");
+    }
+
+    #[test]
+    fn reconcile_with_self_is_empty(history in arb_history(), mask in 0u64..u64::MAX) {
+        let a = replay(&history, mask);
+        let out = reconcile(&a.0, &a.1, &a.0, &a.1);
+        prop_assert!(out.to_install.is_empty());
+        prop_assert!(out.to_remove.is_empty());
+    }
+
+    #[test]
+    fn equal_stores_hash_equal(history in arb_history(), mask in 0u64..u64::MAX) {
+        let a = replay(&history, mask);
+        let h1 = store_hash(a.0.iter().map(|(n, &s)| (n.as_str(), s)));
+        let h2 = store_hash(a.0.iter().map(|(n, &s)| (n.as_str(), s)));
+        prop_assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn newer_removals_always_win(
+        history in arb_history(),
+        mask in 0u64..u64::MAX,
+        name in 0u8..6,
+    ) {
+        // A removal with a higher sequence than any install must purge the
+        // query from the local store after reconciliation.
+        let name = format!("q{name}");
+        let mut other: Store = (HashMap::new(), HashMap::new());
+        other.1.insert(name.clone(), 1_000);
+        let mut sa = replay(&history, mask);
+        apply(&mut sa, &other);
+        prop_assert!(!sa.0.contains_key(&name), "stale install survived a newer removal");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the time-space list (Section 4.2 invariants).
+
+use mortar_core::tslist::{summary, TimeSpaceList};
+use mortar_core::value::AggState;
+use proptest::prelude::*;
+
+/// Arbitrary (possibly overlapping) insert sequences keep the list sorted
+/// and disjoint.
+fn arb_interval() -> impl Strategy<Value = (i64, i64)> {
+    (0i64..500, 1i64..60).prop_map(|(tb, len)| (tb, tb + len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn entries_stay_sorted_and_disjoint(
+        intervals in proptest::collection::vec(arb_interval(), 1..40),
+    ) {
+        let mut ts = TimeSpaceList::new();
+        for (i, (tb, te)) in intervals.into_iter().enumerate() {
+            ts.insert(&summary(tb, te, AggState::Count(1), 1, 0), i as i64, 1_000);
+            ts.check_invariants();
+        }
+    }
+
+    #[test]
+    fn tile_aligned_inserts_conserve_participants(
+        tiles in proptest::collection::vec((0i64..30, 1u32..5), 1..60),
+    ) {
+        // Exact-tile inserts (the time-window fast path) merge without
+        // splitting, so participants are conserved exactly.
+        const S: i64 = 100;
+        let mut ts = TimeSpaceList::new();
+        let mut total = 0u64;
+        for (k, parts) in tiles {
+            ts.insert(
+                &summary(k * S, (k + 1) * S, AggState::Count(parts as u64), parts, 0),
+                0,
+                1_000,
+            );
+            total += parts as u64;
+        }
+        ts.check_invariants();
+        let in_list: u64 = ts.entries().iter().map(|e| e.participants as u64).sum();
+        prop_assert_eq!(in_list, total);
+        // Counts agree with participants for this operator.
+        let counted: u64 = ts
+            .entries()
+            .iter()
+            .map(|e| match e.state {
+                AggState::Count(c) => c,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(counted, total);
+    }
+
+    #[test]
+    fn eviction_respects_deadlines(
+        tiles in proptest::collection::vec((0i64..20, 1i64..500), 1..40),
+        evict_at in 0i64..600,
+    ) {
+        const S: i64 = 100;
+        let mut ts = TimeSpaceList::new();
+        for (k, timeout) in tiles {
+            ts.insert(&summary(k * S, (k + 1) * S, AggState::Count(1), 1, 0), 0, timeout as u64);
+        }
+        let due = ts.pop_due(evict_at);
+        for e in &due {
+            prop_assert!(e.deadline_us <= evict_at, "popped future entry");
+        }
+        for e in ts.entries() {
+            prop_assert!(e.deadline_us > evict_at, "kept overdue entry");
+        }
+    }
+
+    #[test]
+    fn age_average_is_bounded_by_constituents(
+        ages in proptest::collection::vec(0i64..1_000_000, 1..20),
+    ) {
+        let mut ts = TimeSpaceList::new();
+        for &a in &ages {
+            ts.insert(&summary(0, 100, AggState::Count(1), 1, a), 0, 10);
+        }
+        let evicted = ts.pop_due(1_000);
+        prop_assert_eq!(evicted.len(), 1);
+        let s = evicted.into_iter().next().unwrap().into_summary(0);
+        let min = *ages.iter().min().unwrap();
+        let max = *ages.iter().max().unwrap();
+        prop_assert!(s.age_us >= min && s.age_us <= max,
+            "avg age {} outside [{min},{max}]", s.age_us);
+    }
+
+    #[test]
+    fn split_preserves_interval_coverage(
+        a in arb_interval(),
+        b in arb_interval(),
+    ) {
+        // After inserting two intervals, the union of entry intervals must
+        // equal the union of the inputs (no time lost, none invented).
+        let mut ts = TimeSpaceList::new();
+        ts.insert(&summary(a.0, a.1, AggState::Count(1), 1, 0), 0, 1_000);
+        ts.insert(&summary(b.0, b.1, AggState::Count(1), 1, 0), 0, 1_000);
+        ts.check_invariants();
+        let covered: i64 = ts.entries().iter().map(|e| e.te - e.tb).sum();
+        let lo = a.0.min(b.0);
+        let hi = a.1.max(b.1);
+        let overlap_gap = if a.1 < b.0 || b.1 < a.0 {
+            // Disjoint: subtract the hole between them.
+            (b.0.max(a.0) - a.1.min(b.1)).max(0)
+        } else {
+            0
+        };
+        prop_assert_eq!(covered, hi - lo - overlap_gap);
+    }
+}

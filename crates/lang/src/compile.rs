@@ -1,0 +1,420 @@
+//! MSL compiler: program AST → deployable query definition.
+//!
+//! The compiler resolves the statement pipeline into the canonical Mortar
+//! dataflow: *source → per-source select → one in-network aggregate (with
+//! window) → optional root post-operator*. Field names from the stream
+//! declaration become field indices; `key` refers to the tuple's routing
+//! key.
+
+use crate::lexer::lex;
+use crate::parser::{parse, Arg, Call, CmpTok, Program, Stmt};
+use mortar_core::op::{Cmp, OpKind, Predicate};
+use mortar_core::window::WindowSpec;
+
+/// A compilation or parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl LangError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// A compiled, deployment-ready query definition. Combine with a member
+/// list, root peer and sensor spec to build a
+/// [`mortar_core::QuerySpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryDef {
+    /// Query name (the last statement's binding).
+    pub name: String,
+    /// Source stream name.
+    pub source: String,
+    /// Per-source select predicate.
+    pub filter: Option<Predicate>,
+    /// The in-network aggregate.
+    pub op: OpKind,
+    /// Window specification.
+    pub window: WindowSpec,
+    /// Root post-operator name (must be registered at deployment).
+    pub post: Option<String>,
+}
+
+impl QueryDef {
+    /// Instantiates a [`mortar_core::QuerySpec`] for deployment.
+    pub fn to_spec(
+        &self,
+        root: mortar_net::NodeId,
+        members: Vec<mortar_net::NodeId>,
+        sensor: mortar_core::SensorSpec,
+    ) -> mortar_core::QuerySpec {
+        mortar_core::QuerySpec {
+            name: self.name.clone(),
+            root,
+            members,
+            op: self.op.clone(),
+            window: self.window,
+            filter: self.filter.clone(),
+            sensor,
+            post: self.post.clone(),
+        }
+    }
+}
+
+/// Compiles MSL source text.
+pub fn compile(src: &str) -> Result<QueryDef, LangError> {
+    let program = parse(lex(src)?)?;
+    lower(&program)
+}
+
+fn lower(p: &Program) -> Result<QueryDef, LangError> {
+    let field_index = |stream: &str, name: &str| -> Result<usize, LangError> {
+        let Some((_, fields)) = p.streams.iter().find(|(s, _)| s == stream) else {
+            // Without a declaration, accept positional names f0, f1, ….
+            if let Some(rest) = name.strip_prefix('f') {
+                if let Ok(i) = rest.parse::<usize>() {
+                    return Ok(i);
+                }
+            }
+            return Err(LangError::new(format!(
+                "field {name:?}: stream {stream:?} is not declared"
+            )));
+        };
+        fields
+            .iter()
+            .position(|f| f == name)
+            .ok_or_else(|| LangError::new(format!("unknown field {name:?} on {stream:?}")))
+    };
+
+    let mut source: Option<String> = None;
+    let mut filter: Option<Predicate> = None;
+    let mut op: Option<OpKind> = None;
+    let mut window: Option<WindowSpec> = None;
+    let mut post: Option<String> = None;
+    let mut name = String::new();
+    // Names bound so far map to the conceptual stage kind.
+    #[derive(Clone, Copy, PartialEq)]
+    enum StageKind {
+        Source,
+        Filtered,
+        Aggregated,
+    }
+    let mut bound: Vec<(String, StageKind)> = p
+        .streams
+        .iter()
+        .map(|(s, _)| (s.clone(), StageKind::Source))
+        .collect();
+
+    for stmt in &p.stmts {
+        let Stmt { call, .. } = stmt;
+        let input = call
+            .args
+            .first()
+            .and_then(|a| match a {
+                Arg::Name(n) => Some(n.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| {
+                LangError::new(format!("{}(…) needs an input stream argument", call.func))
+            })?;
+        let in_kind = bound
+            .iter()
+            .find(|(n, _)| *n == input)
+            .map(|&(_, k)| k)
+            .unwrap_or(StageKind::Source);
+        if in_kind == StageKind::Source && source.is_none() {
+            source = Some(input.clone());
+        }
+        let src_name = source.clone().unwrap_or_else(|| input.clone());
+        let fidx = |a: &Arg| -> Result<usize, LangError> {
+            match a {
+                Arg::Name(n) => field_index(&src_name, n),
+                Arg::Number(n) => Ok(*n as usize),
+                Arg::Compare { .. } => {
+                    Err(LangError::new("expected a field reference, found a predicate"))
+                }
+            }
+        };
+        let out_kind = match call.func.as_str() {
+            "select" | "filter" => {
+                if op.is_some() {
+                    return Err(LangError::new("select must precede the aggregate"));
+                }
+                let pred = predicate(call, &src_name, &field_index)?;
+                filter = Some(match filter.take() {
+                    Some(prev) => Predicate::And(Box::new(prev), Box::new(pred)),
+                    None => pred,
+                });
+                StageKind::Filtered
+            }
+            "sum" | "avg" | "min" | "max" => {
+                let f = call
+                    .args
+                    .get(1)
+                    .map(fidx)
+                    .transpose()?
+                    .unwrap_or(0);
+                set_op(
+                    &mut op,
+                    match call.func.as_str() {
+                        "sum" => OpKind::Sum { field: f },
+                        "avg" => OpKind::Avg { field: f },
+                        "min" => OpKind::Min { field: f },
+                        _ => OpKind::Max { field: f },
+                    },
+                )?;
+                StageKind::Aggregated
+            }
+            "count" => {
+                set_op(&mut op, OpKind::Count)?;
+                StageKind::Aggregated
+            }
+            "topk" => {
+                let k = match call.args.get(1) {
+                    Some(Arg::Number(n)) if *n >= 1.0 => *n as usize,
+                    other => {
+                        return Err(LangError::new(format!("topk needs k ≥ 1, got {other:?}")))
+                    }
+                };
+                let f = call
+                    .args
+                    .get(2)
+                    .map(fidx)
+                    .transpose()?
+                    .unwrap_or(0);
+                set_op(&mut op, OpKind::TopK { k, field: f })?;
+                StageKind::Aggregated
+            }
+            "union" => {
+                let cap = match call.args.get(1) {
+                    Some(Arg::Number(n)) => *n as usize,
+                    _ => 1024,
+                };
+                set_op(&mut op, OpKind::Union { cap })?;
+                StageKind::Aggregated
+            }
+            "entropy" => {
+                let f = call.args.get(1).map(fidx).transpose()?.unwrap_or(0);
+                let cap = match call.args.get(2) {
+                    Some(Arg::Number(n)) => *n as usize,
+                    _ => 1024,
+                };
+                set_op(&mut op, OpKind::Entropy { field: f, cap })?;
+                StageKind::Aggregated
+            }
+            "bloom" | "index" => {
+                set_op(&mut op, OpKind::BloomIndex)?;
+                StageKind::Aggregated
+            }
+            "distinct" => {
+                set_op(&mut op, OpKind::Distinct)?;
+                StageKind::Aggregated
+            }
+            custom => {
+                match in_kind {
+                    StageKind::Aggregated => {
+                        // A custom stage over an aggregate output runs at
+                        // the query root (e.g. trilat).
+                        if post.is_some() {
+                            return Err(LangError::new("at most one post operator"));
+                        }
+                        post = Some(custom.to_string());
+                        StageKind::Aggregated
+                    }
+                    _ => {
+                        // A custom in-network aggregate.
+                        set_op(&mut op, OpKind::Custom { name: custom.to_string() })?;
+                        StageKind::Aggregated
+                    }
+                }
+            }
+        };
+        if let Some(range) = stmt.window_range {
+            let slide = stmt.window_slide.unwrap_or(range);
+            let w = if stmt.tuple_window {
+                WindowSpec::tuples(range, slide)
+            } else {
+                WindowSpec::time_sliding_us(range, slide)
+            };
+            if range < slide {
+                return Err(LangError::new("window range must be ≥ slide"));
+            }
+            window = Some(w);
+        }
+        bound.push((stmt.name.clone(), out_kind));
+        name = stmt.name.clone();
+    }
+
+    let op = op.ok_or_else(|| LangError::new("program defines no aggregate stage"))?;
+    let source =
+        source.ok_or_else(|| LangError::new("program reads from no source stream"))?;
+    Ok(QueryDef {
+        name,
+        source,
+        filter,
+        op,
+        window: window.unwrap_or_else(|| WindowSpec::time_tumbling_us(1_000_000)),
+        post,
+    })
+}
+
+fn set_op(slot: &mut Option<OpKind>, op: OpKind) -> Result<(), LangError> {
+    if slot.is_some() {
+        return Err(LangError::new("a query has exactly one in-network aggregate"));
+    }
+    *slot = Some(op);
+    Ok(())
+}
+
+fn predicate(
+    call: &Call,
+    stream: &str,
+    field_index: &dyn Fn(&str, &str) -> Result<usize, LangError>,
+) -> Result<Predicate, LangError> {
+    let mut preds: Vec<Predicate> = Vec::new();
+    for a in call.args.iter().skip(1) {
+        match a {
+            Arg::Compare { field, op, value } => {
+                let p = if field == "key" {
+                    match op {
+                        CmpTok::Eq => Predicate::KeyEq(*value as u64),
+                        _ => return Err(LangError::new("key supports == only")),
+                    }
+                } else {
+                    Predicate::Field {
+                        field: field_index(stream, field)?,
+                        cmp: match op {
+                            CmpTok::Eq => Cmp::Eq,
+                            CmpTok::Lt => Cmp::Lt,
+                            CmpTok::Gt => Cmp::Gt,
+                        },
+                        value: *value,
+                    }
+                };
+                preds.push(p);
+            }
+            other => {
+                return Err(LangError::new(format!(
+                    "select arguments must be comparisons, found {other:?}"
+                )))
+            }
+        }
+    }
+    preds
+        .into_iter()
+        .reduce(|a, b| Predicate::And(Box::new(a), Box::new(b)))
+        .ok_or_else(|| LangError::new("select needs at least one predicate"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_the_wifi_query() {
+        let def = compile(
+            "stream wifi(rssi, x, y);\n\
+             frames = select(wifi, key == 7);\n\
+             loud = topk(frames, 3, rssi) window 1s;\n\
+             position = trilat(loud);",
+        )
+        .unwrap();
+        assert_eq!(def.name, "position");
+        assert_eq!(def.source, "wifi");
+        assert_eq!(def.filter, Some(Predicate::KeyEq(7)));
+        assert_eq!(def.op, OpKind::TopK { k: 3, field: 0 });
+        assert_eq!(def.post, Some("trilat".into()));
+        assert_eq!(def.window, WindowSpec::time_tumbling_us(1_000_000));
+    }
+
+    #[test]
+    fn compiles_simple_sum() {
+        let def = compile("stream s(v);\nq = sum(s, v) every 1s;").unwrap();
+        assert_eq!(def.op, OpKind::Sum { field: 0 });
+        assert!(def.filter.is_none());
+        assert!(def.post.is_none());
+    }
+
+    #[test]
+    fn sliding_window_avg() {
+        let def = compile("stream s(load);\nq = avg(s, load) window 20s slide 10s;").unwrap();
+        assert_eq!(def.window, WindowSpec::time_sliding_us(20_000_000, 10_000_000));
+    }
+
+    #[test]
+    fn entropy_anomaly_query() {
+        let def = compile(
+            "stream flows(dstport, bytes);\n\
+             suspicious = select(flows, bytes > 1000);\n\
+             h = entropy(suspicious, dstport) every 5s;",
+        )
+        .unwrap();
+        assert_eq!(def.op, OpKind::Entropy { field: 0, cap: 1024 });
+        assert!(matches!(def.filter, Some(Predicate::Field { field: 1, .. })));
+    }
+
+    #[test]
+    fn distinct_count_query() {
+        let def = compile("stream conns(sport);\nuniq = distinct(conns) every 10s;").unwrap();
+        assert_eq!(def.op, OpKind::Distinct);
+        assert_eq!(def.window, WindowSpec::time_tumbling_us(10_000_000));
+    }
+
+    #[test]
+    fn custom_aggregate_on_raw_stream() {
+        let def = compile("stream s(v);\nq = geomean(s) every 2s;").unwrap();
+        assert_eq!(def.op, OpKind::Custom { name: "geomean".into() });
+    }
+
+    #[test]
+    fn conjunctive_select() {
+        let def = compile(
+            "stream s(a, b);\nf = select(s, a > 1, b < 5);\nq = count(f) every 1s;",
+        )
+        .unwrap();
+        assert!(matches!(def.filter, Some(Predicate::And(_, _))));
+    }
+
+    #[test]
+    fn rejects_two_aggregates() {
+        let err = compile("stream s(v);\na = sum(s, v);\nb = count(a);").unwrap_err();
+        assert!(err.message.contains("exactly one"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_unknown_field() {
+        let err = compile("stream s(v);\nq = sum(s, nope);").unwrap_err();
+        assert!(err.message.contains("unknown field"));
+    }
+
+    #[test]
+    fn rejects_select_after_aggregate() {
+        let err = compile("stream s(v);\na = sum(s, v);\nb = select(a, key == 1);").unwrap_err();
+        assert!(err.message.contains("precede"));
+    }
+
+    #[test]
+    fn to_spec_roundtrip() {
+        let def = compile("stream s(v);\nq = sum(s, v) every 1s;").unwrap();
+        let spec = def.to_spec(
+            0,
+            vec![0, 1, 2],
+            mortar_core::SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
+        );
+        assert_eq!(spec.name, "q");
+        assert_eq!(spec.members.len(), 3);
+        assert_eq!(spec.root, 0);
+    }
+}

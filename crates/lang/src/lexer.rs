@@ -1,0 +1,156 @@
+//! MSL tokenizer.
+
+use crate::compile::LangError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (durations are Number + unit Ident).
+    Number(f64),
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+}
+
+/// Tokenizes MSL source. `#` starts a line comment.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::EqEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Assign);
+                    i += 1;
+                }
+            }
+            '<' => {
+                out.push(Token::Lt);
+                i += 1;
+            }
+            '>' => {
+                out.push(Token::Gt);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == '_')
+                {
+                    i += 1;
+                }
+                let text: String =
+                    bytes[start..i].iter().filter(|&&ch| ch != '_').collect();
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| LangError::new(format!("bad number literal {text:?}")))?;
+                out.push(Token::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(LangError::new(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_wifi_query() {
+        let toks = lex("loud = topk(frames, 3, rssi) window 1s;").unwrap();
+        assert_eq!(toks[0], Token::Ident("loud".into()));
+        assert_eq!(toks[1], Token::Assign);
+        assert_eq!(toks[2], Token::Ident("topk".into()));
+        assert!(toks.contains(&Token::Number(3.0)));
+        assert!(toks.contains(&Token::Ident("window".into())));
+        // "1s" lexes as Number(1) + Ident("s").
+        assert!(toks.windows(2).any(|w| w[0] == Token::Number(1.0)
+            && w[1] == Token::Ident("s".into())));
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        let toks = lex("# a comment\n  x = y ;").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::Ident("y".into()),
+                Token::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn eqeq_vs_assign() {
+        let toks = lex("a == b = c").unwrap();
+        assert_eq!(toks[1], Token::EqEq);
+        assert_eq!(toks[3], Token::Assign);
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let toks = lex("select(w, rssi > -70)").unwrap();
+        assert!(toks.contains(&Token::Number(-70.0)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("x = 1.2.3").is_err());
+    }
+}

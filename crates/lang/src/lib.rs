@@ -1,0 +1,38 @@
+//! The Mortar Stream Language (MSL).
+//!
+//! "Users write queries in the Mortar Stream Language … a text-based version
+//! of the 'boxes and arrows' query specification approach" (Section 2.2).
+//! The Wi-Fi location query of Section 7.4 is three lines:
+//!
+//! ```text
+//! stream wifi(rssi, x, y);
+//! frames = select(wifi, key == 7);
+//! loud = topk(frames, 3, rssi) window 1s;
+//! position = trilat(loud);
+//! ```
+//!
+//! A program is a pipeline of named stages over a declared source stream;
+//! [`compile`] lowers it to a [`QueryDef`]: the source, an optional select
+//! predicate (executed at every source), one in-network aggregate with its
+//! window, and an optional root post-operator (resolved against the
+//! deployment's [`mortar_core::OpRegistry`]).
+//!
+//! # Examples
+//!
+//! ```
+//! let program = "
+//!     stream sensors(value);
+//!     load = avg(sensors, value) window 20s slide 10s;
+//! ";
+//! let def = mortar_lang::compile(program).unwrap();
+//! assert_eq!(def.name, "load");
+//! assert_eq!(def.source, "sensors");
+//! ```
+
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+
+pub use compile::{compile, LangError, QueryDef};
+pub use lexer::{lex, Token};
+pub use parser::{parse, Arg, Call, Program, Stmt};

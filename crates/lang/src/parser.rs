@@ -1,0 +1,305 @@
+//! MSL parser: token stream → program AST.
+
+use crate::compile::LangError;
+use crate::lexer::Token;
+
+/// A whole MSL program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Stream declarations: (name, field names).
+    pub streams: Vec<(String, Vec<String>)>,
+    /// Pipeline statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// `name = call [window …] ;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Bound name (the last statement names the query).
+    pub name: String,
+    /// The stage call.
+    pub call: Call,
+    /// Window range, µs (or tuples when `tuple_window`).
+    pub window_range: Option<u64>,
+    /// Window slide (defaults to the range).
+    pub window_slide: Option<u64>,
+    /// Whether the window counts tuples instead of time.
+    pub tuple_window: bool,
+}
+
+/// A stage invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Call {
+    /// Function name (`select`, `sum`, `topk`, custom, …).
+    pub func: String,
+    /// Arguments.
+    pub args: Vec<Arg>,
+}
+
+/// A call argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// Reference to a stream or prior stage.
+    Name(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `field cmp number` or `key == number`.
+    Compare {
+        /// Field (or `key`).
+        field: String,
+        /// One of `==`, `<`, `>`.
+        op: CmpTok,
+        /// Constant operand.
+        value: f64,
+    },
+}
+
+/// Comparison token in a predicate argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpTok {
+    /// `==`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+}
+
+struct P {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), LangError> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            other => Err(LangError::new(format!("expected {want:?}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(LangError::new(format!("expected identifier, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a token stream into a [`Program`].
+pub fn parse(toks: Vec<Token>) -> Result<Program, LangError> {
+    let mut p = P { toks, pos: 0 };
+    let mut streams = Vec::new();
+    let mut stmts = Vec::new();
+    while p.peek().is_some() {
+        match p.peek() {
+            Some(Token::Ident(k)) if k == "stream" => {
+                p.next();
+                let name = p.ident()?;
+                p.expect(&Token::LParen)?;
+                let mut fields = Vec::new();
+                loop {
+                    match p.next() {
+                        Some(Token::Ident(f)) => fields.push(f),
+                        Some(Token::RParen) => break,
+                        Some(Token::Comma) => {}
+                        other => {
+                            return Err(LangError::new(format!(
+                                "bad stream declaration near {other:?}"
+                            )))
+                        }
+                    }
+                }
+                p.expect(&Token::Semi)?;
+                streams.push((name, fields));
+            }
+            _ => stmts.push(statement(&mut p)?),
+        }
+    }
+    if stmts.is_empty() {
+        return Err(LangError::new("program has no pipeline statements"));
+    }
+    Ok(Program { streams, stmts })
+}
+
+fn statement(p: &mut P) -> Result<Stmt, LangError> {
+    let name = p.ident()?;
+    p.expect(&Token::Assign)?;
+    let func = p.ident()?;
+    p.expect(&Token::LParen)?;
+    let mut args = Vec::new();
+    if p.peek() != Some(&Token::RParen) {
+        loop {
+            args.push(argument(p)?);
+            match p.next() {
+                Some(Token::Comma) => {}
+                Some(Token::RParen) => break,
+                other => {
+                    return Err(LangError::new(format!("expected , or ), found {other:?}")))
+                }
+            }
+        }
+    } else {
+        p.next();
+    }
+    let mut stmt = Stmt {
+        name,
+        call: Call { func, args },
+        window_range: None,
+        window_slide: None,
+        tuple_window: false,
+    };
+    // Optional window clause: `window <dur> [slide <dur>]` or `every <dur>`.
+    while let Some(Token::Ident(k)) = p.peek() {
+        match k.as_str() {
+            "window" | "every" => {
+                p.next();
+                let (v, tuples) = duration(p)?;
+                stmt.window_range = Some(v);
+                stmt.tuple_window = tuples;
+            }
+            "slide" => {
+                p.next();
+                let (v, tuples) = duration(p)?;
+                if tuples != stmt.tuple_window {
+                    return Err(LangError::new("mixed time and tuple window units"));
+                }
+                stmt.window_slide = Some(v);
+            }
+            _ => break,
+        }
+    }
+    match p.next() {
+        Some(Token::Semi) | None => Ok(stmt),
+        other => Err(LangError::new(format!("expected ; found {other:?}"))),
+    }
+}
+
+fn argument(p: &mut P) -> Result<Arg, LangError> {
+    match p.next() {
+        Some(Token::Number(n)) => Ok(Arg::Number(n)),
+        Some(Token::Ident(name)) => {
+            // Possibly a comparison: `name == 42`.
+            let op = match p.peek() {
+                Some(Token::EqEq) => Some(CmpTok::Eq),
+                Some(Token::Lt) => Some(CmpTok::Lt),
+                Some(Token::Gt) => Some(CmpTok::Gt),
+                _ => None,
+            };
+            if let Some(op) = op {
+                p.next();
+                match p.next() {
+                    Some(Token::Number(v)) => Ok(Arg::Compare { field: name, op, value: v }),
+                    other => Err(LangError::new(format!(
+                        "expected number after comparison, found {other:?}"
+                    ))),
+                }
+            } else {
+                Ok(Arg::Name(name))
+            }
+        }
+        other => Err(LangError::new(format!("bad argument near {other:?}"))),
+    }
+}
+
+/// Parses `Number Ident` durations: `5 s`, `200 ms`, `2 m`, `10 t[uples]`.
+/// Returns (µs or tuple count, is_tuple_window).
+fn duration(p: &mut P) -> Result<(u64, bool), LangError> {
+    let n = match p.next() {
+        Some(Token::Number(n)) if n > 0.0 => n,
+        other => return Err(LangError::new(format!("expected duration, found {other:?}"))),
+    };
+    match p.next() {
+        Some(Token::Ident(u)) => match u.as_str() {
+            "ms" => Ok(((n * 1_000.0) as u64, false)),
+            "s" => Ok(((n * 1_000_000.0) as u64, false)),
+            "m" | "min" => Ok(((n * 60_000_000.0) as u64, false)),
+            "t" | "tuples" => Ok((n as u64, true)),
+            other => Err(LangError::new(format!("unknown duration unit {other:?}"))),
+        },
+        other => Err(LangError::new(format!("expected duration unit, found {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_str(s: &str) -> Result<Program, LangError> {
+        parse(lex(s)?)
+    }
+
+    #[test]
+    fn parses_three_line_wifi_query() {
+        let p = parse_str(
+            "stream wifi(rssi, x, y);\n\
+             frames = select(wifi, key == 7);\n\
+             loud = topk(frames, 3, rssi) window 1s;\n\
+             position = trilat(loud);",
+        )
+        .unwrap();
+        assert_eq!(p.streams, vec![("wifi".into(), vec!["rssi".into(), "x".into(), "y".into()])]);
+        assert_eq!(p.stmts.len(), 3);
+        assert_eq!(p.stmts[1].call.func, "topk");
+        assert_eq!(p.stmts[1].window_range, Some(1_000_000));
+        assert_eq!(p.stmts[2].name, "position");
+    }
+
+    #[test]
+    fn window_with_slide() {
+        let p = parse_str("x = sum(s, v) window 20s slide 10s;").unwrap();
+        assert_eq!(p.stmts[0].window_range, Some(20_000_000));
+        assert_eq!(p.stmts[0].window_slide, Some(10_000_000));
+        assert!(!p.stmts[0].tuple_window);
+    }
+
+    #[test]
+    fn tuple_windows() {
+        let p = parse_str("x = avg(s, v) window 20 t slide 10 t;").unwrap();
+        assert!(p.stmts[0].tuple_window);
+        assert_eq!(p.stmts[0].window_range, Some(20));
+        assert_eq!(p.stmts[0].window_slide, Some(10));
+    }
+
+    #[test]
+    fn every_is_tumbling() {
+        let p = parse_str("x = count(s) every 5s;").unwrap();
+        assert_eq!(p.stmts[0].window_range, Some(5_000_000));
+        assert_eq!(p.stmts[0].window_slide, None);
+    }
+
+    #[test]
+    fn comparison_arguments() {
+        let p = parse_str("f = select(w, rssi > -70);").unwrap();
+        match &p.stmts[0].call.args[1] {
+            Arg::Compare { field, op, value } => {
+                assert_eq!(field, "rssi");
+                assert_eq!(*op, CmpTok::Gt);
+                assert_eq!(*value, -70.0);
+            }
+            other => panic!("expected comparison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_str("x = ;").is_err());
+        assert!(parse_str("x = f(").is_err());
+        assert!(parse_str("x = f(a) window 5 parsec;").is_err());
+        assert!(parse_str("x = f(a) window 20s slide 10 t;").is_err());
+        assert!(parse_str("").is_err());
+    }
+}

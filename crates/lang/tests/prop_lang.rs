@@ -1,0 +1,74 @@
+//! Property-based tests for the Mortar Stream Language front end.
+
+use mortar_core::window::WindowSpec;
+use mortar_lang::{compile, lex};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics(src in "[ -~\\n]{0,200}") {
+        // Arbitrary printable ASCII: the lexer may reject, never panic.
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn compiler_never_panics_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("stream".to_string()),
+                Just("select".to_string()),
+                Just("sum".to_string()),
+                Just("window".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just(";".to_string()),
+                Just("=".to_string()),
+                Just("==".to_string()),
+                Just("1".to_string()),
+                Just("s".to_string()),
+                Just("x".to_string()),
+            ],
+            0..30,
+        ),
+    ) {
+        let src = words.join(" ");
+        let _ = compile(&src);
+    }
+
+    #[test]
+    fn window_clause_round_trips(range_s in 1u64..120, slide_s in 1u64..120) {
+        let (range, slide) = (range_s.max(slide_s), range_s.min(slide_s));
+        let src = format!(
+            "stream s(v);\nq = sum(s, v) window {range} s slide {slide} s;"
+        );
+        let def = compile(&src).unwrap();
+        prop_assert_eq!(
+            def.window,
+            WindowSpec::time_sliding_us(range * 1_000_000, slide * 1_000_000)
+        );
+    }
+
+    #[test]
+    fn field_indices_resolve_in_declaration_order(idx in 0usize..5) {
+        let fields = ["a", "b", "c", "d", "e"];
+        let src = format!(
+            "stream s({});\nq = sum(s, {});",
+            fields.join(", "),
+            fields[idx]
+        );
+        let def = compile(&src).unwrap();
+        prop_assert_eq!(def.op, mortar_core::OpKind::Sum { field: idx });
+    }
+
+    #[test]
+    fn key_predicates_compile(key in 0u64..1_000_000) {
+        let src = format!(
+            "stream s(v);\nf = select(s, key == {key});\nq = count(f);"
+        );
+        let def = compile(&src).unwrap();
+        prop_assert_eq!(def.filter, Some(mortar_core::op::Predicate::KeyEq(key)));
+    }
+}

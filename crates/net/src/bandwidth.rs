@@ -1,0 +1,142 @@
+//! Total-network-load accounting.
+//!
+//! The paper reports "total network load, the sum of traffic across all
+//! links" (Section 7.2.2). Every simulated message contributes
+//! `size_bytes × physical_hops` to the bucket of the second in which it was
+//! sent, separately per [`TrafficClass`] so the heartbeat share can be
+//! reported (e.g. "12.5 Mbps, 3.4 Mbps of which is heartbeat overhead").
+
+use crate::time::{TimeUs, SEC};
+
+/// Classification of simulated traffic for load breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Summary tuples and raw data flowing toward query roots.
+    Data,
+    /// Liveness heartbeats.
+    Heartbeat,
+    /// Query management: install, remove, reconciliation, topology lookups.
+    Control,
+}
+
+impl TrafficClass {
+    const COUNT: usize = 3;
+
+    fn idx(self) -> usize {
+        match self {
+            TrafficClass::Data => 0,
+            TrafficClass::Heartbeat => 1,
+            TrafficClass::Control => 2,
+        }
+    }
+}
+
+/// Per-second link-byte counters.
+#[derive(Debug, Default, Clone)]
+pub struct BandwidthTracker {
+    /// `buckets[class][second] = link-bytes`.
+    buckets: [Vec<u64>; TrafficClass::COUNT],
+}
+
+impl BandwidthTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a message of `bytes` crossing `hops` physical links at `t`.
+    pub fn record(&mut self, t: TimeUs, class: TrafficClass, bytes: u32, hops: u32) {
+        let sec = (t / SEC) as usize;
+        let b = &mut self.buckets[class.idx()];
+        if b.len() <= sec {
+            b.resize(sec + 1, 0);
+        }
+        b[sec] += bytes as u64 * hops as u64;
+    }
+
+    /// Link-bytes recorded for `class` during second `sec`.
+    pub fn bytes_at(&self, class: TrafficClass, sec: usize) -> u64 {
+        self.buckets[class.idx()].get(sec).copied().unwrap_or(0)
+    }
+
+    /// Aggregate Mbps (all classes) during second `sec`.
+    pub fn mbps_at(&self, sec: usize) -> f64 {
+        let total: u64 = (0..TrafficClass::COUNT)
+            .map(|c| self.buckets[c].get(sec).copied().unwrap_or(0))
+            .sum();
+        total as f64 * 8.0 / 1e6
+    }
+
+    /// Mbps for one class during second `sec`.
+    pub fn class_mbps_at(&self, class: TrafficClass, sec: usize) -> f64 {
+        self.bytes_at(class, sec) as f64 * 8.0 / 1e6
+    }
+
+    /// Number of seconds with any recorded traffic.
+    pub fn seconds(&self) -> usize {
+        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean Mbps (all classes) over `[from_sec, to_sec)`.
+    pub fn mean_mbps(&self, from_sec: usize, to_sec: usize) -> f64 {
+        if to_sec <= from_sec {
+            return 0.0;
+        }
+        let sum: f64 = (from_sec..to_sec).map(|s| self.mbps_at(s)).sum();
+        sum / (to_sec - from_sec) as f64
+    }
+
+    /// Mean Mbps for one class over `[from_sec, to_sec)`.
+    pub fn mean_class_mbps(&self, class: TrafficClass, from_sec: usize, to_sec: usize) -> f64 {
+        if to_sec <= from_sec {
+            return 0.0;
+        }
+        let sum: f64 = (from_sec..to_sec).map(|s| self.class_mbps_at(class, s)).sum();
+        sum / (to_sec - from_sec) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_bytes_times_hops() {
+        let mut bw = BandwidthTracker::new();
+        bw.record(500_000, TrafficClass::Data, 100, 4);
+        assert_eq!(bw.bytes_at(TrafficClass::Data, 0), 400);
+        assert_eq!(bw.bytes_at(TrafficClass::Heartbeat, 0), 0);
+    }
+
+    #[test]
+    fn buckets_by_second() {
+        let mut bw = BandwidthTracker::new();
+        bw.record(0, TrafficClass::Heartbeat, 10, 1);
+        bw.record(1_999_999, TrafficClass::Heartbeat, 10, 1);
+        bw.record(2_000_000, TrafficClass::Heartbeat, 10, 1);
+        assert_eq!(bw.bytes_at(TrafficClass::Heartbeat, 0), 10);
+        assert_eq!(bw.bytes_at(TrafficClass::Heartbeat, 1), 10);
+        assert_eq!(bw.bytes_at(TrafficClass::Heartbeat, 2), 10);
+        assert_eq!(bw.seconds(), 3);
+    }
+
+    #[test]
+    fn mbps_math() {
+        let mut bw = BandwidthTracker::new();
+        // 1_000_000 link-bytes in one second = 8 Mbps.
+        bw.record(0, TrafficClass::Data, 500_000, 2);
+        assert!((bw.mbps_at(0) - 8.0).abs() < 1e-9);
+        assert!((bw.mean_mbps(0, 1) - 8.0).abs() < 1e-9);
+        assert_eq!(bw.mean_mbps(5, 5), 0.0);
+    }
+
+    #[test]
+    fn class_breakdown() {
+        let mut bw = BandwidthTracker::new();
+        bw.record(0, TrafficClass::Data, 1000, 1);
+        bw.record(0, TrafficClass::Heartbeat, 250, 1);
+        assert!((bw.class_mbps_at(TrafficClass::Data, 0) - 0.008).abs() < 1e-12);
+        assert!((bw.class_mbps_at(TrafficClass::Heartbeat, 0) - 0.002).abs() < 1e-12);
+        assert!((bw.mbps_at(0) - 0.01).abs() < 1e-12);
+    }
+}

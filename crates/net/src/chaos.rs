@@ -1,0 +1,59 @@
+//! Transport-level fault injection.
+//!
+//! Mortar "requires that the underlying transport protocol suppress
+//! duplicate messages, but otherwise makes few demands of it" (Section 4.3).
+//! The simulator can therefore inject loss, duplication, and extra reorder
+//! jitter to exercise that contract; the delivery layer performs receiver-side
+//! duplicate suppression so applications never observe duplicates.
+
+/// Probabilistic transport misbehaviour applied to every unicast send.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Probability a message is silently dropped in flight.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice (the duplicate is filtered by
+    /// the dedup layer; duplication exercises that filter).
+    pub dup_prob: f64,
+    /// Maximum extra random delivery delay, microseconds (causes reordering).
+    pub reorder_jitter_us: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self { drop_prob: 0.0, dup_prob: 0.0, reorder_jitter_us: 0 }
+    }
+}
+
+impl ChaosConfig {
+    /// No misbehaviour (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Validates probabilities; panics on out-of-range config (programmer
+    /// error in experiment setup, not a runtime condition).
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.drop_prob), "drop_prob out of range");
+        assert!((0.0..=1.0).contains(&self.dup_prob), "dup_prob out of range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_benign() {
+        let c = ChaosConfig::none();
+        assert_eq!(c.drop_prob, 0.0);
+        assert_eq!(c.dup_prob, 0.0);
+        assert_eq!(c.reorder_jitter_us, 0);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob")]
+    fn validate_rejects_bad_probability() {
+        ChaosConfig { drop_prob: 1.5, ..ChaosConfig::none() }.validate();
+    }
+}

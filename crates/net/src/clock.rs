@@ -1,0 +1,202 @@
+//! Per-node local clocks with offset and skew.
+//!
+//! Section 5 of the Mortar paper distinguishes clock *offset* (difference in
+//! reported time) from clock *skew* (difference in frequency), following the
+//! network-measurement community. Both are modelled here:
+//!
+//! ```text
+//! local(t) = offset + rate * t        (rate = 1 + skew)
+//! ```
+//!
+//! Timers are expressed in *local* durations by applications; the simulator
+//! converts them to true durations by dividing by `rate`, so a fast clock
+//! makes a node's "1 second" pass quicker in true time.
+
+use crate::time::TimeUs;
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// A node's mapping from true simulation time to its local clock reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalClock {
+    /// Additive offset in microseconds (may be large and negative; the paper
+    /// observed PlanetLab offsets in excess of 3000 seconds).
+    pub offset_us: i64,
+    /// Clock rate relative to true time; `1.0` is perfect, `1.0001` runs fast
+    /// by 100 ppm.
+    pub rate: f64,
+}
+
+impl Default for LocalClock {
+    fn default() -> Self {
+        Self { offset_us: 0, rate: 1.0 }
+    }
+}
+
+impl LocalClock {
+    /// A perfectly synchronized clock.
+    pub fn perfect() -> Self {
+        Self::default()
+    }
+
+    /// A clock with the given offset (microseconds) and perfect rate.
+    pub fn with_offset(offset_us: i64) -> Self {
+        Self { offset_us, rate: 1.0 }
+    }
+
+    /// Local reading (microseconds) at true time `t`.
+    #[inline]
+    pub fn local_us(&self, t: TimeUs) -> i64 {
+        self.offset_us + (self.rate * t as f64).round() as i64
+    }
+
+    /// True duration corresponding to a local duration (for timer arming).
+    #[inline]
+    pub fn true_delay(&self, local_delay_us: u64) -> u64 {
+        debug_assert!(self.rate > 0.0, "clock rate must be positive");
+        (local_delay_us as f64 / self.rate).round() as u64
+    }
+
+    /// Local duration elapsed over a true duration.
+    #[inline]
+    pub fn local_elapsed(&self, true_elapsed_us: u64) -> u64 {
+        (true_elapsed_us as f64 * self.rate).round() as u64
+    }
+}
+
+/// Generator of per-node clock errors for an experiment.
+///
+/// The paper sets node clocks "according to a distribution of clock offset
+/// observed across PlanetLab: 20% of the nodes had an offset greater than
+/// half a second, a handful in excess of 3000 seconds". `planetlab_like`
+/// reproduces that shape synthetically, and `scale` stretches the
+/// distribution linearly along the x-axis exactly as Figures 9 and 10 do.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockModel {
+    /// Multiplier applied to every sampled offset (the figures' x-axis).
+    pub scale: f64,
+    /// Fraction of nodes in the heavy tail (offset magnitude > `tail_min_s`).
+    pub tail_fraction: f64,
+    /// Fraction of nodes with extreme offsets (thousands of seconds).
+    pub extreme_fraction: f64,
+    /// Magnitude bound of the well-synchronized majority, in seconds.
+    pub good_max_s: f64,
+    /// Lower bound of tail offsets, in seconds.
+    pub tail_min_s: f64,
+    /// Upper bound of tail offsets, in seconds.
+    pub tail_max_s: f64,
+    /// Magnitude of extreme offsets, in seconds.
+    pub extreme_s: f64,
+    /// Half-width of the per-node skew (rate error), e.g. `50e-6` = ±50 ppm.
+    pub skew_ppm: f64,
+}
+
+impl ClockModel {
+    /// A model with every clock perfect (scale zero).
+    pub fn perfect() -> Self {
+        Self { scale: 0.0, ..Self::planetlab_like(0.0) }
+    }
+
+    /// The PlanetLab-like offset distribution of Section 5.1 at the given
+    /// scale (1.0 = "PlanetLab skew" on the figures' x-axis): 20% of nodes
+    /// past half a second, a log-uniform tail spanning orders of magnitude,
+    /// and a handful of extremes in excess of 3000 s.
+    pub fn planetlab_like(scale: f64) -> Self {
+        Self {
+            scale,
+            tail_fraction: 0.20,
+            extreme_fraction: 0.01,
+            good_max_s: 0.25,
+            tail_min_s: 0.5,
+            tail_max_s: 300.0,
+            extreme_s: 3_000.0,
+            skew_ppm: 50e-6,
+        }
+    }
+
+    /// Samples one node's clock.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> LocalClock {
+        if self.scale == 0.0 {
+            return LocalClock::perfect();
+        }
+        let u: f64 = rng.gen();
+        let magnitude_s = if u < self.extreme_fraction {
+            self.extreme_s * (0.8 + 0.4 * rng.gen::<f64>())
+        } else if u < self.tail_fraction {
+            // Log-uniform across the tail range, heavy toward the low end.
+            let lo = self.tail_min_s.ln();
+            let hi = self.tail_max_s.ln();
+            (lo + (hi - lo) * rng.gen::<f64>()).exp()
+        } else {
+            self.good_max_s * rng.gen::<f64>()
+        };
+        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        let offset_s = sign * magnitude_s * self.scale;
+        let skew = rand::distributions::Uniform::new_inclusive(-self.skew_ppm, self.skew_ppm)
+            .sample(rng);
+        LocalClock {
+            offset_us: (offset_s * 1e6) as i64,
+            rate: 1.0 + skew * self.scale.min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = LocalClock::perfect();
+        assert_eq!(c.local_us(0), 0);
+        assert_eq!(c.local_us(5_000_000), 5_000_000);
+        assert_eq!(c.true_delay(1_000), 1_000);
+    }
+
+    #[test]
+    fn offset_shifts_reading() {
+        let c = LocalClock::with_offset(-2_000_000);
+        assert_eq!(c.local_us(1_000_000), -1_000_000);
+    }
+
+    #[test]
+    fn fast_clock_shortens_true_delay() {
+        let c = LocalClock { offset_us: 0, rate: 2.0 };
+        assert_eq!(c.true_delay(1_000_000), 500_000);
+        assert_eq!(c.local_elapsed(500_000), 1_000_000);
+    }
+
+    #[test]
+    fn planetlab_distribution_shape() {
+        let model = ClockModel::planetlab_like(1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut over_half = 0usize;
+        let mut extreme = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            let c = model.sample(&mut rng);
+            let abs_s = (c.offset_us.abs() as f64) / 1e6;
+            if abs_s > 0.5 {
+                over_half += 1;
+            }
+            if abs_s > 1_000.0 {
+                extreme += 1;
+            }
+        }
+        // Roughly 20% past half a second, a handful in the extreme tail.
+        let frac = over_half as f64 / n as f64;
+        assert!(frac > 0.12 && frac < 0.28, "tail fraction {frac}");
+        assert!(extreme > 0 && extreme < n / 20);
+    }
+
+    #[test]
+    fn zero_scale_is_perfect() {
+        let model = ClockModel::perfect();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..32 {
+            assert_eq!(model.sample(&mut rng), LocalClock::perfect());
+        }
+    }
+}

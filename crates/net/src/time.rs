@@ -1,0 +1,60 @@
+//! Virtual time units.
+//!
+//! The simulator's global ("true") clock is a `u64` microsecond counter
+//! starting at zero. Node-local clocks are derived from it by
+//! [`crate::clock::LocalClock`] and may be negative, so they are `i64`.
+
+/// Virtual true time in microseconds since simulation start.
+pub type TimeUs = u64;
+
+/// One millisecond in microseconds.
+pub const MS: u64 = 1_000;
+
+/// One second in microseconds.
+pub const SEC: u64 = 1_000_000;
+
+/// Converts whole milliseconds to microseconds.
+#[inline]
+pub const fn ms(v: u64) -> u64 {
+    v * MS
+}
+
+/// Converts (possibly fractional) seconds to microseconds, saturating at zero.
+#[inline]
+pub fn secs(v: f64) -> u64 {
+    if v <= 0.0 {
+        0
+    } else {
+        (v * SEC as f64).round() as u64
+    }
+}
+
+/// Formats a microsecond duration as fractional seconds (for harness output).
+#[inline]
+pub fn as_secs(us: u64) -> f64 {
+    us as f64 / SEC as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_converts() {
+        assert_eq!(ms(0), 0);
+        assert_eq!(ms(1), 1_000);
+        assert_eq!(ms(2_500), 2_500_000);
+    }
+
+    #[test]
+    fn secs_converts_and_saturates() {
+        assert_eq!(secs(1.0), SEC);
+        assert_eq!(secs(0.5), 500_000);
+        assert_eq!(secs(-3.0), 0);
+    }
+
+    #[test]
+    fn as_secs_round_trips() {
+        assert!((as_secs(secs(2.25)) - 2.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,273 @@
+//! The Figure 1 graph simulation: result completeness under uniformly
+//! random link failures for mirroring, static striping, and dynamic
+//! striping over a set of random trees.
+//!
+//! The paper's methodology (Section 2.1): build random trees of a given
+//! branching factor over 10k nodes, uniformly fail links, then walk the
+//! in-memory graph and count the nodes that remain connected to the root.
+//! Each trial subjects the same tree set to the failures; results average
+//! over 400 trials.
+
+use crate::tree::{random_tree, Tree};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Data-management strategy compared in Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// All data up one random tree.
+    SingleTree,
+    /// TAG-style static striping: `1/D` of the data up each of `D` trees.
+    StaticStriping {
+        /// Tree set size.
+        d: usize,
+    },
+    /// Borealis/Flux-style mirroring: a full copy up each of `D` trees.
+    Mirroring {
+        /// Tree set size.
+        d: usize,
+    },
+    /// Mortar's dynamic striping: per-hop migration across the tree union,
+    /// with at most [`crate::routing::TTL_DOWN_LIMIT`] downward steps.
+    DynamicStriping {
+        /// Tree set size.
+        d: usize,
+    },
+    /// Upper bound: any node with *some* undirected path to the root in the
+    /// union of live tree edges.
+    Optimal {
+        /// Tree set size.
+        d: usize,
+    },
+}
+
+impl Strategy {
+    /// Number of trees the strategy builds.
+    pub fn tree_count(&self) -> usize {
+        match *self {
+            Strategy::SingleTree => 1,
+            Strategy::StaticStriping { d }
+            | Strategy::Mirroring { d }
+            | Strategy::DynamicStriping { d }
+            | Strategy::Optimal { d } => d,
+        }
+    }
+
+    /// Relative bandwidth cost versus sending one copy of the data
+    /// (mirroring transmits `D` full copies; striping schemes send one).
+    pub fn bandwidth_factor(&self) -> f64 {
+        match *self {
+            Strategy::Mirroring { d } => d as f64,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Parameters of the Figure 1 simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureSimConfig {
+    /// Number of nodes (the paper uses 10,000).
+    pub nodes: usize,
+    /// Branching factor of the random trees (the paper plots bf = 32).
+    pub branching_factor: usize,
+    /// Trials per point (the paper averages 400).
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Maximum downward steps credited to dynamic striping.
+    pub ttl_down: u32,
+}
+
+impl Default for FailureSimConfig {
+    fn default() -> Self {
+        Self { nodes: 10_000, branching_factor: 32, trials: 400, seed: 1, ttl_down: 3 }
+    }
+}
+
+/// Mean completeness (%) of `strategy` at the given link-failure
+/// probability, averaged over `cfg.trials` trials.
+pub fn simulate_completeness(cfg: &FailureSimConfig, strategy: Strategy, fail_prob: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&fail_prob), "failure probability out of range");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let d = strategy.tree_count();
+    let trees: Vec<Tree> =
+        (0..d).map(|_| random_tree(cfg.nodes, 0, cfg.branching_factor, &mut rng)).collect();
+    let mut total = 0.0;
+    for _ in 0..cfg.trials {
+        // Fail each (member → parent) link independently.
+        let alive: Vec<Vec<bool>> = trees
+            .iter()
+            .map(|t| (0..t.len()).map(|_| rng.gen::<f64>() >= fail_prob).collect())
+            .collect();
+        total += trial_completeness(&trees, &alive, strategy, cfg.ttl_down);
+    }
+    100.0 * total / cfg.trials as f64
+}
+
+fn trial_completeness(trees: &[Tree], alive: &[Vec<bool>], strategy: Strategy, ttl: u32) -> f64 {
+    let n = trees[0].len();
+    match strategy {
+        Strategy::SingleTree => {
+            let ok = path_alive(&trees[0], &alive[0]);
+            ok.iter().filter(|&&b| b).count() as f64 / n as f64
+        }
+        Strategy::StaticStriping { d } => {
+            // Each node delivers the fraction of stripes whose tree path
+            // survives.
+            let per_tree: Vec<Vec<bool>> =
+                (0..d).map(|t| path_alive(&trees[t], &alive[t])).collect();
+            let mut sum = 0.0;
+            for m in 0..n {
+                let alive_ct = per_tree.iter().filter(|v| v[m]).count();
+                sum += alive_ct as f64 / d as f64;
+            }
+            sum / n as f64
+        }
+        Strategy::Mirroring { d } => {
+            let per_tree: Vec<Vec<bool>> =
+                (0..d).map(|t| path_alive(&trees[t], &alive[t])).collect();
+            (0..n).filter(|&m| per_tree.iter().any(|v| v[m])).count() as f64 / n as f64
+        }
+        Strategy::DynamicStriping { .. } => {
+            let dist = downs_to_root(trees, alive);
+            dist.iter().filter(|&&x| x <= ttl).count() as f64 / n as f64
+        }
+        Strategy::Optimal { .. } => {
+            let dist = downs_to_root(trees, alive);
+            dist.iter().filter(|&&x| x != u32::MAX).count() as f64 / n as f64
+        }
+    }
+}
+
+/// For every member: whether its entire path to the root is alive in `tree`.
+fn path_alive(tree: &Tree, alive: &[bool]) -> Vec<bool> {
+    let n = tree.len();
+    let mut ok = vec![false; n];
+    // Top-down BFS: a member is connected iff its parent is connected and
+    // the connecting edge is alive.
+    let mut queue = VecDeque::new();
+    ok[tree.root()] = true;
+    queue.push_back(tree.root());
+    while let Some(u) = queue.pop_front() {
+        for &c in tree.children(u) {
+            if alive[c] {
+                ok[c] = true;
+                queue.push_back(c);
+            }
+        }
+    }
+    ok
+}
+
+/// 0-1 BFS from the root over the union of live tree edges: the minimum
+/// number of *downward* hops a tuple from each member needs to reach the
+/// root (upward hops are free). `u32::MAX` = unreachable.
+fn downs_to_root(trees: &[Tree], alive: &[Vec<bool>]) -> Vec<u32> {
+    let n = trees[0].len();
+    // Reverse graph from the root: traversing an up-edge in reverse
+    // (parent → child) costs 0 downs for the tuple; traversing a down-edge
+    // in reverse (child → parent) costs 1.
+    let mut dist = vec![u32::MAX; n];
+    let root = trees[0].root();
+    dist[root] = 0;
+    let mut dq: VecDeque<usize> = VecDeque::new();
+    dq.push_back(root);
+    while let Some(u) = dq.pop_front() {
+        let du = dist[u];
+        for (t, tree) in trees.iter().enumerate() {
+            // Cost-0: tuples at children of `u` can move up to `u`.
+            for &c in tree.children(u) {
+                if alive[t][c] && du < dist[c] {
+                    dist[c] = du;
+                    dq.push_front(c);
+                }
+            }
+            // Cost-1: tuples at `u`'s parent can move down to `u`.
+            if let Some(p) = tree.parent(u) {
+                if alive[t][u] && du.saturating_add(1) < dist[p] {
+                    dist[p] = du + 1;
+                    dq.push_back(p);
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> FailureSimConfig {
+        FailureSimConfig { nodes: 500, branching_factor: 8, trials: 20, seed: 3, ttl_down: 3 }
+    }
+
+    #[test]
+    fn no_failures_everything_complete() {
+        let cfg = small_cfg();
+        for s in [
+            Strategy::SingleTree,
+            Strategy::StaticStriping { d: 4 },
+            Strategy::Mirroring { d: 4 },
+            Strategy::DynamicStriping { d: 4 },
+            Strategy::Optimal { d: 4 },
+        ] {
+            let c = simulate_completeness(&cfg, s, 0.0);
+            assert!((c - 100.0).abs() < 1e-9, "{s:?} = {c}");
+        }
+    }
+
+    #[test]
+    fn total_failure_leaves_only_root() {
+        let cfg = small_cfg();
+        let c = simulate_completeness(&cfg, Strategy::DynamicStriping { d: 4 }, 1.0);
+        assert!((c - 100.0 / 500.0).abs() < 1e-9, "only the root survives: {c}");
+    }
+
+    #[test]
+    fn striping_matches_single_tree_in_expectation() {
+        // Section 2.1: "Striping performs no better than a single random
+        // tree."
+        let cfg = FailureSimConfig { trials: 60, ..small_cfg() };
+        let single = simulate_completeness(&cfg, Strategy::SingleTree, 0.2);
+        let striped = simulate_completeness(&cfg, Strategy::StaticStriping { d: 4 }, 0.2);
+        assert!((single - striped).abs() < 8.0, "single {single} vs striped {striped}");
+    }
+
+    #[test]
+    fn dynamic_striping_dominates_mirroring() {
+        // The headline of Figure 1: dynamic striping with a small tree set
+        // beats mirroring with a much larger one.
+        let cfg = small_cfg();
+        let dyn2 = simulate_completeness(&cfg, Strategy::DynamicStriping { d: 2 }, 0.2);
+        let mir2 = simulate_completeness(&cfg, Strategy::Mirroring { d: 2 }, 0.2);
+        assert!(dyn2 > mir2, "dynamic D=2 {dyn2} vs mirroring D=2 {mir2}");
+    }
+
+    #[test]
+    fn optimal_bounds_dynamic() {
+        let cfg = small_cfg();
+        for p in [0.1, 0.3] {
+            let opt = simulate_completeness(&cfg, Strategy::Optimal { d: 4 }, p);
+            let dy = simulate_completeness(&cfg, Strategy::DynamicStriping { d: 4 }, p);
+            assert!(opt >= dy - 1e-9, "optimal {opt} must bound dynamic {dy}");
+        }
+    }
+
+    #[test]
+    fn four_trees_resilient_at_forty_percent() {
+        // Table 1 / Section 2.1: with 40% failures, data from ~94% of the
+        // remaining nodes is available. At the graph level we check the
+        // union keeps the vast majority of nodes connected.
+        let cfg = FailureSimConfig { nodes: 2_000, trials: 10, ..small_cfg() };
+        let dy = simulate_completeness(&cfg, Strategy::DynamicStriping { d: 4 }, 0.4);
+        assert!(dy > 80.0, "dynamic striping D=4 at 40% failures: {dy}");
+    }
+
+    #[test]
+    fn mirroring_bandwidth_factor() {
+        assert_eq!(Strategy::Mirroring { d: 10 }.bandwidth_factor(), 10.0);
+        assert_eq!(Strategy::DynamicStriping { d: 4 }.bandwidth_factor(), 1.0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Aggregation trees and tree sets.
+//!
+//! Trees are over a query's *member list*: dense local indices `0..n` that
+//! callers map to real peer identifiers. Every tree in a set spans the same
+//! member list and is rooted at the same member (the query root).
+
+use rand::Rng;
+
+/// A rooted tree over members `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    root: usize,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    level: Vec<u32>,
+}
+
+impl Tree {
+    /// Builds a tree from a parent vector (`parent[root] = None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parent vector is not a single tree rooted at `root`
+    /// (cycle, forest, or out-of-range parent) — these are construction
+    /// bugs, not runtime conditions.
+    pub fn from_parents(root: usize, parent: Vec<Option<usize>>) -> Self {
+        let n = parent.len();
+        assert!(root < n, "root out of range");
+        assert!(parent[root].is_none(), "root must not have a parent");
+        let mut children = vec![Vec::new(); n];
+        for (c, p) in parent.iter().enumerate() {
+            if let Some(p) = *p {
+                assert!(p < n, "parent out of range");
+                children[p].push(c);
+            }
+        }
+        // Levels via BFS; also validates connectivity/acyclicity.
+        let mut level = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        level[root] = 0;
+        queue.push_back(root);
+        let mut seen = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for &c in &children[u] {
+                assert_eq!(level[c], u32::MAX, "cycle detected at member {c}");
+                level[c] = level[u] + 1;
+                queue.push_back(c);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, n, "parent vector is a forest, not a tree");
+        Self { root, parent, children, level }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree has no members.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The root member.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Parent of `m` (`None` for the root).
+    pub fn parent(&self, m: usize) -> Option<usize> {
+        self.parent[m]
+    }
+
+    /// Children of `m`.
+    pub fn children(&self, m: usize) -> &[usize] {
+        &self.children[m]
+    }
+
+    /// Level of `m` (root = 0).
+    pub fn level(&self, m: usize) -> u32 {
+        self.level[m]
+    }
+
+    /// Height: maximum level over all members.
+    pub fn height(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Members in post-order (children before parents).
+    pub fn post_order(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len());
+        // Iterative post-order.
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some((u, ci)) = stack.pop() {
+            if ci < self.children[u].len() {
+                stack.push((u, ci + 1));
+                stack.push((self.children[u][ci], 0));
+            } else {
+                out.push(u);
+            }
+        }
+        out
+    }
+
+    /// The path of members from `m` up to the root (inclusive).
+    pub fn path_to_root(&self, m: usize) -> Vec<usize> {
+        let mut path = vec![m];
+        let mut cur = m;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Interior (non-leaf, non-root) member count.
+    pub fn interior_count(&self) -> usize {
+        (0..self.len())
+            .filter(|&m| m != self.root && !self.children[m].is_empty())
+            .count()
+    }
+
+    /// Leaf count.
+    pub fn leaf_count(&self) -> usize {
+        (0..self.len()).filter(|&m| self.children[m].is_empty()).count()
+    }
+}
+
+/// Builds a uniformly random tree rooted at `root` with max `bf` children.
+///
+/// Members are attached in random order to a uniformly chosen member that
+/// still has child capacity — deeper and stringier than [`random_tree`];
+/// useful as a pessimistic baseline.
+pub fn random_attachment_tree<R: Rng + ?Sized>(
+    n: usize,
+    root: usize,
+    bf: usize,
+    rng: &mut R,
+) -> Tree {
+    assert!(n >= 1 && root < n && bf >= 1, "invalid random_attachment_tree parameters");
+    let mut order: Vec<usize> = (0..n).filter(|&m| m != root).collect();
+    // Fisher–Yates shuffle.
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut parent = vec![None; n];
+    let mut capacity: Vec<usize> = Vec::with_capacity(n);
+    let mut child_count = vec![0usize; n];
+    capacity.push(root);
+    for &m in &order {
+        let slot = rng.gen_range(0..capacity.len());
+        let p = capacity[slot];
+        parent[m] = Some(p);
+        child_count[p] += 1;
+        if child_count[p] >= bf {
+            capacity.swap_remove(slot);
+        }
+        capacity.push(m);
+    }
+    Tree::from_parents(root, parent)
+}
+
+/// Builds a *balanced* tree: members filled level-order under the root.
+pub fn balanced_tree(n: usize, root: usize, bf: usize) -> Tree {
+    assert!(n >= 1 && root < n && bf >= 1, "invalid balanced_tree parameters");
+    let order: Vec<usize> = std::iter::once(root).chain((0..n).filter(|&m| m != root)).collect();
+    let mut parent = vec![None; n];
+    for (i, &m) in order.iter().enumerate().skip(1) {
+        let p_idx = (i - 1) / bf;
+        parent[m] = Some(order[p_idx]);
+    }
+    Tree::from_parents(root, parent)
+}
+
+/// Builds a random *filled* `bf`-ary tree: the complete level-order shape
+/// of [`balanced_tree`] with members placed into positions uniformly at
+/// random (the root pinned). This matches the Figure 1 simulation's
+/// "random trees of various branching factors", whose height is
+/// `⌈log_bf n⌉` — uniform random attachment would be much deeper.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, root: usize, bf: usize, rng: &mut R) -> Tree {
+    assert!(n >= 1 && root < n && bf >= 1, "invalid random_tree parameters");
+    let mut order: Vec<usize> = std::iter::once(root).chain((0..n).filter(|&m| m != root)).collect();
+    // Fisher–Yates over the non-root positions.
+    for i in (2..order.len()).rev() {
+        let j = rng.gen_range(1..=i);
+        order.swap(i, j);
+    }
+    let mut parent = vec![None; n];
+    for (i, &m) in order.iter().enumerate().skip(1) {
+        let p_idx = (i - 1) / bf;
+        parent[m] = Some(order[p_idx]);
+    }
+    Tree::from_parents(root, parent)
+}
+
+/// A set of trees spanning the same member list with a common root.
+#[derive(Debug, Clone)]
+pub struct TreeSet {
+    trees: Vec<Tree>,
+}
+
+impl TreeSet {
+    /// Wraps trees into a set; all must agree on size and root.
+    pub fn new(trees: Vec<Tree>) -> Self {
+        assert!(!trees.is_empty(), "a tree set needs at least one tree");
+        let n = trees[0].len();
+        let root = trees[0].root();
+        for t in &trees {
+            assert_eq!(t.len(), n, "trees span different member lists");
+            assert_eq!(t.root(), root, "trees have different roots");
+        }
+        Self { trees }
+    }
+
+    /// Number of trees (the paper's `D`).
+    pub fn width(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.trees[0].len()
+    }
+
+    /// Whether the member list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trees[0].is_empty()
+    }
+
+    /// The common root member.
+    pub fn root(&self) -> usize {
+        self.trees[0].root()
+    }
+
+    /// Tree `t`.
+    pub fn tree(&self, t: usize) -> &Tree {
+        &self.trees[t]
+    }
+
+    /// All trees.
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// Per-tree level vector for member `m` (the routing policy's `OL`).
+    pub fn levels_of(&self, m: usize) -> Vec<u32> {
+        self.trees.iter().map(|t| t.level(m)).collect()
+    }
+
+    /// The set of distinct (parent, child) pairs across all trees — each is a
+    /// heartbeat relationship; Figure 13 counts these per node.
+    pub fn unique_parent_child_pairs(&self) -> std::collections::HashSet<(usize, usize)> {
+        let mut pairs = std::collections::HashSet::new();
+        for t in &self.trees {
+            for m in 0..t.len() {
+                if let Some(p) = t.parent(m) {
+                    pairs.insert((p, m));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Unique children of `m` across all trees.
+    pub fn unique_children(&self, m: usize) -> std::collections::HashSet<usize> {
+        let mut set = std::collections::HashSet::new();
+        for t in &self.trees {
+            set.extend(t.children(m).iter().copied());
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_parents_levels_and_children() {
+        // 0 ← 1, 0 ← 2, 2 ← 3.
+        let t = Tree::from_parents(0, vec![None, Some(0), Some(0), Some(2)]);
+        assert_eq!(t.level(0), 0);
+        assert_eq!(t.level(1), 1);
+        assert_eq!(t.level(3), 2);
+        assert_eq!(t.children(0), &[1, 2]);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.leaf_count(), 2);
+        assert_eq!(t.interior_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "forest")]
+    fn from_parents_rejects_forest() {
+        // Member 2 disconnected (cycle with 3).
+        let _ = Tree::from_parents(0, vec![None, Some(0), Some(3), Some(2)]);
+    }
+
+    #[test]
+    fn post_order_children_first() {
+        let t = Tree::from_parents(0, vec![None, Some(0), Some(0), Some(2)]);
+        let po = t.post_order();
+        assert_eq!(po.len(), 4);
+        assert_eq!(*po.last().unwrap(), 0, "root last");
+        let pos3 = po.iter().position(|&m| m == 3).unwrap();
+        let pos2 = po.iter().position(|&m| m == 2).unwrap();
+        assert!(pos3 < pos2, "child 3 before parent 2");
+    }
+
+    #[test]
+    fn path_to_root_walks_up() {
+        let t = Tree::from_parents(0, vec![None, Some(0), Some(1), Some(2)]);
+        assert_eq!(t.path_to_root(3), vec![3, 2, 1, 0]);
+        assert_eq!(t.path_to_root(0), vec![0]);
+    }
+
+    #[test]
+    fn random_tree_respects_branching_factor() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for bf in [1usize, 2, 4, 32] {
+            let t = random_tree(200, 0, bf, &mut rng);
+            for m in 0..200 {
+                assert!(t.children(m).len() <= bf, "bf violated at {m}");
+            }
+            assert_eq!(t.len(), 200);
+        }
+    }
+
+    #[test]
+    fn random_tree_bf1_is_a_chain() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let t = random_tree(50, 0, 1, &mut rng);
+        assert_eq!(t.height(), 49);
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let t = balanced_tree(13, 0, 3);
+        assert_eq!(t.children(0).len(), 3);
+        assert_eq!(t.height(), 2); // 1 + 3 + 9 = 13 members.
+    }
+
+    #[test]
+    fn treeset_heartbeat_pairs_dedupe() {
+        let t1 = Tree::from_parents(0, vec![None, Some(0), Some(0)]);
+        let t2 = Tree::from_parents(0, vec![None, Some(0), Some(1)]);
+        let set = TreeSet::new(vec![t1, t2]);
+        let pairs = set.unique_parent_child_pairs();
+        // (0,1) shared, (0,2) tree1 only, (1,2) tree2 only.
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(set.unique_children(0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different roots")]
+    fn treeset_rejects_mismatched_roots() {
+        let t1 = Tree::from_parents(0, vec![None, Some(0)]);
+        let t2 = Tree::from_parents(1, vec![Some(1), None]);
+        let _ = TreeSet::new(vec![t1, t2]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of trees, sibling derivation, and the routing
+//! policy's cycle-freedom.
+
+use mortar_overlay::planner::{derive_sibling, plan_primary};
+use mortar_overlay::routing::{route_decision, Decision, RouteState};
+use mortar_overlay::tree::{random_tree, TreeSet};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_trees_are_spanning_and_bounded(
+        n in 2usize..120,
+        bf in 1usize..12,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = random_tree(n, 0, bf, &mut rng);
+        prop_assert_eq!(t.len(), n);
+        for m in 0..n {
+            prop_assert!(t.children(m).len() <= bf);
+            if m != 0 {
+                prop_assert!(t.parent(m).is_some());
+            }
+        }
+        // Level consistency: child level = parent level + 1.
+        for m in 1..n {
+            let p = t.parent(m).unwrap();
+            prop_assert_eq!(t.level(m), t.level(p) + 1);
+        }
+    }
+
+    #[test]
+    fn sibling_is_shape_preserving_permutation(
+        n in 4usize..100,
+        bf in 2usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let coords: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![(i % 9) as f64, (i / 9) as f64]).collect();
+        let primary = plan_primary(&coords, 0, bf, 10, &mut rng);
+        let sib = derive_sibling(&primary, &mut rng);
+        prop_assert_eq!(sib.len(), n);
+        prop_assert_eq!(sib.root(), primary.root(), "root pinned");
+        prop_assert_eq!(sib.height(), primary.height(), "shape preserved");
+        // Same level-population histogram (occupants permuted in shape).
+        let hist = |t: &mortar_overlay::Tree| {
+            let mut h = vec![0usize; t.height() as usize + 1];
+            for m in 0..t.len() {
+                h[t.level(m) as usize] += 1;
+            }
+            h
+        };
+        prop_assert_eq!(hist(&primary), hist(&sib));
+    }
+
+    #[test]
+    fn upward_stages_never_cycle(
+        n in 4usize..60,
+        width in 2usize..4,
+        seed in 0u64..500,
+        live_mask in 0u64..u64::MAX,
+    ) {
+        // Random tree set; arbitrary per-(member,tree) parent liveness from
+        // the mask; stage 4 disabled. Any tuple must reach the root or drop
+        // within n*width hops.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let trees: Vec<_> = (0..width).map(|_| random_tree(n, 0, 4, &mut rng)).collect();
+        let set = TreeSet::new(trees);
+        for start in 1..n.min(8) {
+            let mut member = start;
+            let mut tree = 0usize;
+            let mut st = RouteState::at_origin(&set, member);
+            let mut hops = 0usize;
+            loop {
+                if member == set.root() || hops > n * width {
+                    break;
+                }
+                let pl: Vec<bool> = (0..width)
+                    .map(|x| {
+                        set.tree(x).parent(member).is_some()
+                            && (live_mask >> ((member * width + x) % 63)) & 1 == 1
+                    })
+                    .collect();
+                match route_decision(
+                    &set, member, tree, &mut st, &pl, &mut |_, _| false, &mut rng,
+                ) {
+                    Decision::Parent { tree: x } => {
+                        prop_assert!(pl[x], "routed to a dead parent");
+                        member = set.tree(x).parent(member).unwrap();
+                        tree = x;
+                        st.on_arrival(&set, member, x);
+                    }
+                    Decision::Child { .. } => unreachable!("stage 4 disabled"),
+                    Decision::Drop => break,
+                }
+                hops += 1;
+            }
+            prop_assert!(hops <= n * width, "routing cycled from {start}");
+        }
+    }
+
+    #[test]
+    fn ttl_down_is_always_bounded(
+        n in 4usize..40,
+        seed in 0u64..500,
+    ) {
+        // Even with every parent dead and all children live, descents stop
+        // at the TTL limit.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let trees: Vec<_> = (0..2).map(|_| random_tree(n, 0, 3, &mut rng)).collect();
+        let set = TreeSet::new(trees);
+        for start in 1..n.min(6) {
+            let mut st = RouteState::at_origin(&set, start);
+            let mut member = start;
+            let mut steps = 0;
+            loop {
+                let d = route_decision(
+                    &set, member, 0, &mut st, &[false, false], &mut |_, _| true, &mut rng,
+                );
+                match d {
+                    Decision::Child { tree, child } => {
+                        // The TreeSet wrapper passes member ids as the
+                        // children, so `child` is the member itself.
+                        member = child;
+                        st.on_arrival(&set, member, tree);
+                    }
+                    Decision::Drop => break,
+                    Decision::Parent { .. } => unreachable!("no live parents"),
+                }
+                steps += 1;
+                prop_assert!(steps <= 10, "descents unbounded");
+            }
+            prop_assert!(st.ttl_down <= mortar_overlay::TTL_DOWN_LIMIT);
+        }
+    }
+}

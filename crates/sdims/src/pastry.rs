@@ -1,0 +1,188 @@
+//! Prefix routing over a 64-bit id ring (Pastry with b = 4).
+//!
+//! The federated membership is static (Section 2.1's environment), so every
+//! node derives its routing view from the shared member list at startup —
+//! the dynamic behaviour under study comes from *liveness beliefs*, which
+//! are per-node and learned through pings, exactly the property that makes
+//! DHT aggregation trees flap.
+
+use mortar_net::NodeId;
+
+/// Number of bits per routing digit (16-way fanout).
+pub const DIGIT_BITS: u32 = 4;
+
+/// A node's Pastry identifier: FNV-1a of its address.
+pub fn pastry_id(node: NodeId) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in node.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Number of leading 4-bit digits shared by two ids.
+pub fn shared_prefix_len(a: u64, b: u64) -> u32 {
+    let x = a ^ b;
+    if x == 0 {
+        return 64 / DIGIT_BITS;
+    }
+    x.leading_zeros() / DIGIT_BITS
+}
+
+/// A node's routing view toward one aggregation key.
+///
+/// For each node the candidates are every member with a *strictly longer*
+/// prefix match against the key, ordered Pastry-style by proximity to the
+/// node's own id (modelling locality-aware table construction). The head of
+/// the list is the primary next hop; later entries are the failover
+/// candidates used when liveness beliefs exclude earlier ones.
+#[derive(Debug, Clone)]
+pub struct PastryView {
+    /// This node.
+    pub me: NodeId,
+    /// Ordered next-hop candidates toward the key.
+    pub candidates: Vec<NodeId>,
+    /// Whether this node owns the key (aggregation root).
+    pub is_root: bool,
+}
+
+impl PastryView {
+    /// Builds the view of `me` toward `key` over the member list.
+    pub fn build(me: NodeId, members: &[NodeId], key: u64) -> Self {
+        let my_id = pastry_id(me);
+        let my_match = shared_prefix_len(my_id, key);
+        // The key's owner: maximal prefix match, ties by XOR distance.
+        let owner = members
+            .iter()
+            .copied()
+            .min_by_key(|&m| pastry_id(m) ^ key)
+            .expect("membership is nonempty");
+        if owner == me {
+            return Self { me, candidates: Vec::new(), is_root: true };
+        }
+        let mut cands: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|&m| m != me && shared_prefix_len(pastry_id(m), key) > my_match)
+            .collect();
+        if cands.is_empty() {
+            // Same prefix class as the owner: leaf-set style, step to ids
+            // numerically closer to the key.
+            let my_dist = my_id ^ key;
+            cands = members
+                .iter()
+                .copied()
+                .filter(|&m| m != me && (pastry_id(m) ^ key) < my_dist)
+                .collect();
+            cands.sort_by_key(|&m| pastry_id(m) ^ key);
+        } else {
+            // Pastry locality: prefer table entries close to me.
+            cands.sort_by_key(|&m| {
+                (
+                    std::cmp::Reverse(shared_prefix_len(pastry_id(m), key)),
+                    pastry_id(m) ^ my_id,
+                )
+            });
+        }
+        // Keep a realistic bounded table (primary + failovers).
+        cands.truncate(8);
+        Self { me, candidates: cands, is_root: false }
+    }
+
+    /// The next hop given the node's current dead-set belief.
+    pub fn next_hop(&self, believed_dead: &dyn Fn(NodeId) -> bool) -> Option<NodeId> {
+        self.candidates.iter().copied().find(|&c| !believed_dead(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_len_basics() {
+        assert_eq!(shared_prefix_len(0, 0), 16);
+        assert_eq!(shared_prefix_len(0xF000_0000_0000_0000, 0x0000_0000_0000_0000), 0);
+        assert_eq!(shared_prefix_len(0xAB00_0000_0000_0000, 0xAB0F_0000_0000_0000), 3);
+    }
+
+    #[test]
+    fn ids_are_deterministic_and_spread() {
+        let a = pastry_id(1);
+        assert_eq!(a, pastry_id(1));
+        let ids: std::collections::HashSet<u64> = (0..1000u32).map(pastry_id).collect();
+        assert_eq!(ids.len(), 1000, "collisions in 1000 ids");
+    }
+
+    #[test]
+    fn routing_reaches_owner_and_terminates() {
+        let members: Vec<NodeId> = (0..200).collect();
+        let key = 0xDEAD_BEEF_CAFE_F00D;
+        let owner = members.iter().copied().min_by_key(|&m| pastry_id(m) ^ key).unwrap();
+        let alive = |_n: NodeId| false;
+        for &m in &members {
+            let mut cur = m;
+            let mut hops = 0;
+            loop {
+                let view = PastryView::build(cur, &members, key);
+                if view.is_root {
+                    assert_eq!(cur, owner);
+                    break;
+                }
+                let nh = view.next_hop(&alive).expect("route exists with all alive");
+                // Progress metric must strictly improve.
+                assert!(
+                    (pastry_id(nh) ^ key) < (pastry_id(cur) ^ key)
+                        || shared_prefix_len(pastry_id(nh), key)
+                            > shared_prefix_len(pastry_id(cur), key),
+                    "no progress {cur}→{nh}"
+                );
+                cur = nh;
+                hops += 1;
+                assert!(hops < 64, "routing loop from {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_lengths_are_logarithmic() {
+        let members: Vec<NodeId> = (0..500).collect();
+        let key = 0x0123_4567_89AB_CDEF;
+        let alive = |_n: NodeId| false;
+        let mut total = 0usize;
+        for &m in &members {
+            let mut cur = m;
+            let mut hops = 0;
+            loop {
+                let view = PastryView::build(cur, &members, key);
+                if view.is_root {
+                    break;
+                }
+                cur = view.next_hop(&alive).unwrap();
+                hops += 1;
+            }
+            total += hops;
+        }
+        let avg = total as f64 / members.len() as f64;
+        assert!(avg < 6.0, "average path length {avg} too long");
+        assert!(avg > 1.0, "paths suspiciously short: {avg}");
+    }
+
+    #[test]
+    fn failover_skips_dead_candidates() {
+        let members: Vec<NodeId> = (0..100).collect();
+        let key = 0x1111_2222_3333_4444;
+        for &m in &members {
+            let view = PastryView::build(m, &members, key);
+            if view.candidates.len() >= 2 {
+                let primary = view.candidates[0];
+                let dead = move |n: NodeId| n == primary;
+                let nh = view.next_hop(&dead);
+                assert_eq!(nh, Some(view.candidates[1]));
+                return;
+            }
+        }
+        panic!("no node had multiple candidates");
+    }
+}

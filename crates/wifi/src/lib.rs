@@ -1,0 +1,25 @@
+//! Wi-Fi device-tracking substrate (Section 7.4).
+//!
+//! The paper's proof-of-concept uses the Jigsaw enterprise monitoring
+//! system's 188 sniffers as authentic workload; the sniffers' captures are
+//! replayed over ModelNet. Jigsaw traces are not available, so this crate
+//! synthesizes the equivalent: an office-floor sniffer grid, a log-distance
+//! path-loss RSSI model with shadowing, an L-shaped walking trajectory, and
+//! the custom `trilat` operator that turns a top-k of signal strengths into
+//! a coordinate estimate.
+//!
+//! The MSL query is the paper's three-liner:
+//!
+//! ```text
+//! frames = select(wifi, key == <mac>);
+//! loud = topk(frames, 3, rssi) window 1s;
+//! position = trilat(loud);
+//! ```
+
+pub mod model;
+pub mod scenario;
+pub mod trilat;
+
+pub use model::{PathLossModel, Sniffer};
+pub use scenario::{sniffer_grid, WifiScenario, WifiScenarioConfig};
+pub use trilat::{trilaterate, TrilatOp};

@@ -1,0 +1,117 @@
+//! RSSI propagation: the log-distance path-loss model with log-normal
+//! shadowing, the standard indoor approximation.
+//!
+//! `RSSI(d) = P₀ − 10·n·log₁₀(d/d₀) + X`, with `P₀` the received power at
+//! the reference distance (1 m), `n` the path-loss exponent (≈3 indoors),
+//! and `X` zero-mean Gaussian shadowing.
+
+use rand::Rng;
+
+/// A Wi-Fi sniffer with a known position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sniffer {
+    /// x coordinate, metres.
+    pub x: f64,
+    /// y coordinate, metres.
+    pub y: f64,
+}
+
+impl Sniffer {
+    /// Euclidean distance to a point.
+    pub fn dist(&self, x: f64, y: f64) -> f64 {
+        ((self.x - x).powi(2) + (self.y - y).powi(2)).sqrt()
+    }
+}
+
+/// Log-distance path loss parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PathLossModel {
+    /// RSSI at the 1 m reference distance, dBm.
+    pub p0_dbm: f64,
+    /// Path-loss exponent.
+    pub exponent: f64,
+    /// Shadowing standard deviation, dB.
+    pub sigma_db: f64,
+    /// Receiver sensitivity: frames below this RSSI are not captured.
+    pub sensitivity_dbm: f64,
+}
+
+impl Default for PathLossModel {
+    fn default() -> Self {
+        Self { p0_dbm: -40.0, exponent: 3.0, sigma_db: 4.0, sensitivity_dbm: -90.0 }
+    }
+}
+
+impl PathLossModel {
+    /// Mean RSSI at distance `d` metres (no shadowing).
+    pub fn mean_rssi(&self, d: f64) -> f64 {
+        let d = d.max(0.1);
+        self.p0_dbm - 10.0 * self.exponent * d.log10()
+    }
+
+    /// A noisy RSSI sample; `None` when below the capture sensitivity.
+    pub fn sample<R: Rng + ?Sized>(&self, d: f64, rng: &mut R) -> Option<f64> {
+        // Box–Muller for a standard normal.
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let rssi = self.mean_rssi(d) + self.sigma_db * z;
+        (rssi >= self.sensitivity_dbm).then_some(rssi)
+    }
+
+    /// Inverts the mean model: estimated distance for an observed RSSI.
+    pub fn distance_for(&self, rssi_dbm: f64) -> f64 {
+        10f64.powf((self.p0_dbm - rssi_dbm) / (10.0 * self.exponent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let m = PathLossModel::default();
+        assert!(m.mean_rssi(1.0) > m.mean_rssi(10.0));
+        assert!(m.mean_rssi(10.0) > m.mean_rssi(50.0));
+        assert!((m.mean_rssi(1.0) - m.p0_dbm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inversion_round_trips() {
+        let m = PathLossModel::default();
+        for d in [1.0, 5.0, 20.0, 60.0] {
+            let r = m.mean_rssi(d);
+            assert!((m.distance_for(r) - d).abs() < 1e-6, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn sensitivity_filters_far_frames() {
+        let m = PathLossModel { sigma_db: 0.0, ..PathLossModel::default() };
+        let mut rng = SmallRng::seed_from_u64(1);
+        // At -40 - 30·log10(d): d = 1000 m → -130 dBm, below -90.
+        assert!(m.sample(1000.0, &mut rng).is_none());
+        assert!(m.sample(5.0, &mut rng).is_some());
+    }
+
+    #[test]
+    fn shadowing_has_expected_spread() {
+        let m = PathLossModel { sensitivity_dbm: -500.0, ..PathLossModel::default() };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..2000).filter_map(|_| m.sample(10.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - m.mean_rssi(10.0)).abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - 4.0).abs() < 0.5, "σ {}", var.sqrt());
+    }
+
+    #[test]
+    fn sniffer_distance() {
+        let s = Sniffer { x: 3.0, y: 4.0 };
+        assert!((s.dist(0.0, 0.0) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,241 @@
+//! The Figure 18 scenario: a user circling an office floor while
+//! downloading, tracked by 188 sniffers.
+//!
+//! Generates per-sniffer replay traces (what each sniffer would have
+//! captured under the path-loss model) for replay through Mortar peers, and
+//! keeps the ground-truth trajectory for error measurement.
+
+use crate::model::{PathLossModel, Sniffer};
+use mortar_core::tuple::RawTuple;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Lays out `n` sniffers on a jittered grid over a `w × h` metre floor.
+pub fn sniffer_grid(n: usize, w: f64, h: f64, seed: u64) -> Vec<Sniffer> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cols = (n as f64 * w / h).sqrt().ceil().max(1.0) as usize;
+    let rows = n.div_ceil(cols);
+    let mut out = Vec::with_capacity(n);
+    'outer: for r in 0..rows {
+        for c in 0..cols {
+            if out.len() >= n {
+                break 'outer;
+            }
+            let jx: f64 = rng.gen::<f64>() - 0.5;
+            let jy: f64 = rng.gen::<f64>() - 0.5;
+            out.push(Sniffer {
+                x: (c as f64 + 0.5 + 0.4 * jx) * w / cols as f64,
+                y: (r as f64 + 0.5 + 0.4 * jy) * h / rows as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct WifiScenarioConfig {
+    /// Number of sniffers (the paper's deployment has 188).
+    pub sniffers: usize,
+    /// Floor width, metres.
+    pub floor_w: f64,
+    /// Floor height, metres.
+    pub floor_h: f64,
+    /// Tracked device's MAC key.
+    pub mac: u64,
+    /// Frames per second emitted by the tracked device (a file download).
+    pub frames_per_sec: f64,
+    /// Walking speed, m/s.
+    pub speed: f64,
+    /// Duration of the walk, seconds.
+    pub duration_s: f64,
+    /// Propagation model.
+    pub model: PathLossModel,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WifiScenarioConfig {
+    fn default() -> Self {
+        Self {
+            sniffers: 188,
+            floor_w: 80.0,
+            floor_h: 50.0,
+            mac: 0xB16B00B5,
+            frames_per_sec: 20.0,
+            speed: 1.2,
+            duration_s: 180.0,
+            model: PathLossModel::default(),
+            seed: 2008,
+        }
+    }
+}
+
+/// A generated scenario: sniffers, traces, and ground truth.
+#[derive(Debug, Clone)]
+pub struct WifiScenario {
+    /// Sniffer positions (member index order).
+    pub sniffers: Vec<Sniffer>,
+    /// Per-sniffer replay traces: (µs offset, frame tuple). Frame tuples
+    /// carry `[rssi, sniffer_x, sniffer_y]` and the device MAC as key.
+    pub traces: Vec<Vec<(u64, RawTuple)>>,
+    /// Ground truth: (µs offset, x, y).
+    pub truth: Vec<(u64, f64, f64)>,
+    /// The tracked MAC key.
+    pub mac: u64,
+}
+
+impl WifiScenario {
+    /// Generates the scenario.
+    pub fn generate(cfg: &WifiScenarioConfig) -> Self {
+        let sniffers = sniffer_grid(cfg.sniffers, cfg.floor_w, cfg.floor_h, cfg.seed);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xfee1);
+        // L-shaped hallway loop: along the bottom edge, then up the right
+        // edge — the paper's user circles the floor hallways.
+        let m = 5.0; // Hallway margin from the walls.
+        let waypoints = [
+            (m, m),
+            (cfg.floor_w - m, m),
+            (cfg.floor_w - m, cfg.floor_h - m),
+            (m, cfg.floor_h - m),
+            (m, m),
+        ];
+        let mut legs = Vec::new();
+        let mut total_len = 0.0;
+        for w in waypoints.windows(2) {
+            let len = (w[1].0 - w[0].0).hypot(w[1].1 - w[0].1);
+            legs.push((w[0], w[1], len));
+            total_len += len;
+        }
+        let pos_at = |dist: f64| -> (f64, f64) {
+            let mut d = dist % total_len;
+            for &(a, b, len) in &legs {
+                if d <= len {
+                    let t = d / len;
+                    return (a.0 + (b.0 - a.0) * t, a.1 + (b.1 - a.1) * t);
+                }
+                d -= len;
+            }
+            waypoints[0]
+        };
+        let frame_gap_us = (1e6 / cfg.frames_per_sec) as u64;
+        let mut traces: Vec<Vec<(u64, RawTuple)>> = vec![Vec::new(); sniffers.len()];
+        let mut truth = Vec::new();
+        let mut t_us = 0u64;
+        let end = (cfg.duration_s * 1e6) as u64;
+        while t_us < end {
+            let (x, y) = pos_at(cfg.speed * t_us as f64 / 1e6);
+            truth.push((t_us, x, y));
+            for (i, s) in sniffers.iter().enumerate() {
+                if let Some(rssi) = cfg.model.sample(s.dist(x, y), &mut rng) {
+                    traces[i].push((
+                        t_us,
+                        RawTuple { key: cfg.mac, vals: vec![rssi, s.x, s.y] },
+                    ));
+                }
+            }
+            t_us += frame_gap_us;
+        }
+        Self { sniffers, traces, truth, mac: cfg.mac }
+    }
+
+    /// Ground-truth position at a µs offset (nearest sample).
+    pub fn truth_at(&self, t_us: u64) -> (f64, f64) {
+        match self.truth.binary_search_by_key(&t_us, |&(t, _, _)| t) {
+            Ok(i) => (self.truth[i].1, self.truth[i].2),
+            Err(i) => {
+                let i = i.min(self.truth.len() - 1);
+                (self.truth[i].1, self.truth[i].2)
+            }
+        }
+    }
+
+    /// Mean position error (metres) of a sequence of (µs, x, y) estimates.
+    pub fn mean_error(&self, estimates: &[(u64, f64, f64)]) -> f64 {
+        if estimates.is_empty() {
+            return f64::NAN;
+        }
+        let sum: f64 = estimates
+            .iter()
+            .map(|&(t, x, y)| {
+                let (tx, ty) = self.truth_at(t);
+                (x - tx).hypot(y - ty)
+            })
+            .sum();
+        sum / estimates.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_floor() {
+        let s = sniffer_grid(188, 80.0, 50.0, 1);
+        assert_eq!(s.len(), 188);
+        assert!(s.iter().all(|p| (0.0..=80.0).contains(&p.x) && (0.0..=50.0).contains(&p.y)));
+        // Spread: corners of the floor should each have a sniffer within
+        // one grid cell (~7 m).
+        for corner in [(2.0, 2.0), (78.0, 48.0)] {
+            let nearest = s
+                .iter()
+                .map(|p| p.dist(corner.0, corner.1))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 10.0, "corner {corner:?} uncovered ({nearest} m)");
+        }
+    }
+
+    #[test]
+    fn scenario_produces_audible_traces() {
+        let cfg = WifiScenarioConfig { duration_s: 10.0, ..WifiScenarioConfig::default() };
+        let sc = WifiScenario::generate(&cfg);
+        let total: usize = sc.traces.iter().map(Vec::len).sum();
+        assert!(total > 1000, "only {total} captured frames");
+        // Nearby sniffers hear much more than far ones.
+        let max = sc.traces.iter().map(Vec::len).max().unwrap();
+        let min = sc.traces.iter().map(Vec::len).min().unwrap();
+        assert!(max > min, "capture counts should vary with distance");
+    }
+
+    #[test]
+    fn truth_interpolation_is_monotone_in_time() {
+        let cfg = WifiScenarioConfig { duration_s: 30.0, ..WifiScenarioConfig::default() };
+        let sc = WifiScenario::generate(&cfg);
+        let (x0, y0) = sc.truth_at(0);
+        assert!((x0 - 5.0).abs() < 1.0 && (y0 - 5.0).abs() < 1.0, "starts at first waypoint");
+    }
+
+    #[test]
+    fn loudest_sniffers_localize_user() {
+        // End-to-end sanity without the network: take the top-3 frames per
+        // second and trilaterate; error should be a few metres.
+        let cfg = WifiScenarioConfig { duration_s: 20.0, ..WifiScenarioConfig::default() };
+        let sc = WifiScenario::generate(&cfg);
+        let model = cfg.model;
+        let mut estimates = Vec::new();
+        for sec in 0..20u64 {
+            let lo = sec * 1_000_000;
+            let hi = lo + 1_000_000;
+            let mut frames: Vec<(f64, f64, f64)> = Vec::new();
+            for tr in &sc.traces {
+                for &(t, ref tup) in tr {
+                    if t >= lo && t < hi {
+                        frames.push((tup.vals[0], tup.vals[1], tup.vals[2]));
+                    }
+                }
+            }
+            frames.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            let anchors: Vec<(f64, f64, f64)> = frames
+                .iter()
+                .take(3)
+                .map(|&(rssi, x, y)| (x, y, model.distance_for(rssi)))
+                .collect();
+            if let Some((x, y)) = crate::trilat::trilaterate(&anchors) {
+                estimates.push((lo + 500_000, x, y));
+            }
+        }
+        let err = sc.mean_error(&estimates);
+        assert!(err < 12.0, "mean localization error {err} m");
+    }
+}

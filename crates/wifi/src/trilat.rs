@@ -1,0 +1,188 @@
+//! The custom trilateration operator.
+//!
+//! "A custom `trilat` operator takes the resulting topK stream and computes
+//! a coordinate position based on simple trilateration, given the
+//! coordinates of each sniffer" (Section 7.4). Registered as a Mortar
+//! [`CustomOp`] and referenced by name from the MSL query's final stage.
+//!
+//! Frames carry `[rssi, sniffer_x, sniffer_y]`, so the top-k entries
+//! already contain the anchors. Estimation uses RSSI-weighted circle
+//! intersection with a weighted-centroid fallback — deliberately "simple";
+//! the paper notes more advanced methods exist but would use the same
+//! query.
+
+use crate::model::PathLossModel;
+use mortar_core::op::CustomOp;
+use mortar_core::tuple::RawTuple;
+use mortar_core::value::{AggState, TopKEntry};
+
+/// Trilateration from (x, y, estimated distance) anchors.
+///
+/// Solves the linearized circle system for ≥3 anchors; for fewer, falls
+/// back to an inverse-distance weighted centroid.
+pub fn trilaterate(anchors: &[(f64, f64, f64)]) -> Option<(f64, f64)> {
+    match anchors.len() {
+        0 => None,
+        1 => Some((anchors[0].0, anchors[0].1)),
+        2 => {
+            // Weighted point between the two anchors.
+            let (x1, y1, d1) = anchors[0];
+            let (x2, y2, d2) = anchors[1];
+            let w1 = 1.0 / d1.max(0.1);
+            let w2 = 1.0 / d2.max(0.1);
+            Some(((x1 * w1 + x2 * w2) / (w1 + w2), (y1 * w1 + y2 * w2) / (w1 + w2)))
+        }
+        _ => {
+            // Linearize against the last anchor: for each i<n,
+            // 2(xn−xi)x + 2(yn−yi)y = (dᵢ²−dₙ²) + (xₙ²−xᵢ²) + (yₙ²−yᵢ²).
+            let (xn, yn, dn) = anchors[anchors.len() - 1];
+            let mut ata = [[0.0f64; 2]; 2];
+            let mut atb = [0.0f64; 2];
+            for &(xi, yi, di) in &anchors[..anchors.len() - 1] {
+                let a0 = 2.0 * (xn - xi);
+                let a1 = 2.0 * (yn - yi);
+                let b = (di * di - dn * dn) + (xn * xn - xi * xi) + (yn * yn - yi * yi);
+                ata[0][0] += a0 * a0;
+                ata[0][1] += a0 * a1;
+                ata[1][0] += a1 * a0;
+                ata[1][1] += a1 * a1;
+                atb[0] += a0 * b;
+                atb[1] += a1 * b;
+            }
+            let det = ata[0][0] * ata[1][1] - ata[0][1] * ata[1][0];
+            if det.abs() < 1e-9 {
+                // Degenerate geometry: weighted centroid.
+                let mut sx = 0.0;
+                let mut sy = 0.0;
+                let mut sw = 0.0;
+                for &(x, y, d) in anchors {
+                    let w = 1.0 / d.max(0.1);
+                    sx += x * w;
+                    sy += y * w;
+                    sw += w;
+                }
+                return Some((sx / sw, sy / sw));
+            }
+            let x = (atb[0] * ata[1][1] - atb[1] * ata[0][1]) / det;
+            let y = (ata[0][0] * atb[1] - ata[1][0] * atb[0]) / det;
+            Some((x, y))
+        }
+    }
+}
+
+/// The Mortar custom operator wrapping [`trilaterate`].
+///
+/// Only `finalize` matters (it is a root post-operator); the lift/zero
+/// methods exist to satisfy the operator API and are inert.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrilatOp {
+    /// Propagation model used to invert RSSI into distance.
+    pub model: PathLossModel,
+}
+
+impl TrilatOp {
+    /// Creates the operator with the default path-loss model.
+    pub fn new() -> Self {
+        Self { model: PathLossModel::default() }
+    }
+}
+
+impl CustomOp for TrilatOp {
+    fn zero(&self) -> AggState {
+        AggState::None
+    }
+
+    fn lift(&self, _state: &mut AggState, _source: u32, _tuple: &RawTuple) {}
+
+    fn finalize(&self, state: &AggState) -> AggState {
+        let AggState::TopK { entries, .. } = state else {
+            return AggState::None;
+        };
+        let anchors: Vec<(f64, f64, f64)> = entries
+            .iter()
+            .filter_map(|e: &TopKEntry| {
+                let rssi = *e.payload.first()?;
+                let x = *e.payload.get(1)?;
+                let y = *e.payload.get(2)?;
+                Some((x, y, self.model.distance_for(rssi)))
+            })
+            .collect();
+        match trilaterate(&anchors) {
+            Some((x, y)) => AggState::Vector(vec![x, y]),
+            None => AggState::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_three_circle_solution() {
+        // Target at (3, 4); anchors with exact distances.
+        let target = (3.0, 4.0);
+        let anchors: Vec<(f64, f64, f64)> = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)]
+            .iter()
+            .map(|&(x, y)| {
+                let d = ((x - target.0) as f64).hypot(y - target.1);
+                (x, y, d)
+            })
+            .collect();
+        let (x, y) = trilaterate(&anchors).unwrap();
+        assert!((x - 3.0).abs() < 1e-6 && (y - 4.0).abs() < 1e-6, "got ({x},{y})");
+    }
+
+    #[test]
+    fn single_anchor_returns_anchor() {
+        assert_eq!(trilaterate(&[(5.0, 6.0, 2.0)]), Some((5.0, 6.0)));
+        assert_eq!(trilaterate(&[]), None);
+    }
+
+    #[test]
+    fn two_anchors_between() {
+        let (x, y) = trilaterate(&[(0.0, 0.0, 1.0), (10.0, 0.0, 1.0)]).unwrap();
+        assert!((x - 5.0).abs() < 1e-9 && y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_anchors_fall_back_gracefully() {
+        let p = trilaterate(&[(0.0, 0.0, 5.0), (5.0, 0.0, 2.0), (10.0, 0.0, 5.0)]);
+        let (x, y) = p.unwrap();
+        assert!(x.is_finite() && y.is_finite());
+        assert!((0.0..=10.0).contains(&x));
+        assert_eq!(y, 0.0);
+    }
+
+    #[test]
+    fn operator_finalizes_topk_to_coordinate() {
+        let model = crate::model::PathLossModel::default();
+        let op = TrilatOp::new();
+        let target = (20.0, 15.0);
+        let mk = |x: f64, y: f64| {
+            let d = (x - target.0).hypot(y - target.1);
+            TopKEntry {
+                score: model.mean_rssi(d),
+                source: 0,
+                payload: vec![model.mean_rssi(d), x, y],
+            }
+        };
+        let state = AggState::TopK {
+            k: 3,
+            entries: vec![mk(18.0, 12.0), mk(25.0, 15.0), mk(20.0, 20.0)],
+        };
+        match op.finalize(&state) {
+            AggState::Vector(v) => {
+                let err = (v[0] - target.0).hypot(v[1] - target.1);
+                assert!(err < 2.0, "estimate {v:?} off by {err} m");
+            }
+            other => panic!("expected a coordinate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_rejects_non_topk_states() {
+        let op = TrilatOp::new();
+        assert_eq!(op.finalize(&AggState::Sum(1.0)), AggState::None);
+    }
+}

@@ -1,0 +1,72 @@
+//! In-network anomaly detection: the paper motivates "an entropy function
+//! to detect anomalous traffic features" (Section 2.2). Peers observe
+//! flow-like events keyed by destination port; a port scan concentrates
+//! traffic onto one port and the destination-port entropy collapses.
+//!
+//! ```sh
+//! cargo run --release --example anomaly_entropy
+//! ```
+
+use mortar::prelude::*;
+use mortar::stream::tuple::RawTuple;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthesizes a flow trace for one peer: background traffic over many
+/// ports, with a scan burst against one port during [60 s, 90 s).
+fn flow_trace(seed: u64) -> Vec<(u64, RawTuple)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut t = 0u64;
+    while t < 130_000_000 {
+        let in_attack = (60_000_000..90_000_000).contains(&t);
+        let port = if in_attack && rng.gen::<f64>() < 0.9 {
+            4444.0 // The scanner hammers one port.
+        } else {
+            [80.0, 443.0, 22.0, 53.0, 8080.0, 3306.0, 25.0, 993.0][rng.gen_range(0..8)]
+        };
+        out.push((t, RawTuple { key: port as u64, vals: vec![port, rng.gen_range(40.0..1500.0)] }));
+        t += rng.gen_range(50_000..150_000); // ~10 flows/s per peer.
+    }
+    out
+}
+
+fn main() {
+    let n = 48;
+    let def = mortar::lang::compile(
+        "stream flows(dstport, bytes);\n\
+         h = entropy(flows, dstport, 64) every 5s;",
+    )
+    .expect("valid MSL");
+
+    let mut cfg = EngineConfig::paper(n, 99);
+    cfg.plan_on_true_latency = true;
+    let mut engine = Engine::new(cfg);
+    for i in 0..n as NodeId {
+        engine.sim.app_mut(i).set_replay(flow_trace(1000 + i as u64));
+    }
+    engine.install(def.to_spec(0, (0..n as NodeId).collect(), SensorSpec::Replay));
+    engine.run_secs(140.0);
+
+    println!("destination-port entropy across {n} peers (attack window 60–90 s):\n");
+    println!("{:>8}  {:>9}  {:>8}", "t(s)", "entropy", "");
+    let mut min_during = f64::INFINITY;
+    let mut max_outside: f64 = 0.0;
+    for r in engine.results(0) {
+        let t = r.emit_true_us / 1_000_000;
+        let h = r.scalar.unwrap_or(0.0);
+        let bar = "#".repeat((h * 12.0) as usize);
+        let marker = if (66..=95).contains(&t) { "  <- attack" } else { "" };
+        println!("{t:>8}  {h:>9.3}  {bar}{marker}");
+        if (70..=92).contains(&t) {
+            min_during = min_during.min(h);
+        } else if t > 20 && t < 58 {
+            max_outside = max_outside.max(h);
+        }
+    }
+    println!(
+        "\nbaseline entropy ≈ {max_outside:.2} bits; during the scan it collapses \
+         to {min_during:.2} bits — a threshold detector fires in-network with \
+         no raw flows ever leaving the peers."
+    );
+}

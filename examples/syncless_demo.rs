@@ -1,0 +1,49 @@
+//! Section 5 demo: the same query under broken clocks, indexed by
+//! timestamps versus ages (syncless).
+//!
+//! ```sh
+//! cargo run --release --example syncless_demo
+//! ```
+
+use mortar::prelude::*;
+use mortar::stream::metrics::{mean_report_latency_secs, true_completeness};
+
+fn run(mode: IndexingMode, scale: f64) -> (f64, f64) {
+    let n = 80;
+    let mut cfg = EngineConfig::paper(n, 11);
+    cfg.plan_on_true_latency = true;
+    cfg.peer.indexing = mode;
+    cfg.clock_model = ClockModel::planetlab_like(scale);
+    let mut engine = Engine::new(cfg);
+    let spec = QuerySpec {
+        name: "sum".into(),
+        root: 0,
+        members: (0..n as NodeId).collect(),
+        op: OpKind::Sum { field: 0 },
+        window: WindowSpec::time_tumbling_us(5_000_000),
+        filter: None,
+        sensor: SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
+        post: None,
+    };
+    engine.install(spec);
+    engine.run_secs(120.0);
+    let results = engine.results(0);
+    (true_completeness(results, 5_000_000, 3), mean_report_latency_secs(results))
+}
+
+fn main() {
+    println!("80 peers, 5-second window sum, PlanetLab-like clock offsets\n");
+    println!(
+        "{:>6} | {:>16} {:>12} | {:>16} {:>12}",
+        "scale", "timestamp comp%", "latency(s)", "syncless comp%", "latency(s)"
+    );
+    for scale in [0.0, 0.5, 1.0, 1.5, 2.0] {
+        let (tc, tl) = run(IndexingMode::Timestamp, scale);
+        let (sc, sl) = run(IndexingMode::Syncless, scale);
+        println!("{scale:>6.1} | {tc:>16.1} {tl:>12.1} | {sc:>16.1} {sl:>12.1}");
+    }
+    println!(
+        "\nTimestamps lose accuracy and latency as offsets scale up; syncless \
+         operation is flat in both — the paper's factor-of-8 latency win."
+    );
+}

@@ -1,0 +1,72 @@
+//! # Mortar — wide-scale data stream management
+//!
+//! A from-scratch Rust reproduction of *"Wide-Scale Data Stream
+//! Management"* (Logothetis & Yocum, USENIX ATC 2008): best-effort
+//! in-network stream processing for federated systems, built on
+//!
+//! * **static overlay tree sets** planned from network coordinates, with
+//!   sibling trees derived by random rotations (Section 3);
+//! * **dynamic tuple striping**, a staged multipath routing policy that
+//!   keeps data flowing to the query root while up to 40% of nodes are
+//!   down (Section 3.3);
+//! * **time-division data partitioning**, which indexes summary tuples
+//!   with validity intervals so multipath routing never double-counts and
+//!   user-defined operators need no duplicate-insensitive synopses
+//!   (Section 4);
+//! * **syncless operation**, replacing timestamps with ages to make
+//!   results immune to clock offset (Section 5); and
+//! * **pair-wise reconciliation** for eventually consistent query
+//!   installation and removal (Section 6).
+//!
+//! This facade crate re-exports the workspace and hosts the runnable
+//! examples and cross-crate integration tests.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mortar::prelude::*;
+//!
+//! // A 16-peer federation; every peer contributes "1" every second.
+//! let mut cfg = EngineConfig::paper(16, 42);
+//! cfg.plan_on_true_latency = true;
+//! let mut engine = Engine::new(cfg);
+//! let def = mortar::lang::compile(
+//!     "stream sensors(value);\n up = sum(sensors, value) every 1s;",
+//! )
+//! .unwrap();
+//! let spec = def.to_spec(
+//!     0,
+//!     (0..16).collect(),
+//!     SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
+//! );
+//! engine.install(spec);
+//! engine.run_secs(30.0);
+//! assert!(!engine.results(0).is_empty());
+//! ```
+
+pub use mortar_cluster as cluster;
+pub use mortar_coords as coords;
+pub use mortar_lang as lang;
+pub use mortar_net as net;
+pub use mortar_overlay as overlay;
+pub use mortar_sdims as sdims;
+pub use mortar_wifi as wifi;
+
+/// The stream-processing engine crate (`mortar-core`).
+pub use mortar_core as stream;
+
+/// The most commonly used types in one import.
+pub mod prelude {
+    pub use mortar_core::{
+        engine::{Engine, EngineConfig},
+        metrics,
+        op::{CustomOp, OpKind, OpRegistry},
+        peer::{IndexingMode, MortarPeer, PeerConfig},
+        query::{QuerySpec, SensorSpec},
+        value::AggState,
+        window::WindowSpec,
+    };
+    pub use mortar_lang::compile;
+    pub use mortar_net::{ClockModel, NodeId, Topology};
+    pub use mortar_overlay::PlannerConfig;
+}

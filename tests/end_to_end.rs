@@ -1,0 +1,110 @@
+//! Cross-crate integration: MSL source → compiled plan → planned overlay →
+//! simulated federation → root results.
+
+use mortar::prelude::*;
+
+fn fleet_spec(n: usize, src: &str) -> QuerySpec {
+    let def = compile(src).expect("program compiles");
+    def.to_spec(
+        0,
+        (0..n as NodeId).collect(),
+        SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
+    )
+}
+
+#[test]
+fn msl_sum_query_end_to_end() {
+    let n = 64;
+    let mut cfg = EngineConfig::paper(n, 1);
+    cfg.plan_on_true_latency = true;
+    cfg.planner.branching_factor = 8;
+    let mut eng = Engine::new(cfg);
+    let spec = fleet_spec(n, "stream sensors(value);\nup = sum(sensors, value) every 1s;");
+    let trees = eng.install(spec);
+    assert_eq!(trees.width(), 4);
+    eng.run_secs(45.0);
+    assert_eq!(eng.active_count("up"), n);
+    let results = eng.results(0);
+    let completeness = metrics::mean_completeness(results, n, 10);
+    assert!(completeness > 93.0, "steady-state completeness {completeness}%");
+    // The sum of "1"s from every live peer approaches n.
+    let best = results.iter().filter_map(|r| r.scalar).fold(0.0f64, f64::max);
+    assert!((best - n as f64).abs() < 1e-9, "best window sum {best}");
+}
+
+#[test]
+fn avg_and_max_agree_with_constant_streams() {
+    let n = 24;
+    let mut cfg = EngineConfig::paper(n, 3);
+    cfg.plan_on_true_latency = true;
+    let mut eng = Engine::new(cfg);
+    let avg = fleet_spec(n, "stream s(v);\nmean_v = avg(s, v) every 1s;");
+    let max = fleet_spec(n, "stream s(v);\nmax_v = max(s, v) every 1s;");
+    eng.install(avg);
+    eng.install(max);
+    eng.run_secs(30.0);
+    let results = eng.results(0);
+    let avg_vals: Vec<f64> = results
+        .iter()
+        .filter(|r| r.query == "mean_v")
+        .filter_map(|r| r.scalar)
+        .collect();
+    let max_vals: Vec<f64> = results
+        .iter()
+        .filter(|r| r.query == "max_v")
+        .filter_map(|r| r.scalar)
+        .collect();
+    assert!(!avg_vals.is_empty() && !max_vals.is_empty());
+    // Constant streams of 1.0: every average and max must be exactly 1.
+    assert!(avg_vals.iter().all(|&v| (v - 1.0).abs() < 1e-9), "{avg_vals:?}");
+    assert!(max_vals.iter().all(|&v| (v - 1.0).abs() < 1e-9));
+}
+
+#[test]
+fn two_queries_share_heartbeats() {
+    let n = 32;
+    let mut cfg = EngineConfig::paper(n, 5);
+    cfg.plan_on_true_latency = true;
+    let mut eng = Engine::new(cfg);
+    eng.install(fleet_spec(n, "stream s(v);\nq1 = sum(s, v) every 1s;"));
+    eng.run_secs(8.0);
+    let one = eng.mean_heartbeat_children();
+    eng.install(fleet_spec(n, "stream s(v);\nq2 = count(s) every 1s;"));
+    eng.run_secs(8.0);
+    let two = eng.mean_heartbeat_children();
+    // Figure 13's claim: overhead grows sub-linearly because primary trees
+    // repeat across queries over the same coordinate set.
+    assert!(two < one * 2.0, "children grew linearly: {one} → {two}");
+    assert!(two >= one * 0.9, "children should not shrink: {one} → {two}");
+}
+
+#[test]
+fn time_division_never_overcounts() {
+    // The central invariant versus SDIMS (Figure 16): whatever failures
+    // occur, a window's participants can never exceed the member count.
+    let n = 48;
+    let mut cfg = EngineConfig::paper(n, 7);
+    cfg.plan_on_true_latency = true;
+    let mut eng = Engine::new(cfg);
+    eng.install(fleet_spec(n, "stream s(v);\nq = sum(s, v) every 1s;"));
+    eng.run_secs(20.0);
+    let down = eng.disconnect_random(0.3, 0);
+    eng.run_secs(20.0);
+    eng.reconnect(&down);
+    eng.run_secs(20.0);
+    let by_index = metrics::participants_by_index(eng.results(0));
+    let total: u64 = by_index.values().map(|&v| v as u64).sum();
+    assert!(
+        total <= (by_index.len() * n) as u64,
+        "global over-count: {total} over {} windows of {n} peers",
+        by_index.len()
+    );
+    for (idx, participants) in by_index {
+        // Adjacent-window dispersion allows small local excess; systematic
+        // SDIMS-style over-counting (120–180%) must be impossible.
+        assert!(
+            f64::from(participants) <= n as f64 * 1.25,
+            "window {idx} over-counted: {participants} ≫ {n}"
+        );
+    }
+}

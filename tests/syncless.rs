@@ -1,0 +1,74 @@
+//! Section 5 validation: syncless indexing versus timestamps under the
+//! PlanetLab-like clock-offset distribution (the Figures 9–10 mechanics at
+//! test scale).
+
+use mortar::prelude::*;
+use mortar::stream::metrics::{mean_report_latency_secs, true_completeness};
+
+fn run(mode: IndexingMode, scale: f64, n: usize, secs: f64, seed: u64) -> Vec<f64> {
+    let mut cfg = EngineConfig::paper(n, seed);
+    cfg.plan_on_true_latency = true;
+    cfg.planner.branching_factor = 8;
+    cfg.peer.indexing = mode;
+    cfg.clock_model = ClockModel::planetlab_like(scale);
+    let mut eng = Engine::new(cfg);
+    let spec = QuerySpec {
+        name: "sum5".into(),
+        root: 0,
+        members: (0..n as NodeId).collect(),
+        op: OpKind::Sum { field: 0 },
+        window: WindowSpec::time_tumbling_us(5_000_000),
+        filter: None,
+        sensor: SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
+        post: None,
+    };
+    eng.install(spec);
+    eng.run_secs(secs);
+    let results = eng.results(0);
+    vec![
+        true_completeness(results, 5_000_000, 3),
+        mean_report_latency_secs(results),
+    ]
+}
+
+#[test]
+fn syncless_is_immune_to_offset() {
+    let clean = run(IndexingMode::Syncless, 0.0, 40, 90.0, 5);
+    let skewed = run(IndexingMode::Syncless, 1.0, 40, 90.0, 5);
+    assert!(clean[0] > 85.0, "baseline true completeness {:.1}", clean[0]);
+    assert!(
+        skewed[0] > clean[0] - 12.0,
+        "syncless degraded with offset: {:.1} → {:.1}",
+        clean[0],
+        skewed[0]
+    );
+    // Latency stays small and similar.
+    assert!(skewed[1] < clean[1] * 2.5 + 2.0, "syncless latency blew up: {:?}", skewed);
+}
+
+#[test]
+fn timestamps_degrade_with_offset() {
+    let clean = run(IndexingMode::Timestamp, 0.0, 40, 90.0, 6);
+    let skewed = run(IndexingMode::Timestamp, 1.0, 40, 90.0, 6);
+    assert!(clean[0] > 90.0, "with perfect clocks timestamps are accurate: {:.1}", clean[0]);
+    assert!(
+        skewed[0] < clean[0] - 10.0,
+        "timestamps should lose completeness under offset: {:.1} → {:.1}",
+        clean[0],
+        skewed[0]
+    );
+}
+
+#[test]
+fn syncless_beats_timestamps_on_latency_under_offset() {
+    // The paper's headline: result latency improves by a factor of ~8 at
+    // full PlanetLab skew. At test scale, demand a clear multiple.
+    let ts = run(IndexingMode::Timestamp, 1.0, 40, 90.0, 7);
+    let sl = run(IndexingMode::Syncless, 1.0, 40, 90.0, 7);
+    assert!(
+        ts[1] > sl[1] * 2.0,
+        "expected timestamp latency ≫ syncless: ts {:.1}s vs syncless {:.1}s",
+        ts[1],
+        sl[1]
+    );
+}
