@@ -9,15 +9,13 @@
 //!    repair a partially failed install.
 
 use mortar_bench::{banner, header, row, scaled};
-use mortar_core::engine::EngineConfig;
 use mortar_core::engine::Engine;
+use mortar_core::engine::EngineConfig;
 use mortar_core::op::OpKind;
 use mortar_core::query::{QuerySpec, SensorSpec};
 use mortar_core::window::WindowSpec;
 use mortar_net::NodeId;
-use mortar_overlay::{
-    simulate_completeness, FailureSimConfig, Strategy,
-};
+use mortar_overlay::{simulate_completeness, FailureSimConfig, Strategy};
 
 fn ttl_down_sweep() {
     banner("Ablation A", "TTL-down budget for flex-down routing (Figure 5 stage 4)");
@@ -120,8 +118,7 @@ fn union_survival(
     let mut reached = 0usize;
     let mut live_total = 0usize;
     for _ in 0..trials {
-        let alive: Vec<bool> =
-            (0..n).map(|m| m == set.root() || rng.gen::<f64>() >= p).collect();
+        let alive: Vec<bool> = (0..n).map(|m| m == set.root() || rng.gen::<f64>() >= p).collect();
         // BFS from the root over edges between live nodes.
         let mut seen = vec![false; n];
         let mut stack = vec![set.root()];

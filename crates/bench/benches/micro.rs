@@ -25,7 +25,11 @@ fn bench_tslist(c: &mut Criterion) {
             TimeSpaceList::new,
             |mut ts| {
                 for k in 0..64i64 {
-                    ts.insert(&summary(k * 10, k * 10 + 10, AggState::Sum(1.0), 1, 0), 0, 1_000_000);
+                    ts.insert(
+                        &summary(k * 10, k * 10 + 10, AggState::Sum(1.0), 1, 0),
+                        0,
+                        1_000_000,
+                    );
                 }
                 ts
             },
@@ -60,8 +64,7 @@ fn bench_tslist(c: &mut Criterion) {
 
 fn bench_routing(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(1);
-    let coords: Vec<Vec<f64>> =
-        (0..512).map(|i| vec![(i % 23) as f64, (i / 23) as f64]).collect();
+    let coords: Vec<Vec<f64>> = (0..512).map(|i| vec![(i % 23) as f64, (i / 23) as f64]).collect();
     let primary = plan_primary(&coords, 0, 16, 20, &mut rng);
     let trees = TreeSet::new(vec![
         primary.clone(),
@@ -121,9 +124,8 @@ fn bench_planning(c: &mut Criterion) {
 
 fn bench_vivaldi(c: &mut Criterion) {
     let n = 256;
-    let lat: Vec<Vec<f64>> = (0..n)
-        .map(|a| (0..n).map(|b| ((a as f64) - (b as f64)).abs() + 1.0).collect())
-        .collect();
+    let lat: Vec<Vec<f64>> =
+        (0..n).map(|a| (0..n).map(|b| ((a as f64) - (b as f64)).abs() + 1.0).collect()).collect();
     c.bench_function("vivaldi/round_256x8", |b| {
         let mut sys = VivaldiSystem::new(n, 3, 7);
         b.iter(|| sys.round(black_box(&lat), 8));
@@ -132,8 +134,7 @@ fn bench_vivaldi(c: &mut Criterion) {
 
 fn bench_reconcile(c: &mut Criterion) {
     use mortar_core::reconcile::store_hash;
-    let entries: Vec<(String, u64)> =
-        (0..100).map(|i| (format!("query-{i}"), i as u64)).collect();
+    let entries: Vec<(String, u64)> = (0..100).map(|i| (format!("query-{i}"), i as u64)).collect();
     c.bench_function("reconcile/store_hash_100", |b| {
         b.iter(|| store_hash(black_box(&entries).iter().map(|(n, s)| (n.as_str(), *s))));
     });

@@ -15,7 +15,8 @@ fn main() {
     let mut ids: Vec<usize> = (0..hosts).collect();
     ids.shuffle(&mut rng);
     let members: Vec<usize> = ids.into_iter().take(n).collect();
-    let lat: Vec<Vec<f64>> = members.iter().map(|&a| members.iter().map(|&b| full[a][b]).collect()).collect();
+    let lat: Vec<Vec<f64>> =
+        members.iter().map(|&a| members.iter().map(|&b| full[a][b]).collect()).collect();
 
     let mut viv = VivaldiSystem::new(n, 3, 171);
     viv.run(&lat, 30, 8);
@@ -34,7 +35,12 @@ fn main() {
                 let dt = derive_sibling(&pt, &mut rng);
                 d += percentile(&root_latencies(&dt, &lat), 0.9);
             }
-            println!("{name} bf={bf}: random={:.0} planned={:.0} derived={:.0}", r/10.0, p/10.0, d/10.0);
+            println!(
+                "{name} bf={bf}: random={:.0} planned={:.0} derived={:.0}",
+                r / 10.0,
+                p / 10.0,
+                d / 10.0
+            );
         }
     }
 }

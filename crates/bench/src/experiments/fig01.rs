@@ -33,14 +33,10 @@ pub fn run() {
         &levels.iter().map(|l| format!("{:.0}%", l * 100.0)).collect::<Vec<_>>(),
     );
     for (label, s) in strategies {
-        let cells: Vec<f64> =
-            levels.iter().map(|&p| simulate_completeness(&cfg, s, p)).collect();
+        let cells: Vec<f64> = levels.iter().map(|&p| simulate_completeness(&cfg, s, p)).collect();
         row(label, &cells);
         if matches!(s, Strategy::Mirroring { d: 10 }) {
-            println!(
-                "{:>26}  (bandwidth factor {}x — 'not scalable')",
-                "", s.bandwidth_factor()
-            );
+            println!("{:>26}  (bandwidth factor {}x — 'not scalable')", "", s.bandwidth_factor());
         }
     }
     println!(

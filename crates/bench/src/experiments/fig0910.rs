@@ -45,16 +45,18 @@ fn central_run(scale: f64, n: usize, secs: f64, seed: u64) -> (f64, f64) {
     (true_completeness(results, SLIDE_US, 3), mean_report_latency_secs(results))
 }
 
+/// One system's sweep series: `(label, completeness, completeness stddev,
+/// latency)`.
+pub type SystemSeries = (&'static str, Vec<f64>, Vec<f64>, Vec<f64>);
+
 /// Sweep results per system: `(label, completeness series, latency series)`.
-pub fn sweep() -> (Vec<f64>, Vec<(&'static str, Vec<f64>, Vec<f64>, Vec<f64>)>) {
+pub fn sweep() -> (Vec<f64>, Vec<SystemSeries>) {
     let n = scaled(120, 439);
     let secs = scaled(150.0, 300.0);
     let runs = scaled(2, 5);
     let scales: Vec<f64> = vec![0.0, 0.5, 1.0, 1.5, 2.0];
-    let mut out: Vec<(&'static str, Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
-    for (label, which) in
-        [("Syncless", 0usize), ("Timestamp", 1), ("StreamBase-like", 2)]
-    {
+    let mut out: Vec<SystemSeries> = Vec::new();
+    for (label, which) in [("Syncless", 0usize), ("Timestamp", 1), ("StreamBase-like", 2)] {
         let mut comp = Vec::new();
         let mut comp_sd = Vec::new();
         let mut lat = Vec::new();
@@ -84,10 +86,7 @@ pub fn sweep() -> (Vec<f64>, Vec<(&'static str, Vec<f64>, Vec<f64>, Vec<f64>)>) 
 pub fn run_fig09() {
     banner("Figure 9", "true completeness vs. clock-offset scale (5 s window)");
     let (scales, systems) = sweep();
-    header(
-        "true completeness (%)",
-        &scales.iter().map(|s| format!("x{s:.1}")).collect::<Vec<_>>(),
-    );
+    header("true completeness (%)", &scales.iter().map(|s| format!("x{s:.1}")).collect::<Vec<_>>());
     for (label, comp, sd, _) in &systems {
         row(label, comp);
         row(&format!("{label} (σ)"), sd);
@@ -102,10 +101,7 @@ pub fn run_fig09() {
 pub fn run_fig10() {
     banner("Figure 10", "result latency vs. clock-offset scale (5 s window)");
     let (scales, systems) = sweep();
-    header(
-        "latency (s)",
-        &scales.iter().map(|s| format!("x{s:.1}")).collect::<Vec<_>>(),
-    );
+    header("latency (s)", &scales.iter().map(|s| format!("x{s:.1}")).collect::<Vec<_>>());
     for (label, _, _, lat) in &systems {
         row(label, lat);
     }

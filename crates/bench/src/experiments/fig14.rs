@@ -50,10 +50,7 @@ fn print_timeline(label: &str, series: &[f64], step: usize) {
 
 /// Runs the rolling-failures experiment (Figure 14).
 pub fn run_fig14() {
-    banner(
-        "Figure 14",
-        "completeness / path length / network load under rolling failures",
-    );
+    banner("Figure 14", "completeness / path length / network load under rolling failures");
     let n = scaled(240, 680);
     let mut eng = standard_engine(n, 4, 16, 300);
     eng.install(count_peers_spec("q", n, 1_000_000));

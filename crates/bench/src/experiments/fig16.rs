@@ -33,10 +33,7 @@ pub fn run() {
     for (i, frac) in [0.1, 0.2, 0.3, 0.4].iter().enumerate() {
         let t0 = 120 + i * 200;
         let k = (n as f64 * frac) as usize;
-        let victims: Vec<NodeId> = (0..n as NodeId)
-            .filter(|&x| x != root)
-            .take(k)
-            .collect();
+        let victims: Vec<NodeId> = (0..n as NodeId).filter(|&x| x != root).take(k).collect();
         for &v in &victims {
             sim.set_host_up(v, false);
         }
@@ -52,16 +49,12 @@ pub fn run() {
 
     // Completeness vs. live nodes, sampled every 20 s.
     println!("\n{:>8} {:>10} {:>14} {:>12}", "t(s)", "live", "reported", "complete(%)");
-    let live_at = |t: usize| {
-        live.iter().rev().find(|&&(t0, _)| t0 <= t).map(|&(_, l)| l).unwrap_or(n)
-    };
+    let live_at =
+        |t: usize| live.iter().rev().find(|&&(t0, _)| t0 <= t).map(|&(_, l)| l).unwrap_or(n);
     let results = sim.app(root).results.clone();
     let mut worst_over = 0.0f64;
     for t in (100..end).step_by(20) {
-        let sample = results
-            .iter()
-            .filter(|r| (r.true_us / 1_000_000) as usize <= t)
-            .next_back();
+        let sample = results.iter().rfind(|r| (r.true_us / 1_000_000) as usize <= t);
         if let Some(r) = sample {
             let l = live_at(t);
             let pct = 100.0 * r.value / l as f64;

@@ -31,10 +31,8 @@ pub fn run() {
     let mut ids: Vec<usize> = (0..hosts).collect();
     ids.shuffle(&mut rng);
     let members: Vec<usize> = ids.into_iter().take(n).collect();
-    let lat: Vec<Vec<f64>> = members
-        .iter()
-        .map(|&a| members.iter().map(|&b| full_lat[a][b]).collect())
-        .collect();
+    let lat: Vec<Vec<f64>> =
+        members.iter().map(|&a| members.iter().map(|&b| full_lat[a][b]).collect()).collect();
 
     // Vivaldi for at least ten rounds before interconnecting operators
     // (we run more: each round is 8 samples, and an under-converged

@@ -18,11 +18,7 @@ pub fn bic_score(points: &[Point], assignments: &[usize], centroids: &[Point]) -
     }
     let dim = points[0].len() as f64;
     // Pooled maximum-likelihood variance estimate.
-    let rss: f64 = points
-        .iter()
-        .zip(assignments)
-        .map(|(p, &a)| dist2(p, &centroids[a]))
-        .sum();
+    let rss: f64 = points.iter().zip(assignments).map(|(p, &a)| dist2(p, &centroids[a])).sum();
     let denom = (n.saturating_sub(k)) as f64;
     let variance = if denom > 0.0 { (rss / (denom * dim)).max(1e-12) } else { 1e-12 };
 

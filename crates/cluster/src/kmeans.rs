@@ -17,20 +17,12 @@ pub struct Clustering {
 impl Clustering {
     /// Indices of the points in cluster `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        self.assignments
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &a)| (a == c).then_some(i))
-            .collect()
+        self.assignments.iter().enumerate().filter_map(|(i, &a)| (a == c).then_some(i)).collect()
     }
 
     /// Total within-cluster sum of squared distances.
     pub fn inertia(&self, points: &[Point]) -> f64 {
-        points
-            .iter()
-            .zip(&self.assignments)
-            .map(|(p, &a)| dist2(p, &self.centroids[a]))
-            .sum()
+        points.iter().zip(&self.assignments).map(|(p, &a)| dist2(p, &self.centroids[a])).sum()
     }
 }
 

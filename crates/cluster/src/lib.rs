@@ -51,9 +51,7 @@ pub fn nearest_to(candidates: &[Point], target: &[f64]) -> Option<usize> {
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| {
-            dist2(a, target)
-                .partial_cmp(&dist2(b, target))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            dist2(a, target).partial_cmp(&dist2(b, target)).unwrap_or(std::cmp::Ordering::Equal)
         })
         .map(|(i, _)| i)
 }

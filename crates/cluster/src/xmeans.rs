@@ -40,7 +40,7 @@ pub fn xmeans<R: Rng + ?Sized>(points: &[Point], cfg: &XMeansConfig, rng: &mut R
         for c in 0..current.k {
             let member_idx = current.members(c);
             let members: Vec<Point> = member_idx.iter().map(|&i| points[i].clone()).collect();
-            if members.len() < 4 || current.k + new_centroids.len() >= cfg.k_max + c + 1 {
+            if members.len() < 4 || current.k + new_centroids.len() > cfg.k_max + c {
                 new_centroids.push(current.centroids[c].clone());
                 continue;
             }

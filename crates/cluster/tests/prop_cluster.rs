@@ -6,10 +6,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn arb_points() -> impl Strategy<Value = Vec<Point>> {
-    proptest::collection::vec(
-        (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| vec![x, y]),
-        1..60,
-    )
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| vec![x, y]), 1..60)
 }
 
 proptest! {
@@ -26,7 +23,7 @@ proptest! {
         }
         // No empty clusters.
         for cl in 0..c.k {
-            prop_assert!(c.assignments.iter().any(|&a| a == cl), "cluster {cl} empty");
+            prop_assert!(c.assignments.contains(&cl), "cluster {cl} empty");
         }
     }
 

@@ -26,12 +26,7 @@ impl Coord {
     /// Euclidean distance to `other` (predicted latency, ms).
     pub fn dist(&self, other: &Coord) -> f64 {
         debug_assert_eq!(self.0.len(), other.0.len(), "coordinate dims differ");
-        self.0
-            .iter()
-            .zip(&other.0)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.0.iter().zip(&other.0).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 
     fn sub(&self, other: &Coord) -> Coord {
@@ -159,6 +154,7 @@ impl VivaldiSystem {
     }
 
     /// One round: every node samples `k` random distinct peers.
+    #[allow(clippy::needless_range_loop)] // i/j index both `nodes` and `lat_ms`.
     pub fn round(&mut self, lat_ms: &[Vec<f64>], k: usize) {
         let n = self.nodes.len();
         if n < 2 {
@@ -194,6 +190,7 @@ impl VivaldiSystem {
     }
 
     /// Mean relative embedding error over sampled pairs (quality metric).
+    #[allow(clippy::needless_range_loop)] // i/j index both `nodes` and `lat_ms`.
     pub fn mean_relative_error(&self, lat_ms: &[Vec<f64>]) -> f64 {
         let n = self.nodes.len();
         let mut sum = 0.0;
@@ -222,9 +219,7 @@ mod tests {
     use super::*;
 
     fn line_matrix(n: usize, step: f64) -> Vec<Vec<f64>> {
-        (0..n)
-            .map(|i| (0..n).map(|j| (i as f64 - j as f64).abs() * step).collect())
-            .collect()
+        (0..n).map(|i| (0..n).map(|j| (i as f64 - j as f64).abs() * step).collect()).collect()
     }
 
     #[test]

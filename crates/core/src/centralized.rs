@@ -105,12 +105,8 @@ impl CentralNode {
         entry.1 += 1;
         entry.2.add(t.true_window, 1);
         // Close every window whose end precedes the in-order watermark.
-        let due: Vec<i64> = self
-            .open
-            .keys()
-            .copied()
-            .filter(|&w| (w + 1) * slide <= self.delivered_max)
-            .collect();
+        let due: Vec<i64> =
+            self.open.keys().copied().filter(|&w| (w + 1) * slide <= self.delivered_max).collect();
         for w in due {
             self.close_window(w, true_now_us);
         }
@@ -158,7 +154,13 @@ impl App for CentralNode {
         ctx.set_timer_local_us(self.cfg.period_us, EMIT);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, StampedTuple>, _from: NodeId, msg: StampedTuple, _b: u32) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, StampedTuple>,
+        _from: NodeId,
+        msg: StampedTuple,
+        _b: u32,
+    ) {
         if self.id != self.cfg.hub {
             return;
         }

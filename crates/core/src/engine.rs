@@ -12,7 +12,7 @@ use crate::metrics::ResultRecord;
 use crate::msg::MortarMsg;
 use crate::op::OpRegistry;
 use crate::peer::{MortarPeer, PeerConfig};
-use crate::query::{build_records, QuerySpec};
+use crate::query::{build_records, QueryId, QuerySpec};
 use crate::store::ObjectStore;
 use mortar_coords::VivaldiSystem;
 use mortar_net::{ClockModel, NodeId, SimBuilder, Simulator, Topology};
@@ -109,14 +109,9 @@ impl Engine {
 
     /// Plans a tree set for `spec.members` rooted at `spec.root`.
     pub fn plan(&mut self, spec: &QuerySpec) -> TreeSet {
-        let member_coords: Vec<Vec<f64>> = spec
-            .members
-            .iter()
-            .map(|&p| self.coords[p as usize].clone())
-            .collect();
-        let root_member = spec
-            .member_of(spec.root)
-            .expect("query root must be a member") as usize;
+        let member_coords: Vec<Vec<f64>> =
+            spec.members.iter().map(|&p| self.coords[p as usize].clone()).collect();
+        let root_member = spec.member_of(spec.root).expect("query root must be a member") as usize;
         plan_tree_set(&member_coords, root_member, &self.planner, &mut self.rng)
     }
 
@@ -128,14 +123,21 @@ impl Engine {
         trees
     }
 
-    /// Injects an install with an externally planned tree set.
+    /// Injects an install with an externally planned tree set. The store
+    /// interns the query's [`QueryId`]; re-installs keep their handle.
     pub fn install_with_trees(&mut self, spec: QuerySpec, trees: TreeSet) {
         let records = build_records(&spec.members, &trees);
+        let id = self.store.intern(&spec.name);
         let seq = self.store.issue_install(&spec.name);
         let root = spec.root;
-        let msg = MortarMsg::Install { spec, seq, records, issue_age_us: 0 };
+        let msg = MortarMsg::Install { spec, id, seq, records, issue_age_us: 0 };
         let bytes = msg.wire_bytes();
         self.sim.inject(root, root, msg, bytes);
+    }
+
+    /// The interned id the store assigned to `name`, if it was installed.
+    pub fn query_id(&self, name: &str) -> Option<QueryId> {
+        self.store.query_id(name)
     }
 
     /// Injects a removal command at the query root.
@@ -198,6 +200,25 @@ impl Engine {
         let hosts = self.sim.topology().hosts();
         let total: usize = self.sim.apps().map(|p| p.heartbeat_children()).sum();
         total as f64 / hosts as f64
+    }
+
+    /// Total summary frames sent across all peers (the per-message cost
+    /// batching amortizes). Summed from peer counters rather than the
+    /// transport's data-class totals so co-hosted non-summary data traffic
+    /// can never leak into the metric.
+    pub fn summary_frames_sent(&self) -> u64 {
+        self.sim.apps().map(|p| p.stats.frames_out).sum()
+    }
+
+    /// Total summary tuples sent across all peers (invariant across batch
+    /// sizes: batching regroups tuples, it never adds or drops them).
+    pub fn summary_tuples_sent(&self) -> u64 {
+        self.sim.apps().map(|p| p.stats.summaries_out).sum()
+    }
+
+    /// Total modelled summary payload bytes sent (frame headers excluded).
+    pub fn summary_payload_bytes_sent(&self) -> u64 {
+        self.sim.apps().map(|p| p.stats.summary_payload_bytes_out).sum()
     }
 }
 

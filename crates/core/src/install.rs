@@ -129,8 +129,7 @@ pub fn forward_groups(
     records: &[InstallRecord],
     peers: Option<&[NodeId]>,
 ) -> HashMap<NodeId, Vec<InstallRecord>> {
-    let by_member: HashMap<u32, &InstallRecord> =
-        records.iter().map(|r| (r.member, r)).collect();
+    let by_member: HashMap<u32, &InstallRecord> = records.iter().map(|r| (r.member, r)).collect();
     let member_idx = |peer: NodeId| -> Option<u32> {
         match peers {
             Some(p) => p.iter().position(|&id| id == peer).map(|m| m as u32),
@@ -182,10 +181,8 @@ mod tests {
 
     /// A 7-member primary chain-of-pairs: 0←{1,2}, 1←{3,4}, 2←{5,6}.
     fn records7() -> Vec<InstallRecord> {
-        let t = Tree::from_parents(
-            0,
-            vec![None, Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)],
-        );
+        let t =
+            Tree::from_parents(0, vec![None, Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)]);
         let ts = TreeSet::new(vec![t]);
         let peers: Vec<NodeId> = (0..7).collect();
         build_records(&peers, &ts)
@@ -219,16 +216,15 @@ mod tests {
             let root = component_root(c, None);
             // Every record in the chunk must reach the component root by
             // walking primary parents inside the chunk.
-            let members: std::collections::HashSet<u32> =
-                c.iter().map(|r| r.member).collect();
+            let members: std::collections::HashSet<u32> = c.iter().map(|r| r.member).collect();
             for r in c {
                 let mut cur = r.member;
                 let mut steps = 0;
                 while cur != root {
                     let rec = c.iter().find(|x| x.member == cur).unwrap();
                     let p = rec.links[0].parent.expect("non-root chunk member has parent");
-                    assert!(members.contains(&(p as u32)), "disconnected chunk");
-                    cur = p as u32;
+                    assert!(members.contains(&{ p }), "disconnected chunk");
+                    cur = p;
                     steps += 1;
                     assert!(steps <= 7, "cycle in chunk");
                 }

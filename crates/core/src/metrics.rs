@@ -223,10 +223,10 @@ mod tests {
     #[test]
     fn mean_completeness_skips_warmup_and_tail() {
         let rs = vec![
-            rec(0, 1, 1, &[]),          // warm-up, skipped
+            rec(0, 1, 1, &[]), // warm-up, skipped
             rec(1_000_000, 4, 2, &[]),
             rec(2_000_000, 2, 3, &[]),
-            rec(3_000_000, 1, 4, &[]),  // tail, skipped
+            rec(3_000_000, 1, 4, &[]), // tail, skipped
         ];
         let c = mean_completeness(&rs, 4, 1);
         assert!((c - 75.0).abs() < 1e-9, "got {c}");
@@ -235,10 +235,7 @@ mod tests {
     #[test]
     fn true_completeness_with_alignment() {
         // All tuples systematically shifted one window: still 100%.
-        let rs = vec![
-            rec(1_000_000, 1, 1, &[(0, 10)]),
-            rec(2_000_000, 1, 2, &[(1, 10)]),
-        ];
+        let rs = vec![rec(1_000_000, 1, 1, &[(0, 10)]), rec(2_000_000, 1, 2, &[(1, 10)])];
         assert_eq!(true_completeness(&rs, 1_000_000, 2), 100.0);
         // Half the tuples in the wrong window.
         let rs2 = vec![rec(1_000_000, 1, 1, &[(1, 5), (5, 5)])];

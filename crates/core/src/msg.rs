@@ -3,24 +3,38 @@
 //! Sizes are modelled (not serialized) — the simulator charges
 //! `wire_bytes × hops` to the bandwidth accounting, which is how the
 //! paper's "total network load" figures are reproduced.
+//!
+//! The data plane is *batched and interned*: summary traffic travels in
+//! [`MortarMsg::SummaryBatch`] frames that carry a 4-byte [`QueryId`]
+//! handle (never the query name) and every tuple evicted toward the same
+//! next hop on the same tree in one timer tick. Control messages
+//! (install/reconcile/topology) ship whole query specs and therefore carry
+//! the id → name binding each peer records in its
+//! [`crate::query::QueryDirectory`].
 
-use crate::query::{InstallRecord, QuerySpec};
+use crate::query::{InstallRecord, QueryId, QuerySpec};
 use crate::tuple::SummaryTuple;
 
 /// A (query name, sequence) pair in reconciliation exchanges.
 pub type NameSeq = (String, u64);
 
+/// Modelled size of a summary-frame header: query id (4), tree (1),
+/// tuple count (2), flags (1), and a frame sequence slot (4).
+pub const SUMMARY_FRAME_HEADER_BYTES: u32 = 12;
+
 /// The Mortar peer protocol.
 #[derive(Debug, Clone)]
 pub enum MortarMsg {
-    /// A routed summary tuple for `query`, travelling on `tree`.
-    Summary {
-        /// Query name.
-        query: String,
-        /// The tuple.
-        tuple: SummaryTuple,
-        /// Tree the tuple is (now) travelling on.
+    /// A frame of routed summary tuples for one query, travelling on
+    /// `tree`. All tuples share the same next hop; receivers process them
+    /// in order, exactly as if they had arrived as individual messages.
+    SummaryBatch {
+        /// Interned query handle (resolved at install time).
+        query: QueryId,
+        /// Tree the frame is (now) travelling on.
         tree: u8,
+        /// The tuples, in eviction order.
+        tuples: Vec<SummaryTuple>,
         /// Optional piggybacked store hash (removal reconciliation rides
         /// the child→parent data flow, Section 6.1).
         store_hash: Option<u64>,
@@ -34,9 +48,10 @@ pub enum MortarMsg {
     /// Pair-wise reconciliation exchange: the sender's installed set and
     /// removal cache.
     Reconcile {
-        /// Installed queries with their install sequence and the query's
-        /// age (µs since issuance, per the sender's reference clock).
-        installed: Vec<(QuerySpec, u64, i64)>,
+        /// Installed queries with their interned id, install sequence and
+        /// the query's age (µs since issuance, per the sender's reference
+        /// clock).
+        installed: Vec<(QuerySpec, QueryId, u64, i64)>,
         /// Cached removals.
         removed: Vec<NameSeq>,
         /// Whether the receiver should reply with its own sets.
@@ -46,6 +61,8 @@ pub enum MortarMsg {
     Install {
         /// The query.
         spec: QuerySpec,
+        /// Interned id assigned by the injector's object store.
+        id: QueryId,
         /// Store sequence of the install command.
         seq: u64,
         /// Records for this chunk's members (receiver keeps its own and
@@ -70,6 +87,8 @@ pub enum MortarMsg {
     TopoReply {
         /// Query name.
         name: String,
+        /// Interned query id.
+        id: QueryId,
         /// Install sequence.
         seq: u64,
         /// The query spec (the requester may only know the name).
@@ -85,29 +104,23 @@ impl MortarMsg {
     /// Modelled wire size in bytes.
     pub fn wire_bytes(&self) -> u32 {
         match self {
-            MortarMsg::Summary { query, tuple, store_hash, .. } => {
-                16 + query.len() as u32
-                    + tuple.wire_bytes()
+            MortarMsg::SummaryBatch { tuples, store_hash, .. } => {
+                SUMMARY_FRAME_HEADER_BYTES
+                    + tuples.iter().map(SummaryTuple::wire_bytes).sum::<u32>()
                     + if store_hash.is_some() { 8 } else { 0 }
             }
-            MortarMsg::Heartbeat { store_hash } => {
-                24 + if store_hash.is_some() { 8 } else { 0 }
-            }
+            MortarMsg::Heartbeat { store_hash } => 24 + if store_hash.is_some() { 8 } else { 0 },
             MortarMsg::Reconcile { installed, removed, .. } => {
-                16 + installed
-                    .iter()
-                    .map(|(s, _, _)| s.wire_bytes() + 16)
-                    .sum::<u32>()
+                16 + installed.iter().map(|(s, _, _, _)| s.wire_bytes() + 20).sum::<u32>()
                     + removed.iter().map(|(n, _)| n.len() as u32 + 12).sum::<u32>()
             }
             MortarMsg::Install { spec, records, .. } => {
-                24 + spec.wire_bytes()
-                    + records.iter().map(InstallRecord::wire_bytes).sum::<u32>()
+                28 + spec.wire_bytes() + records.iter().map(InstallRecord::wire_bytes).sum::<u32>()
             }
             MortarMsg::Remove { name, .. } => 20 + name.len() as u32,
             MortarMsg::TopoRequest { name } => 12 + name.len() as u32,
             MortarMsg::TopoReply { spec, record, .. } => {
-                28 + spec.wire_bytes() + record.wire_bytes()
+                32 + spec.wire_bytes() + record.wire_bytes()
             }
         }
     }
@@ -126,13 +139,51 @@ mod tests {
     }
 
     #[test]
-    fn summary_size_includes_tuple() {
-        let m = MortarMsg::Summary {
-            query: "q1".into(),
-            tuple: summary(0, 10, AggState::Sum(1.0), 1, 0),
+    fn summary_frame_size_includes_tuples() {
+        let one = MortarMsg::SummaryBatch {
+            query: QueryId(1),
+            tuples: vec![summary(0, 10, AggState::Sum(1.0), 1, 0)],
             tree: 0,
             store_hash: None,
         };
-        assert!(m.wire_bytes() > 40);
+        assert!(one.wire_bytes() > 40);
+    }
+
+    #[test]
+    fn batched_frames_amortize_the_header() {
+        let t = summary(0, 10, AggState::Sum(1.0), 1, 0);
+        let single = MortarMsg::SummaryBatch {
+            query: QueryId(1),
+            tuples: vec![t.clone()],
+            tree: 0,
+            store_hash: None,
+        };
+        let batch = MortarMsg::SummaryBatch {
+            query: QueryId(1),
+            tuples: vec![t.clone(), t.clone(), t.clone(), t],
+            tree: 0,
+            store_hash: None,
+        };
+        // One frame of four tuples costs three headers less than four
+        // frames of one.
+        assert_eq!(4 * single.wire_bytes() - batch.wire_bytes(), 3 * SUMMARY_FRAME_HEADER_BYTES);
+    }
+
+    #[test]
+    fn store_hash_adds_eight_bytes() {
+        let t = summary(0, 10, AggState::Sum(1.0), 1, 0);
+        let without = MortarMsg::SummaryBatch {
+            query: QueryId(2),
+            tuples: vec![t.clone()],
+            tree: 1,
+            store_hash: None,
+        };
+        let with = MortarMsg::SummaryBatch {
+            query: QueryId(2),
+            tuples: vec![t],
+            tree: 1,
+            store_hash: Some(7),
+        };
+        assert_eq!(with.wire_bytes() - without.wire_bytes(), 8);
     }
 }

@@ -20,12 +20,7 @@ pub struct NetDist {
 impl NetDist {
     /// Creates an estimator with the given initial estimate.
     pub fn new(initial_us: u64, alpha: f64) -> Self {
-        Self {
-            alpha,
-            estimate_us: initial_us as f64,
-            window_max_us: 0.0,
-            samples_in_window: 0,
-        }
+        Self { alpha, estimate_us: initial_us as f64, window_max_us: 0.0, samples_in_window: 0 }
     }
 
     /// Feeds one observed tuple age (clamped at zero — timestamp mode can

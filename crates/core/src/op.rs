@@ -19,10 +19,16 @@ use std::sync::Arc;
 pub enum Cmp {
     /// Field equals constant.
     Eq,
+    /// Field differs from constant.
+    Ne,
     /// Field is less than constant.
     Lt,
+    /// Field is at most constant.
+    Le,
     /// Field is greater than constant.
     Gt,
+    /// Field is at least constant.
+    Ge,
 }
 
 /// A select (filter) predicate applied to raw tuples at each source.
@@ -52,8 +58,11 @@ impl Predicate {
                 let v = t.field(*field);
                 match cmp {
                     Cmp::Eq => (v - value).abs() < 1e-9,
+                    Cmp::Ne => (v - value).abs() >= 1e-9,
                     Cmp::Lt => v < *value,
+                    Cmp::Le => v <= *value,
                     Cmp::Gt => v > *value,
+                    Cmp::Ge => v >= *value,
                 }
             }
             Predicate::And(a, b) => a.eval(t) && b.eval(t),
@@ -148,9 +157,9 @@ impl OpKind {
             OpKind::Union { cap } => AggState::Rows { cap: *cap, rows: Vec::new() },
             OpKind::Entropy { cap, .. } => AggState::Freq { cap: *cap, counts: BTreeMap::new() },
             OpKind::BloomIndex => AggState::Bloom { bits: Box::new([0u64; BLOOM_WORDS]) },
-            OpKind::Distinct => AggState::Hll {
-                registers: Box::new([0u8; crate::value::HLL_REGISTERS]),
-            },
+            OpKind::Distinct => {
+                AggState::Hll { registers: Box::new([0u8; crate::value::HLL_REGISTERS]) }
+            }
             OpKind::Custom { name } => registry.get(name).zero(),
         }
     }
@@ -167,11 +176,7 @@ impl OpKind {
             (OpKind::Min { field }, AggState::Min(m)) => *m = m.min(t.field(*field)),
             (OpKind::Max { field }, AggState::Max(m)) => *m = m.max(t.field(*field)),
             (OpKind::TopK { k, field }, AggState::TopK { entries, .. }) => {
-                entries.push(TopKEntry {
-                    score: t.field(*field),
-                    source,
-                    payload: t.vals.clone(),
-                });
+                entries.push(TopKEntry { score: t.field(*field), source, payload: t.vals.clone() });
                 entries.sort_by(|a, b| {
                     b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
                 });
@@ -238,9 +243,7 @@ impl OpRegistry {
     /// Panics when the name is unknown — queries referencing unregistered
     /// operators are configuration errors caught at install time.
     pub fn get(&self, name: &str) -> &Arc<dyn CustomOp> {
-        self.ops
-            .get(name)
-            .unwrap_or_else(|| panic!("custom operator {name:?} not registered"))
+        self.ops.get(name).unwrap_or_else(|| panic!("custom operator {name:?} not registered"))
     }
 
     /// Whether `name` is registered.
@@ -314,6 +317,27 @@ mod tests {
             Box::new(Predicate::Field { field: 0, cmp: Cmp::Gt, value: 4.0 }),
         );
         assert!(and.eval(&t));
+    }
+
+    #[test]
+    fn ordered_and_negated_predicates() {
+        let t = RawTuple { key: 1, vals: vec![5.0] };
+        let p = |cmp, value| Predicate::Field { field: 0, cmp, value };
+        // Le: boundary included, above excluded.
+        assert!(p(Cmp::Le, 5.0).eval(&t));
+        assert!(p(Cmp::Le, 6.0).eval(&t));
+        assert!(!p(Cmp::Le, 4.0).eval(&t));
+        // Ge: boundary included, below excluded.
+        assert!(p(Cmp::Ge, 5.0).eval(&t));
+        assert!(p(Cmp::Ge, 4.0).eval(&t));
+        assert!(!p(Cmp::Ge, 6.0).eval(&t));
+        // Ne: complement of Eq, with the same float tolerance.
+        assert!(p(Cmp::Ne, 4.0).eval(&t));
+        assert!(!p(Cmp::Ne, 5.0).eval(&t));
+        assert!(!p(Cmp::Ne, 5.0 + 1e-12).eval(&t));
+        // Boundary exclusivity of the strict forms, for contrast.
+        assert!(!p(Cmp::Lt, 5.0).eval(&t));
+        assert!(!p(Cmp::Gt, 5.0).eval(&t));
     }
 
     #[test]

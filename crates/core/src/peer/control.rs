@@ -1,0 +1,379 @@
+//! Control plane: install / remove / pair-wise reconciliation / heartbeats
+//! and the query-root topology service (Section 6).
+
+use super::{MortarPeer, QueryState};
+use crate::install::{chunk_components_with_peers, component_root, forward_groups};
+use crate::msg::MortarMsg;
+use crate::netdist::NetDist;
+use crate::query::{InstallRecord, QueryId, QuerySpec};
+use crate::reconcile::{reconcile, SeqMap};
+use crate::tslist::TimeSpaceList;
+use crate::window::WindowKind;
+use mortar_net::{Ctx, NodeId, TrafficClass};
+use std::collections::{BTreeMap, HashMap};
+
+/// Zero-copy [`SeqMap`] view of a peer's installed set (name → install
+/// sequence), so reconciliation needs no per-exchange map materialization.
+struct InstalledView<'a>(&'a MortarPeer);
+
+impl SeqMap for InstalledView<'_> {
+    fn seq_of(&self, name: &str) -> Option<u64> {
+        self.0.query_by_name(name).map(|q| q.seq)
+    }
+    fn pairs(&self) -> Box<dyn Iterator<Item = (&str, u64)> + '_> {
+        Box::new(self.0.queries.values().map(|q| (q.spec.name.as_str(), q.seq)))
+    }
+}
+
+impl MortarPeer {
+    /// Installs (or refreshes) a query's runtime state.
+    pub(crate) fn install_query(
+        &mut self,
+        spec: QuerySpec,
+        id: QueryId,
+        seq: u64,
+        record: Option<InstallRecord>,
+        issue_age_us: i64,
+        local_now: i64,
+    ) {
+        if let Some(&rseq) = self.removed.get(&spec.name) {
+            if rseq >= seq {
+                return; // A newer removal wins.
+            }
+            self.removed.remove(&spec.name);
+        }
+        // Id collision guard: ids are unique only within one injector's
+        // object store (the single-writer assumption). If a second injector
+        // ever mints the same id for a *different* name, refuse the install
+        // rather than merge two queries' data paths.
+        if self.directory.name_of(id).is_some_and(|n| n != spec.name) {
+            return;
+        }
+        if let Some(existing) = self.queries.get(&id) {
+            if existing.seq >= seq && existing.record.is_some() {
+                return; // Already current.
+            }
+        }
+        let window = spec.window;
+        window.validate();
+        let t_ref_base = local_now - issue_age_us;
+        let frame_now = match self.cfg.indexing {
+            super::IndexingMode::Syncless => local_now - t_ref_base,
+            super::IndexingMode::Timestamp => local_now,
+        };
+        let slide = window.slide as i64;
+        let state = QueryState {
+            spec,
+            id,
+            seq,
+            record,
+            t_ref_base_us: t_ref_base,
+            ts: TimeSpaceList::new(),
+            netdist: NetDist::new(self.cfg.netdist_init_us, self.cfg.netdist_alpha),
+            stripe_rr: self.id as usize, // Stagger striping across peers.
+            buckets: BTreeMap::new(),
+            next_close_k: if window.kind == WindowKind::Time {
+                frame_now.div_euclid(slide)
+            } else {
+                0
+            },
+            next_emit_local_us: local_now,
+            tuple_buf: Vec::new(),
+            tuples_seen: 0,
+            tuples_out: 0,
+        };
+        self.directory.bind(id, &state.spec.name);
+        let neighbours: Vec<NodeId> = state
+            .record
+            .as_ref()
+            .map(|r| {
+                r.links
+                    .iter()
+                    .flat_map(|l| l.parent.into_iter().chain(l.children.iter().copied()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.register_routes(id, state.record.as_ref());
+        self.queries.insert(id, state);
+        self.stats.installs += 1;
+        self.rebuild_hb_children();
+        // Mark known neighbours as recently heard so routing starts
+        // optimistic (the paper installs assuming the plan is live).
+        for p in neighbours {
+            self.last_heard.entry(p).or_insert(local_now);
+        }
+    }
+
+    /// (Re)registers a query's static routing inputs from its record.
+    pub(crate) fn register_routes(&mut self, id: QueryId, record: Option<&InstallRecord>) {
+        match record {
+            Some(rec) => {
+                let levels = rec.levels();
+                let child_counts = rec.links.iter().map(|l| l.children.len()).collect();
+                self.route_table.register(id, levels, child_counts);
+            }
+            None => self.route_table.remove(id),
+        }
+    }
+
+    /// Removes a query; returns the primary-tree children to forward the
+    /// removal to, or `None` when the removal is stale or unknown.
+    pub(crate) fn remove_query(&mut self, name: &str, seq: u64) -> Option<Vec<NodeId>> {
+        let id = self.directory.id_of(name)?;
+        let q = self.queries.get(&id)?;
+        if q.seq >= seq {
+            return None;
+        }
+        let fwd: Vec<NodeId> =
+            q.record.as_ref().map(|r| r.links[0].children.clone()).unwrap_or_default();
+        self.queries.remove(&id);
+        self.route_table.remove(id);
+        // The directory keeps the retired id→name binding: stale data
+        // frames for this id must still trigger removal reconciliation.
+        self.removed.insert(name.to_string(), seq);
+        self.stats.removals += 1;
+        self.rebuild_hb_children();
+        Some(fwd)
+    }
+
+    /// Handles a removal command, forwarding it down the primary tree.
+    pub(crate) fn handle_remove(&mut self, ctx: &mut Ctx<'_, MortarMsg>, name: &str, seq: u64) {
+        if let Some(children) = self.remove_query(name, seq) {
+            for c in children {
+                let msg = MortarMsg::Remove { name: name.to_string(), seq };
+                let bytes = msg.wire_bytes();
+                ctx.send_classified(c, msg, bytes, TrafficClass::Control);
+            }
+        }
+    }
+
+    /// Builds this peer's reconciliation message.
+    pub(crate) fn reconcile_payload(&self, local_now: i64, reply: bool) -> MortarMsg {
+        MortarMsg::Reconcile {
+            installed: self
+                .queries
+                .values()
+                .map(|q| (q.spec.clone(), q.id, q.seq, local_now - q.t_ref_base_us))
+                .collect(),
+            removed: self.removed.iter().map(|(n, &s)| (n.clone(), s)).collect(),
+            reply,
+        }
+    }
+
+    /// Handles a heartbeat, answering hash mismatches with a full exchange.
+    pub(crate) fn handle_heartbeat(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        from: NodeId,
+        store_hash: Option<u64>,
+    ) {
+        if let Some(h) = store_hash {
+            if h != self.my_store_hash() {
+                self.stats.reconciles += 1;
+                let payload = self.reconcile_payload(ctx.local_now_us(), true);
+                let bytes = payload.wire_bytes();
+                ctx.send_classified(from, payload, bytes, TrafficClass::Control);
+            }
+        }
+    }
+
+    /// Applies a reconciliation exchange (Section 6.1).
+    pub(crate) fn handle_reconcile(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        from: NodeId,
+        installed: Vec<(QuerySpec, QueryId, u64, i64)>,
+        removed: Vec<(String, u64)>,
+        reply: bool,
+    ) {
+        let local_now = ctx.local_now_us();
+        let other_installed: HashMap<String, u64> =
+            installed.iter().map(|(s, _, q, _)| (s.name.clone(), *q)).collect();
+        let other_removed: HashMap<String, u64> = removed.into_iter().collect();
+        let outcome =
+            reconcile(&InstalledView(self), &self.removed, &other_installed, &other_removed);
+        if reply {
+            let payload = self.reconcile_payload(local_now, false);
+            let bytes = payload.wire_bytes();
+            ctx.send_classified(from, payload, bytes, TrafficClass::Control);
+        }
+        for (name, seq) in outcome.to_install {
+            if let Some((spec, id, _, age)) = installed.iter().find(|(s, _, _, _)| s.name == name) {
+                let age = age + self.cfg.hop_age_est_us as i64;
+                let root = spec.root;
+                self.install_query(spec.clone(), *id, seq, None, age, local_now);
+                // Fetch this peer's physical-plan record from the root.
+                let req = MortarMsg::TopoRequest { name: name.clone() };
+                let bytes = req.wire_bytes();
+                ctx.send_classified(root, req, bytes, TrafficClass::Control);
+            }
+        }
+        for (name, seq) in outcome.to_remove {
+            self.remove_query(&name, seq);
+        }
+    }
+
+    /// Handles a chunked-multicast install (Section 6).
+    pub(crate) fn handle_install(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        spec: QuerySpec,
+        id: QueryId,
+        seq: u64,
+        records: Vec<InstallRecord>,
+        issue_age_us: i64,
+    ) {
+        let local_now = ctx.local_now_us();
+        if self.removed.get(&spec.name).is_some_and(|&r| r >= seq) {
+            return;
+        }
+        let my_member = spec.member_of(self.id);
+        let is_root = spec.root == self.id;
+        if is_root && records.len() == spec.members.len() {
+            // Acting as the installer: keep the full plan for the topology
+            // service, then chunk and multicast.
+            self.topo.insert(spec.name.clone(), records.clone());
+            if let Some(m) = my_member {
+                if let Some(rec) = records.iter().find(|r| r.member == m) {
+                    self.install_query(
+                        spec.clone(),
+                        id,
+                        seq,
+                        Some(rec.clone()),
+                        issue_age_us,
+                        local_now,
+                    );
+                }
+            }
+            let chunks =
+                chunk_components_with_peers(&records, Some(&spec.members), self.cfg.install_chunks);
+            let age = issue_age_us + self.cfg.hop_age_est_us as i64;
+            for chunk in chunks {
+                let croot = component_root(&chunk, Some(&spec.members));
+                let croot_peer = spec.members[croot as usize];
+                if croot_peer == self.id {
+                    // Our own component: forward directly to children.
+                    self.forward_install(ctx, &spec, id, seq, &chunk, age);
+                    continue;
+                }
+                let msg = MortarMsg::Install {
+                    spec: spec.clone(),
+                    id,
+                    seq,
+                    records: chunk,
+                    issue_age_us: age,
+                };
+                let bytes = msg.wire_bytes();
+                ctx.send_classified(croot_peer, msg, bytes, TrafficClass::Control);
+            }
+            return;
+        }
+        if let Some(m) = my_member {
+            if let Some(rec) = records.iter().find(|r| r.member == m) {
+                self.install_query(
+                    spec.clone(),
+                    id,
+                    seq,
+                    Some(rec.clone()),
+                    issue_age_us,
+                    local_now,
+                );
+            }
+        }
+        let age = issue_age_us + self.cfg.hop_age_est_us as i64;
+        self.forward_install(ctx, &spec, id, seq, &records, age);
+    }
+
+    fn forward_install(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        spec: &QuerySpec,
+        id: QueryId,
+        seq: u64,
+        records: &[InstallRecord],
+        issue_age_us: i64,
+    ) {
+        let Some(m) = spec.member_of(self.id) else { return };
+        let groups = forward_groups(m, records, Some(&spec.members));
+        for (child_peer, group) in groups {
+            let msg =
+                MortarMsg::Install { spec: spec.clone(), id, seq, records: group, issue_age_us };
+            let bytes = msg.wire_bytes();
+            ctx.send_classified(child_peer, msg, bytes, TrafficClass::Control);
+        }
+    }
+
+    /// Answers a topology-service lookup (query roots only).
+    pub(crate) fn handle_topo_request(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        from: NodeId,
+        name: &str,
+    ) {
+        let local_now = ctx.local_now_us();
+        let reply = self.topo.get(name).and_then(|records| {
+            let q = self.query_by_name(name)?;
+            let m = q.spec.member_of(from)?;
+            let rec = records.iter().find(|r| r.member == m)?.clone();
+            Some(MortarMsg::TopoReply {
+                name: name.to_string(),
+                id: q.id,
+                seq: q.seq,
+                spec: q.spec.clone(),
+                record: rec,
+                issue_age_us: local_now - q.t_ref_base_us,
+            })
+        });
+        if let Some(reply) = reply {
+            let bytes = reply.wire_bytes();
+            ctx.send_classified(from, reply, bytes, TrafficClass::Control);
+        }
+    }
+
+    /// Applies a topology-service reply, connecting a pending install.
+    pub(crate) fn handle_topo_reply(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        id: QueryId,
+        seq: u64,
+        spec: QuerySpec,
+        record: InstallRecord,
+        issue_age_us: i64,
+    ) {
+        let local_now = ctx.local_now_us();
+        let age = issue_age_us + self.cfg.hop_age_est_us as i64;
+        match self.queries.get_mut(&id) {
+            Some(q) if q.record.is_none() => {
+                q.record = Some(record);
+                q.seq = q.seq.max(seq);
+                let slide = q.spec.window.slide as i64;
+                let frame = q.frame_now(self.cfg.indexing, local_now);
+                q.next_close_k = frame.div_euclid(slide);
+                q.next_emit_local_us = local_now;
+                let rec = q.record.clone();
+                self.register_routes(id, rec.as_ref());
+                self.rebuild_hb_children();
+            }
+            Some(_) => {}
+            None => {
+                self.install_query(spec, id, seq, Some(record), age, local_now);
+            }
+        }
+    }
+
+    /// Emits this beat's heartbeats to all distinct children.
+    pub(crate) fn send_heartbeats(&mut self, ctx: &mut Ctx<'_, MortarMsg>) {
+        self.hb_count += 1;
+        let hash = if self.hb_count.is_multiple_of(self.cfg.reconcile_every as u64) {
+            Some(self.my_store_hash())
+        } else {
+            None
+        };
+        let children: Vec<NodeId> = self.hb_children.iter().copied().collect();
+        for c in children {
+            let msg = MortarMsg::Heartbeat { store_hash: hash };
+            let bytes = msg.wire_bytes();
+            ctx.send_classified(c, msg, bytes, TrafficClass::Heartbeat);
+        }
+    }
+}

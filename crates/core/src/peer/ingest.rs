@@ -1,0 +1,223 @@
+//! Ingest stage: sensor pumping, raw-tuple lift (merging across time), and
+//! window close (Sections 4–5).
+
+use super::MortarPeer;
+use crate::msg::MortarMsg;
+use crate::query::{QueryId, SensorSpec};
+use crate::tuple::{RawTuple, SummaryTuple, TruthMeta};
+use crate::window::WindowKind;
+use mortar_net::Ctx;
+use mortar_overlay::RouteState;
+
+impl MortarPeer {
+    /// Lifts one raw tuple into the query's open windows.
+    pub(crate) fn ingest_raw(
+        &mut self,
+        id: QueryId,
+        tuple: RawTuple,
+        local_now: i64,
+        true_now_us: u64,
+    ) {
+        let Some(q) = self.queries.get_mut(&id) else { return };
+        if !q.active() {
+            return;
+        }
+        if let Some(pred) = &q.spec.filter {
+            if !pred.eval(&tuple) {
+                return;
+            }
+        }
+        let member = q.member().unwrap_or(0);
+        let track = self.cfg.track_truth;
+        match q.spec.window.kind {
+            WindowKind::Time => {
+                let frame = q.frame_now(self.cfg.indexing, local_now);
+                let w = q.spec.window;
+                let slide = w.slide as i64;
+                let range = w.range as i64;
+                for k in w.windows_for_instant(frame) {
+                    // Precise containment check for non-multiple ranges.
+                    let wk_begin = (k + 1) * slide - range;
+                    if frame < wk_begin || frame >= (k + 1) * slide {
+                        continue;
+                    }
+                    let b = q.buckets.entry(k).or_default();
+                    let st = b.state.get_or_insert_with(|| q.spec.op.zero(&self.registry));
+                    q.spec.op.lift(&self.registry, st, member, &tuple);
+                    b.count += 1;
+                    if track {
+                        let tw = (true_now_us as i64).div_euclid(slide);
+                        b.truth.add(tw, 1);
+                    }
+                }
+            }
+            WindowKind::Tuples => {
+                let frame = q.frame_now(self.cfg.indexing, local_now);
+                q.tuple_buf.push((frame, tuple));
+                q.tuples_seen += 1;
+                let range = q.spec.window.range as usize;
+                let slide = q.spec.window.slide;
+                if q.tuples_seen % slide == 0 && q.tuple_buf.len() >= range.min(1) {
+                    // Summarize the last `range` tuples.
+                    let start = q.tuple_buf.len().saturating_sub(range);
+                    let win = &q.tuple_buf[start..];
+                    let mut st = q.spec.op.zero(&self.registry);
+                    for (_, t) in win {
+                        q.spec.op.lift(&self.registry, &mut st, member, t);
+                    }
+                    let tb = win.first().map(|(f, _)| *f).unwrap_or(frame);
+                    let te = win.last().map(|(f, _)| *f + 1).unwrap_or(frame + 1);
+                    let levels = q.record.as_ref().map(|r| r.levels()).unwrap_or_default();
+                    q.stripe_rr = (q.stripe_rr + 1) % levels.len().max(1);
+                    let s = SummaryTuple {
+                        tb,
+                        te,
+                        age_us: 0,
+                        participants: 1,
+                        has_value: true,
+                        state: st,
+                        route: RouteState::from_levels(levels),
+                        hops: 0,
+                        stripe_tree: q.stripe_rr as u8,
+                        truth: TruthMeta::default(),
+                    };
+                    let timeout = q.netdist.timeout_us(0, self.cfg.min_timeout_us);
+                    q.ts.insert(&s, local_now, timeout);
+                    // Trim the buffer.
+                    let keep = q.tuple_buf.len().saturating_sub(range);
+                    q.tuple_buf.drain(..keep);
+                }
+            }
+        }
+    }
+
+    /// Closes every time window due at `local_now`, inserting its summary
+    /// (or a boundary tuple) into the TS list.
+    pub(crate) fn close_windows(&mut self, id: QueryId, local_now: i64) {
+        let Some(q) = self.queries.get_mut(&id) else { return };
+        if !q.active() || q.spec.window.kind != WindowKind::Time {
+            return;
+        }
+        let frame = q.frame_now(self.cfg.indexing, local_now);
+        let slide = q.spec.window.slide as i64;
+        let cur_k = frame.div_euclid(slide);
+        let levels = q.record.as_ref().map(|r| r.levels()).unwrap_or_default();
+        let width = levels.len().max(1);
+        while q.next_close_k < cur_k {
+            let k = q.next_close_k;
+            q.next_close_k += 1;
+            // One EWMA step per window slide: netDist is an EWMA of the
+            // *per-window* maximum age sample (Section 4.3).
+            q.netdist.roll();
+            let (tb, te) = q.spec.window.interval_of(k);
+            let bucket = q.buckets.remove(&k);
+            // Inception is anchored at the *centre* of the identifying
+            // interval: re-indexing from age then tolerates up to slide/2
+            // of accumulated age error instead of flip-flopping across the
+            // boundary (the tight dispersion bound of Section 5.1).
+            let age = frame - (tb + te) / 2;
+            q.stripe_rr = (q.stripe_rr + 1) % width;
+            let stripe = q.stripe_rr as u8;
+            let mut s = match bucket {
+                Some(b) if b.state.is_some() => SummaryTuple {
+                    tb,
+                    te,
+                    age_us: age,
+                    participants: 1,
+                    has_value: true,
+                    state: b.state.expect("checked"),
+                    route: RouteState::from_levels(levels.clone()),
+                    hops: 0,
+                    stripe_tree: stripe,
+                    truth: b.truth,
+                },
+                _ => {
+                    // Stalled or empty source: boundary tuple keeps the
+                    // completeness metric honest.
+                    let mut b =
+                        SummaryTuple::boundary(tb, te, RouteState::from_levels(levels.clone()));
+                    b.age_us = age;
+                    b
+                }
+            };
+            s.stripe_tree = stripe;
+            let timeout = q.netdist.timeout_us(s.age_us, self.cfg.min_timeout_us);
+            q.ts.insert(&s, local_now, timeout);
+        }
+        // Garbage-collect pathological bucket growth (timestamp mode with
+        // huge offsets can mint far-future buckets).
+        if q.buckets.len() > 1024 {
+            while q.buckets.len() > 1024 {
+                let _ = q.buckets.pop_first();
+            }
+        }
+    }
+
+    /// Pumps the query's local sensor for tuples due by now.
+    pub(crate) fn pump_sensor(&mut self, id: QueryId, ctx: &mut Ctx<'_, MortarMsg>) {
+        let local_now = ctx.local_now_us();
+        let true_now = ctx.true_now_us();
+        let Some(q) = self.queries.get_mut(&id) else { return };
+        if !q.active() {
+            return;
+        }
+        match q.spec.sensor.clone() {
+            SensorSpec::Periodic { period_us, value } => {
+                let mut due: Vec<RawTuple> = Vec::new();
+                while q.next_emit_local_us <= local_now {
+                    due.push(RawTuple::of(value));
+                    q.next_emit_local_us += period_us as i64;
+                }
+                for t in due {
+                    self.ingest_raw(id, t, local_now, true_now);
+                }
+            }
+            SensorSpec::Replay => {
+                let base = q.t_ref_base_us;
+                let mut due: Vec<RawTuple> = Vec::new();
+                while self.replay_pos < self.replay.len() {
+                    let (off, ref t) = self.replay[self.replay_pos];
+                    if base + off as i64 <= local_now {
+                        due.push(t.clone());
+                        self.replay_pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                for t in due {
+                    self.ingest_raw(id, t, local_now, true_now);
+                }
+            }
+            // Subscription ingest happens where the upstream root emits.
+            SensorSpec::Subscribe { .. } | SensorSpec::None => {}
+        }
+    }
+
+    /// Feeds a root emission into co-located queries subscribed to `name`
+    /// (Section 2.2's composition).
+    pub(crate) fn feed_subscribers(
+        &mut self,
+        name: &str,
+        value: f64,
+        participants: u32,
+        local_now: i64,
+        true_now: u64,
+    ) {
+        let subscribers: Vec<QueryId> = self
+            .queries
+            .values()
+            .filter(
+                |sq| matches!(&sq.spec.sensor, SensorSpec::Subscribe { query } if query == name),
+            )
+            .map(|sq| sq.id)
+            .collect();
+        for sub in subscribers {
+            self.ingest_raw(
+                sub,
+                RawTuple { key: 0, vals: vec![value, participants as f64] },
+                local_now,
+                true_now,
+            );
+        }
+    }
+}

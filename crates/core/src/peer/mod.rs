@@ -1,0 +1,629 @@
+//! The Mortar peer: a complete, transport-agnostic protocol state machine,
+//! organized as a staged runtime.
+//!
+//! A peer hosts one operator instance per installed query. Its duties per
+//! the paper:
+//!
+//! * **Data plane** — window local raw tuples into summary tuples (merging
+//!   across time), merge arriving summaries into the time-space list
+//!   (merging across space), and on expiry route the merged summary toward
+//!   the query root with dynamic striping (Sections 3.3–5).
+//! * **Liveness** — parent→child heartbeats every 2 s; a silent neighbour
+//!   is presumed down after three missed beats (Section 7.2.2).
+//! * **Persistence** — chunked-multicast install/remove with pair-wise
+//!   reconciliation every third heartbeat and a query-root topology service
+//!   (Section 6).
+//!
+//! The runtime is split by stage:
+//!
+//! * [`mod@self`] — peer state, configuration, and the
+//!   [`App`] event loop;
+//! * [`control`] (private) — install / remove / reconcile / heartbeat /
+//!   topology handling;
+//! * [`ingest`] (private) — sensor pumping, raw-tuple lift, and window
+//!   close;
+//! * [`route`] (private) — TS-list eviction, staged multipath routing, and
+//!   summary-frame handling.
+//!
+//! Queries are keyed by interned [`QueryId`] handles resolved at install
+//! time through a [`QueryDirectory`]; all summary traffic travels in
+//! [`MortarMsg::SummaryBatch`] frames that coalesce every tuple bound for
+//! the same (query, tree, next hop) within one timer tick.
+//!
+//! All timing uses the peer's *local* clock; in syncless mode no global
+//! time ever enters the data path.
+
+mod control;
+mod ingest;
+mod route;
+
+use crate::metrics::ResultRecord;
+use crate::msg::MortarMsg;
+use crate::netdist::NetDist;
+use crate::op::OpRegistry;
+use crate::query::{InstallRecord, QueryDirectory, QueryId, QuerySpec};
+use crate::reconcile::store_hash;
+use crate::tslist::TimeSpaceList;
+use crate::tuple::RawTuple;
+use crate::value::AggState;
+use mortar_net::{App, Ctx, NodeId};
+use mortar_overlay::RouteTable;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// How operators index tuples in time (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexingMode {
+    /// Syncless: ages instead of timestamps; immune to clock offset.
+    Syncless,
+    /// Traditional timestamps from the local wall clock.
+    Timestamp,
+}
+
+/// Peer configuration (defaults follow the paper's evaluation settings).
+#[derive(Debug, Clone, Copy)]
+pub struct PeerConfig {
+    /// Internal scheduling granularity, local µs.
+    pub tick_us: u64,
+    /// Heartbeat period (paper: 2 s).
+    pub hb_period_us: u64,
+    /// Beats without contact before a neighbour is presumed down (3).
+    pub hb_timeout_beats: u32,
+    /// Reconciliation runs every Nth heartbeat (3 ⇒ every 6 s).
+    pub reconcile_every: u32,
+    /// Modelled per-hop transit added to tuple age on send.
+    pub hop_age_est_us: u64,
+    /// Indexing mode.
+    pub indexing: IndexingMode,
+    /// Floor for the dynamic timeout.
+    pub min_timeout_us: u64,
+    /// Initial netDist estimate.
+    pub netdist_init_us: u64,
+    /// netDist EWMA constant (paper: 0.10).
+    pub netdist_alpha: f64,
+    /// Attach a store hash to every Nth outgoing summary tuple (removal
+    /// reconciliation rides the data flow).
+    pub data_hash_every: u32,
+    /// Install multicast chunk count (paper: 16).
+    pub install_chunks: usize,
+    /// Record ground-truth metadata for metrics.
+    pub track_truth: bool,
+    /// Staleness horizon: arriving summaries whose apparent age exceeds
+    /// this are dropped (the bounded-reorder-buffer analog; prevents
+    /// multi-thousand-second offsets from poisoning state forever).
+    pub max_age_us: u64,
+    /// Maximum tuples per outgoing summary frame. Tuples evicted in the
+    /// same tick for the same (query, tree, next hop) coalesce into one
+    /// [`MortarMsg::SummaryBatch`] up to this size; `1` reproduces the
+    /// unbatched one-tuple-per-message protocol exactly.
+    pub summary_batch_max: usize,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        Self {
+            tick_us: 200_000,
+            hb_period_us: 2_000_000,
+            hb_timeout_beats: 3,
+            reconcile_every: 3,
+            hop_age_est_us: 15_000,
+            indexing: IndexingMode::Syncless,
+            min_timeout_us: 250_000,
+            netdist_init_us: 2_500_000,
+            netdist_alpha: 0.1,
+            data_hash_every: 8,
+            install_chunks: 16,
+            track_truth: true,
+            max_age_us: 90_000_000,
+            summary_batch_max: 32,
+        }
+    }
+}
+
+/// Peer-side counters for diagnostics and experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PeerStats {
+    /// Summaries dropped by the routing policy (stage 5).
+    pub route_drops: u64,
+    /// TS-list evictions performed.
+    pub evictions: u64,
+    /// Summary tuples received (across all frames).
+    pub summaries_in: u64,
+    /// Summary frames received.
+    pub frames_in: u64,
+    /// Summary tuples sent (across all frames).
+    pub summaries_out: u64,
+    /// Summary frames sent (the per-message cost batching amortizes).
+    pub frames_out: u64,
+    /// Modelled payload bytes of all summary tuples sent (frame headers
+    /// excluded) — conserved across batch sizes.
+    pub summary_payload_bytes_out: u64,
+    /// Reconciliation exchanges initiated.
+    pub reconciles: u64,
+    /// Installs applied (including via reconciliation).
+    pub installs: u64,
+    /// Removals applied.
+    pub removals: u64,
+    /// Sum over delivered-to-root tuples of overlay hops travelled.
+    pub hops_accum: u64,
+    /// Count of root deliveries contributing to `hops_accum`.
+    pub hops_samples: u64,
+}
+
+/// One open raw-data window (merging across time).
+#[derive(Debug, Default)]
+pub(crate) struct Bucket {
+    pub(crate) state: Option<AggState>,
+    pub(crate) truth: crate::tuple::TruthMeta,
+    pub(crate) count: u64,
+}
+
+/// Per-query runtime state at one peer.
+pub(crate) struct QueryState {
+    pub(crate) spec: QuerySpec,
+    pub(crate) id: QueryId,
+    pub(crate) seq: u64,
+    pub(crate) record: Option<InstallRecord>,
+    /// Local µs corresponding to the query's issue instant.
+    pub(crate) t_ref_base_us: i64,
+    pub(crate) ts: TimeSpaceList,
+    pub(crate) netdist: NetDist,
+    pub(crate) stripe_rr: usize,
+    pub(crate) buckets: BTreeMap<i64, Bucket>,
+    pub(crate) next_close_k: i64,
+    pub(crate) next_emit_local_us: i64,
+    /// Tuple-window buffer: (frame arrival time, tuple).
+    pub(crate) tuple_buf: Vec<(i64, RawTuple)>,
+    pub(crate) tuples_seen: u64,
+    pub(crate) tuples_out: u64,
+}
+
+impl QueryState {
+    pub(crate) fn member(&self) -> Option<u32> {
+        self.record.as_ref().map(|r| r.member)
+    }
+
+    pub(crate) fn active(&self) -> bool {
+        self.record.is_some()
+    }
+
+    /// The query's indexing frame at local time `now` (Section 5: syncless
+    /// operators index relative to the query's issue instant).
+    pub(crate) fn frame_now(&self, indexing: IndexingMode, local_now: i64) -> i64 {
+        match indexing {
+            IndexingMode::Syncless => local_now - self.t_ref_base_us,
+            IndexingMode::Timestamp => local_now,
+        }
+    }
+}
+
+/// The Mortar peer application.
+pub struct MortarPeer {
+    /// This peer's identifier.
+    pub id: NodeId,
+    pub(crate) cfg: PeerConfig,
+    pub(crate) registry: OpRegistry,
+    /// Installed queries, keyed by interned id. A `BTreeMap` keeps every
+    /// per-tick iteration deterministic (u32 ordering is free, unlike the
+    /// string keys this runtime used to sort on).
+    pub(crate) queries: BTreeMap<QueryId, QueryState>,
+    /// Name↔id bindings, including retired ones for removed queries.
+    pub(crate) directory: QueryDirectory,
+    /// Per-query routing cache (levels / child lists per tree).
+    pub(crate) route_table: RouteTable,
+    pub(crate) removed: BTreeMap<String, u64>,
+    pub(crate) last_heard: HashMap<NodeId, i64>,
+    pub(crate) hb_children: BTreeSet<NodeId>,
+    pub(crate) hb_count: u64,
+    pub(crate) next_hb_local_us: i64,
+    /// Topology service state (query roots only).
+    pub(crate) topo: HashMap<String, Vec<InstallRecord>>,
+    /// Results recorded by the root operator.
+    pub results: Vec<ResultRecord>,
+    /// Replay trace for `SensorSpec::Replay` (local-µs offset, tuple).
+    pub(crate) replay: Vec<(u64, RawTuple)>,
+    pub(crate) replay_pos: usize,
+    /// Counters.
+    pub stats: PeerStats,
+}
+
+/// Timer tag for the peer's single periodic tick.
+const TICK: u64 = 1;
+
+impl MortarPeer {
+    /// Creates a peer with the given configuration and operator registry.
+    pub fn new(id: NodeId, cfg: PeerConfig, registry: OpRegistry) -> Self {
+        assert!(cfg.summary_batch_max >= 1, "summary_batch_max must be at least 1");
+        Self {
+            id,
+            cfg,
+            registry,
+            queries: BTreeMap::new(),
+            directory: QueryDirectory::new(),
+            route_table: RouteTable::new(),
+            removed: BTreeMap::new(),
+            last_heard: HashMap::new(),
+            hb_children: BTreeSet::new(),
+            hb_count: 0,
+            next_hb_local_us: i64::MIN,
+            topo: HashMap::new(),
+            results: Vec::new(),
+            replay: Vec::new(),
+            replay_pos: 0,
+            stats: PeerStats::default(),
+        }
+    }
+
+    /// Sets the replay trace used by `SensorSpec::Replay` queries.
+    /// Offsets are local µs from query activation.
+    pub fn set_replay(&mut self, trace: Vec<(u64, RawTuple)>) {
+        self.replay = trace;
+        self.replay_pos = 0;
+    }
+
+    /// Resolves a query name to its state.
+    pub(crate) fn query_by_name(&self, name: &str) -> Option<&QueryState> {
+        self.queries.get(&self.directory.id_of(name)?)
+    }
+
+    /// The interned id a query name resolved to at this peer, if any.
+    pub fn query_id(&self, name: &str) -> Option<QueryId> {
+        self.directory.id_of(name)
+    }
+
+    /// Whether a query is installed (record may still be pending).
+    pub fn has_query(&self, name: &str) -> bool {
+        self.query_by_name(name).is_some()
+    }
+
+    /// Whether a query is installed *and* connected to the physical plan.
+    pub fn is_active(&self, name: &str) -> bool {
+        self.query_by_name(name).is_some_and(QueryState::active)
+    }
+
+    /// Names of installed queries.
+    pub fn installed_names(&self) -> Vec<&str> {
+        self.queries.values().map(|q| q.spec.name.as_str()).collect()
+    }
+
+    /// Current netDist estimate for a query (diagnostics).
+    pub fn netdist_us(&self, name: &str) -> Option<u64> {
+        self.query_by_name(name).map(|q| q.netdist.estimate_us())
+    }
+
+    /// Number of distinct children this peer heartbeats (Figure 13's
+    /// scaling metric: heartbeats are shared across trees and queries).
+    pub fn heartbeat_children(&self) -> usize {
+        self.hb_children.len()
+    }
+
+    pub(crate) fn my_store_hash(&self) -> u64 {
+        store_hash(
+            self.queries
+                .values()
+                .map(|q| (q.spec.name.as_str(), q.seq))
+                .chain(self.removed.iter().map(|(n, &s)| (n.as_str(), s.wrapping_add(1 << 63)))),
+        )
+    }
+
+    pub(crate) fn alive(&self, peer: NodeId, now: i64) -> bool {
+        let horizon = (self.cfg.hb_period_us * self.cfg.hb_timeout_beats as u64) as i64
+            + self.cfg.tick_us as i64;
+        self.last_heard.get(&peer).is_some_and(|&t| now - t <= horizon)
+    }
+
+    pub(crate) fn rebuild_hb_children(&mut self) {
+        self.hb_children.clear();
+        for q in self.queries.values() {
+            if let Some(rec) = &q.record {
+                for link in &rec.links {
+                    self.hb_children.extend(link.children.iter().copied());
+                }
+            }
+        }
+        self.hb_children.remove(&self.id);
+    }
+}
+
+impl App for MortarPeer {
+    type Msg = MortarMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, MortarMsg>) {
+        self.next_hb_local_us = ctx.local_now_us() + self.cfg.hb_period_us as i64;
+        ctx.set_timer_local_us(self.cfg.tick_us, TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, MortarMsg>, from: NodeId, msg: MortarMsg, _b: u32) {
+        let local_now = ctx.local_now_us();
+        if from != self.id {
+            self.last_heard.insert(from, local_now);
+        }
+        match msg {
+            MortarMsg::SummaryBatch { query, tuples, tree, store_hash } => {
+                self.handle_summary_batch(ctx, from, query, tuples, tree, store_hash);
+            }
+            MortarMsg::Heartbeat { store_hash } => {
+                self.handle_heartbeat(ctx, from, store_hash);
+            }
+            MortarMsg::Reconcile { installed, removed, reply } => {
+                self.handle_reconcile(ctx, from, installed, removed, reply);
+            }
+            MortarMsg::Install { spec, id, seq, records, issue_age_us } => {
+                self.handle_install(ctx, spec, id, seq, records, issue_age_us);
+            }
+            MortarMsg::Remove { name, seq } => {
+                self.handle_remove(ctx, &name, seq);
+            }
+            MortarMsg::TopoRequest { name } => {
+                self.handle_topo_request(ctx, from, &name);
+            }
+            MortarMsg::TopoReply { name: _, id, seq, spec, record, issue_age_us } => {
+                self.handle_topo_reply(ctx, id, seq, spec, record, issue_age_us);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, MortarMsg>, tag: u64) {
+        if tag != TICK {
+            return;
+        }
+        let local_now = ctx.local_now_us();
+        // BTreeMap keys: stable, sorted, duplicate-free tick order.
+        let ids: Vec<QueryId> = self.queries.keys().copied().collect();
+        for &id in &ids {
+            self.pump_sensor(id, ctx);
+            self.close_windows(id, local_now);
+            self.evict_and_route(id, ctx);
+        }
+        if local_now >= self.next_hb_local_us {
+            self.next_hb_local_us += self.cfg.hb_period_us as i64;
+            self.send_heartbeats(ctx);
+        }
+        ctx.set_timer_local_us(self.cfg.tick_us, TICK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+    use crate::query::{build_records, SensorSpec};
+    use crate::window::WindowSpec;
+    use mortar_net::{SimBuilder, Topology};
+    use mortar_overlay::{Tree, TreeSet};
+
+    fn count_spec(n: usize) -> QuerySpec {
+        QuerySpec {
+            name: "count".into(),
+            root: 0,
+            members: (0..n as NodeId).collect(),
+            op: OpKind::Sum { field: 0 },
+            window: WindowSpec::time_tumbling_us(1_000_000),
+            filter: None,
+            sensor: SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
+            post: None,
+        }
+    }
+
+    /// Builds a chain tree set over n members (two chains, reversed).
+    fn chain_trees(n: usize) -> TreeSet {
+        let t0 = Tree::from_parents(
+            0,
+            (0..n).map(|m| if m == 0 { None } else { Some(m - 1) }).collect(),
+        );
+        // Second tree: a star (everyone under the root).
+        let t1 =
+            Tree::from_parents(0, (0..n).map(|m| if m == 0 { None } else { Some(0) }).collect());
+        TreeSet::new(vec![t0, t1])
+    }
+
+    fn build_sim(n: usize) -> mortar_net::Simulator<MortarPeer> {
+        let topo = Topology::star(n, 1_000);
+        let cfg = PeerConfig::default();
+        let reg = OpRegistry::new();
+        SimBuilder::new(topo, 42).build(move |id| MortarPeer::new(id, cfg, reg.clone()))
+    }
+
+    fn inject_install(
+        sim: &mut mortar_net::Simulator<MortarPeer>,
+        spec: QuerySpec,
+        trees: TreeSet,
+    ) {
+        let records = build_records(&spec.members, &trees);
+        let root = spec.root;
+        let msg = MortarMsg::Install { spec, id: QueryId(1), seq: 1, records, issue_age_us: 0 };
+        sim.inject(root, root, msg, 256);
+    }
+
+    #[test]
+    fn install_reaches_all_members() {
+        let n = 8;
+        let mut sim = build_sim(n);
+        inject_install(&mut sim, count_spec(n), chain_trees(n));
+        sim.run_for_secs(3.0);
+        for id in 0..n as NodeId {
+            assert!(sim.app(id).is_active("count"), "peer {id} not installed");
+            assert_eq!(sim.app(id).query_id("count"), Some(QueryId(1)));
+        }
+    }
+
+    #[test]
+    fn sum_query_reaches_full_completeness() {
+        let n = 8;
+        let mut sim = build_sim(n);
+        inject_install(&mut sim, count_spec(n), chain_trees(n));
+        sim.run_for_secs(40.0);
+        let results = &sim.app(0).results;
+        assert!(!results.is_empty(), "root produced no results");
+        // Steady-state windows should reflect all 8 peers.
+        let tail: Vec<&ResultRecord> =
+            results.iter().filter(|r| r.participants as usize == n).collect();
+        assert!(
+            tail.len() > 10,
+            "expected many complete windows, got {} of {}",
+            tail.len(),
+            results.len()
+        );
+        let full: Vec<f64> = tail.iter().filter_map(|r| r.scalar).collect();
+        assert!(
+            full.iter().any(|&v| (v - n as f64).abs() < 1e-9),
+            "no window summed to {n}: {full:?}"
+        );
+    }
+
+    #[test]
+    fn removal_propagates() {
+        let n = 8;
+        let mut sim = build_sim(n);
+        inject_install(&mut sim, count_spec(n), chain_trees(n));
+        sim.run_for_secs(5.0);
+        sim.inject(0, 0, MortarMsg::Remove { name: "count".into(), seq: 2 }, 32);
+        sim.run_for_secs(10.0);
+        for id in 0..n as NodeId {
+            assert!(!sim.app(id).has_query("count"), "peer {id} still has the query");
+        }
+    }
+
+    #[test]
+    fn reconciliation_installs_missed_nodes() {
+        let n = 8;
+        let mut sim = build_sim(n);
+        // Disconnect node 5 before install.
+        sim.set_host_up(5, false);
+        inject_install(&mut sim, count_spec(n), chain_trees(n));
+        sim.run_for_secs(5.0);
+        assert!(!sim.app(5).has_query("count"));
+        sim.set_host_up(5, true);
+        // Reconciliation every 3rd heartbeat (6 s) + topology fetch.
+        sim.run_for_secs(20.0);
+        assert!(sim.app(5).is_active("count"), "reconciliation failed to install");
+        // The interned handle propagated with the reconciled install.
+        assert_eq!(sim.app(5).query_id("count"), Some(QueryId(1)));
+    }
+
+    #[test]
+    fn query_composition_via_subscribe() {
+        // A sum query over 8 peers feeds a single-member max query at the
+        // root: the composed query reports the largest windowed sum.
+        let n = 8;
+        let mut sim = build_sim(n);
+        inject_install(&mut sim, count_spec(n), chain_trees(n));
+        // The downstream query lives entirely on peer 0 and subscribes to
+        // the upstream's output stream.
+        let sub = QuerySpec {
+            name: "peak".into(),
+            root: 0,
+            members: vec![0],
+            op: OpKind::Max { field: 0 },
+            window: WindowSpec::time_tumbling_us(5_000_000),
+            filter: None,
+            sensor: SensorSpec::Subscribe { query: "count".into() },
+            post: None,
+        };
+        let trees = TreeSet::new(vec![Tree::from_parents(0, vec![None])]);
+        let records = build_records(&sub.members, &trees);
+        sim.inject(
+            0,
+            0,
+            MortarMsg::Install { spec: sub, id: QueryId(2), seq: 2, records, issue_age_us: 0 },
+            128,
+        );
+        sim.run_for_secs(40.0);
+        let peaks: Vec<f64> = sim
+            .app(0)
+            .results
+            .iter()
+            .filter(|r| r.query == "peak")
+            .filter_map(|r| r.scalar)
+            .collect();
+        assert!(!peaks.is_empty(), "composed query produced no results");
+        assert!(
+            peaks.iter().any(|&v| (v - n as f64).abs() < 1e-9),
+            "peak of windowed sums should reach {n}: {peaks:?}"
+        );
+    }
+
+    #[test]
+    fn distinct_count_query_end_to_end() {
+        // Each peer replays tuples with overlapping key sets; the HLL union
+        // at the root estimates the number of distinct keys fleet-wide.
+        let n = 8;
+        let mut sim = build_sim(n);
+        let spec = QuerySpec {
+            name: "uniq".into(),
+            root: 0,
+            members: (0..n as NodeId).collect(),
+            op: OpKind::Distinct,
+            window: WindowSpec::time_tumbling_us(2_000_000),
+            filter: None,
+            sensor: SensorSpec::Replay,
+            post: None,
+        };
+        // Peer i contributes keys [i*50, i*50 + 100): adjacent peers share
+        // half their keys, so the fleet-wide distinct count is 450.
+        for i in 0..n as NodeId {
+            let trace: Vec<(u64, crate::tuple::RawTuple)> = (0..100u64)
+                .map(|k| {
+                    (k * 150_000, crate::tuple::RawTuple { key: i as u64 * 50 + k, vals: vec![] })
+                })
+                .collect();
+            sim.app_mut(i).set_replay(trace);
+        }
+        inject_install(&mut sim, spec, chain_trees(n));
+        sim.run_for_secs(30.0);
+        let ests: Vec<f64> = sim
+            .app(0)
+            .results
+            .iter()
+            .filter(|r| r.participants as usize == n)
+            .filter_map(|r| r.scalar)
+            .collect();
+        assert!(!ests.is_empty(), "no complete distinct-count windows");
+        // Windows where every peer reported ~13 keys each with 50% overlap.
+        let best = ests.iter().copied().fold(0.0f64, f64::max);
+        assert!(best > 40.0 && best < 200.0, "distinct estimate off: {best}");
+    }
+
+    #[test]
+    fn failure_detection_reroutes_data() {
+        let n = 8;
+        let mut sim = build_sim(n);
+        inject_install(&mut sim, count_spec(n), chain_trees(n));
+        sim.run_for_secs(20.0);
+        // Disconnect member 1 — on the chain tree this severs 2..7, but the
+        // star tree gives every member a direct path to the root.
+        sim.set_host_up(1, false);
+        sim.run_for_secs(30.0);
+        let results = &sim.app(0).results;
+        // Late windows should still count 7 participants (all but node 1):
+        // aggregate per index since late partials arrive as separate
+        // emissions (disjoint by time-division).
+        let by_index = crate::metrics::participants_by_index(results);
+        let late: Vec<u32> = by_index.values().rev().take(8).copied().collect();
+        assert!(
+            late.iter().filter(|&&p| p >= (n - 1) as u32).count() >= 3,
+            "rerouting failed; late per-index participants: {late:?}"
+        );
+    }
+
+    #[test]
+    fn batched_ticks_send_fewer_frames_than_tuples() {
+        // A 50 ms slide against the 200 ms tick closes four windows per
+        // tick; striping alternates them across the two trees, leaving two
+        // tuples per (tree, next hop) per tick — the coalescing case.
+        let n = 8;
+        let mut sim = build_sim(n);
+        let mut spec = count_spec(n);
+        spec.window = WindowSpec::time_tumbling_us(50_000);
+        spec.sensor = SensorSpec::Periodic { period_us: 50_000, value: 1.0 };
+        inject_install(&mut sim, spec, chain_trees(n));
+        sim.run_for_secs(30.0);
+        let (frames, tuples): (u64, u64) = (0..n as NodeId)
+            .map(|i| (sim.app(i).stats.frames_out, sim.app(i).stats.summaries_out))
+            .fold((0, 0), |(f, t), (a, b)| (f + a, t + b));
+        assert!(tuples > 0, "no summaries flowed");
+        assert!(
+            frames * 2 <= tuples,
+            "expected ≥2x batching on a fast query: {frames} frames for {tuples} tuples"
+        );
+    }
+}

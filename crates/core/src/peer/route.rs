@@ -1,0 +1,294 @@
+//! Route stage: TS-list eviction, staged multipath routing, and
+//! summary-frame transmission/reception (Sections 3.3–5).
+//!
+//! Eviction batches: every tuple evicted in one timer tick that routes to
+//! the same (query, tree, next hop) coalesces into a single
+//! [`MortarMsg::SummaryBatch`] frame of at most
+//! [`super::PeerConfig::summary_batch_max`] tuples. With a batch cap of 1
+//! the send sequence is exactly the unbatched one-tuple-per-message
+//! protocol; larger caps amortize frame headers and per-message transport
+//! overhead without delaying any tuple (frames leave within the same tick
+//! their tuples were evicted in).
+
+use super::MortarPeer;
+use crate::metrics::ResultRecord;
+use crate::msg::MortarMsg;
+use crate::query::QueryId;
+use crate::tuple::SummaryTuple;
+use mortar_net::{Ctx, NodeId, TrafficClass};
+use mortar_overlay::Decision;
+use std::collections::BTreeMap;
+
+/// An under-construction outgoing frame for one (destination, tree).
+struct PendingFrame {
+    tuples: Vec<SummaryTuple>,
+    store_hash: Option<u64>,
+}
+
+/// Outgoing frames for one query's eviction pass, keyed (deterministically)
+/// by destination then tree.
+struct FrameBuilder {
+    id: QueryId,
+    frames: BTreeMap<(NodeId, u8), PendingFrame>,
+    batch_max: usize,
+}
+
+impl FrameBuilder {
+    fn new(id: QueryId, batch_max: usize) -> Self {
+        Self { id, frames: BTreeMap::new(), batch_max }
+    }
+
+    /// Adds a routed tuple; flushes the destination's frame when full.
+    fn push(
+        &mut self,
+        peer: &mut MortarPeer,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        dest: NodeId,
+        tree: u8,
+        tuple: SummaryTuple,
+        store_hash: Option<u64>,
+    ) {
+        let entry = self
+            .frames
+            .entry((dest, tree))
+            .or_insert_with(|| PendingFrame { tuples: Vec::new(), store_hash: None });
+        entry.tuples.push(tuple);
+        entry.store_hash = entry.store_hash.or(store_hash);
+        if entry.tuples.len() >= self.batch_max {
+            let frame = self.frames.remove(&(dest, tree)).expect("just inserted");
+            Self::send(peer, ctx, self.id, dest, tree, frame);
+        }
+    }
+
+    /// Flushes all remaining frames in deterministic key order.
+    fn finish(mut self, peer: &mut MortarPeer, ctx: &mut Ctx<'_, MortarMsg>) {
+        let frames = std::mem::take(&mut self.frames);
+        for ((dest, tree), frame) in frames {
+            Self::send(peer, ctx, self.id, dest, tree, frame);
+        }
+    }
+
+    fn send(
+        peer: &mut MortarPeer,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        id: QueryId,
+        dest: NodeId,
+        tree: u8,
+        frame: PendingFrame,
+    ) {
+        peer.stats.frames_out += 1;
+        peer.stats.summaries_out += frame.tuples.len() as u64;
+        peer.stats.summary_payload_bytes_out +=
+            frame.tuples.iter().map(|t| t.wire_bytes() as u64).sum::<u64>();
+        let msg = MortarMsg::SummaryBatch {
+            query: id,
+            tree,
+            tuples: frame.tuples,
+            store_hash: frame.store_hash,
+        };
+        let bytes = msg.wire_bytes();
+        ctx.send_classified(dest, msg, bytes, TrafficClass::Data);
+    }
+}
+
+impl MortarPeer {
+    /// Pops every TS-list entry due this tick and routes it: root entries
+    /// finalize into results, others continue up the tree set.
+    pub(crate) fn evict_and_route(&mut self, id: QueryId, ctx: &mut Ctx<'_, MortarMsg>) {
+        let local_now = ctx.local_now_us();
+        let true_now = ctx.true_now_us();
+        let Some(q) = self.queries.get_mut(&id) else { return };
+        if !q.active() {
+            return;
+        }
+        let due = q.ts.pop_due(local_now);
+        if due.is_empty() {
+            return;
+        }
+        let rec = q.record.clone().expect("active query has a record");
+        let is_root = q.spec.root == self.id;
+        let width = rec.width();
+        let name = q.spec.name.clone();
+        // Liveness snapshot, once per pass (stable within a tick: nothing
+        // below mutates `last_heard`).
+        let parent_live: Vec<bool> = (0..width)
+            .map(|x| rec.links[x].parent.is_some_and(|p| self.alive(p, local_now)))
+            .collect();
+        let child_liveness: Vec<Vec<bool>> = (0..width)
+            .map(|x| {
+                rec.links[x].children.iter().map(|&peer| self.alive(peer, local_now)).collect()
+            })
+            .collect();
+        let mut frames = FrameBuilder::new(id, self.cfg.summary_batch_max);
+        for entry in due {
+            self.stats.evictions += 1;
+            let mut summary = entry.into_summary(local_now);
+            if is_root {
+                self.record_result(id, &name, summary, local_now, true_now);
+                continue;
+            }
+            // The tuple continues up the tree it was striped onto (stage
+            // 1); failures migrate it per the staged policy.
+            let arrival_tree = (summary.stripe_tree as usize).min(width.saturating_sub(1));
+            let mut child_live = |x: usize, c: usize| child_liveness[x][c];
+            let decision = self
+                .route_table
+                .decide(
+                    id,
+                    arrival_tree,
+                    &mut summary.route,
+                    &parent_live,
+                    &mut child_live,
+                    ctx.rng(),
+                )
+                .expect("active query is registered in the route table");
+            let (dest, tree) = match decision {
+                Decision::Parent { tree } => {
+                    (rec.links[tree].parent.expect("live parent exists"), tree)
+                }
+                Decision::Child { tree, child } => (rec.links[tree].children[child], tree),
+                Decision::Drop => {
+                    self.stats.route_drops += 1;
+                    continue;
+                }
+            };
+            summary.stripe_tree = tree as u8;
+            summary.age_us += self.cfg.hop_age_est_us as i64;
+            summary.hops = summary.hops.saturating_add(1);
+            let q = self.queries.get_mut(&id).expect("query exists");
+            q.tuples_out += 1;
+            let hash = if q.tuples_out.is_multiple_of(self.cfg.data_hash_every as u64) {
+                Some(self.my_store_hash())
+            } else {
+                None
+            };
+            frames.push(self, ctx, dest, tree as u8, summary, hash);
+        }
+        frames.finish(self, ctx);
+    }
+
+    /// Finalizes a root eviction into a [`ResultRecord`] and feeds any
+    /// co-located subscribers.
+    fn record_result(
+        &mut self,
+        id: QueryId,
+        name: &str,
+        summary: SummaryTuple,
+        local_now: i64,
+        true_now: u64,
+    ) {
+        let q = self.queries.get_mut(&id).expect("query exists");
+        let mut finalized = q.spec.op.finalize(&self.registry, &summary.state);
+        if let Some(post) = &q.spec.post {
+            finalized = self.registry.get(post).finalize(&finalized);
+        }
+        // The window was due at its interval end, measured in the root's
+        // indexing frame.
+        let frame_now = q.frame_now(self.cfg.indexing, local_now);
+        let scalar = finalized.scalar();
+        self.results.push(ResultRecord {
+            query: name.to_string(),
+            tb: summary.tb,
+            te: summary.te,
+            scalar,
+            state: finalized,
+            participants: summary.participants,
+            emit_local_us: local_now,
+            emit_true_us: true_now,
+            age_us: summary.age_us,
+            due_lag_us: frame_now - summary.te,
+            path_len: summary.hops,
+            truth: summary.truth.clone(),
+        });
+        // Composition: feed the result into co-located queries subscribed
+        // to this one (Section 2.2).
+        if let Some(v) = scalar {
+            self.feed_subscribers(name, v, summary.participants, local_now, true_now);
+        }
+    }
+
+    /// Handles an arriving summary frame: per tuple, re-index (syncless) or
+    /// re-age (timestamp), update netDist, and merge into the TS list.
+    pub(crate) fn handle_summary_batch(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        from: NodeId,
+        id: QueryId,
+        tuples: Vec<SummaryTuple>,
+        tree: u8,
+        store_hash_in: Option<u64>,
+    ) {
+        self.stats.frames_in += 1;
+        self.stats.summaries_in += tuples.len() as u64;
+        let local_now = ctx.local_now_us();
+        if let Some(h) = store_hash_in {
+            if h != self.my_store_hash() {
+                self.stats.reconciles += 1;
+                let payload = self.reconcile_payload(local_now, true);
+                let bytes = payload.wire_bytes();
+                ctx.send_classified(from, payload, bytes, TrafficClass::Control);
+            }
+        }
+        if !self.queries.contains_key(&id) {
+            // Data for a query we removed: tell the sender (Section 6.1's
+            // overloading of the child→parent data flow). The directory
+            // retains retired id→name bindings for exactly this purpose.
+            let removed =
+                self.directory.name_of(id).is_some_and(|name| self.removed.contains_key(name));
+            if removed {
+                let payload = self.reconcile_payload(local_now, false);
+                let bytes = payload.wire_bytes();
+                ctx.send_classified(from, payload, bytes, TrafficClass::Control);
+            }
+            return;
+        }
+        for tuple in tuples {
+            self.merge_summary(id, tuple, tree, local_now);
+        }
+    }
+
+    /// Merges one arriving summary tuple into the query's TS list.
+    fn merge_summary(&mut self, id: QueryId, mut tuple: SummaryTuple, tree: u8, local_now: i64) {
+        let Some(q) = self.queries.get_mut(&id) else { return };
+        let Some(rec) = q.record.as_ref() else { return };
+        // Record arrival position on the tree the tuple travelled.
+        let t = (tree as usize).min(rec.width().saturating_sub(1));
+        let lvl = rec.links[t].level;
+        if let Some(slot) = tuple.route.last_level.get_mut(t) {
+            *slot = (*slot).min(lvl);
+        }
+        tuple.stripe_tree = t as u8;
+        if q.spec.window.kind == crate::window::WindowKind::Time {
+            match self.cfg.indexing {
+                super::IndexingMode::Syncless => {
+                    // Re-index from age: the receiving operator assigns the
+                    // tuple to its own local window (Figure 7).
+                    let t_ref = local_now - q.t_ref_base_us;
+                    let slide = q.spec.window.slide as i64;
+                    let inception = t_ref - tuple.age_us;
+                    let k = inception.div_euclid(slide);
+                    tuple.tb = k * slide;
+                    tuple.te = (k + 1) * slide;
+                }
+                super::IndexingMode::Timestamp => {
+                    // Apparent age derives from the (possibly offset)
+                    // stamps — the mechanism Section 5 indicts.
+                    tuple.age_us = local_now - tuple.te;
+                }
+            }
+        }
+        // The latency estimator sees the (capped) apparent age *before* any
+        // staleness drop: with timestamps, badly offset sources inflate
+        // netDist — and with it every entry's timeout — which is exactly
+        // the Section 5 pathology syncless operation avoids.
+        q.netdist.observe(tuple.age_us.min(self.cfg.max_age_us as i64));
+        if tuple.age_us > self.cfg.max_age_us as i64 {
+            // Beyond the staleness horizon: drop rather than resurrect
+            // long-dead windows (bounded-buffer behaviour).
+            self.stats.route_drops += 1;
+            return;
+        }
+        let timeout = q.netdist.timeout_us(tuple.age_us, self.cfg.min_timeout_us);
+        q.ts.insert(&tuple, local_now, timeout);
+    }
+}

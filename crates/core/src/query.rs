@@ -11,6 +11,65 @@ use crate::op::{OpKind, Predicate};
 use crate::window::WindowSpec;
 use mortar_net::NodeId;
 use mortar_overlay::TreeSet;
+use std::collections::HashMap;
+
+pub use mortar_overlay::QueryId;
+
+/// A peer's name↔id resolution table, populated at install time.
+///
+/// The injector interns each query name to a dense [`QueryId`] (its object
+/// store owns the name's sequence space, so it owns the id space too) and
+/// every control message that ships a spec also ships the id. Data-plane
+/// frames then carry only the 4-byte handle. Bindings for removed queries
+/// are retained so stale data frames can still be attributed to a name (and
+/// answered with a removal reconciliation, Section 6.1).
+#[derive(Debug, Default)]
+pub struct QueryDirectory {
+    by_name: HashMap<String, QueryId>,
+    by_id: HashMap<QueryId, String>,
+}
+
+impl QueryDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the binding `id ↔ name`, replacing earlier bindings of
+    /// *either* key (latest install wins) so the table stays a bijection.
+    pub fn bind(&mut self, id: QueryId, name: &str) {
+        if let Some(old_id) = self.by_name.insert(name.to_string(), id) {
+            if old_id != id {
+                self.by_id.remove(&old_id);
+            }
+        }
+        if let Some(old_name) = self.by_id.insert(id, name.to_string()) {
+            if old_name != name {
+                self.by_name.remove(&old_name);
+            }
+        }
+    }
+
+    /// Resolves a name to its interned id.
+    pub fn id_of(&self, name: &str) -> Option<QueryId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves an id back to the query name.
+    pub fn name_of(&self, id: QueryId) -> Option<&str> {
+        self.by_id.get(&id).map(String::as_str)
+    }
+
+    /// Number of known bindings.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether no bindings are known.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+}
 
 /// How a member's local raw stream is produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,11 +174,7 @@ impl InstallRecord {
 
     /// Approximate wire size.
     pub fn wire_bytes(&self) -> u32 {
-        8 + self
-            .links
-            .iter()
-            .map(|l| 10 + 4 * l.children.len() as u32)
-            .sum::<u32>()
+        8 + self.links.iter().map(|l| 10 + 4 * l.children.len() as u32).sum::<u32>()
     }
 }
 
@@ -162,6 +217,42 @@ mod tests {
             sensor: SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
             post: None,
         }
+    }
+
+    #[test]
+    fn directory_binds_both_ways() {
+        let mut d = QueryDirectory::new();
+        assert!(d.is_empty());
+        d.bind(QueryId(1), "a");
+        d.bind(QueryId(2), "b");
+        assert_eq!(d.id_of("a"), Some(QueryId(1)));
+        assert_eq!(d.name_of(QueryId(2)), Some("b"));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.id_of("nope"), None);
+        assert_eq!(d.name_of(QueryId(9)), None);
+    }
+
+    #[test]
+    fn directory_rebind_replaces_stale_id() {
+        let mut d = QueryDirectory::new();
+        d.bind(QueryId(1), "a");
+        d.bind(QueryId(5), "a");
+        assert_eq!(d.id_of("a"), Some(QueryId(5)));
+        assert_eq!(d.name_of(QueryId(1)), None, "stale id unbound");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn directory_rebind_replaces_stale_name() {
+        // Rebinding an id to a new name must purge the old forward mapping
+        // too, or lookups by the dead name resolve to the wrong query.
+        let mut d = QueryDirectory::new();
+        d.bind(QueryId(1), "a");
+        d.bind(QueryId(1), "b");
+        assert_eq!(d.name_of(QueryId(1)), Some("b"));
+        assert_eq!(d.id_of("a"), None, "stale name unbound");
+        assert_eq!(d.id_of("b"), Some(QueryId(1)));
+        assert_eq!(d.len(), 1);
     }
 
     #[test]

@@ -25,30 +25,58 @@ pub struct ReconcileOutcome {
     pub to_remove: Vec<(String, u64)>,
 }
 
+/// Read-only view of a name → sequence set, so callers can pass whatever
+/// storage they naturally hold (hash map, ordered map, or live peer state)
+/// without building a temporary map per exchange.
+pub trait SeqMap {
+    /// The sequence recorded for `name`, if any.
+    fn seq_of(&self, name: &str) -> Option<u64>;
+    /// Iterates all (name, seq) pairs.
+    fn pairs(&self) -> Box<dyn Iterator<Item = (&str, u64)> + '_>;
+}
+
+impl SeqMap for HashMap<String, u64> {
+    fn seq_of(&self, name: &str) -> Option<u64> {
+        self.get(name).copied()
+    }
+    fn pairs(&self) -> Box<dyn Iterator<Item = (&str, u64)> + '_> {
+        Box::new(self.iter().map(|(n, &s)| (n.as_str(), s)))
+    }
+}
+
+impl SeqMap for std::collections::BTreeMap<String, u64> {
+    fn seq_of(&self, name: &str) -> Option<u64> {
+        self.get(name).copied()
+    }
+    fn pairs(&self) -> Box<dyn Iterator<Item = (&str, u64)> + '_> {
+        Box::new(self.iter().map(|(n, &s)| (n.as_str(), s)))
+    }
+}
+
 /// Computes the local node's install/remove candidates.
 ///
 /// `my_installed`/`my_removed` map names to sequences; likewise for the
 /// remote sets.
 pub fn reconcile(
-    my_installed: &HashMap<String, u64>,
-    my_removed: &HashMap<String, u64>,
-    other_installed: &HashMap<String, u64>,
-    other_removed: &HashMap<String, u64>,
+    my_installed: &impl SeqMap,
+    my_removed: &impl SeqMap,
+    other_installed: &impl SeqMap,
+    other_removed: &impl SeqMap,
 ) -> ReconcileOutcome {
     let mut out = ReconcileOutcome::default();
     // IC: remote installs I don't have and haven't removed with a newer seq.
-    for (name, &seq) in other_installed {
-        let have = my_installed.get(name).is_some_and(|&mine| mine >= seq);
-        let removed_newer = my_removed.get(name).is_some_and(|&r| r >= seq);
+    for (name, seq) in other_installed.pairs() {
+        let have = my_installed.seq_of(name).is_some_and(|mine| mine >= seq);
+        let removed_newer = my_removed.seq_of(name).is_some_and(|r| r >= seq);
         if !have && !removed_newer {
-            out.to_install.push((name.clone(), seq));
+            out.to_install.push((name.to_string(), seq));
         }
     }
     // RC: my installs the remote has removed with a newer sequence.
-    for (name, &mine) in my_installed {
-        if let Some(&rseq) = other_removed.get(name) {
+    for (name, mine) in my_installed.pairs() {
+        if let Some(rseq) = other_removed.seq_of(name) {
             if rseq > mine {
-                out.to_remove.push((name.clone(), rseq));
+                out.to_remove.push((name.to_string(), rseq));
             }
         }
     }

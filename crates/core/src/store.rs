@@ -6,12 +6,20 @@
 //! single-writer semantics per query name: the injecting peer owns the
 //! name's sequence space.
 
+use crate::query::QueryId;
 use std::collections::HashMap;
 
 /// A monotone command-sequence store for one injecting peer.
+///
+/// Besides sequence numbers, the store interns each query name to a dense
+/// [`QueryId`]: the injector owns the name's sequence space, so it can own
+/// the id space too. The id is carried by install/topology messages and is
+/// the only query key that appears in data-plane frames.
 #[derive(Debug, Default)]
 pub struct ObjectStore {
     next_seq: u64,
+    next_id: u32,
+    ids: HashMap<String, QueryId>,
     latest: HashMap<String, (u64, Command)>,
 }
 
@@ -27,7 +35,25 @@ pub enum Command {
 impl ObjectStore {
     /// An empty store.
     pub fn new() -> Self {
-        Self { next_seq: 1, latest: HashMap::new() }
+        Self { next_seq: 1, next_id: 1, ids: HashMap::new(), latest: HashMap::new() }
+    }
+
+    /// Interns `name`, assigning a fresh [`QueryId`] on first sight and
+    /// returning the existing handle thereafter (re-installs keep their
+    /// id, so stale data frames stay attributable).
+    pub fn intern(&mut self, name: &str) -> QueryId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The interned id for `name`, if it was ever issued.
+    pub fn query_id(&self, name: &str) -> Option<QueryId> {
+        self.ids.get(name).copied()
     }
 
     /// Issues a sequence number for an install of `name`.
@@ -65,6 +91,17 @@ mod tests {
         let c = s.issue_install("q1");
         assert!(a < b && b < c);
         assert_eq!(s.latest("q1"), Some((c, Command::Install)));
+    }
+
+    #[test]
+    fn interned_ids_are_stable_and_distinct() {
+        let mut s = ObjectStore::new();
+        let a = s.intern("a");
+        let b = s.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(s.intern("a"), a, "re-interning is stable");
+        assert_eq!(s.query_id("a"), Some(a));
+        assert_eq!(s.query_id("zzz"), None);
     }
 
     #[test]

@@ -149,10 +149,7 @@ impl AggState {
                 }
             }
             (me, other) => {
-                debug_assert!(
-                    false,
-                    "merging mismatched aggregate variants: {me:?} vs {other:?}"
-                );
+                debug_assert!(false, "merging mismatched aggregate variants: {me:?} vs {other:?}");
             }
         }
     }
@@ -261,8 +258,7 @@ pub fn bloom_contains(bits: &[u64; BLOOM_WORDS], key: u64) -> bool {
 fn bloom_hashes(key: u64) -> [u64; 3] {
     // FNV-1a over the key bytes with three different seeds.
     let mut out = [0u64; 3];
-    for (i, seed) in [0xcbf29ce484222325u64, 0x100000001b3, 0x9e3779b97f4a7c15].iter().enumerate()
-    {
+    for (i, seed) in [0xcbf29ce484222325u64, 0x100000001b3, 0x9e3779b97f4a7c15].iter().enumerate() {
         let mut h = *seed ^ 0xcbf29ce484222325;
         for b in key.to_le_bytes() {
             h ^= b as u64;

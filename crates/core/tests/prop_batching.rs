@@ -1,0 +1,94 @@
+//! Property tests of summary-frame batching: coalescing tuples into
+//! [`mortar_core::msg::MortarMsg::SummaryBatch`] frames is pure transport —
+//! across random seeds and batch sizes, a batched engine must deliver the
+//! same root results as the per-tuple (`summary_batch_max = 1`) protocol,
+//! with identical modelled payload wire bytes and never more frames.
+
+use mortar_core::engine::{Engine, EngineConfig};
+use mortar_core::op::OpKind;
+use mortar_core::query::{QuerySpec, SensorSpec};
+use mortar_core::window::WindowSpec;
+use mortar_net::NodeId;
+use proptest::prelude::*;
+
+/// A fast tumbling-window sum: 100 ms slide against the 200 ms peer tick,
+/// so every tick evicts several windows — the coalescing case.
+fn fast_spec(n: usize) -> QuerySpec {
+    QuerySpec {
+        name: "fast".into(),
+        root: 0,
+        members: (0..n as NodeId).collect(),
+        op: OpKind::Sum { field: 0 },
+        window: WindowSpec::time_tumbling_us(100_000),
+        filter: None,
+        sensor: SensorSpec::Periodic { period_us: 100_000, value: 1.0 },
+        post: None,
+    }
+}
+
+/// Root results plus transport counters for one run.
+struct RunOutcome {
+    /// (tb, te, scalar, participants) per emission, in order.
+    results: Vec<(i64, i64, Option<f64>, u32)>,
+    frames: u64,
+    tuples: u64,
+    payload_bytes: u64,
+}
+
+fn run(seed: u64, batch_max: usize, n: usize) -> RunOutcome {
+    let mut cfg = EngineConfig::paper(n, seed);
+    cfg.plan_on_true_latency = true;
+    // One tree: every peer has a single (dest, tree) stream, so frames
+    // preserve the exact per-tuple arrival order and the comparison below
+    // can demand bit-for-bit identical results, not just equal totals.
+    cfg.planner.tree_count = 1;
+    cfg.planner.branching_factor = 4;
+    cfg.peer.summary_batch_max = batch_max;
+    let mut eng = Engine::new(cfg);
+    eng.install(fast_spec(n));
+    eng.run_secs(15.0);
+    RunOutcome {
+        results: eng.results(0).iter().map(|r| (r.tb, r.te, r.scalar, r.participants)).collect(),
+        frames: eng.summary_frames_sent(),
+        tuples: eng.summary_tuples_sent(),
+        payload_bytes: eng.summary_payload_bytes_sent(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn batched_delivery_matches_per_tuple(seed in 0u64..1_000, batch in 2usize..48) {
+        let n = 12;
+        let single = run(seed, 1, n);
+        let batched = run(seed, batch, n);
+        // Semantics preserved bit-for-bit: same emissions, same order.
+        prop_assert_eq!(&single.results, &batched.results,
+            "results diverged at seed {} batch {}", seed, batch);
+        prop_assert!(!single.results.is_empty(), "no results at seed {}", seed);
+        // Payload conservation: batching regroups tuples, it never adds,
+        // drops, or re-merges them — modelled payload bytes are identical.
+        prop_assert_eq!(single.tuples, batched.tuples);
+        prop_assert_eq!(single.payload_bytes, batched.payload_bytes);
+        // The whole point: fewer message events, never more.
+        prop_assert!(batched.frames <= single.frames,
+            "batching increased frames: {} > {}", batched.frames, single.frames);
+        // With a 100 ms slide and batch ≥ 2, coalescing must actually occur.
+        prop_assert!(batched.frames < single.frames,
+            "no coalescing happened at seed {} batch {}", seed, batch);
+    }
+
+    #[test]
+    fn batch_of_one_is_the_per_tuple_protocol(seed in 0u64..1_000) {
+        // Determinism parity: two separate engines at batch 1 reproduce
+        // each other exactly — frame count equals tuple count (one tuple
+        // per message), and results are identical.
+        let n = 10;
+        let a = run(seed, 1, n);
+        let b = run(seed, 1, n);
+        prop_assert_eq!(&a.results, &b.results);
+        prop_assert_eq!(a.frames, b.frames);
+        prop_assert_eq!(a.frames, a.tuples, "batch=1 must send one tuple per frame");
+    }
+}

@@ -111,11 +111,8 @@ fn lower(p: &Program) -> Result<QueryDef, LangError> {
         Filtered,
         Aggregated,
     }
-    let mut bound: Vec<(String, StageKind)> = p
-        .streams
-        .iter()
-        .map(|(s, _)| (s.clone(), StageKind::Source))
-        .collect();
+    let mut bound: Vec<(String, StageKind)> =
+        p.streams.iter().map(|(s, _)| (s.clone(), StageKind::Source)).collect();
 
     for stmt in &p.stmts {
         let Stmt { call, .. } = stmt;
@@ -129,11 +126,8 @@ fn lower(p: &Program) -> Result<QueryDef, LangError> {
             .ok_or_else(|| {
                 LangError::new(format!("{}(…) needs an input stream argument", call.func))
             })?;
-        let in_kind = bound
-            .iter()
-            .find(|(n, _)| *n == input)
-            .map(|&(_, k)| k)
-            .unwrap_or(StageKind::Source);
+        let in_kind =
+            bound.iter().find(|(n, _)| *n == input).map(|&(_, k)| k).unwrap_or(StageKind::Source);
         if in_kind == StageKind::Source && source.is_none() {
             source = Some(input.clone());
         }
@@ -160,12 +154,7 @@ fn lower(p: &Program) -> Result<QueryDef, LangError> {
                 StageKind::Filtered
             }
             "sum" | "avg" | "min" | "max" => {
-                let f = call
-                    .args
-                    .get(1)
-                    .map(fidx)
-                    .transpose()?
-                    .unwrap_or(0);
+                let f = call.args.get(1).map(fidx).transpose()?.unwrap_or(0);
                 set_op(
                     &mut op,
                     match call.func.as_str() {
@@ -188,12 +177,7 @@ fn lower(p: &Program) -> Result<QueryDef, LangError> {
                         return Err(LangError::new(format!("topk needs k ≥ 1, got {other:?}")))
                     }
                 };
-                let f = call
-                    .args
-                    .get(2)
-                    .map(fidx)
-                    .transpose()?
-                    .unwrap_or(0);
+                let f = call.args.get(2).map(fidx).transpose()?.unwrap_or(0);
                 set_op(&mut op, OpKind::TopK { k, field: f })?;
                 StageKind::Aggregated
             }
@@ -258,8 +242,7 @@ fn lower(p: &Program) -> Result<QueryDef, LangError> {
     }
 
     let op = op.ok_or_else(|| LangError::new("program defines no aggregate stage"))?;
-    let source =
-        source.ok_or_else(|| LangError::new("program reads from no source stream"))?;
+    let source = source.ok_or_else(|| LangError::new("program reads from no source stream"))?;
     Ok(QueryDef {
         name,
         source,
@@ -297,8 +280,11 @@ fn predicate(
                         field: field_index(stream, field)?,
                         cmp: match op {
                             CmpTok::Eq => Cmp::Eq,
+                            CmpTok::Ne => Cmp::Ne,
                             CmpTok::Lt => Cmp::Lt,
+                            CmpTok::Le => Cmp::Le,
                             CmpTok::Gt => Cmp::Gt,
+                            CmpTok::Ge => Cmp::Ge,
                         },
                         value: *value,
                     }
@@ -348,6 +334,27 @@ mod tests {
     }
 
     #[test]
+    fn compiles_all_comparison_operators() {
+        for (src_op, cmp) in [
+            ("==", Cmp::Eq),
+            ("!=", Cmp::Ne),
+            ("<", Cmp::Lt),
+            ("<=", Cmp::Le),
+            (">", Cmp::Gt),
+            (">=", Cmp::Ge),
+        ] {
+            let src =
+                format!("stream s(v);\nf = select(s, v {src_op} 10);\nq = count(f) every 1s;");
+            let def = compile(&src).unwrap_or_else(|e| panic!("{src_op}: {e:?}"));
+            assert_eq!(
+                def.filter,
+                Some(Predicate::Field { field: 0, cmp, value: 10.0 }),
+                "operator {src_op}"
+            );
+        }
+    }
+
+    #[test]
     fn sliding_window_avg() {
         let def = compile("stream s(load);\nq = avg(s, load) window 20s slide 10s;").unwrap();
         assert_eq!(def.window, WindowSpec::time_sliding_us(20_000_000, 10_000_000));
@@ -380,10 +387,8 @@ mod tests {
 
     #[test]
     fn conjunctive_select() {
-        let def = compile(
-            "stream s(a, b);\nf = select(s, a > 1, b < 5);\nq = count(f) every 1s;",
-        )
-        .unwrap();
+        let def = compile("stream s(a, b);\nf = select(s, a > 1, b < 5);\nq = count(f) every 1s;")
+            .unwrap();
         assert!(matches!(def.filter, Some(Predicate::And(_, _))));
     }
 

@@ -13,10 +13,16 @@ pub enum Token {
     Assign,
     /// `==`
     EqEq,
+    /// `!=`
+    NotEq,
     /// `<`
     Lt,
+    /// `<=`
+    Le,
     /// `>`
     Gt,
+    /// `>=`
+    Ge,
     /// `(`
     LParen,
     /// `)`
@@ -50,13 +56,31 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                     i += 1;
                 }
             }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(LangError::new("unexpected character '!' (did you mean !=?)"));
+                }
+            }
             '<' => {
-                out.push(Token::Lt);
-                i += 1;
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
             }
             '>' => {
-                out.push(Token::Gt);
-                i += 1;
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
             }
             '(' => {
                 out.push(Token::LParen);
@@ -82,8 +106,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 {
                     i += 1;
                 }
-                let text: String =
-                    bytes[start..i].iter().filter(|&&ch| ch != '_').collect();
+                let text: String = bytes[start..i].iter().filter(|&&ch| ch != '_').collect();
                 let n: f64 = text
                     .parse()
                     .map_err(|_| LangError::new(format!("bad number literal {text:?}")))?;
@@ -117,8 +140,9 @@ mod tests {
         assert!(toks.contains(&Token::Number(3.0)));
         assert!(toks.contains(&Token::Ident("window".into())));
         // "1s" lexes as Number(1) + Ident("s").
-        assert!(toks.windows(2).any(|w| w[0] == Token::Number(1.0)
-            && w[1] == Token::Ident("s".into())));
+        assert!(toks
+            .windows(2)
+            .any(|w| w[0] == Token::Number(1.0) && w[1] == Token::Ident("s".into())));
     }
 
     #[test]
@@ -126,12 +150,7 @@ mod tests {
         let toks = lex("# a comment\n  x = y ;").unwrap();
         assert_eq!(
             toks,
-            vec![
-                Token::Ident("x".into()),
-                Token::Assign,
-                Token::Ident("y".into()),
-                Token::Semi
-            ]
+            vec![Token::Ident("x".into()), Token::Assign, Token::Ident("y".into()), Token::Semi]
         );
     }
 
@@ -140,6 +159,17 @@ mod tests {
         let toks = lex("a == b = c").unwrap();
         assert_eq!(toks[1], Token::EqEq);
         assert_eq!(toks[3], Token::Assign);
+    }
+
+    #[test]
+    fn two_char_comparisons() {
+        let toks = lex("a <= b >= c != d < e > f").unwrap();
+        assert_eq!(toks[1], Token::Le);
+        assert_eq!(toks[3], Token::Ge);
+        assert_eq!(toks[5], Token::NotEq);
+        assert_eq!(toks[7], Token::Lt);
+        assert_eq!(toks[9], Token::Gt);
+        assert!(lex("a ! b").is_err(), "bare '!' is not a token");
     }
 
     #[test]

@@ -59,10 +59,16 @@ pub enum Arg {
 pub enum CmpTok {
     /// `==`
     Eq,
+    /// `!=`
+    Ne,
     /// `<`
     Lt,
+    /// `<=`
+    Le,
     /// `>`
     Gt,
+    /// `>=`
+    Ge,
 }
 
 struct P {
@@ -146,9 +152,7 @@ fn statement(p: &mut P) -> Result<Stmt, LangError> {
             match p.next() {
                 Some(Token::Comma) => {}
                 Some(Token::RParen) => break,
-                other => {
-                    return Err(LangError::new(format!("expected , or ), found {other:?}")))
-                }
+                other => return Err(LangError::new(format!("expected , or ), found {other:?}"))),
             }
         }
     } else {
@@ -194,8 +198,11 @@ fn argument(p: &mut P) -> Result<Arg, LangError> {
             // Possibly a comparison: `name == 42`.
             let op = match p.peek() {
                 Some(Token::EqEq) => Some(CmpTok::Eq),
+                Some(Token::NotEq) => Some(CmpTok::Ne),
                 Some(Token::Lt) => Some(CmpTok::Lt),
+                Some(Token::Le) => Some(CmpTok::Le),
                 Some(Token::Gt) => Some(CmpTok::Gt),
+                Some(Token::Ge) => Some(CmpTok::Ge),
                 _ => None,
             };
             if let Some(op) = op {

@@ -31,11 +31,19 @@ impl TrafficClass {
     }
 }
 
-/// Per-second link-byte counters.
+/// Per-second link-byte and message-event counters.
+///
+/// Bytes capture the *per-byte* cost of traffic (`size × hops`); message
+/// counts capture the *per-message* cost (send events, each of which also
+/// pays fixed transport overhead and a receiver dispatch). Frame batching
+/// trades the latter against slightly larger frames, so both are tracked
+/// separately per class.
 #[derive(Debug, Default, Clone)]
 pub struct BandwidthTracker {
     /// `buckets[class][second] = link-bytes`.
     buckets: [Vec<u64>; TrafficClass::COUNT],
+    /// `msgs[class] = total message send events`.
+    msgs: [u64; TrafficClass::COUNT],
 }
 
 impl BandwidthTracker {
@@ -52,6 +60,7 @@ impl BandwidthTracker {
             b.resize(sec + 1, 0);
         }
         b[sec] += bytes as u64 * hops as u64;
+        self.msgs[class.idx()] += 1;
     }
 
     /// Link-bytes recorded for `class` during second `sec`.
@@ -59,11 +68,20 @@ impl BandwidthTracker {
         self.buckets[class.idx()].get(sec).copied().unwrap_or(0)
     }
 
+    /// Total message send events recorded for `class`.
+    pub fn msgs_total(&self, class: TrafficClass) -> u64 {
+        self.msgs[class.idx()]
+    }
+
+    /// Total link-bytes recorded for `class` over the whole run.
+    pub fn bytes_total(&self, class: TrafficClass) -> u64 {
+        self.buckets[class.idx()].iter().sum()
+    }
+
     /// Aggregate Mbps (all classes) during second `sec`.
     pub fn mbps_at(&self, sec: usize) -> f64 {
-        let total: u64 = (0..TrafficClass::COUNT)
-            .map(|c| self.buckets[c].get(sec).copied().unwrap_or(0))
-            .sum();
+        let total: u64 =
+            (0..TrafficClass::COUNT).map(|c| self.buckets[c].get(sec).copied().unwrap_or(0)).sum();
         total as f64 * 8.0 / 1e6
     }
 
@@ -106,6 +124,18 @@ mod tests {
         bw.record(500_000, TrafficClass::Data, 100, 4);
         assert_eq!(bw.bytes_at(TrafficClass::Data, 0), 400);
         assert_eq!(bw.bytes_at(TrafficClass::Heartbeat, 0), 0);
+    }
+
+    #[test]
+    fn message_events_counted_per_class() {
+        let mut bw = BandwidthTracker::new();
+        bw.record(0, TrafficClass::Data, 100, 2);
+        bw.record(1_500_000, TrafficClass::Data, 50, 1);
+        bw.record(0, TrafficClass::Control, 10, 1);
+        assert_eq!(bw.msgs_total(TrafficClass::Data), 2);
+        assert_eq!(bw.msgs_total(TrafficClass::Control), 1);
+        assert_eq!(bw.msgs_total(TrafficClass::Heartbeat), 0);
+        assert_eq!(bw.bytes_total(TrafficClass::Data), 250);
     }
 
     #[test]

@@ -132,12 +132,9 @@ impl ClockModel {
         };
         let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
         let offset_s = sign * magnitude_s * self.scale;
-        let skew = rand::distributions::Uniform::new_inclusive(-self.skew_ppm, self.skew_ppm)
-            .sample(rng);
-        LocalClock {
-            offset_us: (offset_s * 1e6) as i64,
-            rate: 1.0 + skew * self.scale.min(1.0),
-        }
+        let skew =
+            rand::distributions::Uniform::new_inclusive(-self.skew_ppm, self.skew_ppm).sample(rng);
+        LocalClock { offset_us: (offset_s * 1e6) as i64, rate: 1.0 + skew * self.scale.min(1.0) }
     }
 }
 

@@ -35,7 +35,13 @@ pub trait App {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
 
     /// Called when a message from `from` is delivered.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg, bytes: u32);
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg>,
+        from: NodeId,
+        msg: Self::Msg,
+        bytes: u32,
+    );
 
     /// Called when a timer armed via [`Ctx::set_timer_local_us`] fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, tag: u64);
@@ -353,12 +359,7 @@ impl<A: App> Simulator<A> {
         // Bandwidth is charged at send time for every physical link
         // crossed, including per-packet transport overhead (IP + UDP +
         // UdpCC-style headers).
-        self.bw.record(
-            self.now,
-            class,
-            bytes + TRANSPORT_OVERHEAD_BYTES,
-            self.topo.hops(from, to),
-        );
+        self.bw.record(self.now, class, bytes + TRANSPORT_OVERHEAD_BYTES, self.topo.hops(from, to));
         if self.chaos.drop_prob > 0.0 && self.rng.gen::<f64>() < self.chaos.drop_prob {
             self.stats.dropped += 1;
             return;
@@ -377,10 +378,7 @@ impl<A: App> Simulator<A> {
                 0
             };
             let time = self.now + base + jitter;
-            self.push(
-                time,
-                EventKind::Deliver { to, from, msg: msg.clone(), bytes, id },
-            );
+            self.push(time, EventKind::Deliver { to, from, msg: msg.clone(), bytes, id });
         }
     }
 

@@ -155,14 +155,7 @@ impl Topology {
         host_stub.shuffle(&mut rng);
         let host_link_us: Vec<u64> =
             (0..cfg.hosts).map(|_| jittered(&mut rng, cfg.host_stub_us)).collect();
-        Self {
-            hosts: cfg.hosts,
-            host_stub,
-            host_link_us,
-            stub_lat,
-            stub_hops,
-            stubs: s,
-        }
+        Self { hosts: cfg.hosts, host_stub, host_link_us, stub_lat, stub_hops, stubs: s }
     }
 
     /// Builds the default paper topology with the given host count.

@@ -82,8 +82,8 @@ fn recurse<R: Rng + ?Sized>(
             continue;
         }
         let cluster_pts: Vec<Point> = local.iter().map(|&i| pts[i].clone()).collect();
-        let head_local = nearest_to(&cluster_pts, &clustering.centroids[c])
-            .expect("cluster is nonempty");
+        let head_local =
+            nearest_to(&cluster_pts, &clustering.centroids[c]).expect("cluster is nonempty");
         let head = members[local[head_local]];
         parent[head] = Some(root);
         let rest: Vec<usize> =
@@ -231,9 +231,7 @@ mod tests {
         // Count members that are leaves in the primary but interior in the
         // sibling: the rotation should promote roughly numLeaves/bf of them.
         let promoted = (0..primary.len())
-            .filter(|&m| {
-                primary.children(m).is_empty() && !sib.children(m).is_empty()
-            })
+            .filter(|&m| primary.children(m).is_empty() && !sib.children(m).is_empty())
             .count();
         assert!(promoted > 0, "no leaves were promoted");
     }
@@ -252,11 +250,7 @@ mod tests {
     #[test]
     fn root_latency_of_root_is_zero() {
         let t = Tree::from_parents(0, vec![None, Some(0), Some(1)]);
-        let lat = vec![
-            vec![0.0, 5.0, 9.0],
-            vec![5.0, 0.0, 2.0],
-            vec![9.0, 2.0, 0.0],
-        ];
+        let lat = vec![vec![0.0, 5.0, 9.0], vec![5.0, 0.0, 2.0], vec![9.0, 2.0, 0.0]];
         let r = root_latencies(&t, &lat);
         assert_eq!(r[0], 0.0);
         assert_eq!(r[1], 5.0);
@@ -290,9 +284,6 @@ mod tests {
             let r = crate::tree::random_tree(n, 0, 8, &mut rng);
             random_p90 += percentile(&root_latencies(&r, &lat), 0.9);
         }
-        assert!(
-            planned_p90 < random_p90,
-            "planned {planned_p90} should beat random {random_p90}"
-        );
+        assert!(planned_p90 < random_p90, "planned {planned_p90} should beat random {random_p90}");
     }
 }

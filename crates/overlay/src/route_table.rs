@@ -1,0 +1,167 @@
+//! Query-keyed routing state: interned query handles and the per-query
+//! route cache consulted on every eviction.
+//!
+//! Wide-scale peers host many queries; the data path must not re-derive a
+//! query's static topology (its per-tree levels and child lists) for every
+//! forwarded tuple, nor key hot-path lookups by owned strings. A
+//! [`QueryId`] is a dense `u32` handle interned by the query injector and
+//! resolved by every peer at install time; the [`RouteTable`] caches each
+//! installed query's static routing inputs and evaluates the staged policy
+//! ([`route_decision_local`]) against them.
+
+use crate::routing::{route_decision_local, Decision, RouteState};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// An interned query handle.
+///
+/// Assigned once by the injecting peer's object store (which owns the
+/// query's sequence space, so it can own its id space too) and carried by
+/// every data-plane message instead of the query's name. `u32` keeps frame
+/// headers fixed-size; names appear on the wire only in control messages
+/// that already ship whole query specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u32);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q#{}", self.0)
+    }
+}
+
+/// One query's static routing inputs at one member: its level and child
+/// count on every tree of the set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// `OL(x)`: this member's level per tree.
+    pub levels: Vec<u32>,
+    /// Child-list index vectors per tree (`0..child_count`), cached so the
+    /// policy can be evaluated without per-tuple allocation.
+    children_idx: Vec<Vec<usize>>,
+}
+
+impl RouteEntry {
+    /// Builds an entry from per-tree levels and child counts.
+    pub fn new(levels: Vec<u32>, child_counts: Vec<usize>) -> Self {
+        assert_eq!(levels.len(), child_counts.len(), "levels and children per tree");
+        let children_idx = child_counts.iter().map(|&n| (0..n).collect()).collect();
+        Self { levels, children_idx }
+    }
+
+    /// Tree-set width for this query.
+    pub fn width(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// Per-peer cache of every installed query's routing inputs, keyed by
+/// [`QueryId`].
+#[derive(Debug, Default)]
+pub struct RouteTable {
+    entries: HashMap<QueryId, RouteEntry>,
+}
+
+impl RouteTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a query's routing inputs.
+    pub fn register(&mut self, id: QueryId, levels: Vec<u32>, child_counts: Vec<usize>) {
+        self.entries.insert(id, RouteEntry::new(levels, child_counts));
+    }
+
+    /// Drops a removed query's entry.
+    pub fn remove(&mut self, id: QueryId) {
+        self.entries.remove(&id);
+    }
+
+    /// The cached entry for `id`.
+    pub fn entry(&self, id: QueryId) -> Option<&RouteEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evaluates the staged routing policy for a tuple of query `id` that
+    /// arrived on `arrival_tree`, against a liveness snapshot. Returns
+    /// `None` when the query is not registered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide<R: Rng + ?Sized>(
+        &self,
+        id: QueryId,
+        arrival_tree: usize,
+        state: &mut RouteState,
+        parent_live: &[bool],
+        child_live: &mut dyn FnMut(usize, usize) -> bool,
+        rng: &mut R,
+    ) -> Option<Decision> {
+        let e = self.entries.get(&id)?;
+        Some(route_decision_local(
+            &e.levels,
+            &e.children_idx,
+            arrival_tree,
+            state,
+            parent_live,
+            child_live,
+            rng,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn register_lookup_remove() {
+        let mut t = RouteTable::new();
+        assert!(t.is_empty());
+        t.register(QueryId(3), vec![2, 1], vec![1, 0]);
+        assert_eq!(t.len(), 1);
+        let e = t.entry(QueryId(3)).unwrap();
+        assert_eq!(e.width(), 2);
+        assert_eq!(e.levels, vec![2, 1]);
+        t.remove(QueryId(3));
+        assert!(t.entry(QueryId(3)).is_none());
+    }
+
+    #[test]
+    fn decide_matches_direct_policy_call() {
+        // Member at level 2 on tree 0 (parent dead) and level 1 on tree 1
+        // (parent live): up* must pick tree 1, through the table exactly as
+        // through route_decision_local.
+        let mut t = RouteTable::new();
+        t.register(QueryId(1), vec![2, 1], vec![2, 1]);
+        let mut st = RouteState::from_levels(vec![2, 1]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let d =
+            t.decide(QueryId(1), 0, &mut st, &[false, true], &mut |_, _| true, &mut rng).unwrap();
+        assert_eq!(d, Decision::Parent { tree: 1 });
+    }
+
+    #[test]
+    fn decide_unknown_query_is_none() {
+        let t = RouteTable::new();
+        let mut st = RouteState::from_levels(vec![0]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(t.decide(QueryId(9), 0, &mut st, &[true], &mut |_, _| false, &mut rng).is_none());
+    }
+
+    #[test]
+    fn query_id_formats_and_orders() {
+        assert_eq!(QueryId(7).to_string(), "q#7");
+        assert!(QueryId(1) < QueryId(2));
+    }
+}

@@ -134,9 +134,7 @@ pub fn route_decision_local<R: Rng + ?Sized>(
     // Stage 2: up* — a parent at least as close to the root as the tuple's
     // last level on the arrival tree. Minimum level wins.
     let tl_t = state.last_level[arrival_tree];
-    if let Some(x) = (0..width)
-        .filter(|&x| parent_live[x] && ol(x) <= tl_t)
-        .min_by_key(|&x| ol(x))
+    if let Some(x) = (0..width).filter(|&x| parent_live[x] && ol(x) <= tl_t).min_by_key(|&x| ol(x))
     {
         return Decision::Parent { tree: x };
     }
@@ -152,11 +150,11 @@ pub fn route_decision_local<R: Rng + ?Sized>(
     // Stage 4: flex down — only while TTL-down budget remains.
     if state.ttl_down < TTL_DOWN_LIMIT {
         let mut candidates: Vec<(usize, usize)> = Vec::new();
-        for x in 0..width {
+        for (x, kids) in children.iter().enumerate().take(width) {
             if ol(x) > state.last_level[x] {
                 continue;
             }
-            for &c in &children[x] {
+            for &c in kids {
                 if child_live(x, c) {
                     candidates.push((x, c));
                 }
@@ -199,15 +197,7 @@ mod tests {
     fn stage1_same_tree_preferred() {
         let ts = two_chains();
         let mut st = RouteState::at_origin(&ts, 2);
-        let d = route_decision(
-            &ts,
-            2,
-            0,
-            &mut st,
-            &[true, true],
-            &mut |_, _| true,
-            &mut rng(),
-        );
+        let d = route_decision(&ts, 2, 0, &mut st, &[true, true], &mut |_, _| true, &mut rng());
         assert_eq!(d, Decision::Parent { tree: 0 });
     }
 
@@ -216,15 +206,7 @@ mod tests {
         let ts = two_chains();
         // Member 2: level 2 on tree0, level 1 on tree1. Tree0 parent dead.
         let mut st = RouteState::at_origin(&ts, 2);
-        let d = route_decision(
-            &ts,
-            2,
-            0,
-            &mut st,
-            &[false, true],
-            &mut |_, _| true,
-            &mut rng(),
-        );
+        let d = route_decision(&ts, 2, 0, &mut st, &[false, true], &mut |_, _| true, &mut rng());
         // OL(1)=1 ≤ TL(0)=2, so up* allows tree 1.
         assert_eq!(d, Decision::Parent { tree: 1 });
     }
@@ -236,15 +218,7 @@ mod tests {
         // dead, tree1's OL(1)=3 > TL(0)=1, so up* fails; flex also fails
         // (OL(1)=3 > TL(1)=3 is false — equality allows it). Check flex path.
         let mut st = RouteState::at_origin(&ts, 1);
-        let d = route_decision(
-            &ts,
-            1,
-            0,
-            &mut st,
-            &[false, true],
-            &mut |_, _| true,
-            &mut rng(),
-        );
+        let d = route_decision(&ts, 1, 0, &mut st, &[false, true], &mut |_, _| true, &mut rng());
         // Flex: OL(tree1)=3 ≤ TL(tree1)=3 holds, so it still goes up tree 1.
         assert_eq!(d, Decision::Parent { tree: 1 });
     }
@@ -254,15 +228,7 @@ mod tests {
         let ts = two_chains();
         // Member 1 again, but now no parents are live anywhere.
         let mut st = RouteState::at_origin(&ts, 1);
-        let d = route_decision(
-            &ts,
-            1,
-            0,
-            &mut st,
-            &[false, false],
-            &mut |_, _| true,
-            &mut rng(),
-        );
+        let d = route_decision(&ts, 1, 0, &mut st, &[false, false], &mut |_, _| true, &mut rng());
         match d {
             Decision::Child { .. } => assert_eq!(st.ttl_down, 1),
             other => panic!("expected descent, got {other:?}"),
@@ -274,15 +240,7 @@ mod tests {
         let ts = two_chains();
         let mut st = RouteState::at_origin(&ts, 1);
         st.ttl_down = TTL_DOWN_LIMIT;
-        let d = route_decision(
-            &ts,
-            1,
-            0,
-            &mut st,
-            &[false, false],
-            &mut |_, _| true,
-            &mut rng(),
-        );
+        let d = route_decision(&ts, 1, 0, &mut st, &[false, false], &mut |_, _| true, &mut rng());
         assert_eq!(d, Decision::Drop);
     }
 
@@ -290,15 +248,7 @@ mod tests {
     fn no_live_children_drops() {
         let ts = two_chains();
         let mut st = RouteState::at_origin(&ts, 1);
-        let d = route_decision(
-            &ts,
-            1,
-            0,
-            &mut st,
-            &[false, false],
-            &mut |_, _| false,
-            &mut rng(),
-        );
+        let d = route_decision(&ts, 1, 0, &mut st, &[false, false], &mut |_, _| false, &mut rng());
         assert_eq!(d, Decision::Drop);
     }
 
@@ -342,9 +292,7 @@ mod tests {
                         break;
                     }
                     let pl: Vec<bool> = (0..2)
-                        .map(|x| {
-                            ts.tree(x).parent(member).is_some() && (mask >> x) & 1 == 1
-                        })
+                        .map(|x| ts.tree(x).parent(member).is_some() && (mask >> x) & 1 == 1)
                         .collect();
                     match route_decision(
                         &ts,

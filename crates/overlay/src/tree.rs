@@ -116,9 +116,7 @@ impl Tree {
 
     /// Interior (non-leaf, non-root) member count.
     pub fn interior_count(&self) -> usize {
-        (0..self.len())
-            .filter(|&m| m != self.root && !self.children[m].is_empty())
-            .count()
+        (0..self.len()).filter(|&m| m != self.root && !self.children[m].is_empty()).count()
     }
 
     /// Leaf count.
@@ -181,7 +179,8 @@ pub fn balanced_tree(n: usize, root: usize, bf: usize) -> Tree {
 /// `⌈log_bf n⌉` — uniform random attachment would be much deeper.
 pub fn random_tree<R: Rng + ?Sized>(n: usize, root: usize, bf: usize, rng: &mut R) -> Tree {
     assert!(n >= 1 && root < n && bf >= 1, "invalid random_tree parameters");
-    let mut order: Vec<usize> = std::iter::once(root).chain((0..n).filter(|&m| m != root)).collect();
+    let mut order: Vec<usize> =
+        std::iter::once(root).chain((0..n).filter(|&m| m != root)).collect();
     // Fisher–Yates over the non-root positions.
     for i in (2..order.len()).rev() {
         let j = rng.gen_range(1..=i);

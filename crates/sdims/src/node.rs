@@ -169,11 +169,7 @@ impl SdimsNode {
         let now = ctx.local_now_us();
         let (v, c) = self.aggregate(now);
         if self.view.is_root {
-            self.results.push(SdimsResult {
-                true_us: ctx.true_now_us(),
-                value: v,
-                count: c,
-            });
+            self.results.push(SdimsResult { true_us: ctx.true_now_us(), value: v, count: c });
             return;
         }
         let dead = {
@@ -225,7 +221,12 @@ impl App for SdimsNode {
                 self.publish(ctx);
             }
             SdimsMsg::Ping => {
-                ctx.send_classified(from, SdimsMsg::Pong, self.cfg.maint_bytes, TrafficClass::Heartbeat);
+                ctx.send_classified(
+                    from,
+                    SdimsMsg::Pong,
+                    self.cfg.maint_bytes,
+                    TrafficClass::Heartbeat,
+                );
             }
             SdimsMsg::Pong => {}
         }
@@ -248,7 +249,12 @@ impl App for SdimsNode {
                         // Force re-selection + reactive publish.
                         self.publish(ctx);
                     } else {
-                        ctx.send_classified(p, SdimsMsg::Ping, self.cfg.maint_bytes, TrafficClass::Heartbeat);
+                        ctx.send_classified(
+                            p,
+                            SdimsMsg::Ping,
+                            self.cfg.maint_bytes,
+                            TrafficClass::Heartbeat,
+                        );
                     }
                 } else {
                     self.publish(ctx);
@@ -258,17 +264,26 @@ impl App for SdimsNode {
             LEAF => {
                 let leafs = self.leafs.clone();
                 for l in leafs {
-                    ctx.send_classified(l, SdimsMsg::Ping, self.cfg.maint_bytes, TrafficClass::Heartbeat);
+                    ctx.send_classified(
+                        l,
+                        SdimsMsg::Ping,
+                        self.cfg.maint_bytes,
+                        TrafficClass::Heartbeat,
+                    );
                 }
                 ctx.set_timer_local_us(self.cfg.leaf_maint_us, LEAF);
             }
             ROUTE => {
                 // Route maintenance: probe failover candidates and forget
                 // sufficiently old death beliefs (FreePastry re-probes).
-                let probe: Vec<NodeId> =
-                    self.view.candidates.iter().take(4).copied().collect();
+                let probe: Vec<NodeId> = self.view.candidates.iter().take(4).copied().collect();
                 for c in probe {
-                    ctx.send_classified(c, SdimsMsg::Ping, self.cfg.maint_bytes, TrafficClass::Control);
+                    ctx.send_classified(
+                        c,
+                        SdimsMsg::Ping,
+                        self.cfg.maint_bytes,
+                        TrafficClass::Control,
+                    );
                 }
                 let horizon = self.cfg.route_maint_us as i64 * 2;
                 self.dead.retain(|_, &mut since| now - since < horizon);
@@ -318,8 +333,7 @@ mod tests {
         sim.run_for_secs(90.0);
         let root = root_of(&sim, n);
         // Disconnect 20% (not the root) for a while, then reconnect.
-        let victims: Vec<NodeId> =
-            (0..n as NodeId).filter(|&i| i != root).take(12).collect();
+        let victims: Vec<NodeId> = (0..n as NodeId).filter(|&i| i != root).take(12).collect();
         for &v in &victims {
             sim.set_host_up(v, false);
         }
@@ -331,10 +345,7 @@ mod tests {
         let results = &sim.app(root).results;
         let values: Vec<f64> = results.iter().map(|r| r.value).collect();
         // The run must show inaccuracy: some sample far from the live count.
-        let worst = values
-            .iter()
-            .map(|v| (v - n as f64).abs())
-            .fold(0.0f64, f64::max);
+        let worst = values.iter().map(|v| (v - n as f64).abs()).fold(0.0f64, f64::max);
         assert!(worst > 5.0, "SDIMS suspiciously accurate under failures: {values:?}");
     }
 

@@ -79,10 +79,7 @@ impl PastryView {
         } else {
             // Pastry locality: prefer table entries close to me.
             cands.sort_by_key(|&m| {
-                (
-                    std::cmp::Reverse(shared_prefix_len(pastry_id(m), key)),
-                    pastry_id(m) ^ my_id,
-                )
+                (std::cmp::Reverse(shared_prefix_len(pastry_id(m), key)), pastry_id(m) ^ my_id)
             });
         }
         // Keep a realistic bounded table (primary + failovers).

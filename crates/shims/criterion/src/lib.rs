@@ -1,0 +1,146 @@
+//! A minimal, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! The build environment vendors no external crates; this shim provides the
+//! surface `mortar-bench`'s micro benchmarks use — [`Criterion`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing uses wall-clock
+//! medians over a fixed sample count; there is no statistical analysis,
+//! warm-up calibration, or HTML reporting.
+
+use std::time::Instant;
+
+/// Controls batch sizing for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the shim always materializes one input per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: batch many per allocation upstream; one-at-a-time here.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Runs closures and reports wall-clock timings.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed_ns: 0.0, iters: 0 };
+            f(&mut b);
+            if b.iters > 0 {
+                samples_ns.push(b.elapsed_ns / b.iters as f64);
+            }
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = samples_ns.get(samples_ns.len() / 2).copied().unwrap_or(f64::NAN);
+        println!("{id:<40} median {median:>12.1} ns/iter ({} samples)", samples_ns.len());
+        self
+    }
+}
+
+/// One benchmark's measurement context.
+pub struct Bencher {
+    elapsed_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let iters = 16u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+        self.iters += iters;
+    }
+
+    /// Times `routine` over inputs freshly produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let iters = 16u64;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos() as f64;
+        }
+        self.iters += iters;
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closures() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            });
+        });
+        assert!(runs >= 3, "bench closure never ran");
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut b = Bencher { elapsed_ns: 0.0, iters: 0 };
+        b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+}

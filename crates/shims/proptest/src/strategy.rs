@@ -1,0 +1,293 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of [`Strategy::Value`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn ErasedStrategy<Value = T>>);
+
+trait ErasedStrategy {
+    type Value;
+    fn erased_generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> ErasedStrategy for S {
+    type Value = S::Value;
+    fn erased_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.erased_generate(rng)
+    }
+}
+
+/// Strategies behind references generate what their referent generates.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy yielding a fixed (cloned) value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// A union over `options` (must be nonempty).
+    pub fn new(options: Vec<S>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let i = rng.index(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                let span = (hi - lo) as u128;
+                let draw = rng.next_u64();
+                let off = if span > u64::MAX as u128 {
+                    draw
+                } else {
+                    draw % span as u64
+                };
+                (lo + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                let draw = rng.next_u64();
+                let off = if span > u64::MAX as u128 {
+                    draw
+                } else {
+                    draw % span as u64
+                };
+                (lo + off as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+    )+};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategies from a restricted regex subset: a single character
+/// class with a repetition count, `[class]{lo,hi}`. Classes support ranges
+/// (`a-z`), escapes (`\n`, `\t`, `\\`, `\]`), and literal characters. This
+/// covers the patterns used by the workspace's fuzz-style tests.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = lo + rng.index(hi - lo + 1);
+        (0..len).map(|_| chars[rng.index(chars.len())]).collect()
+    }
+}
+
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = find_unescaped_close(rest)?;
+    let class = &rest[..close];
+    let rep = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match rep.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n: usize = rep.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if hi < lo {
+        return None;
+    }
+    let chars = expand_class(class)?;
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+fn find_unescaped_close(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b']' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn expand_class(class: &str) -> Option<Vec<char>> {
+    let mut out = Vec::new();
+    let items: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    let resolve = |i: &mut usize| -> Option<char> {
+        let c = items.get(*i).copied()?;
+        if c == '\\' {
+            *i += 1;
+            let e = items.get(*i).copied()?;
+            *i += 1;
+            Some(match e {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            })
+        } else {
+            *i += 1;
+            Some(c)
+        }
+    };
+    while i < items.len() {
+        let c = resolve(&mut i)?;
+        if items.get(i) == Some(&'-') && i + 1 < items.len() {
+            i += 1; // Consume '-'.
+            let end = resolve(&mut i)?;
+            if (end as u32) < (c as u32) {
+                return None;
+            }
+            for u in c as u32..=end as u32 {
+                out.push(char::from_u32(u)?);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_expansion_handles_ranges_and_escapes() {
+        let (chars, lo, hi) = parse_class_pattern("[a-c\\n]{0,5}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c', '\n']);
+        assert_eq!((lo, hi), (0, 5));
+        let (chars, lo, hi) = parse_class_pattern("[xy]{3}").unwrap();
+        assert_eq!(chars, vec!['x', 'y']);
+        assert_eq!((lo, hi), (3, 3));
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let (chars, ..) = parse_class_pattern("[ -~\\n]{0,200}").unwrap();
+        assert_eq!(chars.len(), 96); // 95 printable ASCII + newline.
+    }
+
+    #[test]
+    fn bad_patterns_rejected() {
+        assert!(parse_class_pattern("abc").is_none());
+        assert!(parse_class_pattern("[z-a]{1,2}").is_none());
+        assert!(parse_class_pattern("[a]{4,2}").is_none());
+    }
+}

@@ -1,0 +1,342 @@
+//! A minimal, deterministic, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The build environment vendors no external crates, so this workspace-local
+//! shim provides exactly the surface the Mortar workspace uses: `SmallRng`
+//! seeded via [`SeedableRng::seed_from_u64`], the [`Rng`] extension methods
+//! (`gen`, `gen_range`, `gen_bool`), slice shuffling, and a uniform
+//! distribution. Generated streams are deterministic per seed (SplitMix64),
+//! which is all the discrete-event simulations require — statistical
+//! equivalence with upstream `rand` streams is *not* promised.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Low-level entropy source: a stream of 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit value (upper bits of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types samplable uniformly from a bounded range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let lo_w = lo as $wide;
+                let hi_w = hi as $wide;
+                assert!(
+                    if inclusive { lo_w <= hi_w } else { lo_w < hi_w },
+                    "gen_range: empty range"
+                );
+                // Range width as a u128 so inclusive full-width ranges
+                // (e.g. `0..=u64::MAX`) cannot overflow.
+                let span = (hi_w - lo_w) as u128 + inclusive as u128;
+                let draw = rng.next_u64();
+                let off = if span == 0 || span > u64::MAX as u128 {
+                    draw
+                } else {
+                    draw % span as u64
+                };
+                (lo_w + off as $wide) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_int!(
+    u8 => i128, u16 => i128, u32 => i128, u64 => i128, usize => i128,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128,
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Types samplable from the "standard" distribution (`Rng::gen`).
+pub trait Standard01 {
+    /// Derives a sample from one word of entropy.
+    fn from_word(word: u64) -> Self;
+}
+
+impl Standard01 for f64 {
+    fn from_word(word: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (word >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard01 for f32 {
+    fn from_word(word: u64) -> Self {
+        (word >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard01 for bool {
+    fn from_word(word: u64) -> Self {
+        word & 1 == 1
+    }
+}
+
+impl Standard01 for u64 {
+    fn from_word(word: u64) -> Self {
+        word
+    }
+}
+
+impl Standard01 for u32 {
+    fn from_word(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples from the standard distribution of `T`.
+    fn gen<T: Standard01>(&mut self) -> T {
+        T::from_word(self.next_u64())
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T: SampleUniform, B: RangeBounds<T>>(&mut self, range: B) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(_) => panic!("gen_range: excluded start bound unsupported"),
+            Bound::Unbounded => panic!("gen_range: unbounded start unsupported"),
+        };
+        match range.end_bound() {
+            Bound::Included(&hi) => T::sample_range(lo, hi, true, self),
+            Bound::Excluded(&hi) => T::sample_range(lo, hi, false, self),
+            Bound::Unbounded => panic!("gen_range: unbounded end unsupported"),
+        }
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (SplitMix64).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Pre-mix so nearby seeds diverge immediately.
+            let mut rng = SmallRng { state: state.wrapping_add(0x9E3779B97F4A7C15) };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Extension methods for slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Distribution types (`rand::distributions` in upstream 0.8).
+pub mod distributions {
+    use super::{Rng, SampleUniform};
+
+    /// A type that can produce samples of `T` given a generator.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a closed interval.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<X> {
+        lo: X,
+        hi: X,
+    }
+
+    impl<X: SampleUniform> Uniform<X> {
+        /// Uniform over `[lo, hi]`.
+        pub fn new_inclusive(lo: X, hi: X) -> Self {
+            Self { lo, hi }
+        }
+
+        /// Uniform over `[lo, hi)`.
+        pub fn new(lo: X, hi: X) -> Self {
+            Self { lo, hi }
+        }
+    }
+
+    impl<X: SampleUniform> Distribution<X> for Uniform<X> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> X {
+            X::sample_range(self.lo, self.hi, true, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(3..9);
+            assert!((3..9).contains(&a));
+            let b = rng.gen_range(0..=5u64);
+            assert!(b <= 5);
+            let c = rng.gen_range(-4.0..4.0f64);
+            assert!((-4.0..4.0).contains(&c));
+            let d = rng.gen_range(-10..-2i64);
+            assert!((-10..-2).contains(&d));
+        }
+    }
+
+    #[test]
+    fn full_width_range_does_not_panic() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..64 {
+            let _ = rng.gen_range(0u64..u64::MAX);
+            let _ = rng.gen_range(0u64..=u64::MAX);
+            let _ = rng.gen_range(i64::MIN..=i64::MAX);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..32).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "32 elements staying in place is astronomically unlikely");
+    }
+
+    #[test]
+    fn uniform_distribution_samples_interval() {
+        use super::distributions::{Distribution, Uniform};
+        let mut rng = SmallRng::seed_from_u64(6);
+        let d = Uniform::new_inclusive(-0.5, 0.5);
+        for _ in 0..1_000 {
+            let x: f64 = d.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&x));
+        }
+    }
+}

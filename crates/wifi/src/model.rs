@@ -103,8 +103,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let samples: Vec<f64> = (0..2000).filter_map(|_| m.sample(10.0, &mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((mean - m.mean_rssi(10.0)).abs() < 0.5, "mean {mean}");
         assert!((var.sqrt() - 4.0).abs() < 0.5, "σ {}", var.sqrt());
     }

@@ -128,10 +128,7 @@ impl WifiScenario {
             truth.push((t_us, x, y));
             for (i, s) in sniffers.iter().enumerate() {
                 if let Some(rssi) = cfg.model.sample(s.dist(x, y), &mut rng) {
-                    traces[i].push((
-                        t_us,
-                        RawTuple { key: cfg.mac, vals: vec![rssi, s.x, s.y] },
-                    ));
+                    traces[i].push((t_us, RawTuple { key: cfg.mac, vals: vec![rssi, s.x, s.y] }));
                 }
             }
             t_us += frame_gap_us;
@@ -178,10 +175,8 @@ mod tests {
         // Spread: corners of the floor should each have a sniffer within
         // one grid cell (~7 m).
         for corner in [(2.0, 2.0), (78.0, 48.0)] {
-            let nearest = s
-                .iter()
-                .map(|p| p.dist(corner.0, corner.1))
-                .fold(f64::INFINITY, f64::min);
+            let nearest =
+                s.iter().map(|p| p.dist(corner.0, corner.1)).fold(f64::INFINITY, f64::min);
             assert!(nearest < 10.0, "corner {corner:?} uncovered ({nearest} m)");
         }
     }

@@ -125,7 +125,7 @@ mod tests {
         let anchors: Vec<(f64, f64, f64)> = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)]
             .iter()
             .map(|&(x, y)| {
-                let d = ((x - target.0) as f64).hypot(y - target.1);
+                let d = f64::hypot(x - target.0, y - target.1);
                 (x, y, d)
             })
             .collect();
@@ -160,17 +160,15 @@ mod tests {
         let op = TrilatOp::new();
         let target = (20.0, 15.0);
         let mk = |x: f64, y: f64| {
-            let d = (x - target.0).hypot(y - target.1);
+            let d = f64::hypot(x - target.0, y - target.1);
             TopKEntry {
                 score: model.mean_rssi(d),
                 source: 0,
                 payload: vec![model.mean_rssi(d), x, y],
             }
         };
-        let state = AggState::TopK {
-            k: 3,
-            entries: vec![mk(18.0, 12.0), mk(25.0, 15.0), mk(20.0, 20.0)],
-        };
+        let state =
+            AggState::TopK { k: 3, entries: vec![mk(18.0, 12.0), mk(25.0, 15.0), mk(20.0, 20.0)] };
         match op.finalize(&state) {
             AggState::Vector(v) => {
                 let err = (v[0] - target.0).hypot(v[1] - target.1);

@@ -57,7 +57,7 @@ fn main() {
                 let behind = (r.due_lag_us.max(0) + 500_000) as u64;
                 let t_us = r.emit_true_us.saturating_sub(behind);
                 estimates.push((t_us, v[0], v[1]));
-                if estimates.len() % 10 == 0 {
+                if estimates.len().is_multiple_of(10) {
                     let (tx, ty) = scenario.truth_at(t_us);
                     let err = (v[0] - tx).hypot(v[1] - ty);
                     println!(

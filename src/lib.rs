@@ -62,7 +62,7 @@ pub mod prelude {
         metrics,
         op::{CustomOp, OpKind, OpRegistry},
         peer::{IndexingMode, MortarPeer, PeerConfig},
-        query::{QuerySpec, SensorSpec},
+        query::{QueryId, QuerySpec, SensorSpec},
         value::AggState,
         window::WindowSpec,
     };

@@ -20,11 +20,7 @@ fn spec(n: usize) -> QuerySpec {
     }
 }
 
-fn chaotic_sim(
-    n: usize,
-    chaos: ChaosConfig,
-    seed: u64,
-) -> mortar_net::Simulator<MortarPeer> {
+fn chaotic_sim(n: usize, chaos: ChaosConfig, seed: u64) -> mortar_net::Simulator<MortarPeer> {
     let topo = Topology::paper_inet(n, seed);
     let cfg = PeerConfig::default();
     let reg = OpRegistry::new();
@@ -38,7 +34,7 @@ fn chaotic_sim(
     let trees = mortar_overlay::plan_tree_set(&coords, 0, &planner, &mut rng);
     let s = spec(n);
     let records = build_records(&s.members, &trees);
-    let msg = MortarMsg::Install { spec: s, seq: 1, records, issue_age_us: 0 };
+    let msg = MortarMsg::Install { spec: s, id: QueryId(1), seq: 1, records, issue_age_us: 0 };
     sim.inject(0, 0, msg, 512);
     sim
 }
@@ -81,10 +77,7 @@ fn lossy_network_degrades_gracefully() {
     sim.run_for_secs(60.0);
     let results = &sim.app(0).results;
     let completeness = metrics::mean_completeness(results, n, 15);
-    assert!(
-        completeness > 70.0,
-        "5% loss should not collapse completeness: {completeness}%"
-    );
+    assert!(completeness > 70.0, "5% loss should not collapse completeness: {completeness}%");
 }
 
 #[test]
@@ -149,7 +142,12 @@ fn query_installs_through_partial_outage_via_reconciliation() {
     let trees = mortar_overlay::plan_tree_set(&coords, 0, &planner, &mut rng);
     let s = spec(n);
     let records = build_records(&s.members, &trees);
-    sim.inject(0, 0, MortarMsg::Install { spec: s, seq: 1, records, issue_age_us: 0 }, 512);
+    sim.inject(
+        0,
+        0,
+        MortarMsg::Install { spec: s, id: QueryId(1), seq: 1, records, issue_age_us: 0 },
+        512,
+    );
     sim.run_for_secs(10.0);
     let installed_during = (0..n as NodeId).filter(|&i| sim.app(i).has_query("q")).count();
     assert!(installed_during >= n - victims.len() - 6, "install too sparse: {installed_during}");

@@ -44,16 +44,10 @@ fn avg_and_max_agree_with_constant_streams() {
     eng.install(max);
     eng.run_secs(30.0);
     let results = eng.results(0);
-    let avg_vals: Vec<f64> = results
-        .iter()
-        .filter(|r| r.query == "mean_v")
-        .filter_map(|r| r.scalar)
-        .collect();
-    let max_vals: Vec<f64> = results
-        .iter()
-        .filter(|r| r.query == "max_v")
-        .filter_map(|r| r.scalar)
-        .collect();
+    let avg_vals: Vec<f64> =
+        results.iter().filter(|r| r.query == "mean_v").filter_map(|r| r.scalar).collect();
+    let max_vals: Vec<f64> =
+        results.iter().filter(|r| r.query == "max_v").filter_map(|r| r.scalar).collect();
     assert!(!avg_vals.is_empty() && !max_vals.is_empty());
     // Constant streams of 1.0: every average and max must be exactly 1.
     assert!(avg_vals.iter().all(|&v| (v - 1.0).abs() < 1e-9), "{avg_vals:?}");
