@@ -165,7 +165,8 @@ fn reconcile_period() {
             filter: None,
             sensor: SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
             post: None,
-        });
+        })
+        .expect("valid spec");
         eng.run_secs(10.0);
         eng.reconnect(&down);
         let (mut t50, mut t95) = (f64::NAN, f64::NAN);

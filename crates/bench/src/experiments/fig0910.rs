@@ -25,7 +25,7 @@ fn mortar_run(mode: IndexingMode, scale: f64, n: usize, secs: f64, seed: u64) ->
     cfg.peer.indexing = mode;
     cfg.clock_model = ClockModel::planetlab_like(scale);
     let mut eng = Engine::new(cfg);
-    eng.install(count_peers_spec("sum5", n, SLIDE_US));
+    eng.install(count_peers_spec("sum5", n, SLIDE_US)).expect("valid spec");
     eng.run_secs(secs);
     let results = eng.results(0);
     (true_completeness(results, SLIDE_US, 3), mean_report_latency_secs(results))

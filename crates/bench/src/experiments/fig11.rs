@@ -24,7 +24,7 @@ pub fn run() {
     for fail_frac in [0.0, 0.1, 0.2, 0.3, 0.4] {
         let mut eng = standard_engine(n, 4, 16, 101);
         let down = eng.disconnect_random(fail_frac, 0);
-        eng.install(count_peers_spec("q", n, 1_000_000));
+        eng.install(count_peers_spec("q", n, 1_000_000)).expect("valid spec");
         let mut series = Vec::new();
         let mut prev = 0.0;
         for &t in &sample_times {

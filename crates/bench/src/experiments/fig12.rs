@@ -13,7 +13,7 @@ use mortar_core::metrics;
 /// Completeness (% of *all* nodes, like the paper's y-axis) for one config.
 fn one(n: usize, trees: usize, fail: f64, secs: f64, seed: u64) -> f64 {
     let mut eng = standard_engine(n, trees, 16, seed);
-    eng.install(count_peers_spec("q", n, 1_000_000));
+    eng.install(count_peers_spec("q", n, 1_000_000)).expect("valid spec");
     // Let the query install and stabilize, then fail nodes.
     eng.run_secs(15.0);
     eng.disconnect_random(fail, 0);

@@ -76,7 +76,7 @@ pub fn batching_run(n: usize, batch_max: usize, seed: u64, secs: f64) -> Batchin
     let mut eng = Engine::new(cfg);
     let mut spec = count_peers_spec("fast", n, 25_000);
     spec.sensor = SensorSpec::Periodic { period_us: 25_000, value: 1.0 };
-    eng.install(spec);
+    eng.install(spec).expect("valid spec");
     eng.run_secs(secs);
     let results = eng.results(0);
     BatchingOutcome {

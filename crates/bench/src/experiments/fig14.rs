@@ -53,7 +53,7 @@ pub fn run_fig14() {
     banner("Figure 14", "completeness / path length / network load under rolling failures");
     let n = scaled(240, 680);
     let mut eng = standard_engine(n, 4, 16, 300);
-    eng.install(count_peers_spec("q", n, 1_000_000));
+    eng.install(count_peers_spec("q", n, 1_000_000)).expect("valid spec");
     // Timeline: 40 s warm-up, then 60 s outages of 10/20/30/40% separated
     // by 40 s of recovery.
     eng.run_secs(40.0);
@@ -104,7 +104,7 @@ fn no_aggregation_mbps(eng: &Engine, n: usize) -> f64 {
     use mortar_net::sim::TRANSPORT_OVERHEAD_BYTES;
     let mut eng2 = standard_engine(n, 4, 16, 300);
     let spec = count_peers_spec("plan-only", n, 1_000_000);
-    let trees = eng2.plan(&spec);
+    let trees = eng2.plan(&spec).expect("valid spec");
     let _ = eng;
     let topo = eng2.sim.topology();
     let per_tuple = 100u32 + TRANSPORT_OVERHEAD_BYTES; // summary + transport.
@@ -125,7 +125,7 @@ pub fn run_fig15() {
     banner("Figure 15", "accuracy during 10% churn (5% swapped every 10 s)");
     let n = scaled(240, 680);
     let mut eng = standard_engine(n, 4, 16, 301);
-    eng.install(count_peers_spec("q", n, 1_000_000));
+    eng.install(count_peers_spec("q", n, 1_000_000)).expect("valid spec");
     eng.run_secs(30.0);
     // Initial 10% down.
     let mut down: Vec<NodeId> = eng.disconnect_random(0.10, 0);

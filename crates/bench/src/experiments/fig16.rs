@@ -76,7 +76,7 @@ pub fn run() {
     // Mortar, same scale and failure pattern, for the bandwidth ratio at
     // five times the result frequency (1 s windows vs 5 s probes).
     let mut eng = standard_engine(n, 4, 16, 160);
-    eng.install(count_peers_spec("q", n, 1_000_000));
+    eng.install(count_peers_spec("q", n, 1_000_000)).expect("valid spec");
     eng.run_secs(110.0);
     let mortar_bw = eng.sim.bandwidth().mean_mbps(60, 110);
     println!(

@@ -49,7 +49,8 @@ fn run_once(scenario: &WifiScenario, bf: usize, secs: f64, aggregate: bool) -> (
     for (i, trace) in scenario.traces.iter().enumerate() {
         eng.sim.app_mut(i as NodeId).set_replay(trace.clone());
     }
-    eng.install(def.to_spec(0, (0..n as NodeId).collect(), SensorSpec::Replay));
+    eng.install(def.to_spec(0, (0..n as NodeId).collect(), SensorSpec::Replay))
+        .expect("valid spec");
     eng.run_secs(secs + 10.0);
 
     let mut estimates = Vec::new();

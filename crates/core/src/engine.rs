@@ -8,6 +8,7 @@
 //! which chunk-multicasts it (Section 6). Harnesses then script failures
 //! with [`Engine::set_host_up`] and read results from the root peer.
 
+use crate::error::MortarError;
 use crate::metrics::ResultRecord;
 use crate::msg::MortarMsg;
 use crate::op::OpRegistry;
@@ -15,7 +16,7 @@ use crate::peer::{MortarPeer, PeerConfig};
 use crate::query::{build_records, QueryId, QuerySpec};
 use crate::store::ObjectStore;
 use mortar_coords::VivaldiSystem;
-use mortar_net::{ClockModel, NodeId, SimBuilder, Simulator, Topology};
+use mortar_net::{ChaosConfig, ClockModel, NodeId, SimBuilder, Simulator, Topology};
 use mortar_overlay::{plan_tree_set, PlannerConfig, TreeSet};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -41,6 +42,9 @@ pub struct EngineConfig {
     /// If true, plan directly on the true latency matrix instead of running
     /// Vivaldi (faster for large parameter sweeps; same tree shapes).
     pub plan_on_true_latency: bool,
+    /// Transport fault injection (loss / duplication / reorder jitter);
+    /// defaults to none.
+    pub chaos: ChaosConfig,
 }
 
 impl EngineConfig {
@@ -55,6 +59,7 @@ impl EngineConfig {
             vivaldi_rounds: 10,
             vivaldi_dim: 3,
             plan_on_true_latency: false,
+            chaos: ChaosConfig::none(),
         }
     }
 }
@@ -92,6 +97,7 @@ impl Engine {
         let peer_cfg = cfg.peer;
         let sim = SimBuilder::new(cfg.topology, cfg.seed)
             .clock_model(cfg.clock_model)
+            .chaos(cfg.chaos)
             .build(move |id| MortarPeer::new(id, peer_cfg, registry.clone()));
         Self {
             sim,
@@ -107,20 +113,67 @@ impl Engine {
         &self.coords
     }
 
+    /// Number of hosts in the deployed topology.
+    pub fn hosts(&self) -> usize {
+        self.sim.topology().hosts()
+    }
+
+    /// Validates a spec against the deployment: members exist, are unique
+    /// and in-topology, the root participates, and the window is sane.
+    /// Everything [`Engine::plan`] and the peer runtime would otherwise
+    /// panic on surfaces here as a typed error instead.
+    pub fn validate(&self, spec: &QuerySpec) -> Result<(), MortarError> {
+        let query = &spec.name;
+        if spec.members.is_empty() {
+            return Err(MortarError::NoMembers { query: query.clone() });
+        }
+        let hosts = self.hosts();
+        let mut seen = std::collections::BTreeSet::new();
+        for &p in &spec.members {
+            if p as usize >= hosts {
+                return Err(MortarError::MemberOutOfRange { query: query.clone(), peer: p, hosts });
+            }
+            if !seen.insert(p) {
+                return Err(MortarError::DuplicateMember { query: query.clone(), peer: p });
+            }
+        }
+        if spec.member_of(spec.root).is_none() {
+            return Err(MortarError::RootNotMember { query: query.clone(), root: spec.root });
+        }
+        let w = spec.window;
+        if w.range == 0 || w.slide == 0 {
+            return Err(MortarError::InvalidWindow {
+                query: query.clone(),
+                reason: "range and slide must be positive".into(),
+            });
+        }
+        if w.range < w.slide {
+            return Err(MortarError::InvalidWindow {
+                query: query.clone(),
+                reason: format!(
+                    "range {} smaller than slide {} would drop data between windows",
+                    w.range, w.slide
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Plans a tree set for `spec.members` rooted at `spec.root`.
-    pub fn plan(&mut self, spec: &QuerySpec) -> TreeSet {
+    pub fn plan(&mut self, spec: &QuerySpec) -> Result<TreeSet, MortarError> {
+        self.validate(spec)?;
         let member_coords: Vec<Vec<f64>> =
             spec.members.iter().map(|&p| self.coords[p as usize].clone()).collect();
-        let root_member = spec.member_of(spec.root).expect("query root must be a member") as usize;
-        plan_tree_set(&member_coords, root_member, &self.planner, &mut self.rng)
+        let root_member = spec.member_of(spec.root).expect("validated") as usize;
+        Ok(plan_tree_set(&member_coords, root_member, &self.planner, &mut self.rng))
     }
 
     /// Plans, then injects the install command at the query root.
     /// Returns the planned tree set for analysis.
-    pub fn install(&mut self, spec: QuerySpec) -> TreeSet {
-        let trees = self.plan(&spec);
+    pub fn install(&mut self, spec: QuerySpec) -> Result<TreeSet, MortarError> {
+        let trees = self.plan(&spec)?;
         self.install_with_trees(spec, trees.clone());
-        trees
+        Ok(trees)
     }
 
     /// Injects an install with an externally planned tree set. The store
@@ -140,12 +193,25 @@ impl Engine {
         self.store.query_id(name)
     }
 
-    /// Injects a removal command at the query root.
-    pub fn remove(&mut self, name: &str, root: NodeId) {
+    /// Injects a removal command at the query root. The command carries the
+    /// query's interned id (like installs; the name never hits the wire)
+    /// and a store sequence — which is only minted once the name is known,
+    /// so removing a never-installed query is a typed error rather than a
+    /// silent no-op that burns a sequence number.
+    pub fn remove(&mut self, name: &str, root: NodeId) -> Result<(), MortarError> {
+        let installed =
+            matches!(self.store.latest(name), Some((_, crate::store::Command::Install)));
+        if !installed {
+            // Never installed, or already removed: either way there is no
+            // live incarnation to tear down.
+            return Err(MortarError::UnknownQuery { name: name.to_string() });
+        }
+        let id = self.store.query_id(name).expect("installed names are interned");
         let seq = self.store.issue_remove(name);
-        let msg = MortarMsg::Remove { name: name.to_string(), seq };
+        let msg = MortarMsg::Remove { id, seq };
         let bytes = msg.wire_bytes();
         self.sim.inject(root, root, msg, bytes);
+        Ok(())
     }
 
     /// Runs `s` seconds of true time.
@@ -249,7 +315,7 @@ mod tests {
         cfg.plan_on_true_latency = true;
         cfg.planner.branching_factor = 4;
         let mut eng = Engine::new(cfg);
-        let trees = eng.install(sum_spec(n));
+        let trees = eng.install(sum_spec(n)).expect("valid spec");
         assert_eq!(trees.width(), 4);
         eng.run_secs(40.0);
         assert_eq!(eng.active_count("sum"), n);
@@ -265,11 +331,47 @@ mod tests {
         let mut cfg = EngineConfig::paper(n, 9);
         cfg.plan_on_true_latency = true;
         let mut eng = Engine::new(cfg);
-        eng.install(sum_spec(n));
+        eng.install(sum_spec(n)).expect("valid spec");
         eng.run_secs(10.0);
         assert_eq!(eng.installed_count("sum"), n);
-        eng.remove("sum", 0);
+        eng.remove("sum", 0).expect("installed");
         eng.run_secs(15.0);
         assert_eq!(eng.installed_count("sum"), 0);
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors_not_panics() {
+        let mut eng = Engine::new(EngineConfig::paper(8, 3));
+        // Root outside the member list.
+        let mut s = sum_spec(4);
+        s.root = 7;
+        assert_eq!(
+            eng.install(s.clone()).unwrap_err(),
+            MortarError::RootNotMember { query: "sum".into(), root: 7 }
+        );
+        // Empty member list.
+        s.members.clear();
+        assert!(matches!(eng.install(s), Err(MortarError::NoMembers { .. })));
+        // Member outside the topology.
+        let mut s = sum_spec(4);
+        s.members.push(100);
+        assert!(matches!(eng.plan(&s), Err(MortarError::MemberOutOfRange { peer: 100, .. })));
+        // Duplicate member.
+        let mut s = sum_spec(4);
+        s.members.push(2);
+        assert!(matches!(eng.plan(&s), Err(MortarError::DuplicateMember { peer: 2, .. })));
+        // Degenerate window.
+        let mut s = sum_spec(4);
+        s.window = WindowSpec::time_sliding_us(500_000, 1_000_000);
+        assert!(matches!(eng.plan(&s), Err(MortarError::InvalidWindow { .. })));
+    }
+
+    #[test]
+    fn removing_unknown_query_is_an_error() {
+        let mut eng = Engine::new(EngineConfig::paper(8, 4));
+        assert_eq!(
+            eng.remove("ghost", 0).unwrap_err(),
+            MortarError::UnknownQuery { name: "ghost".into() }
+        );
     }
 }

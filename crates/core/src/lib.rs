@@ -9,7 +9,7 @@
 //!
 //! Layering:
 //!
-//! * [`tuple`], [`value`], [`window`], [`op`] — the data model: raw tuples,
+//! * [`mod@tuple`], [`value`], [`window`], [`op`] — the data model: raw tuples,
 //!   partial aggregate states, window specifications, and the operator API
 //!   (`lift`/`merge`/`finalize`, plus user-defined operators).
 //! * [`tslist`], [`netdist`] — the time-space list (Section 4.2) and the
@@ -20,11 +20,16 @@
 //! * [`peer`] — the Mortar peer state machine (runs on `mortar_net`).
 //! * [`engine`] — an experiment harness wiring topology, planner, clocks,
 //!   peers and metrics together.
+//! * [`api`], [`error`] — the typed session front door: fluent
+//!   [`api::QueryBuilder`], composable [`api::Pipeline`]s, typed
+//!   [`api::QueryHandle`]s, and the workspace-wide [`error::MortarError`].
 //! * [`centralized`] — the StreamBase-like centralized baseline with a
 //!   BSort reorder buffer (Figures 9–10).
 
+pub mod api;
 pub mod centralized;
 pub mod engine;
+pub mod error;
 pub mod install;
 pub mod metrics;
 pub mod msg;
@@ -39,7 +44,9 @@ pub mod tuple;
 pub mod value;
 pub mod window;
 
+pub use api::{stage, Mortar, Pipeline, QueryBuilder, QueryHandle};
 pub use engine::{Engine, EngineConfig};
+pub use error::MortarError;
 pub use op::{CustomOp, OpKind, OpRegistry};
 pub use peer::{IndexingMode, MortarPeer, PeerConfig};
 pub use query::{QuerySpec, SensorSpec};

@@ -71,10 +71,13 @@ pub enum MortarMsg {
         /// Age of the install command since issuance, µs.
         issue_age_us: i64,
     },
-    /// Query removal, multicast down the primary tree.
+    /// Query removal, multicast down the primary tree. Like installs, the
+    /// command is id-carrying: receivers resolve the name through their
+    /// [`crate::query::QueryDirectory`] (which retains retired bindings),
+    /// so the name string never travels on the wire.
     Remove {
-        /// Query name.
-        name: String,
+        /// Interned query handle.
+        id: QueryId,
         /// Store sequence of the removal command.
         seq: u64,
     },
@@ -117,7 +120,7 @@ impl MortarMsg {
             MortarMsg::Install { spec, records, .. } => {
                 28 + spec.wire_bytes() + records.iter().map(InstallRecord::wire_bytes).sum::<u32>()
             }
-            MortarMsg::Remove { name, .. } => 20 + name.len() as u32,
+            MortarMsg::Remove { .. } => 16,
             MortarMsg::TopoRequest { name } => 12 + name.len() as u32,
             MortarMsg::TopoReply { spec, record, .. } => {
                 32 + spec.wire_bytes() + record.wire_bytes()

@@ -136,11 +136,16 @@ impl MortarPeer {
         Some(fwd)
     }
 
-    /// Handles a removal command, forwarding it down the primary tree.
-    pub(crate) fn handle_remove(&mut self, ctx: &mut Ctx<'_, MortarMsg>, name: &str, seq: u64) {
-        if let Some(children) = self.remove_query(name, seq) {
+    /// Handles an id-carrying removal command, forwarding it down the
+    /// primary tree. The name is resolved through this peer's directory;
+    /// an unresolvable id means the query was never installed here, so
+    /// there is nothing to remove or forward (reconciliation covers peers
+    /// that missed both the install and the removal).
+    pub(crate) fn handle_remove(&mut self, ctx: &mut Ctx<'_, MortarMsg>, id: QueryId, seq: u64) {
+        let Some(name) = self.directory.name_of(id).map(str::to_string) else { return };
+        if let Some(children) = self.remove_query(&name, seq) {
             for c in children {
-                let msg = MortarMsg::Remove { name: name.to_string(), seq };
+                let msg = MortarMsg::Remove { id, seq };
                 let bytes = msg.wire_bytes();
                 ctx.send_classified(c, msg, bytes, TrafficClass::Control);
             }

@@ -189,7 +189,7 @@ impl MortarPeer {
                 }
             }
             // Subscription ingest happens where the upstream root emits.
-            SensorSpec::Subscribe { .. } | SensorSpec::None => {}
+            SensorSpec::Subscribe { .. } | SensorSpec::FanIn { .. } | SensorSpec::None => {}
         }
     }
 
@@ -206,9 +206,11 @@ impl MortarPeer {
         let subscribers: Vec<QueryId> = self
             .queries
             .values()
-            .filter(
-                |sq| matches!(&sq.spec.sensor, SensorSpec::Subscribe { query } if query == name),
-            )
+            .filter(|sq| match &sq.spec.sensor {
+                SensorSpec::Subscribe { query } => query == name,
+                SensorSpec::FanIn { queries } => queries.iter().any(|q| q == name),
+                _ => false,
+            })
             .map(|sq| sq.id)
             .collect();
         for sub in subscribers {

@@ -18,11 +18,11 @@
 //!
 //! * [`mod@self`] — peer state, configuration, and the
 //!   [`App`] event loop;
-//! * [`control`] (private) — install / remove / reconcile / heartbeat /
+//! * `control` (private) — install / remove / reconcile / heartbeat /
 //!   topology handling;
-//! * [`ingest`] (private) — sensor pumping, raw-tuple lift, and window
+//! * `ingest` (private) — sensor pumping, raw-tuple lift, and window
 //!   close;
-//! * [`route`] (private) — TS-list eviction, staged multipath routing, and
+//! * `route` (private) — TS-list eviction, staged multipath routing, and
 //!   summary-frame handling.
 //!
 //! Queries are keyed by interned [`QueryId`] handles resolved at install
@@ -350,8 +350,8 @@ impl App for MortarPeer {
             MortarMsg::Install { spec, id, seq, records, issue_age_us } => {
                 self.handle_install(ctx, spec, id, seq, records, issue_age_us);
             }
-            MortarMsg::Remove { name, seq } => {
-                self.handle_remove(ctx, &name, seq);
+            MortarMsg::Remove { id, seq } => {
+                self.handle_remove(ctx, id, seq);
             }
             MortarMsg::TopoRequest { name } => {
                 self.handle_topo_request(ctx, from, &name);
@@ -476,7 +476,7 @@ mod tests {
         let mut sim = build_sim(n);
         inject_install(&mut sim, count_spec(n), chain_trees(n));
         sim.run_for_secs(5.0);
-        sim.inject(0, 0, MortarMsg::Remove { name: "count".into(), seq: 2 }, 32);
+        sim.inject(0, 0, MortarMsg::Remove { id: QueryId(1), seq: 2 }, 32);
         sim.run_for_secs(10.0);
         for id in 0..n as NodeId {
             assert!(!sim.app(id).has_query("count"), "peer {id} still has the query");

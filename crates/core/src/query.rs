@@ -94,6 +94,15 @@ pub enum SensorSpec {
         /// member).
         query: String,
     },
+    /// Subscribe to several upstream queries at once (fan-in): every
+    /// result any of the named queries' root operators emit on this peer
+    /// is ingested as a raw tuple. All upstreams must therefore be rooted
+    /// at this member — the typed pipeline API validates this before
+    /// install.
+    FanIn {
+        /// The upstream queries.
+        queries: Vec<String>,
+    },
     /// The member sources no data (pure aggregation point); it emits
     /// boundary tuples so completeness still counts it.
     None,

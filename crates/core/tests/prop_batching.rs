@@ -45,7 +45,7 @@ fn run(seed: u64, batch_max: usize, n: usize) -> RunOutcome {
     cfg.planner.branching_factor = 4;
     cfg.peer.summary_batch_max = batch_max;
     let mut eng = Engine::new(cfg);
-    eng.install(fast_spec(n));
+    eng.install(fast_spec(n)).expect("valid spec");
     eng.run_secs(15.0);
     RunOutcome {
         results: eng.results(0).iter().map(|r| (r.tb, r.te, r.scalar, r.participants)).collect(),

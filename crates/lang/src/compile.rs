@@ -1,15 +1,24 @@
 //! MSL compiler: program AST → deployable query definition.
 //!
-//! The compiler resolves the statement pipeline into the canonical Mortar
+//! [`compile`] resolves a single-query program into the canonical Mortar
 //! dataflow: *source → per-source select → one in-network aggregate (with
 //! window) → optional root post-operator*. Field names from the stream
 //! declaration become field indices; `key` refers to the tuple's routing
 //! key.
+//!
+//! [`compile_pipeline`] accepts *multi-stage* programs: each in-network
+//! aggregate ends a stage, and a later statement reading an earlier
+//! stage's output starts a new stage that **subscribes** to it (Section
+//! 2.2's composition). The result targets the typed session API — a
+//! [`PipelineDef`] converts straight into a [`mortar_core::Pipeline`] for
+//! [`mortar_core::Mortar::install_pipeline`]. Subscription tuples carry
+//! the upstream value in `f0` and its participant count in `f1`.
 
 use crate::lexer::lex;
 use crate::parser::{parse, Arg, Call, CmpTok, Program, Stmt};
 use mortar_core::op::{Cmp, OpKind, Predicate};
 use mortar_core::window::WindowSpec;
+use mortar_core::MortarError;
 
 /// A compilation or parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +41,12 @@ impl std::fmt::Display for LangError {
 }
 
 impl std::error::Error for LangError {}
+
+impl From<LangError> for MortarError {
+    fn from(e: LangError) -> Self {
+        MortarError::Compile { message: e.message }
+    }
+}
 
 /// A compiled, deployment-ready query definition. Combine with a member
 /// list, root peer and sensor spec to build a
@@ -71,18 +86,251 @@ impl QueryDef {
             post: self.post.clone(),
         }
     }
+
+    /// Lowers the definition onto the typed session API: a detached
+    /// [`mortar_core::QueryBuilder`] carrying the compiled operator,
+    /// window, filter and post stage. Add members and a sensor, then hand
+    /// it to [`mortar_core::Mortar::install`] (or a
+    /// [`mortar_core::Pipeline`]).
+    pub fn stage(&self) -> mortar_core::QueryBuilder<'static> {
+        let mut b = mortar_core::stage(&self.name).op(self.op.clone()).window(self.window);
+        if let Some(f) = &self.filter {
+            b = b.filter(f.clone());
+        }
+        if let Some(p) = &self.post {
+            b = b.post(p.clone());
+        }
+        b
+    }
 }
 
-/// Compiles MSL source text.
+/// One stage of a compiled multi-stage program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDef {
+    /// The stage's query definition (its `source` is the upstream name
+    /// for subscribing stages).
+    pub def: QueryDef,
+    /// The upstream stage this one subscribes to (`None` for the source
+    /// stage reading the declared stream).
+    pub upstream: Option<String>,
+}
+
+/// A compiled multi-stage program: one [`StageDef`] per in-network
+/// aggregate, wired by subscription edges in statement order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineDef {
+    /// The stages, in declaration order.
+    pub stages: Vec<StageDef>,
+}
+
+impl PipelineDef {
+    /// The final stage's name (the program's result stream).
+    pub fn name(&self) -> &str {
+        &self.stages.last().expect("a pipeline has at least one stage").def.name
+    }
+
+    /// Lowers the program onto the typed session API. Source stages get
+    /// the given members, root and sensor; subscribing stages are wired
+    /// by the pipeline compiler and default to living on their upstream's
+    /// root peer. Install with
+    /// [`mortar_core::Mortar::install_pipeline`].
+    pub fn to_pipeline(
+        &self,
+        root: mortar_net::NodeId,
+        members: Vec<mortar_net::NodeId>,
+        sensor: mortar_core::SensorSpec,
+    ) -> mortar_core::Pipeline {
+        let mut pipe = mortar_core::Pipeline::new();
+        for s in &self.stages {
+            let b = s.def.stage();
+            pipe = match &s.upstream {
+                None => {
+                    pipe.stage(b.members(members.iter().copied()).root(root).sensor(sensor.clone()))
+                }
+                Some(up) => pipe.fan_in([up.clone()], b),
+            };
+        }
+        pipe
+    }
+}
+
+/// Compiles single-query MSL source text (programs with exactly one
+/// in-network aggregate; see [`compile_pipeline`] for multi-stage
+/// programs). A thin wrapper over the same lowering path as
+/// [`compile_pipeline`], so the two can never disagree on a single-stage
+/// program.
 pub fn compile(src: &str) -> Result<QueryDef, LangError> {
-    let program = parse(lex(src)?)?;
-    lower(&program)
+    let mut p = compile_pipeline(src)?;
+    if p.stages.len() != 1 {
+        return Err(LangError::new(
+            "a query has exactly one in-network aggregate; use compile_pipeline for \
+             multi-stage programs",
+        ));
+    }
+    Ok(p.stages.pop().expect("length checked").def)
 }
 
-fn lower(p: &Program) -> Result<QueryDef, LangError> {
+/// Compiles a multi-stage MSL program into a [`PipelineDef`].
+///
+/// Each in-network aggregate closes a stage; a later statement reading a
+/// closed stage's output opens a new stage subscribing to it. Several
+/// stages may read the same upstream (fan-out). Within a downstream
+/// stage, `f0` is the upstream value and `f1` its participant count.
+///
+/// ```
+/// let p = mortar_lang::compile_pipeline(
+///     "stream s(v);\n\
+///      up = sum(s, v) every 1s;\n\
+///      smooth = avg(up, f0) window 5s slide 5s;",
+/// )
+/// .unwrap();
+/// assert_eq!(p.stages.len(), 2);
+/// assert_eq!(p.stages[1].upstream.as_deref(), Some("up"));
+/// ```
+pub fn compile_pipeline(src: &str) -> Result<PipelineDef, LangError> {
+    let program = parse(lex(src)?)?;
+    lower_pipeline(&program)
+}
+
+/// Built-in aggregate call → operator; `Ok(None)` when `func` is not a
+/// built-in aggregate (a custom-operator candidate).
+fn builtin_agg(
+    call: &Call,
+    fidx: &dyn Fn(&Arg) -> Result<usize, LangError>,
+) -> Result<Option<OpKind>, LangError> {
+    Ok(Some(match call.func.as_str() {
+        "sum" | "avg" | "min" | "max" => {
+            let f = call.args.get(1).map(fidx).transpose()?.unwrap_or(0);
+            match call.func.as_str() {
+                "sum" => OpKind::Sum { field: f },
+                "avg" => OpKind::Avg { field: f },
+                "min" => OpKind::Min { field: f },
+                _ => OpKind::Max { field: f },
+            }
+        }
+        "count" => OpKind::Count,
+        "topk" => {
+            let k = match call.args.get(1) {
+                Some(Arg::Number(n)) if *n >= 1.0 => *n as usize,
+                other => return Err(LangError::new(format!("topk needs k ≥ 1, got {other:?}"))),
+            };
+            let f = call.args.get(2).map(fidx).transpose()?.unwrap_or(0);
+            OpKind::TopK { k, field: f }
+        }
+        "union" => {
+            let cap = match call.args.get(1) {
+                Some(Arg::Number(n)) => *n as usize,
+                _ => 1024,
+            };
+            OpKind::Union { cap }
+        }
+        "entropy" => {
+            let f = call.args.get(1).map(fidx).transpose()?.unwrap_or(0);
+            let cap = match call.args.get(2) {
+                Some(Arg::Number(n)) => *n as usize,
+                _ => 1024,
+            };
+            OpKind::Entropy { field: f, cap }
+        }
+        "bloom" | "index" => OpKind::BloomIndex,
+        "distinct" => OpKind::Distinct,
+        _ => return Ok(None),
+    }))
+}
+
+/// Whether `func` names a built-in aggregate (stage-boundary detection).
+/// Derived from [`builtin_agg`] itself — probing with an argument-free
+/// call — so the name set has a single source of truth: anything but
+/// `Ok(None)` (including argument errors like topk's missing `k`) means
+/// the name is a built-in.
+fn is_builtin_agg(func: &str) -> bool {
+    let probe = Call { func: func.to_string(), args: Vec::new() };
+    !matches!(builtin_agg(&probe, &|_| Ok(0)), Ok(None))
+}
+
+/// The single lowering path behind both [`compile`] and
+/// [`compile_pipeline`]: every statement that reads an aggregated binding
+/// with a select or (built-in or custom) aggregate closes the stage
+/// owning that binding and opens a new stage subscribing to it; a custom
+/// call over the *current* stage's aggregate stays that stage's root
+/// post-operator.
+fn lower_pipeline(p: &Program) -> Result<PipelineDef, LangError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Kind {
+        Source,
+        Filtered,
+        Aggregated,
+    }
+
+    /// One stage under accumulation.
+    struct Accum {
+        upstream: Option<String>,
+        source: Option<String>,
+        filter: Option<Predicate>,
+        op: Option<OpKind>,
+        window: Option<WindowSpec>,
+        post: Option<String>,
+        name: String,
+        started: bool,
+        /// Aggregated bindings produced inside this stage.
+        bindings: Vec<String>,
+    }
+
+    impl Accum {
+        fn fresh(upstream: Option<String>) -> Self {
+            Self {
+                upstream,
+                source: None,
+                filter: None,
+                op: None,
+                window: None,
+                post: None,
+                name: String::new(),
+                started: false,
+                bindings: Vec::new(),
+            }
+        }
+
+        fn finish(self) -> Result<(StageDef, Vec<String>), LangError> {
+            let op = self.op.ok_or_else(|| {
+                if self.filter.is_some() {
+                    LangError::new(format!(
+                        "stage {:?}: select must precede an in-network aggregate, but the \
+                         stage ends without one",
+                        self.name
+                    ))
+                } else {
+                    LangError::new(format!("stage {:?} defines no aggregate", self.name))
+                }
+            })?;
+            let source = self
+                .upstream
+                .clone()
+                .or(self.source)
+                .ok_or_else(|| LangError::new("program reads from no source stream"))?;
+            Ok((
+                StageDef {
+                    def: QueryDef {
+                        name: self.name,
+                        source,
+                        filter: self.filter,
+                        op,
+                        window: self
+                            .window
+                            .unwrap_or_else(|| WindowSpec::time_tumbling_us(1_000_000)),
+                        post: self.post,
+                    },
+                    upstream: self.upstream,
+                },
+                self.bindings,
+            ))
+        }
+    }
+
     let field_index = |stream: &str, name: &str| -> Result<usize, LangError> {
         let Some((_, fields)) = p.streams.iter().find(|(s, _)| s == stream) else {
-            // Without a declaration, accept positional names f0, f1, ….
+            // Without a declaration (including subscription streams),
+            // accept positional names f0, f1, ….
             if let Some(rest) = name.strip_prefix('f') {
                 if let Ok(i) = rest.parse::<usize>() {
                     return Ok(i);
@@ -98,21 +346,25 @@ fn lower(p: &Program) -> Result<QueryDef, LangError> {
             .ok_or_else(|| LangError::new(format!("unknown field {name:?} on {stream:?}")))
     };
 
-    let mut source: Option<String> = None;
-    let mut filter: Option<Predicate> = None;
-    let mut op: Option<OpKind> = None;
-    let mut window: Option<WindowSpec> = None;
-    let mut post: Option<String> = None;
-    let mut name = String::new();
-    // Names bound so far map to the conceptual stage kind.
-    #[derive(Clone, Copy, PartialEq)]
-    enum StageKind {
-        Source,
-        Filtered,
-        Aggregated,
-    }
-    let mut bound: Vec<(String, StageKind)> =
-        p.streams.iter().map(|(s, _)| (s.clone(), StageKind::Source)).collect();
+    let mut stages: Vec<StageDef> = Vec::new();
+    // Aggregated binding → finished stage name (the name subscriptions use).
+    let mut owner: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut bound: Vec<(String, Kind)> =
+        p.streams.iter().map(|(s, _)| (s.clone(), Kind::Source)).collect();
+    let mut current = Accum::fresh(None);
+
+    let finish = |current: &mut Accum,
+                  owner: &mut std::collections::HashMap<String, String>,
+                  stages: &mut Vec<StageDef>|
+     -> Result<(), LangError> {
+        let done = std::mem::replace(current, Accum::fresh(None));
+        let (stage, bindings) = done.finish()?;
+        for b in bindings {
+            owner.insert(b, stage.def.name.clone());
+        }
+        stages.push(stage);
+        Ok(())
+    };
 
     for stmt in &p.stmts {
         let Stmt { call, .. } = stmt;
@@ -127,11 +379,40 @@ fn lower(p: &Program) -> Result<QueryDef, LangError> {
                 LangError::new(format!("{}(…) needs an input stream argument", call.func))
             })?;
         let in_kind =
-            bound.iter().find(|(n, _)| *n == input).map(|&(_, k)| k).unwrap_or(StageKind::Source);
-        if in_kind == StageKind::Source && source.is_none() {
-            source = Some(input.clone());
+            bound.iter().find(|(n, _)| *n == input).map(|&(_, k)| k).unwrap_or(Kind::Source);
+
+        // Stage boundary: consuming an aggregated binding with anything
+        // but a post-operator call on the current stage's own output.
+        if in_kind == Kind::Aggregated {
+            let in_current = current.bindings.contains(&input);
+            let is_post = in_current
+                && current.op.is_some()
+                && current.post.is_none()
+                && !is_builtin_agg(&call.func)
+                && !matches!(call.func.as_str(), "select" | "filter");
+            if !is_post {
+                if in_current || current.started {
+                    finish(&mut current, &mut owner, &mut stages)?;
+                }
+                let upstream = owner.get(&input).cloned().ok_or_else(|| {
+                    LangError::new(format!("cannot subscribe to {input:?}: unknown stage"))
+                })?;
+                current = Accum::fresh(Some(upstream));
+            }
         }
-        let src_name = source.clone().unwrap_or_else(|| input.clone());
+
+        current.started = true;
+        if in_kind == Kind::Source && current.source.is_none() && current.upstream.is_none() {
+            current.source = Some(input.clone());
+        }
+        // Field references resolve against the stage's source stream; for
+        // subscribing stages that stream is undeclared, so f0 (value) and
+        // f1 (participants) resolve positionally.
+        let src_name = current
+            .source
+            .clone()
+            .or_else(|| current.upstream.clone())
+            .unwrap_or_else(|| input.clone());
         let fidx = |a: &Arg| -> Result<usize, LangError> {
             match a {
                 Arg::Name(n) => field_index(&src_name, n),
@@ -141,116 +422,56 @@ fn lower(p: &Program) -> Result<QueryDef, LangError> {
                 }
             }
         };
-        let out_kind = match call.func.as_str() {
-            "select" | "filter" => {
-                if op.is_some() {
-                    return Err(LangError::new("select must precede the aggregate"));
-                }
-                let pred = predicate(call, &src_name, &field_index)?;
-                filter = Some(match filter.take() {
-                    Some(prev) => Predicate::And(Box::new(prev), Box::new(pred)),
-                    None => pred,
-                });
-                StageKind::Filtered
+        let out_kind = if matches!(call.func.as_str(), "select" | "filter") {
+            if current.op.is_some() {
+                return Err(LangError::new("select must precede the aggregate"));
             }
-            "sum" | "avg" | "min" | "max" => {
-                let f = call.args.get(1).map(fidx).transpose()?.unwrap_or(0);
-                set_op(
-                    &mut op,
-                    match call.func.as_str() {
-                        "sum" => OpKind::Sum { field: f },
-                        "avg" => OpKind::Avg { field: f },
-                        "min" => OpKind::Min { field: f },
-                        _ => OpKind::Max { field: f },
-                    },
-                )?;
-                StageKind::Aggregated
+            let pred = predicate(call, &src_name, &field_index)?;
+            current.filter = Some(match current.filter.take() {
+                Some(prev) => Predicate::And(Box::new(prev), Box::new(pred)),
+                None => pred,
+            });
+            Kind::Filtered
+        } else if let Some(agg) = builtin_agg(call, &fidx)? {
+            set_op(&mut current.op, agg)?;
+            Kind::Aggregated
+        } else if in_kind == Kind::Aggregated && current.op.is_some() {
+            // Custom call over the current stage's aggregate: a root
+            // post-operator.
+            if current.post.is_some() {
+                return Err(LangError::new("at most one post operator"));
             }
-            "count" => {
-                set_op(&mut op, OpKind::Count)?;
-                StageKind::Aggregated
-            }
-            "topk" => {
-                let k = match call.args.get(1) {
-                    Some(Arg::Number(n)) if *n >= 1.0 => *n as usize,
-                    other => {
-                        return Err(LangError::new(format!("topk needs k ≥ 1, got {other:?}")))
-                    }
-                };
-                let f = call.args.get(2).map(fidx).transpose()?.unwrap_or(0);
-                set_op(&mut op, OpKind::TopK { k, field: f })?;
-                StageKind::Aggregated
-            }
-            "union" => {
-                let cap = match call.args.get(1) {
-                    Some(Arg::Number(n)) => *n as usize,
-                    _ => 1024,
-                };
-                set_op(&mut op, OpKind::Union { cap })?;
-                StageKind::Aggregated
-            }
-            "entropy" => {
-                let f = call.args.get(1).map(fidx).transpose()?.unwrap_or(0);
-                let cap = match call.args.get(2) {
-                    Some(Arg::Number(n)) => *n as usize,
-                    _ => 1024,
-                };
-                set_op(&mut op, OpKind::Entropy { field: f, cap })?;
-                StageKind::Aggregated
-            }
-            "bloom" | "index" => {
-                set_op(&mut op, OpKind::BloomIndex)?;
-                StageKind::Aggregated
-            }
-            "distinct" => {
-                set_op(&mut op, OpKind::Distinct)?;
-                StageKind::Aggregated
-            }
-            custom => {
-                match in_kind {
-                    StageKind::Aggregated => {
-                        // A custom stage over an aggregate output runs at
-                        // the query root (e.g. trilat).
-                        if post.is_some() {
-                            return Err(LangError::new("at most one post operator"));
-                        }
-                        post = Some(custom.to_string());
-                        StageKind::Aggregated
-                    }
-                    _ => {
-                        // A custom in-network aggregate.
-                        set_op(&mut op, OpKind::Custom { name: custom.to_string() })?;
-                        StageKind::Aggregated
-                    }
-                }
-            }
+            current.post = Some(call.func.clone());
+            Kind::Aggregated
+        } else {
+            set_op(&mut current.op, OpKind::Custom { name: call.func.clone() })?;
+            Kind::Aggregated
         };
         if let Some(range) = stmt.window_range {
             let slide = stmt.window_slide.unwrap_or(range);
-            let w = if stmt.tuple_window {
-                WindowSpec::tuples(range, slide)
-            } else {
-                WindowSpec::time_sliding_us(range, slide)
-            };
             if range < slide {
                 return Err(LangError::new("window range must be ≥ slide"));
             }
-            window = Some(w);
+            current.window = Some(if stmt.tuple_window {
+                WindowSpec::tuples(range, slide)
+            } else {
+                WindowSpec::time_sliding_us(range, slide)
+            });
+        }
+        if out_kind == Kind::Aggregated {
+            current.bindings.push(stmt.name.clone());
         }
         bound.push((stmt.name.clone(), out_kind));
-        name = stmt.name.clone();
+        current.name = stmt.name.clone();
     }
 
-    let op = op.ok_or_else(|| LangError::new("program defines no aggregate stage"))?;
-    let source = source.ok_or_else(|| LangError::new("program reads from no source stream"))?;
-    Ok(QueryDef {
-        name,
-        source,
-        filter,
-        op,
-        window: window.unwrap_or_else(|| WindowSpec::time_tumbling_us(1_000_000)),
-        post,
-    })
+    if !current.started && stages.is_empty() {
+        return Err(LangError::new("program defines no aggregate stage"));
+    }
+    if current.started {
+        finish(&mut current, &mut owner, &mut stages)?;
+    }
+    Ok(PipelineDef { stages })
 }
 
 fn set_op(slot: &mut Option<OpKind>, op: OpKind) -> Result<(), LangError> {
@@ -408,6 +629,127 @@ mod tests {
     fn rejects_select_after_aggregate() {
         let err = compile("stream s(v);\na = sum(s, v);\nb = select(a, key == 1);").unwrap_err();
         assert!(err.message.contains("precede"));
+    }
+
+    #[test]
+    fn pipeline_splits_on_aggregated_input() {
+        let p = compile_pipeline(
+            "stream s(v);\n\
+             up = sum(s, v) every 1s;\n\
+             smooth = avg(up, f0) window 5s slide 5s;",
+        )
+        .unwrap();
+        assert_eq!(p.stages.len(), 2);
+        assert_eq!(p.name(), "smooth");
+        let up = &p.stages[0];
+        assert_eq!(up.def.name, "up");
+        assert_eq!(up.def.op, OpKind::Sum { field: 0 });
+        assert_eq!(up.upstream, None);
+        let smooth = &p.stages[1];
+        assert_eq!(smooth.def.op, OpKind::Avg { field: 0 });
+        assert_eq!(smooth.upstream.as_deref(), Some("up"));
+        assert_eq!(smooth.def.source, "up");
+        assert_eq!(smooth.def.window, WindowSpec::time_sliding_us(5_000_000, 5_000_000));
+    }
+
+    #[test]
+    fn pipeline_keeps_single_stage_programs_whole() {
+        let p = compile_pipeline(
+            "stream wifi(rssi, x, y);\n\
+             frames = select(wifi, key == 7);\n\
+             loud = topk(frames, 3, rssi) window 1s;\n\
+             position = trilat(loud);",
+        )
+        .unwrap();
+        assert_eq!(p.stages.len(), 1);
+        let s = &p.stages[0];
+        assert_eq!(s.def.name, "position");
+        assert_eq!(s.def.post, Some("trilat".into()));
+        assert_eq!(s.upstream, None);
+    }
+
+    #[test]
+    fn pipeline_select_over_upstream_starts_a_filtered_stage() {
+        // f1 of a subscription stream is the upstream participant count.
+        let p = compile_pipeline(
+            "stream s(v);\n\
+             up = sum(s, v) every 1s;\n\
+             full = select(up, f1 >= 8);\n\
+             peak = max(full, f0) every 10s;",
+        )
+        .unwrap();
+        assert_eq!(p.stages.len(), 2);
+        let peak = &p.stages[1];
+        assert_eq!(peak.upstream.as_deref(), Some("up"));
+        assert_eq!(peak.def.filter, Some(Predicate::Field { field: 1, cmp: Cmp::Ge, value: 8.0 }));
+        assert_eq!(peak.def.op, OpKind::Max { field: 0 });
+    }
+
+    #[test]
+    fn pipeline_fans_out_from_one_upstream() {
+        let p = compile_pipeline(
+            "stream s(v);\n\
+             up = sum(s, v) every 1s;\n\
+             lo = min(up, f0) every 5s;\n\
+             hi = max(up, f0) every 5s;",
+        )
+        .unwrap();
+        assert_eq!(p.stages.len(), 3);
+        assert_eq!(p.stages[1].upstream.as_deref(), Some("up"));
+        assert_eq!(p.stages[2].upstream.as_deref(), Some("up"));
+    }
+
+    #[test]
+    fn pipeline_custom_over_finished_stage_is_a_new_stage() {
+        let p = compile_pipeline(
+            "stream s(v);\n\
+             loud = topk(s, 3, v) window 1s;\n\
+             position = trilat(loud);\n\
+             drift = jitter(position);",
+        )
+        .unwrap();
+        // trilat chains onto the unfinished topk stage as its post; jitter
+        // then reads the finished stage and becomes a custom stage.
+        assert_eq!(p.stages.len(), 2);
+        assert_eq!(p.stages[0].def.post, Some("trilat".into()));
+        assert_eq!(p.stages[1].def.op, OpKind::Custom { name: "jitter".into() });
+        assert_eq!(p.stages[1].upstream.as_deref(), Some("position"));
+    }
+
+    #[test]
+    fn pipeline_rejects_trailing_select() {
+        let err = compile_pipeline(
+            "stream s(v);\n\
+             up = sum(s, v);\n\
+             f = select(up, f0 > 1);",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("precede"), "{}", err.message);
+    }
+
+    #[test]
+    fn pipeline_def_converts_to_session_pipeline() {
+        let p = compile_pipeline(
+            "stream s(v);\n\
+             up = sum(s, v) every 1s;\n\
+             smooth = avg(up, f0) window 5s slide 5s;",
+        )
+        .unwrap();
+        let pipe = p.to_pipeline(
+            0,
+            (0..8).collect(),
+            mortar_core::SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
+        );
+        assert_eq!(pipe.len(), 2);
+    }
+
+    #[test]
+    fn compile_error_converts_to_mortar_error() {
+        let err = compile("stream s(v);\nq = sum(s, nope);").unwrap_err();
+        let m: mortar_core::MortarError = err.into();
+        assert!(
+            matches!(m, mortar_core::MortarError::Compile { ref message } if message.contains("unknown field"))
+        );
     }
 
     #[test]

@@ -12,10 +12,18 @@
 //! ```
 //!
 //! A program is a pipeline of named stages over a declared source stream;
-//! [`compile`] lowers it to a [`QueryDef`]: the source, an optional select
+//! [`compile()`] lowers it to a [`QueryDef`]: the source, an optional select
 //! predicate (executed at every source), one in-network aggregate with its
 //! window, and an optional root post-operator (resolved against the
 //! deployment's [`mortar_core::OpRegistry`]).
+//!
+//! Multi-stage programs — several aggregates chained by reading an earlier
+//! stage's output — compile with [`compile_pipeline`] into a
+//! [`PipelineDef`] that targets the typed session API:
+//! [`PipelineDef::to_pipeline`] produces a [`mortar_core::Pipeline`] of
+//! subscription-wired stages for
+//! [`mortar_core::Mortar::install_pipeline`], and [`QueryDef::stage`]
+//! lowers a single query onto a [`mortar_core::QueryBuilder`].
 //!
 //! # Examples
 //!
@@ -33,6 +41,6 @@ pub mod compile;
 pub mod lexer;
 pub mod parser;
 
-pub use compile::{compile, LangError, QueryDef};
+pub use compile::{compile, compile_pipeline, LangError, PipelineDef, QueryDef, StageDef};
 pub use lexer::{lex, Token};
 pub use parser::{parse, Arg, Call, Program, Stmt};

@@ -38,7 +38,8 @@ impl Default for PlannerConfig {
 ///
 /// `coords[m]` is member `m`'s network coordinate; `root` is the query root
 /// member (the injecting peer). Coordinates typically come from
-/// [`mortar_coords::VivaldiSystem::coords`].
+/// `mortar_coords::VivaldiSystem::coords` (the overlay crate itself is
+/// coordinate-source agnostic).
 pub fn plan_primary<R: Rng + ?Sized>(
     coords: &[Point],
     root: usize,

@@ -31,28 +31,29 @@ fn flow_trace(seed: u64) -> Vec<(u64, RawTuple)> {
     out
 }
 
-fn main() {
+fn main() -> Result<(), MortarError> {
     let n = 48;
+    // The MSL front end compiles into the session API: `stage()` lowers
+    // the definition onto a query builder, `Mortar::install` deploys it.
     let def = mortar::lang::compile(
         "stream flows(dstport, bytes);\n\
          h = entropy(flows, dstport, 64) every 5s;",
-    )
-    .expect("valid MSL");
+    )?;
 
     let mut cfg = EngineConfig::paper(n, 99);
     cfg.plan_on_true_latency = true;
-    let mut engine = Engine::new(cfg);
+    let mut mortar = Mortar::new(cfg);
     for i in 0..n as NodeId {
-        engine.sim.app_mut(i).set_replay(flow_trace(1000 + i as u64));
+        mortar.set_replay(i, flow_trace(1000 + i as u64));
     }
-    engine.install(def.to_spec(0, (0..n as NodeId).collect(), SensorSpec::Replay));
-    engine.run_secs(140.0);
+    let h = mortar.install(def.stage().members(0..n as NodeId).replay())?;
+    mortar.run_secs(140.0);
 
     println!("destination-port entropy across {n} peers (attack window 60–90 s):\n");
     println!("{:>8}  {:>9}  {:>8}", "t(s)", "entropy", "");
     let mut min_during = f64::INFINITY;
     let mut max_outside: f64 = 0.0;
-    for r in engine.results(0) {
+    for r in &mortar.results(&h) {
         let t = r.emit_true_us / 1_000_000;
         let h = r.scalar.unwrap_or(0.0);
         let bar = "#".repeat((h * 12.0) as usize);
@@ -69,4 +70,5 @@ fn main() {
          to {min_during:.2} bits — a threshold detector fires in-network with \
          no raw flows ever leaving the peers."
     );
+    Ok(())
 }

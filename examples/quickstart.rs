@@ -1,5 +1,6 @@
-//! Quickstart: deploy a continuous `sum` query over a 64-peer federation,
-//! watch it survive a 25% outage, and read the result stream.
+//! Quickstart: deploy a continuous `sum` query over a 64-peer federation
+//! through the typed session API, watch it survive a 25% outage, and drain
+//! the result stream incrementally.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,55 +8,53 @@
 
 use mortar::prelude::*;
 
-fn main() {
-    let n = 64;
+fn main() -> Result<(), MortarError> {
+    let n: usize = 64;
     // An Inet-like transit–stub topology with 64 end hosts.
     let mut cfg = EngineConfig::paper(n, 42);
     cfg.planner.branching_factor = 8; // Four trees, branching factor 8.
-    let mut engine = Engine::new(cfg);
+    let mut mortar = Mortar::new(cfg);
 
-    // Queries are written in the Mortar Stream Language; `to_spec` binds
-    // the compiled definition to a member list and local sensors.
-    let def = mortar::lang::compile(
-        "stream sensors(value);\n\
-         live = sum(sensors, value) every 1s;",
-    )
-    .expect("valid MSL");
-    let spec = def.to_spec(
-        0,
-        (0..n as NodeId).collect(),
-        SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
-    );
+    // The fluent builder validates eagerly: a bad member list, window, or
+    // field name surfaces here as a typed MortarError — it never panics
+    // and never reaches the peers.
+    let live = mortar
+        .query("live")
+        .fields(["value"])
+        .members(0..n as NodeId)
+        .periodic_secs(1.0, 1.0)
+        .sum("value")
+        .every_secs(1.0)
+        .install()?;
+    println!("installed `{}` across {n} peers (root {})", live.name(), live.root());
 
-    let trees = engine.install(spec);
-    println!(
-        "installed `live` across {n} peers: {} trees, primary height {}",
-        trees.width(),
-        trees.tree(0).height()
-    );
-
-    engine.run_secs(20.0);
-    println!("peers active: {}/{n}", engine.active_count("live"));
+    mortar.run_secs(20.0);
+    println!("peers active: {}/{n}", mortar.active_count(&live));
 
     // Disconnect a quarter of the fleet (never the root), then recover.
-    let down = engine.disconnect_random(0.25, 0);
+    let down = mortar.disconnect_random(0.25, live.root());
     println!("\n-- disconnecting {} peers for 30 s --", down.len());
-    engine.run_secs(30.0);
-    engine.reconnect(&down);
+    mortar.run_secs(30.0);
+    mortar.reconnect(&down);
     println!("-- reconnected --\n");
-    engine.run_secs(45.0);
+    mortar.run_secs(45.0);
 
-    // The root's result stream: per-window participant totals (late
-    // partials for a window merge into the same index — time-division
-    // keeps them disjoint, so summing is safe).
-    let results = engine.results(0);
-    let by_index = metrics::participants_by_index(results);
+    // `subscribe` drains everything recorded since the last call; here we
+    // render per-window participant totals (late partials for a window
+    // merge into the same index — time-division keeps them disjoint, so
+    // summing is safe).
+    let recent = mortar.subscribe(&live);
+    let by_index = metrics::participants_by_index(&recent);
     println!("{:>8}  {:>13}  (last 12 windows)", "window", "participants");
     for (tb, participants) in by_index.iter().rev().take(12).collect::<Vec<_>>().iter().rev() {
         let bar = "#".repeat((**participants as usize * 40) / n);
         println!("{:>8} {:>11}/{n}  {bar}", *tb / 1_000_000, participants);
     }
-    let steady = metrics::mean_completeness(results, n, 10);
+    let steady = mortar.completeness(&live, 10);
     println!("\nmean completeness (after warm-up): {steady:.1}%");
-    println!("mean result latency: {:.2}s", metrics::mean_report_latency_secs(results));
+    println!(
+        "mean result latency: {:.2}s",
+        metrics::mean_report_latency_secs(&mortar.results(&live))
+    );
+    Ok(())
 }

@@ -14,21 +14,18 @@ fn run(mode: IndexingMode, scale: f64) -> (f64, f64) {
     cfg.plan_on_true_latency = true;
     cfg.peer.indexing = mode;
     cfg.clock_model = ClockModel::planetlab_like(scale);
-    let mut engine = Engine::new(cfg);
-    let spec = QuerySpec {
-        name: "sum".into(),
-        root: 0,
-        members: (0..n as NodeId).collect(),
-        op: OpKind::Sum { field: 0 },
-        window: WindowSpec::time_tumbling_us(5_000_000),
-        filter: None,
-        sensor: SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
-        post: None,
-    };
-    engine.install(spec);
-    engine.run_secs(120.0);
-    let results = engine.results(0);
-    (true_completeness(results, 5_000_000, 3), mean_report_latency_secs(results))
+    let mut mortar = Mortar::new(cfg);
+    let sum = mortar
+        .query("sum")
+        .members(0..n as NodeId)
+        .periodic_secs(1.0, 1.0)
+        .sum(0)
+        .every_secs(5.0)
+        .install()
+        .expect("valid query");
+    mortar.run_secs(120.0);
+    let results = mortar.results(&sum);
+    (true_completeness(&results, 5_000_000, 3), mean_report_latency_secs(&results))
 }
 
 fn main() {

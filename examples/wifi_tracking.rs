@@ -9,7 +9,7 @@ use mortar::prelude::*;
 use mortar::wifi::{TrilatOp, WifiScenario, WifiScenarioConfig};
 use std::sync::Arc;
 
-fn main() {
+fn main() -> Result<(), MortarError> {
     // Synthesize the workload: a user circling the office hallways while
     // downloading; every sniffer records what it can hear.
     let scen_cfg = WifiScenarioConfig { duration_s: 120.0, ..WifiScenarioConfig::default() };
@@ -25,7 +25,7 @@ fn main() {
          position = trilat(loud);",
         scenario.mac
     );
-    let def = mortar::lang::compile(&program).expect("valid MSL");
+    let def = mortar::lang::compile(&program)?;
     println!("compiled MSL query `{}` (post operator: {:?})", def.name, def.post);
 
     // Sniffers sit on a 1 ms star (the paper's Wi-Fi testbed topology).
@@ -35,20 +35,20 @@ fn main() {
     cfg.topology = Topology::star(n, 1_000);
     cfg.plan_on_true_latency = true;
     cfg.planner.branching_factor = 16;
-    let mut engine = Engine::with_registry(cfg, registry);
+    let mut mortar = Mortar::with_registry(cfg, registry);
 
-    let spec = def.to_spec(0, (0..n as NodeId).collect(), SensorSpec::Replay);
-    // Hand each sniffer peer its captured frames.
+    // Hand each sniffer peer its captured frames, then deploy the
+    // compiled definition through the session.
     for (i, trace) in scenario.traces.iter().enumerate() {
-        engine.sim.app_mut(i as NodeId).set_replay(trace.clone());
+        mortar.set_replay(i as NodeId, trace.clone());
     }
-    engine.install(spec);
-    engine.run_secs(scen_cfg.duration_s + 10.0);
+    let position = mortar.install(def.stage().members(0..n as NodeId).replay())?;
+    mortar.run_secs(scen_cfg.duration_s + 10.0);
 
     // Read the coordinate stream and compare with ground truth.
     let mut estimates: Vec<(u64, f64, f64)> = Vec::new();
     println!("\n{:>6}  {:>18}  {:>18}  {:>7}", "t(s)", "estimate", "truth", "err(m)");
-    for r in engine.results(0) {
+    for r in &mortar.results(&position) {
         if let AggState::Vector(v) = &r.state {
             if v.len() == 2 {
                 // Align the estimate with the centre of the window it
@@ -79,4 +79,5 @@ fn main() {
         estimates.len(),
         scenario.mean_error(&estimates)
     );
+    Ok(())
 }

@@ -23,25 +23,57 @@
 //!
 //! # Quickstart
 //!
+//! The front door is a [`prelude::Mortar`] session: queries are built
+//! fluently, validated eagerly, and tracked by typed
+//! [`prelude::QueryHandle`]s.
+//!
 //! ```
 //! use mortar::prelude::*;
 //!
 //! // A 16-peer federation; every peer contributes "1" every second.
 //! let mut cfg = EngineConfig::paper(16, 42);
 //! cfg.plan_on_true_latency = true;
-//! let mut engine = Engine::new(cfg);
-//! let def = mortar::lang::compile(
-//!     "stream sensors(value);\n up = sum(sensors, value) every 1s;",
-//! )
-//! .unwrap();
-//! let spec = def.to_spec(
+//! let mut mortar = Mortar::new(cfg);
+//! let up = mortar
+//!     .query("up")
+//!     .fields(["value"])
+//!     .members(0..16)
+//!     .periodic_secs(1.0, 1.0)
+//!     .sum("value")
+//!     .every_secs(1.0)
+//!     .install()?;
+//! mortar.run_secs(30.0);
+//!
+//! // `subscribe` drains the results recorded since the last call —
+//! // incremental consumption, no whole-slice polling.
+//! let fresh = mortar.subscribe(&up);
+//! assert!(!fresh.is_empty());
+//! assert!(mortar.completeness(&up, 10) > 90.0);
+//! # Ok::<(), MortarError>(())
+//! ```
+//!
+//! Multi-stage dataflows compose as [`prelude::Pipeline`]s — directly or
+//! compiled from a multi-statement MSL program:
+//!
+//! ```
+//! use mortar::prelude::*;
+//!
+//! let mut cfg = EngineConfig::paper(16, 42);
+//! cfg.plan_on_true_latency = true;
+//! let mut mortar = Mortar::new(cfg);
+//! let program = mortar::lang::compile_pipeline(
+//!     "stream sensors(value);\n\
+//!      up = sum(sensors, value) every 1s;\n\
+//!      smooth = avg(up, f0) window 5s slide 5s;",
+//! )?;
+//! let handles = mortar.install_pipeline(program.to_pipeline(
 //!     0,
 //!     (0..16).collect(),
 //!     SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
-//! );
-//! engine.install(spec);
-//! engine.run_secs(30.0);
-//! assert!(!engine.results(0).is_empty());
+//! ))?;
+//! mortar.run_secs(30.0);
+//! assert!(!mortar.results(&handles[1]).is_empty());
+//! # Ok::<(), MortarError>(())
 //! ```
 
 pub use mortar_cluster as cluster;
@@ -58,15 +90,18 @@ pub use mortar_core as stream;
 /// The most commonly used types in one import.
 pub mod prelude {
     pub use mortar_core::{
+        api::{stage, Mortar, Pipeline, QueryBuilder, QueryHandle},
         engine::{Engine, EngineConfig},
+        error::MortarError,
         metrics,
-        op::{CustomOp, OpKind, OpRegistry},
+        op::{Cmp, CustomOp, OpKind, OpRegistry, Predicate},
         peer::{IndexingMode, MortarPeer, PeerConfig},
         query::{QueryId, QuerySpec, SensorSpec},
         value::AggState,
         window::WindowSpec,
     };
     pub use mortar_lang::compile;
-    pub use mortar_net::{ClockModel, NodeId, Topology};
+    pub use mortar_lang::compile_pipeline;
+    pub use mortar_net::{ChaosConfig, ClockModel, NodeId, Topology};
     pub use mortar_overlay::PlannerConfig;
 }

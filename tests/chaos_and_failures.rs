@@ -1,42 +1,29 @@
 //! Failure injection: message loss, duplication, reordering, and node
 //! disconnection — validating the best-effort contract and the
-//! duplicate-suppression requirement of Section 4.3.
+//! duplicate-suppression requirement of Section 4.3, driven end-to-end
+//! through the typed session API ([`EngineConfig::chaos`] wires transport
+//! misbehaviour under the session).
 
 use mortar::prelude::*;
-use mortar::stream::msg::MortarMsg;
-use mortar::stream::query::build_records;
-use mortar_net::{ChaosConfig, SimBuilder};
 
-fn spec(n: usize) -> QuerySpec {
-    QuerySpec {
-        name: "q".into(),
-        root: 0,
-        members: (0..n as NodeId).collect(),
-        op: OpKind::Sum { field: 0 },
-        window: WindowSpec::time_tumbling_us(1_000_000),
-        filter: None,
-        sensor: SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
-        post: None,
-    }
+fn chaotic_session(n: usize, chaos: ChaosConfig, seed: u64) -> Mortar {
+    let mut cfg = EngineConfig::paper(n, seed);
+    cfg.plan_on_true_latency = true;
+    cfg.planner.branching_factor = 4;
+    cfg.planner.tree_count = 4;
+    cfg.chaos = chaos;
+    Mortar::new(cfg)
 }
 
-fn chaotic_sim(n: usize, chaos: ChaosConfig, seed: u64) -> mortar_net::Simulator<MortarPeer> {
-    let topo = Topology::paper_inet(n, seed);
-    let cfg = PeerConfig::default();
-    let reg = OpRegistry::new();
-    let mut sim = SimBuilder::new(topo, seed)
-        .chaos(chaos)
-        .build(move |id| MortarPeer::new(id, cfg, reg.clone()));
-    // Plan simple trees directly (planner exercised elsewhere).
-    let coords: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % 7) as f64, (i / 7) as f64]).collect();
-    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
-    let planner = PlannerConfig { branching_factor: 4, tree_count: 4, kmeans_iters: 20 };
-    let trees = mortar_overlay::plan_tree_set(&coords, 0, &planner, &mut rng);
-    let s = spec(n);
-    let records = build_records(&s.members, &trees);
-    let msg = MortarMsg::Install { spec: s, id: QueryId(1), seq: 1, records, issue_age_us: 0 };
-    sim.inject(0, 0, msg, 512);
-    sim
+fn install_sum(mortar: &mut Mortar, n: usize) -> QueryHandle {
+    mortar
+        .query("q")
+        .members(0..n as NodeId)
+        .periodic_secs(1.0, 1.0)
+        .sum(0)
+        .every_secs(1.0)
+        .install()
+        .expect("valid query")
 }
 
 #[test]
@@ -45,12 +32,13 @@ fn duplicated_messages_never_double_count() {
     // time-division indexing must keep sums ≤ n.
     let n = 32;
     let chaos = ChaosConfig { dup_prob: 0.3, ..ChaosConfig::none() };
-    let mut sim = chaotic_sim(n, chaos, 21);
-    sim.run_for_secs(40.0);
-    assert!(sim.stats().duplicates_suppressed > 0, "chaos did not exercise dedup");
-    let results = &sim.app(0).results;
+    let mut mortar = chaotic_session(n, chaos, 21);
+    let q = install_sum(&mut mortar, n);
+    mortar.run_secs(40.0);
+    assert!(mortar.engine().sim.stats().duplicates_suppressed > 0, "chaos did not exercise dedup");
+    let results = mortar.results(&q);
     assert!(!results.is_empty());
-    let by_index = metrics::participants_by_index(results);
+    let by_index = metrics::participants_by_index(&results);
     // Conservation: each (source, window) contribution counted at most
     // once globally; per-window counts may smear by ±1 window (tuple
     // dispersion, Section 5.1) but never inflate.
@@ -73,10 +61,10 @@ fn lossy_network_degrades_gracefully() {
     // results rather than stalling.
     let n = 32;
     let chaos = ChaosConfig { drop_prob: 0.05, ..ChaosConfig::none() };
-    let mut sim = chaotic_sim(n, chaos, 22);
-    sim.run_for_secs(60.0);
-    let results = &sim.app(0).results;
-    let completeness = metrics::mean_completeness(results, n, 15);
+    let mut mortar = chaotic_session(n, chaos, 22);
+    let q = install_sum(&mut mortar, n);
+    mortar.run_secs(60.0);
+    let completeness = mortar.completeness(&q, 15);
     assert!(completeness > 70.0, "5% loss should not collapse completeness: {completeness}%");
 }
 
@@ -84,24 +72,26 @@ fn lossy_network_degrades_gracefully() {
 fn reordering_jitter_is_tolerated() {
     let n = 24;
     let chaos = ChaosConfig { reorder_jitter_us: 400_000, ..ChaosConfig::none() };
-    let mut sim = chaotic_sim(n, chaos, 23);
-    sim.run_for_secs(50.0);
-    let completeness = metrics::mean_completeness(&sim.app(0).results, n, 15);
+    let mut mortar = chaotic_session(n, chaos, 23);
+    let q = install_sum(&mut mortar, n);
+    mortar.run_secs(50.0);
+    let completeness = mortar.completeness(&q, 15);
     assert!(completeness > 80.0, "jitter hurt too much: {completeness}%");
 }
 
 #[test]
 fn rolling_disconnections_recover() {
     let n = 40;
-    let mut sim = chaotic_sim(n, ChaosConfig::none(), 24);
-    sim.run_for_secs(25.0);
+    let mut mortar = chaotic_session(n, ChaosConfig::none(), 24);
+    let q = install_sum(&mut mortar, n);
+    mortar.run_secs(25.0);
     // Take down 25% (not the root), wait, bring back.
     let victims: Vec<NodeId> = (1..=(n as NodeId / 4)).collect();
     for &v in &victims {
-        sim.set_host_up(v, false);
+        mortar.set_host_up(v, false);
     }
-    sim.run_for_secs(30.0);
-    let during = metrics::participants_by_index(&sim.app(0).results);
+    mortar.run_secs(30.0);
+    let during = metrics::participants_by_index(&mortar.results(&q));
     let live = n - victims.len();
     // During the outage, steady windows should count ~live peers.
     let late_during: Vec<u32> = during.values().rev().take(6).copied().collect();
@@ -113,10 +103,10 @@ fn rolling_disconnections_recover() {
         "live peers unaccounted during failure: {late_during:?} (live={live})"
     );
     for &v in &victims {
-        sim.set_host_up(v, true);
+        mortar.set_host_up(v, true);
     }
-    sim.run_for_secs(30.0);
-    let after = metrics::participants_by_index(&sim.app(0).results);
+    mortar.run_secs(30.0);
+    let after = metrics::participants_by_index(&mortar.results(&q));
     let late_after: Vec<u32> = after.values().rev().take(6).copied().collect();
     assert!(
         late_after.iter().any(|&p| p as usize >= n - 1),
@@ -127,34 +117,20 @@ fn rolling_disconnections_recover() {
 #[test]
 fn query_installs_through_partial_outage_via_reconciliation() {
     let n = 32;
-    let topo = Topology::paper_inet(n, 31);
-    let cfg = PeerConfig::default();
-    let reg = OpRegistry::new();
-    let mut sim = SimBuilder::new(topo, 31).build(move |id| MortarPeer::new(id, cfg, reg.clone()));
+    let mut mortar = chaotic_session(n, ChaosConfig::none(), 31);
     // 40% down at install time.
     let victims: Vec<NodeId> = (1..=12).collect();
     for &v in &victims {
-        sim.set_host_up(v, false);
+        mortar.set_host_up(v, false);
     }
-    let coords: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
-    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(31);
-    let planner = PlannerConfig { branching_factor: 4, tree_count: 4, kmeans_iters: 10 };
-    let trees = mortar_overlay::plan_tree_set(&coords, 0, &planner, &mut rng);
-    let s = spec(n);
-    let records = build_records(&s.members, &trees);
-    sim.inject(
-        0,
-        0,
-        MortarMsg::Install { spec: s, id: QueryId(1), seq: 1, records, issue_age_us: 0 },
-        512,
-    );
-    sim.run_for_secs(10.0);
-    let installed_during = (0..n as NodeId).filter(|&i| sim.app(i).has_query("q")).count();
+    let q = install_sum(&mut mortar, n);
+    mortar.run_secs(10.0);
+    let installed_during = mortar.installed_count(&q);
     assert!(installed_during >= n - victims.len() - 6, "install too sparse: {installed_during}");
     for &v in &victims {
-        sim.set_host_up(v, true);
+        mortar.set_host_up(v, true);
     }
-    sim.run_for_secs(40.0);
-    let installed_after = (0..n as NodeId).filter(|&i| sim.app(i).is_active("q")).count();
-    assert_eq!(installed_after, n, "reconciliation must reach everyone");
+    // Reconciliation every 3rd heartbeat (6 s) + topology fetch.
+    mortar.run_secs(40.0);
+    assert_eq!(mortar.active_count(&q), n, "reconciliation must reach everyone");
 }

@@ -11,21 +11,18 @@ fn run(mode: IndexingMode, scale: f64, n: usize, secs: f64, seed: u64) -> Vec<f6
     cfg.planner.branching_factor = 8;
     cfg.peer.indexing = mode;
     cfg.clock_model = ClockModel::planetlab_like(scale);
-    let mut eng = Engine::new(cfg);
-    let spec = QuerySpec {
-        name: "sum5".into(),
-        root: 0,
-        members: (0..n as NodeId).collect(),
-        op: OpKind::Sum { field: 0 },
-        window: WindowSpec::time_tumbling_us(5_000_000),
-        filter: None,
-        sensor: SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 },
-        post: None,
-    };
-    eng.install(spec);
-    eng.run_secs(secs);
-    let results = eng.results(0);
-    vec![true_completeness(results, 5_000_000, 3), mean_report_latency_secs(results)]
+    let mut mortar = Mortar::new(cfg);
+    let sum5 = mortar
+        .query("sum5")
+        .members(0..n as NodeId)
+        .periodic_secs(1.0, 1.0)
+        .sum(0)
+        .every_secs(5.0)
+        .install()
+        .expect("valid query");
+    mortar.run_secs(secs);
+    let results = mortar.results(&sum5);
+    vec![true_completeness(&results, 5_000_000, 3), mean_report_latency_secs(&results)]
 }
 
 #[test]
