@@ -1,0 +1,6 @@
+//! End-to-end wall-clock throughput of the summary data path; emits
+//! `BENCH_hotpath.json` at the repo root. See `experiments::hotpath`.
+
+fn main() {
+    mortar_bench::experiments::hotpath::run();
+}

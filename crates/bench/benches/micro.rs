@@ -47,6 +47,54 @@ fn bench_tslist(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+    c.bench_function("tslist/splice_spanning_8_of_64", |b| {
+        // An incoming tuple overlapping 8 of 64 entries: the splice path
+        // must touch only the overlapped range, leaving the other 56
+        // entries in place (the old drain-rebuild-sort path moved and
+        // re-sorted all of them per insert).
+        b.iter_batched(
+            || {
+                let mut ts = TimeSpaceList::new();
+                for k in 0..64i64 {
+                    ts.insert(
+                        &summary(k * 10, k * 10 + 10, AggState::Sum(1.0), 1, 0),
+                        0,
+                        1_000_000,
+                    );
+                }
+                ts
+            },
+            |mut ts| {
+                // Spans entries 28..36 with half-entry offsets on both
+                // ends: head/tail slices plus moved-merge overlaps.
+                ts.insert(&summary(285, 355, AggState::Sum(2.0), 1, 0), 0, 1_000_000);
+                ts
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("tslist/splice_gap_insert_mid_64", |b| {
+        // A non-overlapping insert into the middle of a long list: one
+        // ordered `Vec::insert`, no rebuild.
+        b.iter_batched(
+            || {
+                let mut ts = TimeSpaceList::new();
+                for k in 0..64i64 {
+                    ts.insert(
+                        &summary(k * 20, k * 20 + 10, AggState::Sum(1.0), 1, 0),
+                        0,
+                        1_000_000,
+                    );
+                }
+                ts
+            },
+            |mut ts| {
+                ts.insert(&summary(615, 620, AggState::Sum(2.0), 1, 0), 0, 1_000_000);
+                ts
+            },
+            BatchSize::SmallInput,
+        );
+    });
     c.bench_function("tslist/pop_due_64", |b| {
         b.iter_batched(
             || {

@@ -8,7 +8,10 @@
 
 use super::common::{count_peers_spec, mean, standard_engine};
 use crate::{banner, header, row, scaled};
+use mortar_core::engine::{Engine, EngineConfig};
 use mortar_core::metrics;
+use mortar_core::query::SensorSpec;
+use mortar_net::TrafficClass;
 
 /// Completeness (% of *all* nodes, like the paper's y-axis) for one config.
 fn one(n: usize, trees: usize, fail: f64, secs: f64, seed: u64) -> f64 {
@@ -25,6 +28,52 @@ fn one(n: usize, trees: usize, fail: f64, secs: f64, seed: u64) -> f64 {
     let steady: Vec<f64> =
         tl[(15 + 12)..horizon.saturating_sub(8)].iter().copied().filter(|c| !c.is_nan()).collect();
     mean(&steady)
+}
+
+/// Data-plane network load of a high-rate (25 ms-slide) fleet-wide sum at
+/// one (tree count, frame-batching cap) point: total data-class megabytes
+/// (per-byte accounting: `size × physical hops`), data-class message
+/// events (the per-message cost batching amortizes), and completeness.
+pub fn network_load(n: usize, trees: usize, batch: usize, secs: f64, seed: u64) -> (f64, u64, f64) {
+    let mut cfg = EngineConfig::paper(n, seed);
+    cfg.plan_on_true_latency = true;
+    cfg.planner.tree_count = trees;
+    cfg.peer.summary_batch_max = batch;
+    let mut eng = Engine::new(cfg);
+    let mut spec = count_peers_spec("fast", n, 25_000);
+    spec.sensor = SensorSpec::Periodic { period_us: 25_000, value: 1.0 };
+    eng.install(spec).expect("valid spec");
+    eng.run_secs(secs);
+    let bw = eng.sim.bandwidth();
+    let mb = bw.bytes_total(TrafficClass::Data) as f64 / 1e6;
+    let msgs = bw.msgs_total(TrafficClass::Data);
+    let completeness = metrics::mean_completeness(eng.results(0), n, 40);
+    (mb, msgs, completeness)
+}
+
+/// Prints the network-load table: per-byte vs per-message cost with
+/// batching off (cap 1) and on (cap 32), across tree-set sizes.
+fn run_network_load() {
+    let n = 100;
+    let secs = 30.0;
+    println!(
+        "\nData-plane load, {n}-host 25 ms-slide sum over {secs:.0} s \
+         (per-byte = MB × hops, per-message = send events):"
+    );
+    println!(
+        "{:>7} {:>10} {:>12} {:>12} {:>13} {:>13}",
+        "trees", "batching", "data MB", "data msgs", "msgs saved", "complete %"
+    );
+    for trees in [1usize, 2, 4] {
+        let (mb1, msgs1, c1) = network_load(n, trees, 1, secs, 12);
+        let (mb32, msgs32, c32) = network_load(n, trees, 32, secs, 12);
+        println!("{trees:>7} {:>10} {mb1:>12.2} {msgs1:>12} {:>13} {c1:>13.1}", "off", "-");
+        println!(
+            "{trees:>7} {:>10} {mb32:>12.2} {msgs32:>12} {:>12.2}x {c32:>13.1}",
+            "cap 32",
+            msgs1 as f64 / msgs32.max(1) as f64
+        );
+    }
 }
 
 /// Runs the tree-count sweep.
@@ -55,4 +104,5 @@ pub fn run() {
          10-20%, ~98%/94% of live nodes at 30%/40%); 5 trees add little; 1 tree\n\
          collapses quickly."
     );
+    run_network_load();
 }

@@ -1,0 +1,171 @@
+//! Hotpath: end-to-end wall-clock throughput of the summary data path.
+//!
+//! A fig13-style workload — 100 hosts, 25 ms-slide fleet-wide sum over the
+//! paper's four-tree Inet topology — driven as fast as the host CPU allows.
+//! The metric is **simulated seconds per real second**: how much protocol
+//! time one core can push through the full peer runtime (sensor pump,
+//! window close, TS-list merge, eviction, routing, frame transport). The
+//! paper's evaluation never reports this axis; it is the repo's perf
+//! trajectory anchor (`BENCH_hotpath.json` at the repo root).
+//!
+//! Ground-truth tracking is off (`track_truth: false`): that is the
+//! production configuration the allocation-elimination work targets —
+//! truth metadata is a simulator-only metrics aid. A second run with
+//! tracking on is reported for contrast.
+//!
+//! Set `MORTAR_HOTPATH_BASELINE=<sim-secs-per-sec>` to embed a reference
+//! baseline (e.g. the pre-optimization measurement) and a speedup factor
+//! in the emitted JSON.
+
+use super::common::count_peers_spec;
+use crate::{banner, scaled};
+use mortar_core::engine::{Engine, EngineConfig};
+use mortar_core::metrics::mean_completeness;
+use mortar_core::query::SensorSpec;
+use std::time::Instant;
+
+/// One timed run's measurements.
+#[derive(Debug, Clone)]
+pub struct HotpathOutcome {
+    /// Hosts simulated.
+    pub hosts: usize,
+    /// Window slide, µs.
+    pub slide_us: u64,
+    /// Simulated seconds in the timed region (warm-up excluded).
+    pub sim_secs: f64,
+    /// Wall-clock seconds the timed region took.
+    pub wall_secs: f64,
+    /// Whether ground-truth tracking was on.
+    pub track_truth: bool,
+    /// TS-list evictions performed fleet-wide.
+    pub evictions: u64,
+    /// Summary tuples sent fleet-wide.
+    pub summaries_out: u64,
+    /// Summary frames sent fleet-wide.
+    pub frames_out: u64,
+    /// Peak live TS-list entries at any single peer (retained summary
+    /// state — the allocation-sensitive high-water mark).
+    pub ts_peak_entries: u64,
+    /// Result records the root retained.
+    pub results: usize,
+    /// Steady-state completeness (%), a health check that the speed run
+    /// still computes correct answers.
+    pub completeness: f64,
+}
+
+impl HotpathOutcome {
+    /// The headline metric: simulated seconds per real second.
+    pub fn sim_per_real(&self) -> f64 {
+        self.sim_secs / self.wall_secs.max(1e-9)
+    }
+
+    /// Summary tuples processed per wall-clock second.
+    pub fn tuples_per_sec(&self) -> f64 {
+        self.summaries_out as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Runs the hotpath workload: install + warm-up untimed, then `sim_secs`
+/// of simulated time under the wall clock.
+pub fn hotpath_run(n: usize, sim_secs: f64, seed: u64, track_truth: bool) -> HotpathOutcome {
+    let slide_us = 25_000u64;
+    let mut cfg = EngineConfig::paper(n, seed);
+    cfg.plan_on_true_latency = true;
+    cfg.peer.track_truth = track_truth;
+    let mut eng = Engine::new(cfg);
+    let mut spec = count_peers_spec("hot", n, slide_us);
+    spec.sensor = SensorSpec::Periodic { period_us: slide_us, value: 1.0 };
+    eng.install(spec).expect("valid spec");
+    // Warm up: installation multicast, first windows, netDist settling.
+    eng.run_secs(5.0);
+    let start = Instant::now();
+    eng.run_secs(sim_secs);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let (mut evictions, mut summaries_out, mut frames_out, mut ts_peak) = (0u64, 0u64, 0u64, 0u64);
+    for p in eng.sim.apps() {
+        evictions += p.stats.evictions;
+        summaries_out += p.stats.summaries_out;
+        frames_out += p.stats.frames_out;
+        ts_peak = ts_peak.max(p.stats.ts_peak_entries);
+    }
+    let results = eng.results(0);
+    HotpathOutcome {
+        hosts: n,
+        slide_us,
+        sim_secs,
+        wall_secs,
+        track_truth,
+        evictions,
+        summaries_out,
+        frames_out,
+        ts_peak_entries: ts_peak,
+        results: results.len(),
+        completeness: mean_completeness(results, n, 40),
+    }
+}
+
+fn json_field(out: &mut String, key: &str, value: String) {
+    out.push_str(&format!("  \"{key}\": {value},\n"));
+}
+
+/// Renders the outcome (plus an optional external baseline) as JSON.
+pub fn to_json(main: &HotpathOutcome, tracked: &HotpathOutcome, baseline: Option<f64>) -> String {
+    let mut s = String::from("{\n");
+    json_field(&mut s, "bench", "\"hotpath\"".into());
+    json_field(&mut s, "workload", "\"100-host 25 ms-slide fleet-wide sum, 4 trees\"".into());
+    json_field(&mut s, "hosts", main.hosts.to_string());
+    json_field(&mut s, "slide_us", main.slide_us.to_string());
+    json_field(&mut s, "sim_secs", format!("{:.1}", main.sim_secs));
+    json_field(&mut s, "wall_secs", format!("{:.4}", main.wall_secs));
+    json_field(&mut s, "sim_secs_per_real_sec", format!("{:.2}", main.sim_per_real()));
+    json_field(&mut s, "summary_tuples_per_wall_sec", format!("{:.0}", main.tuples_per_sec()));
+    json_field(&mut s, "evictions", main.evictions.to_string());
+    json_field(&mut s, "summary_tuples_sent", main.summaries_out.to_string());
+    json_field(&mut s, "summary_frames_sent", main.frames_out.to_string());
+    json_field(&mut s, "ts_peak_entries", main.ts_peak_entries.to_string());
+    json_field(&mut s, "results", main.results.to_string());
+    json_field(&mut s, "completeness_pct", format!("{:.2}", main.completeness));
+    json_field(&mut s, "track_truth", "false".into());
+    json_field(&mut s, "tracked_sim_secs_per_real_sec", format!("{:.2}", tracked.sim_per_real()));
+    if let Some(base) = baseline {
+        json_field(&mut s, "baseline_sim_secs_per_real_sec", format!("{base:.2}"));
+        json_field(&mut s, "speedup_vs_baseline", format!("{:.2}", main.sim_per_real() / base));
+    }
+    // Last field without the trailing comma.
+    s.push_str(&format!("  \"full_scale\": {}\n}}\n", crate::full_scale()));
+    s
+}
+
+/// Runs the harness and writes `BENCH_hotpath.json` at the repo root.
+pub fn run() {
+    banner("hotpath", "wall-clock throughput of the summary data path");
+    let n = 100;
+    let sim_secs = scaled(30.0, 120.0);
+    let main = hotpath_run(n, sim_secs, 13, false);
+    let tracked = hotpath_run(n, sim_secs, 13, true);
+    println!(
+        "\n{n}-host 25 ms-slide sum, {sim_secs:.0} simulated seconds:\n\
+         track_truth off: {:.2} sim-secs/real-sec ({:.0} tuples/s wall, {:.3} s wall)\n\
+         track_truth on:  {:.2} sim-secs/real-sec\n\
+         health: completeness {:.1}%, {} evictions, {} tuples in {} frames, peak TS entries {}",
+        main.sim_per_real(),
+        main.tuples_per_sec(),
+        main.wall_secs,
+        tracked.sim_per_real(),
+        main.completeness,
+        main.evictions,
+        main.summaries_out,
+        main.frames_out,
+        main.ts_peak_entries,
+    );
+    let baseline = std::env::var("MORTAR_HOTPATH_BASELINE").ok().and_then(|v| v.parse().ok());
+    let json = to_json(&main, &tracked, baseline);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+    if let Some(base) = baseline {
+        println!("baseline {base:.2} sim-secs/real-sec → {:.2}x", main.sim_per_real() / base);
+    }
+}

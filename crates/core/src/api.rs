@@ -456,11 +456,12 @@ pub struct QueryHandle {
     name: String,
     root: NodeId,
     members: u32,
-    /// Length of the root's result log at install time: reads through
-    /// this handle are scoped to its own incarnation, so a re-install
-    /// under the same name never surfaces the previous incarnation's
-    /// records.
-    base: usize,
+    /// The root result log's sequence number at install time: reads
+    /// through this handle are scoped to its own incarnation, so a
+    /// re-install under the same name never surfaces the previous
+    /// incarnation's records. Sequences are stable across the bounded
+    /// log's retention eviction.
+    base: u64,
 }
 
 impl QueryHandle {
@@ -577,8 +578,9 @@ pub struct Mortar {
     engine: Engine,
     /// name → live handle, for upstream resolution and staleness checks.
     handles: HashMap<String, QueryHandle>,
-    /// Per-query drain cursor into the root peer's result log.
-    cursors: HashMap<QueryId, usize>,
+    /// Per-query drain cursor: the result-log sequence number up to which
+    /// this query's records have been delivered.
+    cursors: HashMap<QueryId, u64>,
 }
 
 impl Mortar {
@@ -637,7 +639,7 @@ impl Mortar {
         let id = self.engine.query_id(&name).expect("interned by install");
         // Scope reads and drains to this incarnation: a re-install under
         // the same name must not surface the previous one's records.
-        let base = self.engine.results(root).len();
+        let base = self.engine.result_seq(root);
         let handle = QueryHandle { id, name: name.clone(), root, members, base };
         self.cursors.insert(id, base);
         self.handles.insert(name, handle.clone());
@@ -726,24 +728,36 @@ impl Mortar {
         }
     }
 
-    /// Every result the query's root operator has recorded so far —
-    /// scoped to this handle's incarnation, so records from an earlier
-    /// same-named query never leak in.
+    /// Every result the query's root operator still retains — scoped to
+    /// this handle's incarnation, so records from an earlier same-named
+    /// query never leak in. The root log is a bounded ring
+    /// ([`crate::rlog::ResultLog`]); records older than its retention cap
+    /// are gone.
     pub fn results(&self, h: &QueryHandle) -> Vec<ResultRecord> {
-        let all = self.engine.results(h.root());
-        all[h.base.min(all.len())..].iter().filter(|r| r.query == h.name()).cloned().collect()
+        self.engine
+            .results_from(h.root(), h.base)
+            .iter()
+            .filter(|r| &*r.query == h.name())
+            .cloned()
+            .collect()
     }
 
     /// Drains the results recorded since the last [`Mortar::subscribe`]
     /// call on this handle (or since install). Each record is delivered
-    /// exactly once — repeated calls never re-deliver.
+    /// exactly once — repeated calls never re-deliver, and cursors are
+    /// sequence-based, so the bounded log's wrap-around never skips or
+    /// replays records that were drained in time.
     pub fn subscribe(&mut self, h: &QueryHandle) -> Vec<ResultRecord> {
-        let all = self.engine.results(h.root());
         let cursor = self.cursors.entry(h.id()).or_insert(h.base);
-        let start = (*cursor).max(h.base).min(all.len());
-        let fresh: Vec<ResultRecord> =
-            all[start..].iter().filter(|r| r.query == h.name()).cloned().collect();
-        *cursor = all.len();
+        let start = (*cursor).max(h.base);
+        let fresh: Vec<ResultRecord> = self
+            .engine
+            .results_from(h.root(), start)
+            .iter()
+            .filter(|r| &*r.query == h.name())
+            .cloned()
+            .collect();
+        *cursor = self.engine.result_seq(h.root());
         fresh
     }
 

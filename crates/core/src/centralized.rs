@@ -129,7 +129,7 @@ impl CentralNode {
             // machine); lateness is measured against the index due point.
             due_lag_us: true_now_us as i64 - (k + 1) * slide,
             path_len: 1,
-            truth,
+            truth: Some(Box::new(truth)),
         });
     }
 

@@ -124,6 +124,14 @@ impl Engine {
     /// panic on surfaces here as a typed error instead.
     pub fn validate(&self, spec: &QuerySpec) -> Result<(), MortarError> {
         let query = &spec.name;
+        if self.planner.tree_count > mortar_overlay::MAX_TREES {
+            // The per-tuple route state is an inline array; a wider plan
+            // would panic deep inside the peer runtime instead.
+            return Err(MortarError::TooManyTrees {
+                requested: self.planner.tree_count,
+                max: mortar_overlay::MAX_TREES,
+            });
+        }
         if spec.members.is_empty() {
             return Err(MortarError::NoMembers { query: query.clone() });
         }
@@ -245,9 +253,21 @@ impl Engine {
         }
     }
 
-    /// Results recorded by a query root so far.
+    /// Results currently retained by a query root's bounded log, oldest
+    /// first (the log evicts beyond [`PeerConfig::result_log_cap`]).
     pub fn results(&self, root: NodeId) -> &[ResultRecord] {
-        &self.sim.app(root).results
+        self.sim.app(root).results.records()
+    }
+
+    /// Sequence number the root's next result record will get — the
+    /// stable cursor base for incremental drains.
+    pub fn result_seq(&self, root: NodeId) -> u64 {
+        self.sim.app(root).results.next_seq()
+    }
+
+    /// Retained results with sequence ≥ `seq` (clamped to retention).
+    pub fn results_from(&self, root: NodeId, seq: u64) -> &[ResultRecord] {
+        self.sim.app(root).results.read_from(seq)
     }
 
     /// How many peers have the query installed (record or not).
@@ -364,6 +384,22 @@ mod tests {
         let mut s = sum_spec(4);
         s.window = WindowSpec::time_sliding_us(500_000, 1_000_000);
         assert!(matches!(eng.plan(&s), Err(MortarError::InvalidWindow { .. })));
+    }
+
+    #[test]
+    fn too_many_trees_is_a_typed_error() {
+        // The inline route state caps the tree-set width; a wider planner
+        // config must surface at validation, not panic at install.
+        let mut cfg = EngineConfig::paper(8, 5);
+        cfg.planner.tree_count = mortar_overlay::MAX_TREES + 1;
+        let mut eng = Engine::new(cfg);
+        assert_eq!(
+            eng.install(sum_spec(4)).unwrap_err(),
+            MortarError::TooManyTrees {
+                requested: mortar_overlay::MAX_TREES + 1,
+                max: mortar_overlay::MAX_TREES,
+            }
+        );
     }
 
     #[test]

@@ -46,6 +46,14 @@ pub enum MortarError {
         /// Number of hosts in the topology.
         hosts: usize,
     },
+    /// The planner is configured for more trees than the inline per-tuple
+    /// route state can carry ([`mortar_overlay::MAX_TREES`]).
+    TooManyTrees {
+        /// The configured tree-set width.
+        requested: usize,
+        /// The inline route-state capacity.
+        max: usize,
+    },
     /// The window specification violates an invariant (zero range/slide,
     /// or a range smaller than the slide, which would drop data between
     /// windows).
@@ -159,6 +167,13 @@ impl std::fmt::Display for MortarError {
             }
             MortarError::MemberOutOfRange { query, peer, hosts } => {
                 write!(f, "query {query:?}: member {peer} outside the {hosts}-host topology")
+            }
+            MortarError::TooManyTrees { requested, max } => {
+                write!(
+                    f,
+                    "planner configured for {requested} trees, but route state carries at most \
+                     {max}"
+                )
             }
             MortarError::InvalidWindow { query, reason } => {
                 write!(f, "query {query:?}: invalid window: {reason}")

@@ -17,7 +17,8 @@
 //! * [`query`], [`msg`], [`store`], [`reconcile`], [`install`] — query
 //!   specifications, wire messages, the sequence-numbered object store, and
 //!   the persistence protocols (Section 6).
-//! * [`peer`] — the Mortar peer state machine (runs on `mortar_net`).
+//! * [`peer`], [`rlog`] — the Mortar peer state machine (runs on
+//!   `mortar_net`) and the bounded, sequence-addressed root result log.
 //! * [`engine`] — an experiment harness wiring topology, planner, clocks,
 //!   peers and metrics together.
 //! * [`api`], [`error`] — the typed session front door: fluent
@@ -38,6 +39,7 @@ pub mod op;
 pub mod peer;
 pub mod query;
 pub mod reconcile;
+pub mod rlog;
 pub mod store;
 pub mod tslist;
 pub mod tuple;

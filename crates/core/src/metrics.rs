@@ -10,15 +10,17 @@
 //!   root reported it (Section 7.2.2), computed per constituent tuple from
 //!   ground truth.
 
-use crate::tuple::TruthMeta;
+use crate::tuple::Truth;
 use crate::value::AggState;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One value emitted by a query's root operator.
 #[derive(Debug, Clone)]
 pub struct ResultRecord {
-    /// Query name.
-    pub query: String,
+    /// Query name (interned: every record of a query shares one
+    /// allocation instead of minting a fresh `String` per emission).
+    pub query: Arc<str>,
     /// Index interval begin (mode frame, µs).
     pub tb: i64,
     /// Index interval end (exclusive).
@@ -41,8 +43,21 @@ pub struct ResultRecord {
     pub due_lag_us: i64,
     /// Maximum overlay hops among the result's constituents.
     pub path_len: u8,
-    /// Ground truth: true-window → constituent raw-tuple counts.
-    pub truth: TruthMeta,
+    /// Ground truth: true-window → constituent raw-tuple counts (`None`
+    /// when truth tracking is off).
+    pub truth: Truth,
+}
+
+impl ResultRecord {
+    /// Total ground-truth raw tuples represented (0 when untracked).
+    pub fn truth_total(&self) -> u64 {
+        self.truth.as_ref().map_or(0, |t| t.total())
+    }
+
+    /// Ground-truth count for true window `w` (0 when untracked).
+    pub fn truth_count(&self, w: i64) -> u64 {
+        self.truth.as_ref().and_then(|t| t.counts.get(&w)).copied().unwrap_or(0)
+    }
 }
 
 /// Sums participants per index interval (late partials for the same index
@@ -113,7 +128,7 @@ pub fn completeness_timeline(
 pub fn true_completeness(results: &[ResultRecord], slide_us: u64, shift_search: i64) -> f64 {
     let slide = slide_us as i64;
     let mut best = 0.0f64;
-    let total: u64 = results.iter().map(|r| r.truth.total()).sum();
+    let total: u64 = results.iter().map(ResultRecord::truth_total).sum();
     if total == 0 {
         return 0.0;
     }
@@ -121,9 +136,7 @@ pub fn true_completeness(results: &[ResultRecord], slide_us: u64, shift_search: 
         let mut correct = 0u64;
         for r in results {
             let assigned = r.tb.div_euclid(slide);
-            if let Some(&n) = r.truth.counts.get(&(assigned - shift)) {
-                correct += n;
-            }
+            correct += r.truth_count(assigned - shift);
         }
         best = best.max(100.0 * correct as f64 / total as f64);
     }
@@ -162,7 +175,8 @@ pub fn mean_result_latency_secs(results: &[ResultRecord], slide_us: u64) -> f64 
     let mut weighted = 0.0f64;
     let mut weight = 0u64;
     for r in results {
-        for (&w, &n) in &r.truth.counts {
+        let Some(truth) = r.truth.as_ref() else { continue };
+        for (&w, &n) in &truth.counts {
             let due_us = (w + 1) * slide;
             let lat = (r.emit_true_us as i64 - due_us).max(0);
             weighted += lat as f64 * n as f64;
@@ -181,9 +195,9 @@ mod tests {
     use super::*;
 
     fn rec(tb: i64, participants: u32, emit_s: u64, truth: &[(i64, u64)]) -> ResultRecord {
-        let mut t = TruthMeta::default();
+        let mut t: Truth = None;
         for &(w, n) in truth {
-            t.add(w, n);
+            crate::tuple::TruthMeta::add_opt(&mut t, w, n);
         }
         ResultRecord {
             query: "q".into(),

@@ -6,21 +6,41 @@
 //! proportion to `netDist − T.age`: by the time that tuple arrived, `T.age`
 //! time had already passed, so the most-delayed tuple should already be in
 //! flight.
+//!
+//! **Order insensitivity.** Arrivals are folded into a per-window maximum
+//! *before* any EWMA step: the fast-raise (a sample beyond the committed
+//! estimate pulls the effective estimate up immediately, since
+//! under-estimating the timeout drops live data) is computed as a pure
+//! function of that maximum, never compounded per sample. The estimate
+//! after any set of observations is therefore independent of their
+//! arrival order — which is what lets summary-frame batching (which
+//! regroups a tick's tuples) preserve results bit-for-bit on multi-tree
+//! plans.
 
 /// EWMA-of-maximum latency estimator.
 #[derive(Debug, Clone, Copy)]
 pub struct NetDist {
     /// Smoothing factor (paper: 0.10).
     pub alpha: f64,
-    estimate_us: f64,
+    /// The committed estimate, updated only at [`NetDist::roll`].
+    rolled_us: f64,
     window_max_us: f64,
+    /// Samples this window that exceeded the committed estimate — the
+    /// fast-raise intensity.
+    samples_above: u32,
     samples_in_window: u32,
 }
 
 impl NetDist {
     /// Creates an estimator with the given initial estimate.
     pub fn new(initial_us: u64, alpha: f64) -> Self {
-        Self { alpha, estimate_us: initial_us as f64, window_max_us: 0.0, samples_in_window: 0 }
+        Self {
+            alpha,
+            rolled_us: initial_us as f64,
+            window_max_us: 0.0,
+            samples_above: 0,
+            samples_in_window: 0,
+        }
     }
 
     /// Feeds one observed tuple age (clamped at zero — timestamp mode can
@@ -29,31 +49,57 @@ impl NetDist {
         let a = age_us.max(0) as f64;
         self.window_max_us = self.window_max_us.max(a);
         self.samples_in_window += 1;
-        // Fast-raise: a sample beyond the estimate pulls it up immediately,
-        // since under-estimating the timeout drops live data.
-        if a > self.estimate_us {
-            self.estimate_us += self.alpha * (a - self.estimate_us);
+        if a > self.rolled_us {
+            self.samples_above += 1;
         }
     }
 
-    /// Folds the per-window maximum into the EWMA; call once per eviction.
+    /// Folds the window into the EWMA; call once per eviction. The
+    /// fast-raise commits first, then the regular EWMA step applies.
     pub fn roll(&mut self) {
         if self.samples_in_window > 0 {
-            self.estimate_us += self.alpha * (self.window_max_us - self.estimate_us);
+            self.rolled_us = self.effective_us();
+            self.rolled_us += self.alpha * (self.window_max_us - self.rolled_us);
             self.window_max_us = 0.0;
+            self.samples_above = 0;
             self.samples_in_window = 0;
         }
     }
 
+    /// The effective estimate: the committed EWMA, fast-raised toward the
+    /// current window's maximum by one α-step per above-estimate sample.
+    /// A pure function of the window's sample *multiset* (its maximum and
+    /// its count of above-estimate samples) — never of their arrival
+    /// order — matching the per-sample estimator exactly when the spikes
+    /// share one magnitude.
+    fn effective_us(&self) -> f64 {
+        if self.samples_above == 0 {
+            return self.rolled_us;
+        }
+        let m = self.window_max_us;
+        let k = self.samples_above.min(1_000) as i32;
+        m - (m - self.rolled_us) * (1.0 - self.alpha).powi(k)
+    }
+
     /// Current estimate, microseconds.
     pub fn estimate_us(&self) -> u64 {
-        self.estimate_us.max(0.0) as u64
+        self.effective_us().max(0.0) as u64
     }
 
     /// The timeout for an entry whose first tuple has the given age:
     /// `max(min_timeout, netDist − age)`.
+    ///
+    /// Deliberately computed from the **committed** estimate, which
+    /// changes only at [`NetDist::roll`] (a deterministic point in the
+    /// tick loop) — never from the in-window provisional raise. A
+    /// tuple's deadline therefore depends only on its own age, not on
+    /// which other tuples happened to arrive earlier in the same tick,
+    /// which is what makes frame batching (a reordering of a tick's
+    /// arrivals) bit-for-bit result-preserving. The fast-raise still
+    /// protects data: it commits with the next roll and is visible
+    /// immediately through [`NetDist::estimate_us`].
     pub fn timeout_us(&self, first_age_us: i64, min_timeout_us: u64) -> u64 {
-        let remaining = self.estimate_us - first_age_us.max(0) as f64;
+        let remaining = self.rolled_us - first_age_us.max(0) as f64;
         (remaining.max(0.0) as u64).max(min_timeout_us)
     }
 }
@@ -103,6 +149,46 @@ mod tests {
         let e = nd.estimate_us();
         assert!(e < 1_000_000, "estimate should decay: {e}");
         assert!(e >= 500_000, "but not below observed max: {e}");
+    }
+
+    #[test]
+    fn estimate_is_order_insensitive_within_a_window() {
+        // The estimate (and therefore every timeout assigned from it)
+        // must be a pure function of the window's sample multiset:
+        // batching regroups a tick's arrivals, so arrival order must not
+        // matter. Spikes above the committed estimate exercise the
+        // fast-raise path, samples below exercise the max-fold.
+        let samples = [3_000_000i64, 500_000, 4_000_000, 1_200_000, 2_800_000, 3_999_999];
+        let run = |order: &[i64]| {
+            let mut nd = NetDist::new(1_000_000, 0.1);
+            for &s in order {
+                nd.observe(s);
+            }
+            let provisional = nd.estimate_us();
+            nd.roll();
+            (provisional, nd.estimate_us())
+        };
+        let forward = run(&samples);
+        let mut rev = samples;
+        rev.reverse();
+        assert_eq!(forward, run(&rev), "reversed arrival order changed the estimate");
+        // A few rotations for good measure.
+        for rot in 1..samples.len() {
+            let mut rotated = samples;
+            rotated.rotate_left(rot);
+            assert_eq!(forward, run(&rotated), "rotation {rot} changed the estimate");
+        }
+    }
+
+    #[test]
+    fn fast_raise_applies_before_roll() {
+        let mut nd = NetDist::new(1_000_000, 0.1);
+        nd.observe(4_000_000);
+        // One spike = one provisional α-step, visible immediately.
+        assert_eq!(nd.estimate_us(), 1_300_000);
+        nd.roll();
+        // Roll commits the raise, then applies the regular EWMA step.
+        assert_eq!(nd.estimate_us(), 1_570_000);
     }
 
     #[test]

@@ -5,12 +5,23 @@ use super::{MortarPeer, QueryState};
 use crate::install::{chunk_components_with_peers, component_root, forward_groups};
 use crate::msg::MortarMsg;
 use crate::netdist::NetDist;
-use crate::query::{InstallRecord, QueryId, QuerySpec};
+use crate::query::{InstallRecord, QueryId, QuerySpec, SensorSpec};
 use crate::reconcile::{reconcile, SeqMap};
 use crate::tslist::TimeSpaceList;
 use crate::window::WindowKind;
 use mortar_net::{Ctx, NodeId, TrafficClass};
+use mortar_overlay::RouteState;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// The origin route state implied by an install record: the member's own
+/// level on every tree, zero TTL-down.
+fn route_template(record: Option<&InstallRecord>) -> RouteState {
+    match record {
+        Some(rec) => RouteState::from_levels(&rec.levels()),
+        None => RouteState::from_levels(&[]),
+    }
+}
 
 /// Zero-copy [`SeqMap`] view of a peer's installed set (name → install
 /// sequence), so reconciliation needs no per-exchange map materialization.
@@ -36,11 +47,8 @@ impl MortarPeer {
         issue_age_us: i64,
         local_now: i64,
     ) {
-        if let Some(&rseq) = self.removed.get(&spec.name) {
-            if rseq >= seq {
-                return; // A newer removal wins.
-            }
-            self.removed.remove(&spec.name);
+        if self.removed.get(&spec.name).is_some_and(|&rseq| rseq >= seq) {
+            return; // A newer removal wins.
         }
         // Id collision guard: ids are unique only within one injector's
         // object store (the single-writer assumption). If a second injector
@@ -54,6 +62,10 @@ impl MortarPeer {
                 return; // Already current.
             }
         }
+        // Only now — past every refusal path — may the removal tombstone
+        // be cleared: mutating it on a refused install would desynchronize
+        // the (memoized) store hash from the advertised state.
+        self.removed.remove(&spec.name);
         let window = spec.window;
         window.validate();
         let t_ref_base = local_now - issue_age_us;
@@ -63,6 +75,8 @@ impl MortarPeer {
         };
         let slide = window.slide as i64;
         let state = QueryState {
+            name: Arc::from(spec.name.as_str()),
+            route_template: route_template(record.as_ref()),
             spec,
             id,
             seq,
@@ -94,7 +108,9 @@ impl MortarPeer {
             })
             .unwrap_or_default();
         self.register_routes(id, state.record.as_ref());
+        self.index_subscriptions(id, &state.spec.sensor);
         self.queries.insert(id, state);
+        self.invalidate_store_hash();
         self.stats.installs += 1;
         self.rebuild_hb_children();
         // Mark known neighbours as recently heard so routing starts
@@ -102,6 +118,31 @@ impl MortarPeer {
         for p in neighbours {
             self.last_heard.entry(p).or_insert(local_now);
         }
+    }
+
+    /// Records the query's subscription edges in the subscriber index
+    /// (idempotent: re-installs refresh in place).
+    fn index_subscriptions(&mut self, id: QueryId, sensor: &SensorSpec) {
+        self.unindex_subscriptions(id);
+        let upstreams: &[String] = match sensor {
+            SensorSpec::Subscribe { query } => std::slice::from_ref(query),
+            SensorSpec::FanIn { queries } => queries,
+            _ => return,
+        };
+        for up in upstreams {
+            let subs = self.subscribers.entry(up.clone()).or_default();
+            if !subs.contains(&id) {
+                subs.push(id);
+            }
+        }
+    }
+
+    /// Drops a query from the subscriber index.
+    fn unindex_subscriptions(&mut self, id: QueryId) {
+        self.subscribers.retain(|_, subs| {
+            subs.retain(|&s| s != id);
+            !subs.is_empty()
+        });
     }
 
     /// (Re)registers a query's static routing inputs from its record.
@@ -128,9 +169,11 @@ impl MortarPeer {
             q.record.as_ref().map(|r| r.links[0].children.clone()).unwrap_or_default();
         self.queries.remove(&id);
         self.route_table.remove(id);
+        self.unindex_subscriptions(id);
         // The directory keeps the retired id→name binding: stale data
         // frames for this id must still trigger removal reconciliation.
         self.removed.insert(name.to_string(), seq);
+        self.invalidate_store_hash();
         self.stats.removals += 1;
         self.rebuild_hb_children();
         Some(fwd)
@@ -351,12 +394,14 @@ impl MortarPeer {
             Some(q) if q.record.is_none() => {
                 q.record = Some(record);
                 q.seq = q.seq.max(seq);
+                q.route_template = route_template(q.record.as_ref());
                 let slide = q.spec.window.slide as i64;
                 let frame = q.frame_now(self.cfg.indexing, local_now);
                 q.next_close_k = frame.div_euclid(slide);
                 q.next_emit_local_us = local_now;
                 let rec = q.record.clone();
                 self.register_routes(id, rec.as_ref());
+                self.invalidate_store_hash();
                 self.rebuild_hb_children();
             }
             Some(_) => {}

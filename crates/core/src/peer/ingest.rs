@@ -7,7 +7,6 @@ use crate::query::{QueryId, SensorSpec};
 use crate::tuple::{RawTuple, SummaryTuple, TruthMeta};
 use crate::window::WindowKind;
 use mortar_net::Ctx;
-use mortar_overlay::RouteState;
 
 impl MortarPeer {
     /// Lifts one raw tuple into the query's open windows.
@@ -47,7 +46,7 @@ impl MortarPeer {
                     b.count += 1;
                     if track {
                         let tw = (true_now_us as i64).div_euclid(slide);
-                        b.truth.add(tw, 1);
+                        TruthMeta::add_opt(&mut b.truth, tw, 1);
                     }
                 }
             }
@@ -67,8 +66,7 @@ impl MortarPeer {
                     }
                     let tb = win.first().map(|(f, _)| *f).unwrap_or(frame);
                     let te = win.last().map(|(f, _)| *f + 1).unwrap_or(frame + 1);
-                    let levels = q.record.as_ref().map(|r| r.levels()).unwrap_or_default();
-                    q.stripe_rr = (q.stripe_rr + 1) % levels.len().max(1);
+                    q.stripe_rr = (q.stripe_rr + 1) % q.route_template.last_level.len().max(1);
                     let s = SummaryTuple {
                         tb,
                         te,
@@ -76,13 +74,14 @@ impl MortarPeer {
                         participants: 1,
                         has_value: true,
                         state: st,
-                        route: RouteState::from_levels(levels),
+                        route: q.route_template,
                         hops: 0,
                         stripe_tree: q.stripe_rr as u8,
-                        truth: TruthMeta::default(),
+                        truth: None,
                     };
                     let timeout = q.netdist.timeout_us(0, self.cfg.min_timeout_us);
                     q.ts.insert(&s, local_now, timeout);
+                    self.stats.ts_peak_entries = self.stats.ts_peak_entries.max(q.ts.len() as u64);
                     // Trim the buffer.
                     let keep = q.tuple_buf.len().saturating_sub(range);
                     q.tuple_buf.drain(..keep);
@@ -101,8 +100,7 @@ impl MortarPeer {
         let frame = q.frame_now(self.cfg.indexing, local_now);
         let slide = q.spec.window.slide as i64;
         let cur_k = frame.div_euclid(slide);
-        let levels = q.record.as_ref().map(|r| r.levels()).unwrap_or_default();
-        let width = levels.len().max(1);
+        let width = q.route_template.last_level.len().max(1);
         while q.next_close_k < cur_k {
             let k = q.next_close_k;
             q.next_close_k += 1;
@@ -118,7 +116,7 @@ impl MortarPeer {
             let age = frame - (tb + te) / 2;
             q.stripe_rr = (q.stripe_rr + 1) % width;
             let stripe = q.stripe_rr as u8;
-            let mut s = match bucket {
+            let s = match bucket {
                 Some(b) if b.state.is_some() => SummaryTuple {
                     tb,
                     te,
@@ -126,7 +124,7 @@ impl MortarPeer {
                     participants: 1,
                     has_value: true,
                     state: b.state.expect("checked"),
-                    route: RouteState::from_levels(levels.clone()),
+                    route: q.route_template,
                     hops: 0,
                     stripe_tree: stripe,
                     truth: b.truth,
@@ -134,26 +132,27 @@ impl MortarPeer {
                 _ => {
                     // Stalled or empty source: boundary tuple keeps the
                     // completeness metric honest.
-                    let mut b =
-                        SummaryTuple::boundary(tb, te, RouteState::from_levels(levels.clone()));
+                    let mut b = SummaryTuple::boundary(tb, te, q.route_template);
                     b.age_us = age;
+                    b.stripe_tree = stripe;
                     b
                 }
             };
-            s.stripe_tree = stripe;
             let timeout = q.netdist.timeout_us(s.age_us, self.cfg.min_timeout_us);
             q.ts.insert(&s, local_now, timeout);
+            self.stats.ts_peak_entries = self.stats.ts_peak_entries.max(q.ts.len() as u64);
         }
         // Garbage-collect pathological bucket growth (timestamp mode with
-        // huge offsets can mint far-future buckets).
-        if q.buckets.len() > 1024 {
-            while q.buckets.len() > 1024 {
-                let _ = q.buckets.pop_first();
-            }
+        // huge offsets can mint far-future buckets). `BTreeMap::len` is
+        // O(1), so under the cap this is a single cheap comparison.
+        while q.buckets.len() > self.cfg.bucket_gc_cap {
+            let _ = q.buckets.pop_first();
         }
     }
 
-    /// Pumps the query's local sensor for tuples due by now.
+    /// Pumps the query's local sensor for tuples due by now. The sensor
+    /// spec is examined by reference — no per-tick clone of the spec (or
+    /// of any upstream-name strings it carries).
     pub(crate) fn pump_sensor(&mut self, id: QueryId, ctx: &mut Ctx<'_, MortarMsg>) {
         let local_now = ctx.local_now_us();
         let true_now = ctx.true_now_us();
@@ -161,30 +160,26 @@ impl MortarPeer {
         if !q.active() {
             return;
         }
-        match q.spec.sensor.clone() {
+        match q.spec.sensor {
             SensorSpec::Periodic { period_us, value } => {
-                let mut due: Vec<RawTuple> = Vec::new();
+                let mut n_due = 0usize;
                 while q.next_emit_local_us <= local_now {
-                    due.push(RawTuple::of(value));
                     q.next_emit_local_us += period_us as i64;
+                    n_due += 1;
                 }
-                for t in due {
-                    self.ingest_raw(id, t, local_now, true_now);
+                for _ in 0..n_due {
+                    self.ingest_raw(id, RawTuple::of(value), local_now, true_now);
                 }
             }
             SensorSpec::Replay => {
                 let base = q.t_ref_base_us;
-                let mut due: Vec<RawTuple> = Vec::new();
                 while self.replay_pos < self.replay.len() {
-                    let (off, ref t) = self.replay[self.replay_pos];
-                    if base + off as i64 <= local_now {
-                        due.push(t.clone());
-                        self.replay_pos += 1;
-                    } else {
+                    let (off, _) = self.replay[self.replay_pos];
+                    if base + off as i64 > local_now {
                         break;
                     }
-                }
-                for t in due {
+                    let t = self.replay[self.replay_pos].1.clone();
+                    self.replay_pos += 1;
                     self.ingest_raw(id, t, local_now, true_now);
                 }
             }
@@ -194,7 +189,8 @@ impl MortarPeer {
     }
 
     /// Feeds a root emission into co-located queries subscribed to `name`
-    /// (Section 2.2's composition).
+    /// (Section 2.2's composition). An id-keyed index lookup maintained at
+    /// install/remove — not a scan over every installed query's sensor.
     pub(crate) fn feed_subscribers(
         &mut self,
         name: &str,
@@ -203,17 +199,11 @@ impl MortarPeer {
         local_now: i64,
         true_now: u64,
     ) {
-        let subscribers: Vec<QueryId> = self
-            .queries
-            .values()
-            .filter(|sq| match &sq.spec.sensor {
-                SensorSpec::Subscribe { query } => query == name,
-                SensorSpec::FanIn { queries } => queries.iter().any(|q| q == name),
-                _ => false,
-            })
-            .map(|sq| sq.id)
-            .collect();
-        for sub in subscribers {
+        // Re-resolve per step (a short hash lookup) so the borrow on the
+        // index never spans the ingest call; no subscriber list is cloned.
+        let mut i = 0;
+        while let Some(&sub) = self.subscribers.get(name).and_then(|subs| subs.get(i)) {
+            i += 1;
             self.ingest_raw(
                 sub,
                 RawTuple { key: 0, vals: vec![value, participants as f64] },

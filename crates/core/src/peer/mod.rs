@@ -37,18 +37,20 @@ mod control;
 mod ingest;
 mod route;
 
-use crate::metrics::ResultRecord;
 use crate::msg::MortarMsg;
 use crate::netdist::NetDist;
 use crate::op::OpRegistry;
 use crate::query::{InstallRecord, QueryDirectory, QueryId, QuerySpec};
 use crate::reconcile::store_hash;
+use crate::rlog::ResultLog;
 use crate::tslist::TimeSpaceList;
-use crate::tuple::RawTuple;
+use crate::tuple::{RawTuple, Truth};
 use crate::value::AggState;
 use mortar_net::{App, Ctx, NodeId};
-use mortar_overlay::RouteTable;
+use mortar_overlay::{RouteState, RouteTable};
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// How operators index tuples in time (Section 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +98,14 @@ pub struct PeerConfig {
     /// [`MortarMsg::SummaryBatch`] up to this size; `1` reproduces the
     /// unbatched one-tuple-per-message protocol exactly.
     pub summary_batch_max: usize,
+    /// Maximum open raw-data buckets retained per query. Timestamp mode
+    /// with huge clock offsets can mint far-future buckets; anything past
+    /// this cap is garbage-collected oldest-first at window close.
+    pub bucket_gc_cap: usize,
+    /// Maximum result records the root operator retains (0 = unbounded).
+    /// The log is a ring with stable sequence numbers, so subscriber
+    /// drain cursors survive eviction (see [`crate::rlog::ResultLog`]).
+    pub result_log_cap: usize,
 }
 
 impl Default for PeerConfig {
@@ -115,6 +125,8 @@ impl Default for PeerConfig {
             track_truth: true,
             max_age_us: 90_000_000,
             summary_batch_max: 32,
+            bucket_gc_cap: 1024,
+            result_log_cap: 65_536,
         }
     }
 }
@@ -147,13 +159,16 @@ pub struct PeerStats {
     pub hops_accum: u64,
     /// Count of root deliveries contributing to `hops_accum`.
     pub hops_samples: u64,
+    /// Peak live TS-list entries across this peer's queries (the
+    /// allocation-sensitive high-water mark of retained summary state).
+    pub ts_peak_entries: u64,
 }
 
 /// One open raw-data window (merging across time).
 #[derive(Debug, Default)]
 pub(crate) struct Bucket {
     pub(crate) state: Option<AggState>,
-    pub(crate) truth: crate::tuple::TruthMeta,
+    pub(crate) truth: Truth,
     pub(crate) count: u64,
 }
 
@@ -161,8 +176,16 @@ pub(crate) struct Bucket {
 pub(crate) struct QueryState {
     pub(crate) spec: QuerySpec,
     pub(crate) id: QueryId,
+    /// The query name, interned once at install so result records and
+    /// subscriber feeds share one allocation instead of re-cloning the
+    /// spec's `String` per emission.
+    pub(crate) name: Arc<str>,
     pub(crate) seq: u64,
     pub(crate) record: Option<InstallRecord>,
+    /// Origin route state for locally created summaries, precomputed from
+    /// the install record (`Copy` — window close stamps it for free
+    /// instead of cloning the level vector twice per window).
+    pub(crate) route_template: RouteState,
     /// Local µs corresponding to the query's issue instant.
     pub(crate) t_ref_base_us: i64,
     pub(crate) ts: TimeSpaceList,
@@ -217,8 +240,18 @@ pub struct MortarPeer {
     pub(crate) next_hb_local_us: i64,
     /// Topology service state (query roots only).
     pub(crate) topo: HashMap<String, Vec<InstallRecord>>,
-    /// Results recorded by the root operator.
-    pub results: Vec<ResultRecord>,
+    /// Subscriber index: upstream query name → co-located queries whose
+    /// sensor subscribes to it. Maintained at install/remove so each root
+    /// emission is an O(1) lookup instead of a scan over every installed
+    /// query's sensor spec.
+    pub(crate) subscribers: HashMap<String, Vec<QueryId>>,
+    /// Memoized store hash (the reconciliation fingerprint piggybacked on
+    /// data frames); recomputed only when the installed/removed sets
+    /// change instead of on every hash-carrying tuple.
+    pub(crate) store_hash_cache: Cell<Option<u64>>,
+    /// Results recorded by the root operator: a bounded ring with stable
+    /// sequence numbers (see [`ResultLog`]).
+    pub results: ResultLog,
     /// Replay trace for `SensorSpec::Replay` (local-µs offset, tuple).
     pub(crate) replay: Vec<(u64, RawTuple)>,
     pub(crate) replay_pos: usize,
@@ -246,7 +279,9 @@ impl MortarPeer {
             hb_count: 0,
             next_hb_local_us: i64::MIN,
             topo: HashMap::new(),
-            results: Vec::new(),
+            subscribers: HashMap::new(),
+            store_hash_cache: Cell::new(None),
+            results: ResultLog::new(cfg.result_log_cap),
             replay: Vec::new(),
             replay_pos: 0,
             stats: PeerStats::default(),
@@ -297,12 +332,23 @@ impl MortarPeer {
     }
 
     pub(crate) fn my_store_hash(&self) -> u64 {
-        store_hash(
+        if let Some(h) = self.store_hash_cache.get() {
+            return h;
+        }
+        let h = store_hash(
             self.queries
                 .values()
                 .map(|q| (q.spec.name.as_str(), q.seq))
                 .chain(self.removed.iter().map(|(n, &s)| (n.as_str(), s.wrapping_add(1 << 63)))),
-        )
+        );
+        self.store_hash_cache.set(Some(h));
+        h
+    }
+
+    /// Invalidates the memoized store hash; must be called whenever the
+    /// installed set, an install sequence, or the removal cache changes.
+    pub(crate) fn invalidate_store_hash(&self) {
+        self.store_hash_cache.set(None);
     }
 
     pub(crate) fn alive(&self, peer: NodeId, now: i64) -> bool {
@@ -455,7 +501,7 @@ mod tests {
         let results = &sim.app(0).results;
         assert!(!results.is_empty(), "root produced no results");
         // Steady-state windows should reflect all 8 peers.
-        let tail: Vec<&ResultRecord> =
+        let tail: Vec<&crate::metrics::ResultRecord> =
             results.iter().filter(|r| r.participants as usize == n).collect();
         assert!(
             tail.len() > 10,
@@ -532,7 +578,7 @@ mod tests {
             .app(0)
             .results
             .iter()
-            .filter(|r| r.query == "peak")
+            .filter(|r| &*r.query == "peak")
             .filter_map(|r| r.scalar)
             .collect();
         assert!(!peaks.is_empty(), "composed query produced no results");
@@ -597,7 +643,7 @@ mod tests {
         // Late windows should still count 7 participants (all but node 1):
         // aggregate per index since late partials arrive as separate
         // emissions (disjoint by time-division).
-        let by_index = crate::metrics::participants_by_index(results);
+        let by_index = crate::metrics::participants_by_index(results.records());
         let late: Vec<u32> = by_index.values().rev().take(8).copied().collect();
         assert!(
             late.iter().filter(|&&p| p >= (n - 1) as u32).count() >= 3,

@@ -105,10 +105,13 @@ impl MortarPeer {
         if due.is_empty() {
             return;
         }
-        let rec = q.record.clone().expect("active query has a record");
+        // Borrow juggling, not a deep copy: the install record is moved
+        // out for the duration of the pass (nothing below reads it through
+        // the query) and restored at the end.
+        let rec = q.record.take().expect("active query has a record");
         let is_root = q.spec.root == self.id;
         let width = rec.width();
-        let name = q.spec.name.clone();
+        let name = q.name.clone();
         // Liveness snapshot, once per pass (stable within a tick: nothing
         // below mutates `last_heard`).
         let parent_live: Vec<bool> = (0..width)
@@ -165,14 +168,19 @@ impl MortarPeer {
             frames.push(self, ctx, dest, tree as u8, summary, hash);
         }
         frames.finish(self, ctx);
+        if let Some(q) = self.queries.get_mut(&id) {
+            q.record = Some(rec);
+        }
     }
 
     /// Finalizes a root eviction into a [`ResultRecord`] and feeds any
-    /// co-located subscribers.
+    /// co-located subscribers. The record shares the query's interned name
+    /// and *moves* the summary's truth metadata — no per-emission string
+    /// or map clone.
     fn record_result(
         &mut self,
         id: QueryId,
-        name: &str,
+        name: &std::sync::Arc<str>,
         summary: SummaryTuple,
         local_now: i64,
         true_now: u64,
@@ -187,7 +195,7 @@ impl MortarPeer {
         let frame_now = q.frame_now(self.cfg.indexing, local_now);
         let scalar = finalized.scalar();
         self.results.push(ResultRecord {
-            query: name.to_string(),
+            query: name.clone(),
             tb: summary.tb,
             te: summary.te,
             scalar,
@@ -198,7 +206,7 @@ impl MortarPeer {
             age_us: summary.age_us,
             due_lag_us: frame_now - summary.te,
             path_len: summary.hops,
-            truth: summary.truth.clone(),
+            truth: summary.truth,
         });
         // Composition: feed the result into co-located queries subscribed
         // to this one (Section 2.2).
@@ -290,5 +298,6 @@ impl MortarPeer {
         }
         let timeout = q.netdist.timeout_us(tuple.age_us, self.cfg.min_timeout_us);
         q.ts.insert(&tuple, local_now, timeout);
+        self.stats.ts_peak_entries = self.stats.ts_peak_entries.max(q.ts.len() as u64);
     }
 }

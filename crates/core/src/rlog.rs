@@ -1,0 +1,170 @@
+//! The bounded root result log.
+//!
+//! A query root emits one [`ResultRecord`] per finalized window — forever.
+//! Long-running deployments can neither keep every record (unbounded
+//! memory) nor hand subscribers raw vector indices (they go stale once
+//! retention evicts). The [`ResultLog`] is a bounded ring with stable,
+//! monotonically increasing sequence numbers: retention evicts oldest
+//! first, and readers address records by sequence, so a drain cursor
+//! survives wrap-around without redelivering or skipping anything that is
+//! still retained.
+
+use crate::metrics::ResultRecord;
+
+/// A bounded, sequence-addressed ring of result records.
+///
+/// Backed by a `Vec` with a sliding start offset: pushes are amortized
+/// O(1) (the dead prefix is compacted once it reaches the retention cap),
+/// and the live records are always available as one contiguous slice.
+#[derive(Debug, Default)]
+pub struct ResultLog {
+    buf: Vec<ResultRecord>,
+    /// Index of the oldest live record within `buf`.
+    start: usize,
+    /// Sequence number of the oldest live record.
+    start_seq: u64,
+    /// Maximum live records retained (0 = unbounded).
+    cap: usize,
+}
+
+impl ResultLog {
+    /// An empty log retaining at most `cap` records (0 = unbounded).
+    pub fn new(cap: usize) -> Self {
+        Self { buf: Vec::new(), start: 0, start_seq: 0, cap }
+    }
+
+    /// Appends a record, evicting the oldest when over the retention cap.
+    pub fn push(&mut self, r: ResultRecord) {
+        self.buf.push(r);
+        if self.cap > 0 && self.len() > self.cap {
+            self.start += 1;
+            self.start_seq += 1;
+            // Compact the dead prefix once it is as large as the cap:
+            // amortized O(1) per push, ≤ 2×cap records resident.
+            if self.start >= self.cap {
+                self.buf.drain(..self.start);
+                self.start = 0;
+            }
+        }
+    }
+
+    /// The live records, oldest first.
+    pub fn records(&self) -> &[ResultRecord] {
+        &self.buf[self.start..]
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the live records, oldest first.
+    pub fn iter(&self) -> std::slice::Iter<'_, ResultRecord> {
+        self.records().iter()
+    }
+
+    /// Sequence number of the oldest retained record.
+    pub fn first_seq(&self) -> u64 {
+        self.start_seq
+    }
+
+    /// Sequence number the next pushed record will get (= total records
+    /// ever pushed).
+    pub fn next_seq(&self) -> u64 {
+        self.start_seq + self.len() as u64
+    }
+
+    /// The retained records with sequence ≥ `seq`, oldest first. A cursor
+    /// older than retention clamps to the oldest retained record.
+    pub fn read_from(&self, seq: u64) -> &[ResultRecord] {
+        let skip = seq.saturating_sub(self.start_seq).min(self.len() as u64) as usize;
+        &self.buf[self.start + skip..]
+    }
+}
+
+impl<'a> IntoIterator for &'a ResultLog {
+    type Item = &'a ResultRecord;
+    type IntoIter = std::slice::Iter<'a, ResultRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AggState;
+
+    fn rec(tb: i64) -> ResultRecord {
+        ResultRecord {
+            query: "q".into(),
+            tb,
+            te: tb + 1,
+            state: AggState::Sum(1.0),
+            scalar: Some(1.0),
+            participants: 1,
+            emit_local_us: 0,
+            emit_true_us: 0,
+            age_us: 0,
+            due_lag_us: 0,
+            path_len: 0,
+            truth: None,
+        }
+    }
+
+    #[test]
+    fn retention_evicts_oldest_first() {
+        let mut log = ResultLog::new(4);
+        for tb in 0..10i64 {
+            log.push(rec(tb));
+        }
+        assert_eq!(log.len(), 4);
+        let tbs: Vec<i64> = log.iter().map(|r| r.tb).collect();
+        assert_eq!(tbs, vec![6, 7, 8, 9], "oldest records must go first");
+        assert_eq!(log.first_seq(), 6);
+        assert_eq!(log.next_seq(), 10);
+    }
+
+    #[test]
+    fn sequences_survive_compaction() {
+        let mut log = ResultLog::new(3);
+        for tb in 0..100i64 {
+            log.push(rec(tb));
+            // The live window is always the last ≤3 pushes, addressable
+            // by stable sequence numbers.
+            assert!(log.len() <= 3);
+            assert_eq!(log.next_seq(), (tb + 1) as u64);
+            let first = log.first_seq();
+            assert_eq!(log.records()[0].tb, first as i64);
+        }
+    }
+
+    #[test]
+    fn read_from_clamps_to_retention() {
+        let mut log = ResultLog::new(4);
+        for tb in 0..8i64 {
+            log.push(rec(tb));
+        }
+        // Cursor inside retention: exact suffix.
+        assert_eq!(log.read_from(6).iter().map(|r| r.tb).collect::<Vec<_>>(), vec![6, 7]);
+        // Cursor past the end: empty, not a panic.
+        assert!(log.read_from(99).is_empty());
+        // Cursor older than retention: clamps to the oldest retained.
+        assert_eq!(log.read_from(0).len(), 4);
+    }
+
+    #[test]
+    fn zero_cap_is_unbounded() {
+        let mut log = ResultLog::new(0);
+        for tb in 0..1000i64 {
+            log.push(rec(tb));
+        }
+        assert_eq!(log.len(), 1000);
+        assert_eq!(log.first_seq(), 0);
+    }
+}

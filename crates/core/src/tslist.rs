@@ -13,7 +13,7 @@
 //! root, with its age set to the participant-weighted average age of its
 //! constituents (Section 5.1, Figure 7).
 
-use crate::tuple::{SummaryTuple, TruthMeta};
+use crate::tuple::{SummaryTuple, Truth, TruthMeta};
 use crate::value::AggState;
 use mortar_overlay::RouteState;
 
@@ -44,8 +44,8 @@ pub struct TsEntry {
     /// Stripe tree of the first constituent (kept across merges so the
     /// merged summary continues up the same tree).
     pub stripe_tree: u8,
-    /// Ground-truth bookkeeping.
-    pub truth: TruthMeta,
+    /// Ground-truth bookkeeping (`None` unless truth tracking is on).
+    pub truth: Truth,
 }
 
 impl TsEntry {
@@ -57,7 +57,7 @@ impl TsEntry {
             state: t.state.clone(),
             participants: t.participants,
             has_value: t.has_value,
-            route: t.route.clone(),
+            route: t.route,
             deadline_us,
             age_acc: w * (t.age_us - now_us) as f64,
             weight: w,
@@ -74,7 +74,7 @@ impl TsEntry {
         }
         self.participants += t.participants;
         self.route.absorb(&t.route);
-        self.truth.merge(&t.truth);
+        TruthMeta::merge_opt(&mut self.truth, &t.truth);
         let w = t.participants.max(1) as f64;
         self.age_acc += w * (t.age_us - now_us) as f64;
         self.weight += w;
@@ -151,6 +151,11 @@ impl TimeSpaceList {
     /// timeout to apply to any *newly created* entry segment (existing
     /// segments keep their deadlines; merged overlaps keep the earlier one).
     /// Returns `true` if at least one new entry segment was created.
+    ///
+    /// The general path splices only the binary-searched overlap range in
+    /// place: entries outside `[tuple.tb, tuple.te)` are never touched,
+    /// moved individually, or re-sorted, and fully covered entries merge
+    /// by move rather than clone.
     pub fn insert(&mut self, tuple: &SummaryTuple, now_us: i64, timeout_us: u64) -> bool {
         assert!(tuple.tb < tuple.te, "summary interval must be nonempty");
         let new_deadline = now_us + timeout_us as i64;
@@ -161,53 +166,60 @@ impl TimeSpaceList {
                 return false;
             }
         }
-        // General path: split against all overlapping entries.
-        let mut out: Vec<TsEntry> = Vec::with_capacity(self.entries.len() + 2);
+        // Overlap range: entries[lo..hi] are exactly those intersecting
+        // the incoming interval (entries are sorted and disjoint).
+        let lo = self.entries.partition_point(|e| e.te <= tuple.tb);
+        let hi = self.entries.partition_point(|e| e.tb < tuple.te);
+        if lo == hi {
+            // No overlap at all: one new entry, one ordered insert.
+            self.entries.insert(lo, TsEntry::from_tuple(tuple, now_us, new_deadline));
+            return true;
+        }
+        // Split against the overlapping entries. Each produces ≤3 segments
+        // (head retaining its value, the merged overlap — built by *moving*
+        // the entry — and a value-retaining tail), with tuple-only gap
+        // segments in between.
+        let removed: Vec<TsEntry> = self.entries.splice(lo..hi, std::iter::empty()).collect();
+        let mut seg: Vec<TsEntry> = Vec::with_capacity(2 * removed.len() + 1);
         let mut created = false;
         let (mut cur_tb, cur_te) = (tuple.tb, tuple.te);
-        let mut done = false;
-        for e in self.entries.drain(..) {
-            if done || e.te <= cur_tb || e.tb >= cur_te {
-                out.push(e);
-                continue;
-            }
+        for e in removed {
             // Uncovered part of the incoming tuple before this entry.
             if cur_tb < e.tb {
-                let mut seg = TsEntry::from_tuple(tuple, now_us, new_deadline);
-                seg.tb = cur_tb;
-                seg.te = e.tb;
-                out.push(seg);
+                let mut gap = TsEntry::from_tuple(tuple, now_us, new_deadline);
+                gap.tb = cur_tb;
+                gap.te = e.tb;
+                seg.push(gap);
                 created = true;
                 cur_tb = e.tb;
             }
             // Part of the existing entry before the overlap.
             if e.tb < cur_tb {
-                out.push(e.slice(e.tb, cur_tb));
+                seg.push(e.slice(e.tb, cur_tb));
             }
-            // The overlap: merged region (T3 in the paper's terms).
+            // Part of the existing entry after the overlap.
             let ov_te = e.te.min(cur_te);
-            let mut ov = e.slice(cur_tb, ov_te);
+            let tail = (e.te > cur_te).then(|| e.slice(cur_te, e.te));
+            // The overlap: merged region (T3 in the paper's terms), built
+            // from the entry itself — no clone of its state.
+            let mut ov = e;
+            ov.tb = cur_tb;
+            ov.te = ov_te;
             ov.absorb_tuple(tuple, now_us);
             ov.deadline_us = ov.deadline_us.min(new_deadline);
-            out.push(ov);
-            // Part of the existing entry after the overlap.
-            if e.te > cur_te {
-                out.push(e.slice(cur_te, e.te));
-            }
+            seg.push(ov);
+            seg.extend(tail);
             cur_tb = ov_te;
-            if cur_tb >= cur_te {
-                done = true;
-            }
         }
-        if !done && cur_tb < cur_te {
-            let mut seg = TsEntry::from_tuple(tuple, now_us, new_deadline);
-            seg.tb = cur_tb;
-            seg.te = cur_te;
-            out.push(seg);
+        // Uncovered remainder past the last overlapping entry.
+        if cur_tb < cur_te {
+            let mut rest = TsEntry::from_tuple(tuple, now_us, new_deadline);
+            rest.tb = cur_tb;
+            rest.te = cur_te;
+            seg.push(rest);
             created = true;
         }
-        out.sort_by_key(|e| e.tb);
-        self.entries = out;
+        self.entries.splice(lo..lo, seg);
         created
     }
 
@@ -232,17 +244,18 @@ impl TimeSpaceList {
     }
 
     /// Removes and returns all entries due at `now_us`, earliest first.
+    /// Due entries are moved out, never cloned; the common no-eviction
+    /// tick allocates nothing, and an evicting tick allocates exactly the
+    /// returned vector.
     pub fn pop_due(&mut self, now_us: i64) -> Vec<TsEntry> {
-        let mut due: Vec<TsEntry> = Vec::new();
-        self.entries.retain_mut(|e| {
-            if e.deadline_us <= now_us {
-                due.push(e.clone());
-                false
-            } else {
-                true
-            }
-        });
-        due.sort_by_key(|e| e.tb);
+        let n_due = self.entries.iter().filter(|e| e.deadline_us <= now_us).count();
+        if n_due == 0 {
+            return Vec::new();
+        }
+        // `extract_if` preserves order, and entries are kept sorted by
+        // `tb`, so the due list comes out earliest-first for free.
+        let mut due = Vec::with_capacity(n_due);
+        due.extend(self.entries.extract_if(.., |e| e.deadline_us <= now_us));
         due
     }
 
@@ -267,10 +280,10 @@ pub fn summary(tb: i64, te: i64, state: AggState, participants: u32, age_us: i64
         participants,
         has_value: !matches!(state, AggState::None),
         state,
-        route: RouteState { last_level: vec![0], ttl_down: 0 },
+        route: RouteState::from_levels(&[0]),
         hops: 0,
         stripe_tree: 0,
-        truth: TruthMeta::default(),
+        truth: None,
     }
 }
 

@@ -42,6 +42,11 @@ pub struct TruthMeta {
     pub counts: BTreeMap<i64, u64>,
 }
 
+/// Truth metadata as carried by the data path: absent entirely (`None`)
+/// unless [`crate::peer::PeerConfig::track_truth`] recorded something, so
+/// production-mode tuples pay nothing — no map, no box, no clone cost.
+pub type Truth = Option<Box<TruthMeta>>;
+
 impl TruthMeta {
     /// Records `n` raw tuples belonging to true window `w`.
     pub fn add(&mut self, w: i64, n: u64) {
@@ -58,6 +63,19 @@ impl TruthMeta {
     /// Total raw tuples represented.
     pub fn total(&self) -> u64 {
         self.counts.values().sum()
+    }
+
+    /// Merges an optional truth record into an optional slot, allocating
+    /// only when `src` actually carries data.
+    pub fn merge_opt(dst: &mut Truth, src: &Truth) {
+        if let Some(s) = src {
+            dst.get_or_insert_default().merge(s);
+        }
+    }
+
+    /// Records `n` raw tuples for true window `w` into an optional slot.
+    pub fn add_opt(dst: &mut Truth, w: i64, n: u64) {
+        dst.get_or_insert_default().add(w, n);
     }
 }
 
@@ -88,8 +106,10 @@ pub struct SummaryTuple {
     /// the operator's round-robin choice, and the tuple then *stays* on
     /// that tree while it remains live (Figure 5 stage 1).
     pub stripe_tree: u8,
-    /// Ground truth for metrics (not part of the modelled wire size).
-    pub truth: TruthMeta,
+    /// Ground truth for metrics (not part of the modelled wire size);
+    /// `None` whenever truth tracking is off, so production-mode clones
+    /// never touch the heap for it.
+    pub truth: Truth,
 }
 
 impl SummaryTuple {
@@ -114,7 +134,7 @@ impl SummaryTuple {
             route,
             hops: 0,
             stripe_tree: 0,
-            truth: TruthMeta::default(),
+            truth: None,
         }
     }
 }
@@ -124,7 +144,7 @@ mod tests {
     use super::*;
 
     fn route() -> RouteState {
-        RouteState { last_level: vec![0, 0], ttl_down: 0 }
+        RouteState::from_levels(&[0, 0])
     }
 
     #[test]
@@ -160,7 +180,7 @@ mod tests {
     fn wire_bytes_scale_with_route_width() {
         let mut s = SummaryTuple::boundary(0, 10, route());
         let two = s.wire_bytes();
-        s.route.last_level = vec![0; 4];
+        s.route.last_level = mortar_overlay::LevelVec::from_slice(&[0; 4]);
         let four = s.wire_bytes();
         assert_eq!(four - two, 8);
     }

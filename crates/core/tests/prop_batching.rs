@@ -35,13 +35,10 @@ struct RunOutcome {
     payload_bytes: u64,
 }
 
-fn run(seed: u64, batch_max: usize, n: usize) -> RunOutcome {
+fn run_trees(seed: u64, batch_max: usize, n: usize, trees: usize) -> RunOutcome {
     let mut cfg = EngineConfig::paper(n, seed);
     cfg.plan_on_true_latency = true;
-    // One tree: every peer has a single (dest, tree) stream, so frames
-    // preserve the exact per-tuple arrival order and the comparison below
-    // can demand bit-for-bit identical results, not just equal totals.
-    cfg.planner.tree_count = 1;
+    cfg.planner.tree_count = trees;
     cfg.planner.branching_factor = 4;
     cfg.peer.summary_batch_max = batch_max;
     let mut eng = Engine::new(cfg);
@@ -53,6 +50,12 @@ fn run(seed: u64, batch_max: usize, n: usize) -> RunOutcome {
         tuples: eng.summary_tuples_sent(),
         payload_bytes: eng.summary_payload_bytes_sent(),
     }
+}
+
+/// Single-tree run: every peer has a single (dest, tree) stream, so frames
+/// preserve the exact per-tuple arrival order — the strictest comparison.
+fn run(seed: u64, batch_max: usize, n: usize) -> RunOutcome {
+    run_trees(seed, batch_max, n, 1)
 }
 
 proptest! {
@@ -75,6 +78,27 @@ proptest! {
         prop_assert!(batched.frames <= single.frames,
             "batching increased frames: {} > {}", batched.frames, single.frames);
         // With a 100 ms slide and batch ≥ 2, coalescing must actually occur.
+        prop_assert!(batched.frames < single.frames,
+            "no coalescing happened at seed {} batch {}", seed, batch);
+    }
+
+    #[test]
+    fn batched_delivery_matches_per_tuple_on_multi_tree_plans(seed in 0u64..1_000, batch in 2usize..48) {
+        // On the paper's multi-tree plans, striping interleaves a tick's
+        // evictions across trees, so batching regroups (and so reorders)
+        // the tuples a receiver sees within one tick. Everything the
+        // receive path computes per tick is order-insensitive — AggState
+        // merges commute, per-entry deadlines are set by interval (not
+        // arrival), and netDist folds arrivals into a per-window max
+        // before its EWMA step — so results must still match bit-for-bit.
+        let n = 12;
+        let single = run_trees(seed, 1, n, 4);
+        let batched = run_trees(seed, batch, n, 4);
+        prop_assert_eq!(&single.results, &batched.results,
+            "multi-tree results diverged at seed {} batch {}", seed, batch);
+        prop_assert!(!single.results.is_empty(), "no results at seed {}", seed);
+        prop_assert_eq!(single.tuples, batched.tuples);
+        prop_assert_eq!(single.payload_bytes, batched.payload_bytes);
         prop_assert!(batched.frames < single.frames,
             "no coalescing happened at seed {} batch {}", seed, batch);
     }

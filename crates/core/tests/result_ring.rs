@@ -1,0 +1,107 @@
+//! The bounded root result log, driven end-to-end through the session
+//! API: retention evicts oldest-first, `subscribe()` drains survive
+//! wrap-around without redelivering or skipping records, and reinstall
+//! under the same name still scopes reads to the new incarnation.
+
+use mortar_core::api::Mortar;
+use mortar_core::engine::EngineConfig;
+use mortar_core::metrics::ResultRecord;
+
+fn session(n: usize, seed: u64, cap: usize) -> Mortar {
+    let mut cfg = EngineConfig::paper(n, seed);
+    cfg.plan_on_true_latency = true;
+    cfg.peer.result_log_cap = cap;
+    Mortar::new(cfg)
+}
+
+/// A record's identity for ordering/equality checks.
+fn sig(r: &ResultRecord) -> (i64, u64, u32) {
+    (r.tb, r.emit_true_us, r.participants)
+}
+
+#[test]
+fn retention_keeps_only_the_newest_records_in_order() {
+    // A fast query on a tiny cap: the root emits far more windows than
+    // the log retains.
+    let mut m = session(8, 21, 16);
+    let h = m
+        .query("fast")
+        .members(0..8)
+        .periodic_secs(0.1, 1.0)
+        .sum(0)
+        .every_secs(0.1)
+        .install()
+        .expect("valid query");
+    m.run_secs(30.0);
+    let total = m.engine().result_seq(h.root());
+    assert!(total > 100, "workload too slow to exercise retention: {total} records");
+    let kept = m.results(&h);
+    assert!(kept.len() <= 16, "retention cap violated: {} records", kept.len());
+    // Oldest-first eviction ⇒ what remains is the newest suffix, and the
+    // retained sequence is still emission-ordered.
+    for w in kept.windows(2) {
+        assert!(w[0].emit_true_us <= w[1].emit_true_us, "retained records out of emission order");
+    }
+    let first_seq = m.engine().results(h.root()).len() as u64;
+    assert_eq!(first_seq, 16, "log should sit exactly at its cap");
+}
+
+#[test]
+fn subscribe_never_redelivers_nor_skips_across_wraparound() {
+    // Drain frequently against a cap much smaller than the run's output:
+    // the ring wraps many times, yet the drains must exactly partition
+    // the emission stream.
+    let mut m = session(8, 22, 8);
+    let h = m
+        .query("fast")
+        .members(0..8)
+        .periodic_secs(0.1, 1.0)
+        .sum(0)
+        .every_secs(0.1)
+        .install()
+        .expect("valid query");
+    // Warm-up: installation plus the first burst of backlogged windows
+    // can outrun any small cap before a subscriber exists to drain them;
+    // discard that prefix, then account strictly.
+    m.run_secs(10.0);
+    let _ = m.subscribe(&h);
+    let phase_start = m.engine().result_seq(h.root());
+    let mut drained: Vec<(i64, u64, u32)> = Vec::new();
+    for _ in 0..120 {
+        m.run_secs(0.25);
+        drained.extend(m.subscribe(&h).iter().map(sig));
+    }
+    drained.extend(m.subscribe(&h).iter().map(sig));
+    let total = m.engine().result_seq(h.root()) - phase_start;
+    assert!(total as usize > 8 * 10, "ring never wrapped: only {total} records");
+    // No skips: every record the root emitted during the accounted phase
+    // was drained exactly once (drains kept pace with the cap).
+    assert_eq!(drained.len() as u64, total, "drains must partition the emission stream");
+    // No redelivery and no reordering: emission times strictly advance
+    // window-by-window (ties broken by window begin).
+    for w in drained.windows(2) {
+        assert!(w[0].1 <= w[1].1, "drained records out of order: {w:?}");
+        assert!(w[0] != w[1], "record redelivered: {:?}", w[0]);
+    }
+}
+
+#[test]
+fn reinstall_under_same_name_scopes_reads_per_incarnation() {
+    let mut m = session(8, 23, 32);
+    let build = |m: &mut Mortar| {
+        m.query("q").members(0..8).periodic_secs(0.5, 1.0).sum(0).every_secs(0.5).install()
+    };
+    let h1 = build(&mut m).expect("first install");
+    m.run_secs(15.0);
+    assert!(!m.results(&h1).is_empty());
+    m.remove(h1).expect("installed");
+    m.run_secs(10.0);
+    // Fresh incarnation, same name: its handle must not surface records
+    // that survived in the ring from the first incarnation.
+    let h2 = build(&mut m).expect("reinstall");
+    assert!(m.results(&h2).is_empty(), "old incarnation leaked through the ring");
+    m.run_secs(15.0);
+    let fresh = m.results(&h2);
+    assert!(!fresh.is_empty());
+    assert_eq!(m.subscribe(&h2).len(), fresh.len(), "drain agrees with scoped reads");
+}

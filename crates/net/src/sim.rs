@@ -26,6 +26,45 @@ use std::collections::{BinaryHeap, HashSet};
 /// (20 B IPv4 + 8 B UDP + congestion-control/framing headers).
 pub const TRANSPORT_OVERHEAD_BYTES: u32 = 56;
 
+/// Ids retained per dedup generation (two generations are live at once).
+///
+/// Duplicate copies of a message are injected at transmit time and arrive
+/// within the topology latency plus the chaos reorder jitter — a horizon
+/// of a few hundred message ids at realistic rates. 64k ids per
+/// generation leaves orders of magnitude of slack while bounding a
+/// receiver's dedup memory for the lifetime of the run (the set used to
+/// grow monotonically with every message ever received).
+const DEDUP_GENERATION_CAP: usize = 65_536;
+
+/// Receiver-side duplicate suppression with bounded memory: a classic
+/// two-generation scheme. Inserts go to the current generation; once it
+/// fills, it becomes the previous generation and the oldest ids are
+/// forgotten. An id is a duplicate if either generation has seen it.
+#[derive(Debug, Default)]
+struct DedupSet {
+    cur: HashSet<u64>,
+    prev: HashSet<u64>,
+}
+
+impl DedupSet {
+    /// Records `id`; returns `false` if it was already seen (a duplicate).
+    fn insert(&mut self, id: u64) -> bool {
+        if self.cur.contains(&id) || self.prev.contains(&id) {
+            return false;
+        }
+        if self.cur.len() >= DEDUP_GENERATION_CAP {
+            self.prev = std::mem::take(&mut self.cur);
+        }
+        self.cur.insert(id);
+        true
+    }
+
+    /// Ids currently retained (bounded by two generations).
+    fn len(&self) -> usize {
+        self.cur.len() + self.prev.len()
+    }
+}
+
 /// A simulated peer: a state machine driven by start/message/timer events.
 pub trait App {
     /// Message payload type exchanged between peers.
@@ -164,7 +203,9 @@ impl SimBuilder {
             rng,
             bw: BandwidthTracker::new(),
             chaos: self.chaos,
-            seen: vec![HashSet::new(); if self.chaos.dup_prob > 0.0 { n } else { 0 }],
+            seen: (0..if self.chaos.dup_prob > 0.0 { n } else { 0 })
+                .map(|_| DedupSet::default())
+                .collect(),
             stats: SimStats::default(),
             started: false,
             stop: false,
@@ -186,7 +227,7 @@ pub struct Simulator<A: App> {
     rng: SmallRng,
     bw: BandwidthTracker,
     chaos: ChaosConfig,
-    seen: Vec<HashSet<u64>>,
+    seen: Vec<DedupSet>,
     stats: SimStats,
     started: bool,
     stop: bool,
@@ -255,6 +296,13 @@ impl<A: App> Simulator<A> {
         self.stats
     }
 
+    /// Total message ids retained by the duplicate-suppression layer
+    /// across all receivers. Bounded for the lifetime of the run (two
+    /// generations per receiver), however long chaos keeps duplicating.
+    pub fn dedup_entries(&self) -> usize {
+        self.seen.iter().map(DedupSet::len).sum()
+    }
+
     /// Schedules an out-of-band message (e.g. a user's install request)
     /// for immediate delivery to `to`, attributed to `from`.
     pub fn inject(&mut self, to: NodeId, from: NodeId, msg: A::Msg, bytes: u32) {
@@ -301,7 +349,8 @@ impl<A: App> Simulator<A> {
                     return;
                 }
                 if !self.seen.is_empty() {
-                    // Duplicate suppression (only materialized under chaos).
+                    // Duplicate suppression (only materialized under
+                    // chaos); bounded two-generation memory per receiver.
                     if !self.seen[to as usize].insert(id) {
                         self.stats.duplicates_suppressed += 1;
                         return;
@@ -481,6 +530,56 @@ mod tests {
         assert!(sim.app(1).got.is_empty());
         sim.run_until(2_100);
         assert_eq!(sim.app(1).got.len(), 1);
+    }
+
+    #[test]
+    fn dedup_memory_stays_bounded_under_long_chaos() {
+        // A flood app: node 0 sends 1000 messages per millisecond at node
+        // 1, with 100% duplication. The run pushes several times the
+        // generation cap through the dedup layer; its memory must stay
+        // bounded by two generations while still delivering exactly once.
+        struct Flood {
+            got: u64,
+            ticks: u32,
+        }
+        impl App for Flood {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                if ctx.id() == 0 {
+                    ctx.set_timer_local_us(1_000, 0);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: u32, _: u32) {
+                self.got += 1;
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, _: u64) {
+                for _ in 0..1_000 {
+                    ctx.send(1, 7, 8);
+                }
+                self.ticks += 1;
+                if self.ticks < 250 {
+                    ctx.set_timer_local_us(1_000, 0);
+                }
+            }
+        }
+        let chaos = ChaosConfig { dup_prob: 1.0, ..ChaosConfig::none() };
+        let mut sim =
+            SimBuilder::new(star2(), 3).chaos(chaos).build(|_| Flood { got: 0, ticks: 0 });
+        // 250 flood ticks plus slack to drain the in-flight tail.
+        sim.run_for_secs(1.0);
+        let sent_unique = sim.stats().sent;
+        assert!(
+            sent_unique as usize > 2 * DEDUP_GENERATION_CAP,
+            "flood too small to exercise generation turnover: {sent_unique}"
+        );
+        // Exactly-once: every unique send delivered, every duplicate eaten.
+        assert_eq!(sim.app(1).got, sent_unique);
+        assert_eq!(sim.stats().duplicates_suppressed, sent_unique);
+        assert!(
+            sim.dedup_entries() <= 2 * DEDUP_GENERATION_CAP,
+            "dedup memory unbounded: {} ids retained",
+            sim.dedup_entries()
+        );
     }
 
     #[test]

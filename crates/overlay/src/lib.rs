@@ -21,5 +21,7 @@ pub mod tree;
 pub use failure_sim::{simulate_completeness, FailureSimConfig, Strategy};
 pub use planner::{derive_sibling, plan_primary, plan_tree_set, PlannerConfig};
 pub use route_table::{QueryId, RouteEntry, RouteTable};
-pub use routing::{route_decision, route_decision_local, Decision, RouteState, TTL_DOWN_LIMIT};
+pub use routing::{
+    route_decision, route_decision_local, Decision, LevelVec, RouteState, MAX_TREES, TTL_DOWN_LIMIT,
+};
 pub use tree::{random_tree, Tree, TreeSet};

@@ -144,7 +144,7 @@ mod tests {
         // through route_decision_local.
         let mut t = RouteTable::new();
         t.register(QueryId(1), vec![2, 1], vec![2, 1]);
-        let mut st = RouteState::from_levels(vec![2, 1]);
+        let mut st = RouteState::from_levels(&[2, 1]);
         let mut rng = SmallRng::seed_from_u64(7);
         let d =
             t.decide(QueryId(1), 0, &mut st, &[false, true], &mut |_, _| true, &mut rng).unwrap();
@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn decide_unknown_query_is_none() {
         let t = RouteTable::new();
-        let mut st = RouteState::from_levels(vec![0]);
+        let mut st = RouteState::from_levels(&[0]);
         let mut rng = SmallRng::seed_from_u64(1);
         assert!(t.decide(QueryId(9), 0, &mut st, &[true], &mut |_, _| false, &mut rng).is_none());
     }

@@ -22,11 +22,116 @@ use rand::Rng;
 /// drops tuples once the TTL-down field exceeds three).
 pub const TTL_DOWN_LIMIT: u8 = 3;
 
+/// Maximum tree-set width an inline [`LevelVec`] can carry.
+///
+/// The paper finds four trees the point of diminishing returns (Figure
+/// 12 sweeps up to five); eight leaves slack while keeping the per-tuple
+/// routing state a flat 36-byte value instead of a heap vector.
+pub const MAX_TREES: usize = 8;
+
+/// A fixed-capacity inline vector of per-tree levels.
+///
+/// Route state rides inside every summary tuple and is cloned on every
+/// merge, eviction and transmit; an inline array makes all of those
+/// alloc-free `Copy` operations. Indexing and iteration mirror a slice.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct LevelVec {
+    vals: [u32; MAX_TREES],
+    len: u8,
+}
+
+impl LevelVec {
+    /// Builds from a slice of per-tree levels (≤ [`MAX_TREES`] entries).
+    pub fn from_slice(levels: &[u32]) -> Self {
+        assert!(
+            levels.len() <= MAX_TREES,
+            "tree-set width {} exceeds the inline route-state capacity {MAX_TREES}",
+            levels.len()
+        );
+        let mut vals = [0u32; MAX_TREES];
+        vals[..levels.len()].copy_from_slice(levels);
+        Self { vals, len: levels.len() as u8 }
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the vector carries no levels.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The levels as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.vals[..self.len as usize]
+    }
+
+    /// Mutable slice of the levels.
+    pub fn as_mut_slice(&mut self) -> &mut [u32] {
+        let n = self.len as usize;
+        &mut self.vals[..n]
+    }
+
+    /// Iterates the levels.
+    pub fn iter(&self) -> std::slice::Iter<'_, u32> {
+        self.as_slice().iter()
+    }
+
+    /// Mutable access to one tree's level, if in range.
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut u32> {
+        self.as_mut_slice().get_mut(i)
+    }
+}
+
+impl std::ops::Index<usize> for LevelVec {
+    type Output = u32;
+    fn index(&self, i: usize) -> &u32 {
+        &self.as_slice()[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for LevelVec {
+    fn index_mut(&mut self, i: usize) -> &mut u32 {
+        &mut self.as_mut_slice()[i]
+    }
+}
+
+impl std::fmt::Debug for LevelVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl From<&[u32]> for LevelVec {
+    fn from(s: &[u32]) -> Self {
+        Self::from_slice(s)
+    }
+}
+
+impl PartialEq<Vec<u32>> for LevelVec {
+    fn eq(&self, other: &Vec<u32>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a LevelVec {
+    type Item = &'a u32;
+    type IntoIter = std::slice::Iter<'a, u32>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// Per-tuple routing state carried between overlay hops.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy`: the state is a flat value, so cloning a summary tuple performs
+/// no heap allocation for routing metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteState {
     /// `TL(t)`: the last (smallest) level the tuple occupied on each tree.
-    pub last_level: Vec<u32>,
+    pub last_level: LevelVec,
     /// Downward steps taken so far.
     pub ttl_down: u8,
 }
@@ -35,13 +140,13 @@ impl RouteState {
     /// State for a tuple created at `member`: it occupies its origin's
     /// position on every tree.
     pub fn at_origin(trees: &TreeSet, member: usize) -> Self {
-        Self { last_level: trees.levels_of(member), ttl_down: 0 }
+        Self::from_levels(&trees.levels_of(member))
     }
 
     /// State for a tuple created at a node with the given per-tree levels
     /// (the peer-local form of [`RouteState::at_origin`]).
-    pub fn from_levels(levels: Vec<u32>) -> Self {
-        Self { last_level: levels, ttl_down: 0 }
+    pub fn from_levels(levels: &[u32]) -> Self {
+        Self { last_level: LevelVec::from_slice(levels), ttl_down: 0 }
     }
 
     /// Records arrival at `member` via `tree`: the tuple now occupies the
@@ -57,7 +162,7 @@ impl RouteState {
     /// summaries merge): per-tree minimum levels, maximum TTL-down.
     pub fn absorb(&mut self, other: &RouteState) {
         debug_assert_eq!(self.last_level.len(), other.last_level.len());
-        for (a, b) in self.last_level.iter_mut().zip(&other.last_level) {
+        for (a, b) in self.last_level.as_mut_slice().iter_mut().zip(other.last_level.iter()) {
             *a = (*a).min(*b);
         }
         self.ttl_down = self.ttl_down.max(other.ttl_down);
