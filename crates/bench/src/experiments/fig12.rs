@@ -30,48 +30,73 @@ fn one(n: usize, trees: usize, fail: f64, secs: f64, seed: u64) -> f64 {
     mean(&steady)
 }
 
-/// Data-plane network load of a high-rate (25 ms-slide) fleet-wide sum at
-/// one (tree count, frame-batching cap) point: total data-class megabytes
-/// (per-byte accounting: `size × physical hops`), data-class message
-/// events (the per-message cost batching amortizes), and completeness.
-pub fn network_load(n: usize, trees: usize, batch: usize, secs: f64, seed: u64) -> (f64, u64, f64) {
+/// Data-plane network load of high-rate (25 ms-slide) fleet-wide sums at
+/// one (tree count, frame-batching cap, envelope budget) point: total
+/// data-class megabytes (per-byte accounting: `size × physical hops`),
+/// data-class message events (the per-message cost batching and
+/// enveloping amortize), and completeness. Two co-resident queries drive
+/// the cross-query envelope case; `envelope_budget = 0` disables
+/// envelopes (per-query frames on the wire).
+pub fn network_load(
+    n: usize,
+    trees: usize,
+    batch: usize,
+    envelope_budget: u32,
+    secs: f64,
+    seed: u64,
+) -> (f64, u64, f64) {
     let mut cfg = EngineConfig::paper(n, seed);
     cfg.plan_on_true_latency = true;
     cfg.planner.tree_count = trees;
     cfg.peer.summary_batch_max = batch;
+    cfg.peer.envelope_budget = envelope_budget;
     let mut eng = Engine::new(cfg);
     let mut spec = count_peers_spec("fast", n, 25_000);
     spec.sensor = SensorSpec::Periodic { period_us: 25_000, value: 1.0 };
     eng.install(spec).expect("valid spec");
+    let mut second = count_peers_spec("peak", n, 50_000);
+    second.sensor = SensorSpec::Periodic { period_us: 50_000, value: 1.0 };
+    eng.install(second).expect("valid spec");
     eng.run_secs(secs);
     let bw = eng.sim.bandwidth();
     let mb = bw.bytes_total(TrafficClass::Data) as f64 / 1e6;
     let msgs = bw.msgs_total(TrafficClass::Data);
-    let completeness = metrics::mean_completeness(eng.results(0), n, 40);
+    let completeness = metrics::mean_completeness(
+        &eng.results(0).iter().filter(|r| &*r.query == "fast").cloned().collect::<Vec<_>>(),
+        n,
+        40,
+    );
     (mb, msgs, completeness)
 }
 
 /// Prints the network-load table: per-byte vs per-message cost with
-/// batching off (cap 1) and on (cap 32), across tree-set sizes.
+/// batching off (cap 1), batching on (cap 32, per-query frames), and
+/// batching + cross-query envelopes, across tree-set sizes.
 fn run_network_load() {
     let n = 100;
     let secs = 30.0;
     println!(
-        "\nData-plane load, {n}-host 25 ms-slide sum over {secs:.0} s \
+        "\nData-plane load, {n}-host 25/50 ms-slide co-resident sums over {secs:.0} s \
          (per-byte = MB × hops, per-message = send events):"
     );
     println!(
-        "{:>7} {:>10} {:>12} {:>12} {:>13} {:>13}",
-        "trees", "batching", "data MB", "data msgs", "msgs saved", "complete %"
+        "{:>7} {:>16} {:>12} {:>12} {:>13} {:>13}",
+        "trees", "transport", "data MB", "data msgs", "msgs saved", "complete %"
     );
     for trees in [1usize, 2, 4] {
-        let (mb1, msgs1, c1) = network_load(n, trees, 1, secs, 12);
-        let (mb32, msgs32, c32) = network_load(n, trees, 32, secs, 12);
-        println!("{trees:>7} {:>10} {mb1:>12.2} {msgs1:>12} {:>13} {c1:>13.1}", "off", "-");
+        let (mb1, msgs1, c1) = network_load(n, trees, 1, 0, secs, 12);
+        let (mb32, msgs32, c32) = network_load(n, trees, 32, 0, secs, 12);
+        let (mbe, msgse, ce) = network_load(n, trees, 32, 16_384, secs, 12);
+        println!("{trees:>7} {:>16} {mb1:>12.2} {msgs1:>12} {:>13} {c1:>13.1}", "off", "-");
         println!(
-            "{trees:>7} {:>10} {mb32:>12.2} {msgs32:>12} {:>12.2}x {c32:>13.1}",
+            "{trees:>7} {:>16} {mb32:>12.2} {msgs32:>12} {:>12.2}x {c32:>13.1}",
             "cap 32",
             msgs1 as f64 / msgs32.max(1) as f64
+        );
+        println!(
+            "{trees:>7} {:>16} {mbe:>12.2} {msgse:>12} {:>12.2}x {ce:>13.1}",
+            "cap 32 + envelope",
+            msgs1 as f64 / msgse.max(1) as f64
         );
     }
 }

@@ -21,6 +21,7 @@ use super::common::count_peers_spec;
 use crate::{banner, scaled};
 use mortar_core::engine::{Engine, EngineConfig};
 use mortar_core::metrics::mean_completeness;
+use mortar_core::peer::PeerConfig;
 use mortar_core::query::SensorSpec;
 use std::time::Instant;
 
@@ -41,8 +42,17 @@ pub struct HotpathOutcome {
     pub evictions: u64,
     /// Summary tuples sent fleet-wide.
     pub summaries_out: u64,
-    /// Summary frames sent fleet-wide.
+    /// Summary frames sent fleet-wide (logical frames — conserved across
+    /// envelope budgets).
     pub frames_out: u64,
+    /// Envelope wire messages sent fleet-wide (0 with envelopes off).
+    pub envelopes_out: u64,
+    /// Data-class wire messages (send events): envelopes when enabled,
+    /// one per frame otherwise.
+    pub data_msgs: u64,
+    /// Mean link-bytes per data-class message — the per-envelope
+    /// accounting view (coalescing raises it while total bytes fall).
+    pub mean_data_msg_bytes: f64,
     /// Peak live TS-list entries at any single peer (retained summary
     /// state — the allocation-sensitive high-water mark).
     pub ts_peak_entries: u64,
@@ -66,12 +76,26 @@ impl HotpathOutcome {
 }
 
 /// Runs the hotpath workload: install + warm-up untimed, then `sim_secs`
-/// of simulated time under the wall clock.
+/// of simulated time under the wall clock. Envelopes ride at the default
+/// budget (the production configuration).
 pub fn hotpath_run(n: usize, sim_secs: f64, seed: u64, track_truth: bool) -> HotpathOutcome {
+    hotpath_run_cfg(n, sim_secs, seed, track_truth, PeerConfig::default().envelope_budget)
+}
+
+/// [`hotpath_run`] with an explicit envelope byte budget (`0` = per-query
+/// frames on the wire — the pre-envelope transport).
+pub fn hotpath_run_cfg(
+    n: usize,
+    sim_secs: f64,
+    seed: u64,
+    track_truth: bool,
+    envelope_budget: u32,
+) -> HotpathOutcome {
     let slide_us = 25_000u64;
     let mut cfg = EngineConfig::paper(n, seed);
     cfg.plan_on_true_latency = true;
     cfg.peer.track_truth = track_truth;
+    cfg.peer.envelope_budget = envelope_budget;
     let mut eng = Engine::new(cfg);
     let mut spec = count_peers_spec("hot", n, slide_us);
     spec.sensor = SensorSpec::Periodic { period_us: slide_us, value: 1.0 };
@@ -81,13 +105,17 @@ pub fn hotpath_run(n: usize, sim_secs: f64, seed: u64, track_truth: bool) -> Hot
     let start = Instant::now();
     eng.run_secs(sim_secs);
     let wall_secs = start.elapsed().as_secs_f64();
-    let (mut evictions, mut summaries_out, mut frames_out, mut ts_peak) = (0u64, 0u64, 0u64, 0u64);
+    let (mut evictions, mut summaries_out, mut frames_out, mut envelopes_out, mut ts_peak) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
     for p in eng.sim.apps() {
         evictions += p.stats.evictions;
         summaries_out += p.stats.summaries_out;
         frames_out += p.stats.frames_out;
+        envelopes_out += p.stats.envelopes_out;
         ts_peak = ts_peak.max(p.stats.ts_peak_entries);
     }
+    let data_msgs = eng.sim.bandwidth().msgs_total(mortar_net::TrafficClass::Data);
+    let mean_data_msg_bytes = eng.sim.bandwidth().mean_msg_bytes(mortar_net::TrafficClass::Data);
     let results = eng.results(0);
     HotpathOutcome {
         hosts: n,
@@ -98,6 +126,9 @@ pub fn hotpath_run(n: usize, sim_secs: f64, seed: u64, track_truth: bool) -> Hot
         evictions,
         summaries_out,
         frames_out,
+        envelopes_out,
+        data_msgs,
+        mean_data_msg_bytes,
         ts_peak_entries: ts_peak,
         results: results.len(),
         completeness: mean_completeness(results, n, 40),
@@ -108,8 +139,15 @@ fn json_field(out: &mut String, key: &str, value: String) {
     out.push_str(&format!("  \"{key}\": {value},\n"));
 }
 
-/// Renders the outcome (plus an optional external baseline) as JSON.
-pub fn to_json(main: &HotpathOutcome, tracked: &HotpathOutcome, baseline: Option<f64>) -> String {
+/// Renders the outcome (the envelopes-on main run, the envelopes-off
+/// comparison, the truth-tracking contrast, plus an optional external
+/// baseline) as JSON.
+pub fn to_json(
+    main: &HotpathOutcome,
+    plain: &HotpathOutcome,
+    tracked: &HotpathOutcome,
+    baseline: Option<f64>,
+) -> String {
     let mut s = String::from("{\n");
     json_field(&mut s, "bench", "\"hotpath\"".into());
     json_field(&mut s, "workload", "\"100-host 25 ms-slide fleet-wide sum, 4 trees\"".into());
@@ -122,6 +160,21 @@ pub fn to_json(main: &HotpathOutcome, tracked: &HotpathOutcome, baseline: Option
     json_field(&mut s, "evictions", main.evictions.to_string());
     json_field(&mut s, "summary_tuples_sent", main.summaries_out.to_string());
     json_field(&mut s, "summary_frames_sent", main.frames_out.to_string());
+    json_field(&mut s, "envelopes_sent", main.envelopes_out.to_string());
+    json_field(&mut s, "data_msgs", main.data_msgs.to_string());
+    json_field(&mut s, "no_envelope_data_msgs", plain.data_msgs.to_string());
+    json_field(&mut s, "mean_data_msg_bytes", format!("{:.1}", main.mean_data_msg_bytes));
+    json_field(
+        &mut s,
+        "no_envelope_mean_data_msg_bytes",
+        format!("{:.1}", plain.mean_data_msg_bytes),
+    );
+    json_field(
+        &mut s,
+        "envelope_msgs_saved_factor",
+        format!("{:.2}", plain.data_msgs as f64 / main.data_msgs.max(1) as f64),
+    );
+    json_field(&mut s, "no_envelope_sim_secs_per_real_sec", format!("{:.2}", plain.sim_per_real()));
     json_field(&mut s, "ts_peak_entries", main.ts_peak_entries.to_string());
     json_field(&mut s, "results", main.results.to_string());
     json_field(&mut s, "completeness_pct", format!("{:.2}", main.completeness));
@@ -141,17 +194,36 @@ pub fn run() {
     banner("hotpath", "wall-clock throughput of the summary data path");
     let n = 100;
     let sim_secs = scaled(30.0, 120.0);
-    let main = hotpath_run(n, sim_secs, 13, false);
-    let tracked = hotpath_run(n, sim_secs, 13, true);
+    // The quick-mode timed region is ~0.1 s of wall clock; take the best
+    // of two runs per configuration so scheduler noise does not masquerade
+    // as a protocol-level throughput difference.
+    let best = |mk: &dyn Fn() -> HotpathOutcome| {
+        let a = mk();
+        let b = mk();
+        if a.sim_per_real() >= b.sim_per_real() {
+            a
+        } else {
+            b
+        }
+    };
+    let plain = best(&|| hotpath_run_cfg(n, sim_secs, 13, false, 0));
+    let main = best(&|| hotpath_run(n, sim_secs, 13, false));
+    let tracked = best(&|| hotpath_run(n, sim_secs, 13, true));
     println!(
         "\n{n}-host 25 ms-slide sum, {sim_secs:.0} simulated seconds:\n\
-         track_truth off: {:.2} sim-secs/real-sec ({:.0} tuples/s wall, {:.3} s wall)\n\
-         track_truth on:  {:.2} sim-secs/real-sec\n\
+         envelopes on (default): {:.2} sim-secs/real-sec ({:.0} tuples/s wall, {:.3} s wall)\n\
+         envelopes off:          {:.2} sim-secs/real-sec\n\
+         track_truth on:         {:.2} sim-secs/real-sec\n\
+         wire: {} data messages enveloped vs {} per-query frames ({:.2}x fewer)\n\
          health: completeness {:.1}%, {} evictions, {} tuples in {} frames, peak TS entries {}",
         main.sim_per_real(),
         main.tuples_per_sec(),
         main.wall_secs,
+        plain.sim_per_real(),
         tracked.sim_per_real(),
+        main.data_msgs,
+        plain.data_msgs,
+        plain.data_msgs as f64 / main.data_msgs.max(1) as f64,
         main.completeness,
         main.evictions,
         main.summaries_out,
@@ -159,7 +231,7 @@ pub fn run() {
         main.ts_peak_entries,
     );
     let baseline = std::env::var("MORTAR_HOTPATH_BASELINE").ok().and_then(|v| v.parse().ok());
-    let json = to_json(&main, &tracked, baseline);
+    let json = to_json(&main, &plain, &tracked, baseline);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}"),

@@ -191,7 +191,13 @@ impl Engine {
         let id = self.store.intern(&spec.name);
         let seq = self.store.issue_install(&spec.name);
         let root = spec.root;
-        let msg = MortarMsg::Install { spec, id, seq, records, issue_age_us: 0 };
+        let msg = MortarMsg::Install {
+            spec: std::sync::Arc::new(spec),
+            id,
+            seq,
+            records,
+            issue_age_us: 0,
+        };
         let bytes = msg.wire_bytes();
         self.sim.inject(root, root, msg, bytes);
     }
@@ -305,6 +311,14 @@ impl Engine {
     /// Total modelled summary payload bytes sent (frame headers excluded).
     pub fn summary_payload_bytes_sent(&self) -> u64 {
         self.sim.apps().map(|p| p.stats.summary_payload_bytes_out).sum()
+    }
+
+    /// Total envelope wire messages sent across all peers. With envelopes
+    /// enabled this is the data-plane message-event count (each envelope
+    /// coalesces `summary_frames_sent` logical frames across queries);
+    /// zero when `envelope_budget = 0`.
+    pub fn summary_envelopes_sent(&self) -> u64 {
+        self.sim.apps().map(|p| p.stats.envelopes_out).sum()
     }
 }
 

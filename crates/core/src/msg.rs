@@ -4,23 +4,75 @@
 //! `wire_bytes × hops` to the bandwidth accounting, which is how the
 //! paper's "total network load" figures are reproduced.
 //!
-//! The data plane is *batched and interned*: summary traffic travels in
-//! [`MortarMsg::SummaryBatch`] frames that carry a 4-byte [`QueryId`]
-//! handle (never the query name) and every tuple evicted toward the same
-//! next hop on the same tree in one timer tick. Control messages
-//! (install/reconcile/topology) ship whole query specs and therefore carry
-//! the id → name binding each peer records in its
-//! [`crate::query::QueryDirectory`].
+//! The data plane is *batched, interned, and enveloped*: summary traffic
+//! travels in frames that carry a 4-byte [`QueryId`] handle (never the
+//! query name) and every tuple evicted toward the same next hop on the
+//! same tree in one timer tick. With envelopes enabled
+//! ([`crate::peer::PeerConfig::envelope_budget`] > 0), *all* frames a peer
+//! owes one next hop in a tick — across queries and trees — coalesce into
+//! a single [`MortarMsg::Envelope`] whose payloads are shared
+//! `Arc<[SummaryTuple]>` slices, so the transport's fan-out/duplication
+//! clone is a pointer bump, never a tuple-vector copy. Control messages
+//! (install/reconcile/topology) ship whole query specs behind
+//! `Arc<QuerySpec>` (multicast chunking and reconciliation exchanges clone
+//! the pointer, not the spec) and therefore carry the id → name binding
+//! each peer records in its [`crate::query::QueryDirectory`]. Removal
+//! caches travel as `(QueryId, seq)` pairs — no name strings on the wire.
 
 use crate::query::{InstallRecord, QueryId, QuerySpec};
 use crate::tuple::SummaryTuple;
-
-/// A (query name, sequence) pair in reconciliation exchanges.
-pub type NameSeq = (String, u64);
+use std::sync::Arc;
 
 /// Modelled size of a summary-frame header: query id (4), tree (1),
 /// tuple count (2), flags (1), and a frame sequence slot (4).
 pub const SUMMARY_FRAME_HEADER_BYTES: u32 = 12;
+
+/// Modelled size of an envelope header: frame count (2), flags (1), and
+/// an envelope sequence slot (4). Paid once per wire message however many
+/// per-query frames ride inside.
+pub const ENVELOPE_HEADER_BYTES: u32 = 7;
+
+/// One query's summary frame: the unit of per-query framing, either sent
+/// alone as [`MortarMsg::SummaryBatch`] (envelopes disabled) or stacked
+/// with other queries' frames inside one [`MortarMsg::Envelope`].
+///
+/// The payload is a shared slice: cloning a frame — which the simulated
+/// transport does for chaos duplication and message fan-out — clones the
+/// `Arc`, not the tuples.
+#[derive(Debug, Clone)]
+pub struct SummaryFrame {
+    /// Interned query handle (resolved at install time).
+    pub query: QueryId,
+    /// Tree the frame is (now) travelling on.
+    pub tree: u8,
+    /// Extra local time this frame waited in the sender's outbox for its
+    /// envelope (delay-bounded coalescing), µs. Receivers add it to every
+    /// tuple's age, so held tuples still re-index honestly — the payload
+    /// itself is frozen (shared) the moment the frame is built. Always 0
+    /// unless [`crate::peer::PeerConfig::envelope_hold_us`] > 0; modelled
+    /// as riding the frame header's sequence/flags slot.
+    pub hold_age_us: i64,
+    /// The tuples, in eviction order.
+    pub tuples: Arc<[SummaryTuple]>,
+    /// Optional piggybacked store hash (removal reconciliation rides
+    /// the child→parent data flow, Section 6.1).
+    pub store_hash: Option<u64>,
+}
+
+impl SummaryFrame {
+    /// Modelled wire size: frame header + tuples + optional hash.
+    pub fn wire_bytes(&self) -> u32 {
+        SUMMARY_FRAME_HEADER_BYTES
+            + self.tuples.iter().map(SummaryTuple::wire_bytes).sum::<u32>()
+            + if self.store_hash.is_some() { 8 } else { 0 }
+    }
+
+    /// Modelled payload bytes (tuples only, headers excluded) — the
+    /// quantity conserved across batch sizes and envelope budgets.
+    pub fn payload_bytes(&self) -> u32 {
+        self.tuples.iter().map(SummaryTuple::wire_bytes).sum::<u32>()
+    }
+}
 
 /// The Mortar peer protocol.
 #[derive(Debug, Clone)]
@@ -28,16 +80,17 @@ pub enum MortarMsg {
     /// A frame of routed summary tuples for one query, travelling on
     /// `tree`. All tuples share the same next hop; receivers process them
     /// in order, exactly as if they had arrived as individual messages.
-    SummaryBatch {
-        /// Interned query handle (resolved at install time).
-        query: QueryId,
-        /// Tree the frame is (now) travelling on.
-        tree: u8,
-        /// The tuples, in eviction order.
-        tuples: Vec<SummaryTuple>,
-        /// Optional piggybacked store hash (removal reconciliation rides
-        /// the child→parent data flow, Section 6.1).
-        store_hash: Option<u64>,
+    /// This is the wire shape when envelopes are disabled
+    /// (`envelope_budget = 0`) — one message per (query, tree) stream.
+    SummaryBatch(SummaryFrame),
+    /// Every summary frame a peer owes one next hop within a tick —
+    /// across queries and trees — in a single wire message. Receivers
+    /// unpack frames in order; the per-frame semantics are identical to
+    /// the same frames arriving as individual [`MortarMsg::SummaryBatch`]
+    /// messages back-to-back, so envelope coalescing is pure transport.
+    Envelope {
+        /// Stacked per-query frames, in eviction order.
+        frames: Vec<SummaryFrame>,
     },
     /// Parent→child liveness beacon; every `reconcile_every`-th beat
     /// carries the sender's store hash.
@@ -50,17 +103,20 @@ pub enum MortarMsg {
     Reconcile {
         /// Installed queries with their interned id, install sequence and
         /// the query's age (µs since issuance, per the sender's reference
-        /// clock).
-        installed: Vec<(QuerySpec, QueryId, u64, i64)>,
-        /// Cached removals.
-        removed: Vec<NameSeq>,
+        /// clock). Specs are shared — building the exchange clones
+        /// pointers, not specs.
+        installed: Vec<(Arc<QuerySpec>, QueryId, u64, i64)>,
+        /// Cached removals, keyed by interned id (receivers resolve names
+        /// through their [`crate::query::QueryDirectory`], which retains
+        /// retired bindings).
+        removed: Vec<(QueryId, u64)>,
         /// Whether the receiver should reply with its own sets.
         reply: bool,
     },
     /// Chunked-multicast query installation.
     Install {
-        /// The query.
-        spec: QuerySpec,
+        /// The query (shared: chunking/forwarding clones the pointer).
+        spec: Arc<QuerySpec>,
         /// Interned id assigned by the injector's object store.
         id: QueryId,
         /// Store sequence of the install command.
@@ -95,7 +151,7 @@ pub enum MortarMsg {
         /// Install sequence.
         seq: u64,
         /// The query spec (the requester may only know the name).
-        spec: QuerySpec,
+        spec: Arc<QuerySpec>,
         /// The requester's record.
         record: InstallRecord,
         /// Age of the query since issuance, µs.
@@ -107,15 +163,14 @@ impl MortarMsg {
     /// Modelled wire size in bytes.
     pub fn wire_bytes(&self) -> u32 {
         match self {
-            MortarMsg::SummaryBatch { tuples, store_hash, .. } => {
-                SUMMARY_FRAME_HEADER_BYTES
-                    + tuples.iter().map(SummaryTuple::wire_bytes).sum::<u32>()
-                    + if store_hash.is_some() { 8 } else { 0 }
+            MortarMsg::SummaryBatch(frame) => frame.wire_bytes(),
+            MortarMsg::Envelope { frames } => {
+                ENVELOPE_HEADER_BYTES + frames.iter().map(SummaryFrame::wire_bytes).sum::<u32>()
             }
             MortarMsg::Heartbeat { store_hash } => 24 + if store_hash.is_some() { 8 } else { 0 },
             MortarMsg::Reconcile { installed, removed, .. } => {
                 16 + installed.iter().map(|(s, _, _, _)| s.wire_bytes() + 20).sum::<u32>()
-                    + removed.iter().map(|(n, _)| n.len() as u32 + 12).sum::<u32>()
+                    + removed.len() as u32 * 12
             }
             MortarMsg::Install { spec, records, .. } => {
                 28 + spec.wire_bytes() + records.iter().map(InstallRecord::wire_bytes).sum::<u32>()
@@ -135,6 +190,16 @@ mod tests {
     use crate::tslist::summary;
     use crate::value::AggState;
 
+    fn frame(query: u32, tree: u8, tuples: Vec<SummaryTuple>, hash: Option<u64>) -> SummaryFrame {
+        SummaryFrame {
+            query: QueryId(query),
+            tree,
+            hold_age_us: 0,
+            tuples: tuples.into(),
+            store_hash: hash,
+        }
+    }
+
     #[test]
     fn heartbeat_sizes() {
         assert_eq!(MortarMsg::Heartbeat { store_hash: None }.wire_bytes(), 24);
@@ -143,30 +208,21 @@ mod tests {
 
     #[test]
     fn summary_frame_size_includes_tuples() {
-        let one = MortarMsg::SummaryBatch {
-            query: QueryId(1),
-            tuples: vec![summary(0, 10, AggState::Sum(1.0), 1, 0)],
-            tree: 0,
-            store_hash: None,
-        };
+        let one = MortarMsg::SummaryBatch(frame(
+            1,
+            0,
+            vec![summary(0, 10, AggState::Sum(1.0), 1, 0)],
+            None,
+        ));
         assert!(one.wire_bytes() > 40);
     }
 
     #[test]
     fn batched_frames_amortize_the_header() {
         let t = summary(0, 10, AggState::Sum(1.0), 1, 0);
-        let single = MortarMsg::SummaryBatch {
-            query: QueryId(1),
-            tuples: vec![t.clone()],
-            tree: 0,
-            store_hash: None,
-        };
-        let batch = MortarMsg::SummaryBatch {
-            query: QueryId(1),
-            tuples: vec![t.clone(), t.clone(), t.clone(), t],
-            tree: 0,
-            store_hash: None,
-        };
+        let single = MortarMsg::SummaryBatch(frame(1, 0, vec![t.clone()], None));
+        let batch =
+            MortarMsg::SummaryBatch(frame(1, 0, vec![t.clone(), t.clone(), t.clone(), t], None));
         // One frame of four tuples costs three headers less than four
         // frames of one.
         assert_eq!(4 * single.wire_bytes() - batch.wire_bytes(), 3 * SUMMARY_FRAME_HEADER_BYTES);
@@ -175,18 +231,50 @@ mod tests {
     #[test]
     fn store_hash_adds_eight_bytes() {
         let t = summary(0, 10, AggState::Sum(1.0), 1, 0);
-        let without = MortarMsg::SummaryBatch {
-            query: QueryId(2),
-            tuples: vec![t.clone()],
-            tree: 1,
-            store_hash: None,
-        };
-        let with = MortarMsg::SummaryBatch {
-            query: QueryId(2),
-            tuples: vec![t],
-            tree: 1,
-            store_hash: Some(7),
-        };
+        let without = MortarMsg::SummaryBatch(frame(2, 1, vec![t.clone()], None));
+        let with = MortarMsg::SummaryBatch(frame(2, 1, vec![t], Some(7)));
         assert_eq!(with.wire_bytes() - without.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn envelope_amortizes_the_transport_message() {
+        // Two queries' frames to the same next hop: one envelope costs one
+        // envelope header more than the sum of its frames, but one wire
+        // message instead of two (the transport charges per-message
+        // overhead on top — that is the win envelopes buy).
+        let t = summary(0, 10, AggState::Sum(1.0), 1, 0);
+        let a = frame(1, 0, vec![t.clone(), t.clone()], None);
+        let b = frame(2, 1, vec![t], Some(9));
+        let separate = MortarMsg::SummaryBatch(a.clone()).wire_bytes()
+            + MortarMsg::SummaryBatch(b.clone()).wire_bytes();
+        let enveloped = MortarMsg::Envelope { frames: vec![a, b] };
+        assert_eq!(enveloped.wire_bytes(), separate + ENVELOPE_HEADER_BYTES);
+    }
+
+    #[test]
+    fn envelope_frames_share_their_payload_on_clone() {
+        // The chaos-duplication / fan-out path: cloning the message clones
+        // the frame list, but the tuple payloads stay shared.
+        let t = summary(0, 10, AggState::Sum(1.0), 1, 0);
+        let msg = MortarMsg::Envelope { frames: vec![frame(1, 0, vec![t; 64], None)] };
+        let copy = msg.clone();
+        let (MortarMsg::Envelope { frames: a }, MortarMsg::Envelope { frames: b }) = (&msg, &copy)
+        else {
+            unreachable!()
+        };
+        assert!(Arc::ptr_eq(&a[0].tuples, &b[0].tuples), "payload must be shared, not copied");
+    }
+
+    #[test]
+    fn removed_cache_entries_are_fixed_size() {
+        // De-stringed removal cache: each entry costs 12 bytes regardless
+        // of how long the removed query's name was.
+        let base = MortarMsg::Reconcile { installed: vec![], removed: vec![], reply: false };
+        let two = MortarMsg::Reconcile {
+            installed: vec![],
+            removed: vec![(QueryId(7), 3), (QueryId(900), 12)],
+            reply: false,
+        };
+        assert_eq!(two.wire_bytes() - base.wire_bytes(), 24);
     }
 }

@@ -1,5 +1,13 @@
 //! Control plane: install / remove / pair-wise reconciliation / heartbeats
 //! and the query-root topology service (Section 6).
+//!
+//! Spec-carrying control messages ship `Arc<QuerySpec>`: multicast
+//! chunking, install forwarding, reconciliation exchanges and topology
+//! replies clone a pointer, never the spec. The removal cache is id-keyed
+//! end to end — tombstones live under [`crate::query::QueryId`] and travel
+//! as `(id, seq)` pairs; names are resolved through the directory only
+//! where the reconciliation *algorithm* (which joins peers' sets by name)
+//! or the portable store hash needs them.
 
 use super::{MortarPeer, QueryState};
 use crate::install::{chunk_components_with_peers, component_root, forward_groups};
@@ -36,18 +44,39 @@ impl SeqMap for InstalledView<'_> {
     }
 }
 
+/// Zero-copy [`SeqMap`] view of the id-keyed removal cache, resolving
+/// names through the directory (which retains retired bindings — every
+/// tombstone was minted with its binding in place, so resolution never
+/// misses).
+struct RemovedView<'a>(&'a MortarPeer);
+
+impl SeqMap for RemovedView<'_> {
+    fn seq_of(&self, name: &str) -> Option<u64> {
+        let id = self.0.directory.id_of(name)?;
+        self.0.removed.get(&id).copied()
+    }
+    fn pairs(&self) -> Box<dyn Iterator<Item = (&str, u64)> + '_> {
+        Box::new(
+            self.0
+                .removed
+                .iter()
+                .filter_map(|(&id, &s)| self.0.directory.name_of(id).map(|n| (n, s))),
+        )
+    }
+}
+
 impl MortarPeer {
     /// Installs (or refreshes) a query's runtime state.
     pub(crate) fn install_query(
         &mut self,
-        spec: QuerySpec,
+        spec: Arc<QuerySpec>,
         id: QueryId,
         seq: u64,
         record: Option<InstallRecord>,
         issue_age_us: i64,
         local_now: i64,
     ) {
-        if self.removed.get(&spec.name).is_some_and(|&rseq| rseq >= seq) {
+        if self.removed.get(&id).is_some_and(|&rseq| rseq >= seq) {
             return; // A newer removal wins.
         }
         // Id collision guard: ids are unique only within one injector's
@@ -65,7 +94,7 @@ impl MortarPeer {
         // Only now — past every refusal path — may the removal tombstone
         // be cleared: mutating it on a refused install would desynchronize
         // the (memoized) store hash from the advertised state.
-        self.removed.remove(&spec.name);
+        self.removed.remove(&id);
         let window = spec.window;
         window.validate();
         let t_ref_base = local_now - issue_age_us;
@@ -170,9 +199,10 @@ impl MortarPeer {
         self.queries.remove(&id);
         self.route_table.remove(id);
         self.unindex_subscriptions(id);
-        // The directory keeps the retired id→name binding: stale data
-        // frames for this id must still trigger removal reconciliation.
-        self.removed.insert(name.to_string(), seq);
+        // The directory keeps the retired id→name binding, so the id-keyed
+        // tombstone can still be hashed (and reported) by name, and stale
+        // data frames for this id still trigger removal reconciliation.
+        self.removed.insert(id, seq);
         self.invalidate_store_hash();
         self.stats.removals += 1;
         self.rebuild_hb_children();
@@ -195,7 +225,10 @@ impl MortarPeer {
         }
     }
 
-    /// Builds this peer's reconciliation message.
+    /// Builds this peer's reconciliation message. Specs ship as shared
+    /// pointers and the removal cache as `(id, seq)` pairs — assembling
+    /// the exchange allocates the two vectors, nothing per spec and no
+    /// name strings.
     pub(crate) fn reconcile_payload(&self, local_now: i64, reply: bool) -> MortarMsg {
         MortarMsg::Reconcile {
             installed: self
@@ -203,7 +236,7 @@ impl MortarPeer {
                 .values()
                 .map(|q| (q.spec.clone(), q.id, q.seq, local_now - q.t_ref_base_us))
                 .collect(),
-            removed: self.removed.iter().map(|(n, &s)| (n.clone(), s)).collect(),
+            removed: self.removed.iter().map(|(&id, &s)| (id, s)).collect(),
             reply,
         }
     }
@@ -230,16 +263,22 @@ impl MortarPeer {
         &mut self,
         ctx: &mut Ctx<'_, MortarMsg>,
         from: NodeId,
-        installed: Vec<(QuerySpec, QueryId, u64, i64)>,
-        removed: Vec<(String, u64)>,
+        installed: Vec<(Arc<QuerySpec>, QueryId, u64, i64)>,
+        removed: Vec<(QueryId, u64)>,
         reply: bool,
     ) {
         let local_now = ctx.local_now_us();
         let other_installed: HashMap<String, u64> =
             installed.iter().map(|(s, _, q, _)| (s.name.clone(), *q)).collect();
-        let other_removed: HashMap<String, u64> = removed.into_iter().collect();
+        // The remote's removal cache arrives id-keyed; resolve through our
+        // directory. Ids we cannot resolve name queries we never installed
+        // — nothing of ours they could cancel.
+        let other_removed: HashMap<String, u64> = removed
+            .into_iter()
+            .filter_map(|(id, s)| self.directory.name_of(id).map(|n| (n.to_string(), s)))
+            .collect();
         let outcome =
-            reconcile(&InstalledView(self), &self.removed, &other_installed, &other_removed);
+            reconcile(&InstalledView(self), &RemovedView(self), &other_installed, &other_removed);
         if reply {
             let payload = self.reconcile_payload(local_now, false);
             let bytes = payload.wire_bytes();
@@ -265,14 +304,14 @@ impl MortarPeer {
     pub(crate) fn handle_install(
         &mut self,
         ctx: &mut Ctx<'_, MortarMsg>,
-        spec: QuerySpec,
+        spec: Arc<QuerySpec>,
         id: QueryId,
         seq: u64,
         records: Vec<InstallRecord>,
         issue_age_us: i64,
     ) {
         let local_now = ctx.local_now_us();
-        if self.removed.get(&spec.name).is_some_and(|&r| r >= seq) {
+        if self.removed.get(&id).is_some_and(|&r| r >= seq) {
             return;
         }
         let my_member = spec.member_of(self.id);
@@ -335,7 +374,7 @@ impl MortarPeer {
     fn forward_install(
         &mut self,
         ctx: &mut Ctx<'_, MortarMsg>,
-        spec: &QuerySpec,
+        spec: &Arc<QuerySpec>,
         id: QueryId,
         seq: u64,
         records: &[InstallRecord],
@@ -384,7 +423,7 @@ impl MortarPeer {
         ctx: &mut Ctx<'_, MortarMsg>,
         id: QueryId,
         seq: u64,
-        spec: QuerySpec,
+        spec: Arc<QuerySpec>,
         record: InstallRecord,
         issue_age_us: i64,
     ) {

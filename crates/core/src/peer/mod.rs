@@ -27,8 +27,11 @@
 //!
 //! Queries are keyed by interned [`QueryId`] handles resolved at install
 //! time through a [`QueryDirectory`]; all summary traffic travels in
-//! [`MortarMsg::SummaryBatch`] frames that coalesce every tuple bound for
-//! the same (query, tree, next hop) within one timer tick.
+//! per-query frames that coalesce every tuple bound for the same (query,
+//! tree, next hop) within one timer tick, and — with
+//! [`PeerConfig::envelope_budget`] > 0 — every frame owed to one next hop
+//! stacks into a single [`MortarMsg::Envelope`] wire message per tick,
+//! across queries and trees.
 //!
 //! All timing uses the peer's *local* clock; in syncless mode no global
 //! time ever enters the data path.
@@ -106,6 +109,24 @@ pub struct PeerConfig {
     /// The log is a ring with stable sequence numbers, so subscriber
     /// drain cursors survive eviction (see [`crate::rlog::ResultLog`]).
     pub result_log_cap: usize,
+    /// Payload-byte budget per outgoing envelope (cross-query frame
+    /// coalescing): every summary frame owed to one next hop within a
+    /// tick — across queries and trees — stacks into a single
+    /// [`MortarMsg::Envelope`] wire message, flushed early once its
+    /// payload reaches this many bytes. `0` disables envelopes: each
+    /// (query, tree) frame leaves as its own `SummaryBatch` message,
+    /// reproducing the per-query-frame protocol bit-for-bit.
+    pub envelope_budget: u32,
+    /// Delay bound for envelope coalescing, local µs: a non-urgent frame
+    /// may wait up to this long (rounded up to the next tick) in the
+    /// outbox for more traffic to share its envelope. Frames carrying a
+    /// tuple whose window is about to close — its estimated downstream
+    /// timeout is within this slack — flush immediately instead of
+    /// waiting, and held tuples age honestly (the hold is added to
+    /// `age_us` at flush). `0` (the default) flushes every envelope at
+    /// the end of the tick that evicted it: cross-query coalescing with
+    /// zero added delay.
+    pub envelope_hold_us: u64,
 }
 
 impl Default for PeerConfig {
@@ -127,6 +148,8 @@ impl Default for PeerConfig {
             summary_batch_max: 32,
             bucket_gc_cap: 1024,
             result_log_cap: 65_536,
+            envelope_budget: 16_384,
+            envelope_hold_us: 0,
         }
     }
 }
@@ -145,7 +168,15 @@ pub struct PeerStats {
     /// Summary tuples sent (across all frames).
     pub summaries_out: u64,
     /// Summary frames sent (the per-message cost batching amortizes).
+    /// With envelopes enabled these are *logical* frames; several ride
+    /// in one wire message (see `envelopes_out`).
     pub frames_out: u64,
+    /// Envelope wire messages sent, each coalescing every frame owed to
+    /// one next hop in a tick across queries and trees (0 when
+    /// `envelope_budget = 0`).
+    pub envelopes_out: u64,
+    /// Envelope wire messages received.
+    pub envelopes_in: u64,
     /// Modelled payload bytes of all summary tuples sent (frame headers
     /// excluded) — conserved across batch sizes.
     pub summary_payload_bytes_out: u64,
@@ -174,7 +205,10 @@ pub(crate) struct Bucket {
 
 /// Per-query runtime state at one peer.
 pub(crate) struct QueryState {
-    pub(crate) spec: QuerySpec,
+    /// The spec, shared with the control plane: reconciliation exchanges
+    /// and topology replies ship this same `Arc` instead of cloning the
+    /// spec per message.
+    pub(crate) spec: Arc<QuerySpec>,
     pub(crate) id: QueryId,
     /// The query name, interned once at install so result records and
     /// subscriber feeds share one allocation instead of re-cloning the
@@ -233,7 +267,10 @@ pub struct MortarPeer {
     pub(crate) directory: QueryDirectory,
     /// Per-query routing cache (levels / child lists per tree).
     pub(crate) route_table: RouteTable,
-    pub(crate) removed: BTreeMap<String, u64>,
+    /// Removal tombstones, keyed by interned id (the directory retains
+    /// the retired id → name binding; names only matter when hashing or
+    /// reconciling, never as runtime keys).
+    pub(crate) removed: BTreeMap<QueryId, u64>,
     pub(crate) last_heard: HashMap<NodeId, i64>,
     pub(crate) hb_children: BTreeSet<NodeId>,
     pub(crate) hb_count: u64,
@@ -249,6 +286,10 @@ pub struct MortarPeer {
     /// data frames); recomputed only when the installed/removed sets
     /// change instead of on every hash-carrying tuple.
     pub(crate) store_hash_cache: Cell<Option<u64>>,
+    /// Pending per-next-hop envelopes (cross-query frame coalescing);
+    /// flushed at the end of each tick, on budget overflow, or when an
+    /// urgent tuple arrives. Empty whenever `envelope_budget = 0`.
+    pub(crate) outbox: mortar_overlay::HopBins<NodeId, route::PendingEnvelope>,
     /// Results recorded by the root operator: a bounded ring with stable
     /// sequence numbers (see [`ResultLog`]).
     pub results: ResultLog,
@@ -280,6 +321,7 @@ impl MortarPeer {
             next_hb_local_us: i64::MIN,
             topo: HashMap::new(),
             subscribers: HashMap::new(),
+            outbox: mortar_overlay::HopBins::new(),
             store_hash_cache: Cell::new(None),
             results: ResultLog::new(cfg.result_log_cap),
             replay: Vec::new(),
@@ -336,10 +378,17 @@ impl MortarPeer {
             return h;
         }
         let h = store_hash(
-            self.queries
-                .values()
-                .map(|q| (q.spec.name.as_str(), q.seq))
-                .chain(self.removed.iter().map(|(n, &s)| (n.as_str(), s.wrapping_add(1 << 63)))),
+            self.queries.values().map(|q| (q.spec.name.as_str(), q.seq)).chain(
+                // Tombstones are minted by `remove_query`, which always
+                // had (and the directory retains) the id → name binding,
+                // so every entry resolves. Hashing by *name* keeps the
+                // fingerprint comparable across peers whatever ids they
+                // learned the removal under.
+                self.removed
+                    .iter()
+                    .filter_map(|(&id, &s)| self.directory.name_of(id).map(|n| (n, s)))
+                    .map(|(n, s)| (n, s.wrapping_add(1 << 63))),
+            ),
         );
         self.store_hash_cache.set(Some(h));
         h
@@ -384,8 +433,11 @@ impl App for MortarPeer {
             self.last_heard.insert(from, local_now);
         }
         match msg {
-            MortarMsg::SummaryBatch { query, tuples, tree, store_hash } => {
-                self.handle_summary_batch(ctx, from, query, tuples, tree, store_hash);
+            MortarMsg::SummaryBatch(frame) => {
+                self.handle_summary_frame(ctx, from, frame);
+            }
+            MortarMsg::Envelope { frames } => {
+                self.handle_envelope(ctx, from, frames);
             }
             MortarMsg::Heartbeat { store_hash } => {
                 self.handle_heartbeat(ctx, from, store_hash);
@@ -420,6 +472,10 @@ impl App for MortarPeer {
             self.close_windows(id, local_now);
             self.evict_and_route(id, ctx);
         }
+        // The coalescing flush: everything the tick's eviction passes owe
+        // each next hop leaves as one envelope per destination (frames
+        // under an active hold deadline stay in the outbox).
+        self.flush_due_envelopes(ctx);
         if local_now >= self.next_hb_local_us {
             self.next_hb_local_us += self.cfg.hb_period_us as i64;
             self.send_heartbeats(ctx);
@@ -476,7 +532,13 @@ mod tests {
     ) {
         let records = build_records(&spec.members, &trees);
         let root = spec.root;
-        let msg = MortarMsg::Install { spec, id: QueryId(1), seq: 1, records, issue_age_us: 0 };
+        let msg = MortarMsg::Install {
+            spec: Arc::new(spec),
+            id: QueryId(1),
+            seq: 1,
+            records,
+            issue_age_us: 0,
+        };
         sim.inject(root, root, msg, 256);
     }
 
@@ -570,7 +632,13 @@ mod tests {
         sim.inject(
             0,
             0,
-            MortarMsg::Install { spec: sub, id: QueryId(2), seq: 2, records, issue_age_us: 0 },
+            MortarMsg::Install {
+                spec: Arc::new(sub),
+                id: QueryId(2),
+                seq: 2,
+                records,
+                issue_age_us: 0,
+            },
             128,
         );
         sim.run_for_secs(40.0);

@@ -1,44 +1,134 @@
 //! Route stage: TS-list eviction, staged multipath routing, and
 //! summary-frame transmission/reception (Sections 3.3–5).
 //!
-//! Eviction batches: every tuple evicted in one timer tick that routes to
-//! the same (query, tree, next hop) coalesces into a single
-//! [`MortarMsg::SummaryBatch`] frame of at most
-//! [`super::PeerConfig::summary_batch_max`] tuples. With a batch cap of 1
-//! the send sequence is exactly the unbatched one-tuple-per-message
-//! protocol; larger caps amortize frame headers and per-message transport
-//! overhead without delaying any tuple (frames leave within the same tick
-//! their tuples were evicted in).
+//! Transmission is layered:
+//!
+//! 1. **Per-query framing** — every tuple evicted in one timer tick that
+//!    routes to the same (query, tree, next hop) coalesces into a single
+//!    [`SummaryFrame`] of at most [`super::PeerConfig::summary_batch_max`]
+//!    tuples. With a batch cap of 1 the frame sequence is exactly the
+//!    unbatched one-tuple-per-message protocol.
+//! 2. **Cross-query envelopes** — with
+//!    [`super::PeerConfig::envelope_budget`] > 0, finished frames do not
+//!    leave individually: they accumulate in a per-destination outbox and
+//!    every frame owed to one next hop within the tick — across queries
+//!    and trees — departs as a single [`MortarMsg::Envelope`]. An
+//!    envelope flushes early when its payload exceeds the byte budget or
+//!    when a frame carries an *urgent* tuple (one whose estimated
+//!    downstream timeout falls inside the hold slack); everything else
+//!    flushes at the end of the tick, or — when
+//!    [`super::PeerConfig::envelope_hold_us`] > 0 — may wait additional
+//!    ticks up to the hold deadline, with the hold added to tuple ages at
+//!    flush so receivers still re-index honestly.
+//!
+//! Envelope payloads freeze into `Arc<[SummaryTuple]>` at flush: the
+//! transport's duplication/fan-out clone of a frame is a pointer bump,
+//! never a tuple-vector copy.
 
 use super::MortarPeer;
 use crate::metrics::ResultRecord;
-use crate::msg::MortarMsg;
+use crate::msg::{MortarMsg, SummaryFrame};
 use crate::query::QueryId;
 use crate::tuple::SummaryTuple;
 use mortar_net::{Ctx, NodeId, TrafficClass};
-use mortar_overlay::Decision;
-use std::collections::BTreeMap;
+use mortar_overlay::{Decision, HopBins, RouteState};
+use std::sync::Arc;
 
 /// An under-construction outgoing frame for one (destination, tree).
+#[derive(Default)]
 struct PendingFrame {
     tuples: Vec<SummaryTuple>,
     store_hash: Option<u64>,
+    payload_bytes: u32,
+    urgent: bool,
+}
+
+/// A pending envelope for one next hop: every frame the peer owes that
+/// destination, across queries and trees, plus the budget/deadline state
+/// that decides when it leaves.
+///
+/// Frames are stored in their wire form (payloads already frozen into
+/// shared `Arc` slices); while parked, each frame's `hold_age_us` carries
+/// its *enqueue instant*, rewritten to the actual hold duration when the
+/// envelope is sealed — so a flush is a pure move plus one subtraction
+/// per frame, never a payload walk. Bins are long-lived: a flush empties
+/// the frame list in place (single-frame flushes even keep its
+/// allocation), so the steady-state outbox never churns the heap.
+pub(crate) struct PendingEnvelope {
+    frames: Vec<SummaryFrame>,
+    payload_bytes: u32,
+    /// Earliest hold deadline across queued frames, local µs.
+    deadline_local_us: i64,
+}
+
+impl Default for PendingEnvelope {
+    fn default() -> Self {
+        Self { frames: Vec::new(), payload_bytes: 0, deadline_local_us: i64::MAX }
+    }
+}
+
+impl PendingEnvelope {
+    /// Resets budget/deadline state after a flush (the frame list is
+    /// emptied by the flush itself).
+    fn reset(&mut self) {
+        self.payload_bytes = 0;
+        self.deadline_local_us = i64::MAX;
+    }
+}
+
+/// Seals frames (enqueue stamp → hold duration) into one wire message. A
+/// lone frame skips the envelope wrapper entirely: it ships as a plain
+/// `SummaryBatch`, byte-identical to the envelope-free protocol, so
+/// single-stream peers never pay the envelope header.
+fn seal_and_send(
+    stats: &mut super::PeerStats,
+    ctx: &mut Ctx<'_, MortarMsg>,
+    dest: NodeId,
+    mut frames: Vec<SummaryFrame>,
+    now: i64,
+) {
+    for f in &mut frames {
+        f.hold_age_us = now - f.hold_age_us;
+    }
+    let msg = if frames.len() == 1 {
+        MortarMsg::SummaryBatch(frames.pop().expect("one frame"))
+    } else {
+        stats.envelopes_out += 1;
+        MortarMsg::Envelope { frames }
+    };
+    let bytes = msg.wire_bytes();
+    ctx.send_classified(dest, msg, bytes, TrafficClass::Data);
+}
+
+/// [`seal_and_send`] for a flush that popped a lone frame, leaving its
+/// bin's buffer in place for reuse.
+fn seal_and_send_single(
+    ctx: &mut Ctx<'_, MortarMsg>,
+    dest: NodeId,
+    mut frame: SummaryFrame,
+    now: i64,
+) {
+    frame.hold_age_us = now - frame.hold_age_us;
+    let msg = MortarMsg::SummaryBatch(frame);
+    let bytes = msg.wire_bytes();
+    ctx.send_classified(dest, msg, bytes, TrafficClass::Data);
 }
 
 /// Outgoing frames for one query's eviction pass, keyed (deterministically)
 /// by destination then tree.
 struct FrameBuilder {
     id: QueryId,
-    frames: BTreeMap<(NodeId, u8), PendingFrame>,
+    frames: HopBins<(NodeId, u8), PendingFrame>,
     batch_max: usize,
 }
 
 impl FrameBuilder {
     fn new(id: QueryId, batch_max: usize) -> Self {
-        Self { id, frames: BTreeMap::new(), batch_max }
+        Self { id, frames: HopBins::new(), batch_max }
     }
 
-    /// Adds a routed tuple; flushes the destination's frame when full.
+    /// Adds a routed tuple; emits the destination's frame when full.
+    #[allow(clippy::too_many_arguments)]
     fn push(
         &mut self,
         peer: &mut MortarPeer,
@@ -47,28 +137,30 @@ impl FrameBuilder {
         tree: u8,
         tuple: SummaryTuple,
         store_hash: Option<u64>,
+        urgent: bool,
     ) {
-        let entry = self
-            .frames
-            .entry((dest, tree))
-            .or_insert_with(|| PendingFrame { tuples: Vec::new(), store_hash: None });
+        let entry = self.frames.bin_mut((dest, tree));
+        entry.payload_bytes += tuple.wire_bytes();
         entry.tuples.push(tuple);
         entry.store_hash = entry.store_hash.or(store_hash);
+        entry.urgent |= urgent;
         if entry.tuples.len() >= self.batch_max {
-            let frame = self.frames.remove(&(dest, tree)).expect("just inserted");
-            Self::send(peer, ctx, self.id, dest, tree, frame);
+            let frame = self.frames.take((dest, tree)).expect("just inserted");
+            Self::emit(peer, ctx, self.id, dest, tree, frame);
         }
     }
 
-    /// Flushes all remaining frames in deterministic key order.
+    /// Emits all remaining frames in deterministic key order.
     fn finish(mut self, peer: &mut MortarPeer, ctx: &mut Ctx<'_, MortarMsg>) {
-        let frames = std::mem::take(&mut self.frames);
-        for ((dest, tree), frame) in frames {
-            Self::send(peer, ctx, self.id, dest, tree, frame);
+        for ((dest, tree), frame) in self.frames.drain() {
+            Self::emit(peer, ctx, self.id, dest, tree, frame);
         }
     }
 
-    fn send(
+    /// Hands one finished logical frame to the transport layer: straight
+    /// to the wire when envelopes are disabled, into the per-destination
+    /// outbox otherwise.
+    fn emit(
         peer: &mut MortarPeer,
         ctx: &mut Ctx<'_, MortarMsg>,
         id: QueryId,
@@ -78,20 +170,75 @@ impl FrameBuilder {
     ) {
         peer.stats.frames_out += 1;
         peer.stats.summaries_out += frame.tuples.len() as u64;
-        peer.stats.summary_payload_bytes_out +=
-            frame.tuples.iter().map(|t| t.wire_bytes() as u64).sum::<u64>();
-        let msg = MortarMsg::SummaryBatch {
+        peer.stats.summary_payload_bytes_out += frame.payload_bytes as u64;
+        let wire = SummaryFrame {
             query: id,
             tree,
-            tuples: frame.tuples,
+            hold_age_us: 0,
+            tuples: frame.tuples.into(),
             store_hash: frame.store_hash,
         };
-        let bytes = msg.wire_bytes();
-        ctx.send_classified(dest, msg, bytes, TrafficClass::Data);
+        if peer.cfg.envelope_budget == 0 {
+            let msg = MortarMsg::SummaryBatch(wire);
+            let bytes = msg.wire_bytes();
+            ctx.send_classified(dest, msg, bytes, TrafficClass::Data);
+        } else {
+            peer.enqueue_frame(ctx, dest, wire, frame.payload_bytes, frame.urgent);
+        }
     }
 }
 
 impl MortarPeer {
+    /// Parks a finished wire frame in the destination's pending envelope,
+    /// flushing it early on budget overflow or urgency. The frame's
+    /// `hold_age_us` is stamped with the enqueue instant; sealing rewrites
+    /// it to the hold duration.
+    fn enqueue_frame(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        dest: NodeId,
+        mut frame: SummaryFrame,
+        payload_bytes: u32,
+        urgent: bool,
+    ) {
+        let now = ctx.local_now_us();
+        frame.hold_age_us = now;
+        let env = self.outbox.bin_mut(dest);
+        env.payload_bytes += payload_bytes;
+        env.deadline_local_us = env.deadline_local_us.min(now + self.cfg.envelope_hold_us as i64);
+        env.frames.push(frame);
+        if urgent || env.payload_bytes >= self.cfg.envelope_budget {
+            env.reset();
+            let frames = std::mem::take(&mut env.frames);
+            seal_and_send(&mut self.stats, ctx, dest, frames, now);
+        }
+    }
+
+    /// Flushes every pending envelope whose hold deadline has arrived
+    /// (with `envelope_hold_us = 0` that is all of them: the deadline is
+    /// the enqueueing tick itself). Bins persist across flushes so the
+    /// steady-state tick reuses their buffers instead of re-allocating.
+    pub(crate) fn flush_due_envelopes(&mut self, ctx: &mut Ctx<'_, MortarMsg>) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let now = ctx.local_now_us();
+        let hold = self.cfg.envelope_hold_us;
+        for (&dest, env) in self.outbox.iter_mut() {
+            if env.frames.is_empty() || (hold > 0 && env.deadline_local_us > now) {
+                continue;
+            }
+            env.reset();
+            if env.frames.len() == 1 {
+                let frame = env.frames.pop().expect("length checked");
+                seal_and_send_single(ctx, dest, frame, now);
+            } else {
+                let frames = std::mem::take(&mut env.frames);
+                seal_and_send(&mut self.stats, ctx, dest, frames, now);
+            }
+        }
+    }
+
     /// Pops every TS-list entry due this tick and routes it: root entries
     /// finalize into results, others continue up the tree set.
     pub(crate) fn evict_and_route(&mut self, id: QueryId, ctx: &mut Ctx<'_, MortarMsg>) {
@@ -160,12 +307,16 @@ impl MortarPeer {
             summary.hops = summary.hops.saturating_add(1);
             let q = self.queries.get_mut(&id).expect("query exists");
             q.tuples_out += 1;
-            let hash = if q.tuples_out.is_multiple_of(self.cfg.data_hash_every as u64) {
-                Some(self.my_store_hash())
-            } else {
-                None
-            };
-            frames.push(self, ctx, dest, tree as u8, summary, hash);
+            let need_hash = q.tuples_out.is_multiple_of(self.cfg.data_hash_every as u64);
+            // Urgency (only meaningful under a hold): if the downstream
+            // operator is expected to close this tuple's window within
+            // the hold slack, holding it would risk missing the merge —
+            // flush its envelope immediately instead.
+            let urgent = self.cfg.envelope_hold_us > 0
+                && q.netdist.timeout_us(summary.age_us, self.cfg.min_timeout_us)
+                    <= self.cfg.envelope_hold_us;
+            let hash = if need_hash { Some(self.my_store_hash()) } else { None };
+            frames.push(self, ctx, dest, tree as u8, summary, hash, urgent);
         }
         frames.finish(self, ctx);
         if let Some(q) = self.queries.get_mut(&id) {
@@ -215,21 +366,33 @@ impl MortarPeer {
         }
     }
 
-    /// Handles an arriving summary frame: per tuple, re-index (syncless) or
-    /// re-age (timestamp), update netDist, and merge into the TS list.
-    pub(crate) fn handle_summary_batch(
+    /// Handles an arriving envelope: frames unpack in order, each exactly
+    /// as if it had arrived as its own [`MortarMsg::SummaryBatch`].
+    pub(crate) fn handle_envelope(
         &mut self,
         ctx: &mut Ctx<'_, MortarMsg>,
         from: NodeId,
-        id: QueryId,
-        tuples: Vec<SummaryTuple>,
-        tree: u8,
-        store_hash_in: Option<u64>,
+        frames: Vec<SummaryFrame>,
     ) {
+        self.stats.envelopes_in += 1;
+        for frame in frames {
+            self.handle_summary_frame(ctx, from, frame);
+        }
+    }
+
+    /// Handles an arriving summary frame: per tuple, re-index (syncless) or
+    /// re-age (timestamp), update netDist, and merge into the TS list.
+    pub(crate) fn handle_summary_frame(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        from: NodeId,
+        frame: SummaryFrame,
+    ) {
+        let id = frame.query;
         self.stats.frames_in += 1;
-        self.stats.summaries_in += tuples.len() as u64;
+        self.stats.summaries_in += frame.tuples.len() as u64;
         let local_now = ctx.local_now_us();
-        if let Some(h) = store_hash_in {
+        if let Some(h) = frame.store_hash {
             if h != self.my_store_hash() {
                 self.stats.reconciles += 1;
                 let payload = self.reconcile_payload(local_now, true);
@@ -239,19 +402,45 @@ impl MortarPeer {
         }
         if !self.queries.contains_key(&id) {
             // Data for a query we removed: tell the sender (Section 6.1's
-            // overloading of the child→parent data flow). The directory
-            // retains retired id→name bindings for exactly this purpose.
-            let removed =
-                self.directory.name_of(id).is_some_and(|name| self.removed.contains_key(name));
-            if removed {
+            // overloading of the child→parent data flow). The tombstone is
+            // id-keyed, so no name resolution is needed to notice.
+            if self.removed.contains_key(&id) {
                 let payload = self.reconcile_payload(local_now, false);
                 let bytes = payload.wire_bytes();
                 ctx.send_classified(from, payload, bytes, TrafficClass::Control);
             }
             return;
         }
-        for tuple in tuples {
-            self.merge_summary(id, tuple, tree, local_now);
+        // Any hold the frame spent in the sender's outbox is charged to
+        // the age below, so delay-bounded coalescing stays honest to the
+        // syncless re-index.
+        let mut tuples = frame.tuples;
+        match Arc::get_mut(&mut tuples) {
+            Some(slice) => {
+                // The common chaos-free case: this delivery uniquely owns
+                // the payload, so tuples move into the merge — heap-
+                // carrying aggregate states (top-k, HLL) are not
+                // re-cloned per hop. The placeholder left behind is a
+                // flat boundary value.
+                for t in slice.iter_mut() {
+                    let mut tuple = std::mem::replace(
+                        t,
+                        SummaryTuple::boundary(0, 0, RouteState::from_levels(&[])),
+                    );
+                    tuple.age_us += frame.hold_age_us;
+                    self.merge_summary(id, tuple, frame.tree, local_now);
+                }
+            }
+            None => {
+                // Shared payload (a chaos duplicate is still in flight):
+                // clone — alloc-free for the scalar states production
+                // mode ships (see `alloc_hotpath.rs`).
+                for t in tuples.iter() {
+                    let mut tuple = t.clone();
+                    tuple.age_us += frame.hold_age_us;
+                    self.merge_summary(id, tuple, frame.tree, local_now);
+                }
+            }
         }
     }
 

@@ -116,3 +116,84 @@ fn ts_list_eviction_moves_entries_out_without_cloning_state() {
     );
     assert!(ts.is_empty());
 }
+
+#[test]
+fn transmitting_envelopes_never_clones_tuple_vectors() {
+    // The transport's fan-out/duplication path is `MortarMsg::clone` —
+    // once per extra copy of a wire message. With `Arc<[SummaryTuple]>`
+    // payloads that clone allocates the envelope's frame *list* only:
+    // the cost is independent of how many tuples ride inside.
+    use mortar_core::msg::{MortarMsg, SummaryFrame};
+    use mortar_core::query::QueryId;
+
+    let tuple = {
+        let mut t = summary(0, 25_000, AggState::Sum(42.0), 7, 1_500);
+        t.route = RouteState::from_levels(&[3, 1, 2, 4]);
+        t
+    };
+    let envelope = |tuples_per_frame: usize| MortarMsg::Envelope {
+        frames: vec![
+            SummaryFrame {
+                query: QueryId(1),
+                tree: 0,
+                hold_age_us: 0,
+                tuples: vec![tuple.clone(); tuples_per_frame].into(),
+                store_hash: None,
+            },
+            SummaryFrame {
+                query: QueryId(2),
+                tree: 2,
+                hold_age_us: 0,
+                tuples: vec![tuple.clone(); tuples_per_frame].into(),
+                store_hash: Some(9),
+            },
+        ],
+    };
+    let clone_n = |msg: &MortarMsg, n: usize| {
+        let (allocs, copies) = count_allocs(|| {
+            let copies: Vec<MortarMsg> = (0..n).map(|_| msg.clone()).collect();
+            std::hint::black_box(copies)
+        });
+        drop(copies);
+        allocs
+    };
+    let small = envelope(1);
+    let big = envelope(512);
+    let hops = 8;
+    let small_allocs = clone_n(&small, hops);
+    let big_allocs = clone_n(&big, hops);
+    assert_eq!(
+        small_allocs, big_allocs,
+        "clone cost must not scale with payload: {small_allocs} vs {big_allocs} allocations"
+    );
+    // Per clone: the collecting vector's share plus the frame list — and
+    // zero per tuple (512 tuples per frame would otherwise dwarf this).
+    assert!(
+        big_allocs <= 2 * hops as u64 + 2,
+        "cloning {hops} envelopes of 512-tuple frames performed {big_allocs} allocations"
+    );
+}
+
+#[test]
+fn cloning_a_summary_batch_frame_is_alloc_free() {
+    // The single-frame wire shape (`envelope_budget = 0`) shares its
+    // payload the same way: retransmitting/duplicating a frame is pure
+    // pointer arithmetic.
+    use mortar_core::msg::{MortarMsg, SummaryFrame};
+    use mortar_core::query::QueryId;
+
+    let msg = MortarMsg::SummaryBatch(SummaryFrame {
+        query: QueryId(3),
+        tree: 1,
+        hold_age_us: 0,
+        tuples: vec![summary(0, 25_000, AggState::Sum(1.0), 1, 0); 256].into(),
+        store_hash: Some(7),
+    });
+    let (allocs, copies) = count_allocs(|| {
+        let a = msg.clone();
+        let b = a.clone();
+        std::hint::black_box((a, b))
+    });
+    assert_eq!(allocs, 0, "cloning a summary-batch frame must not allocate");
+    drop(copies);
+}

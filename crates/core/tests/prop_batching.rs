@@ -1,8 +1,8 @@
-//! Property tests of summary-frame batching: coalescing tuples into
-//! [`mortar_core::msg::MortarMsg::SummaryBatch`] frames is pure transport —
-//! across random seeds and batch sizes, a batched engine must deliver the
-//! same root results as the per-tuple (`summary_batch_max = 1`) protocol,
-//! with identical modelled payload wire bytes and never more frames.
+//! Property tests of summary-frame batching and cross-query envelope
+//! coalescing: both are pure transport — across random seeds, batch sizes
+//! and envelope budgets, an engine must deliver the same root results as
+//! the per-tuple (`summary_batch_max = 1`, envelopes off) protocol, with
+//! identical modelled payload wire bytes and never more messages.
 
 use mortar_core::engine::{Engine, EngineConfig};
 use mortar_core::op::OpKind;
@@ -10,6 +10,7 @@ use mortar_core::query::{QuerySpec, SensorSpec};
 use mortar_core::window::WindowSpec;
 use mortar_net::NodeId;
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 /// A fast tumbling-window sum: 100 ms slide against the 200 ms peer tick,
 /// so every tick evicts several windows — the coalescing case.
@@ -58,6 +59,66 @@ fn run(seed: u64, batch_max: usize, n: usize) -> RunOutcome {
     run_trees(seed, batch_max, n, 1)
 }
 
+/// A second query sharing the members but with its own op and window —
+/// the cross-query coalescing case: both queries' frames to one next hop
+/// share a wire envelope.
+fn peak_spec(n: usize) -> QuerySpec {
+    QuerySpec {
+        name: "peak".into(),
+        root: 0,
+        members: (0..n as NodeId).collect(),
+        op: OpKind::Max { field: 0 },
+        window: WindowSpec::time_tumbling_us(150_000),
+        filter: None,
+        sensor: SensorSpec::Periodic { period_us: 75_000, value: 1.0 },
+        post: None,
+    }
+}
+
+/// One root emission: (tb, te, scalar, participants).
+type Emission = (i64, i64, Option<f64>, u32);
+
+/// Multi-query outcome: per-query result streams plus transport counters.
+struct MultiOutcome {
+    /// query name → emissions, in order.
+    results: BTreeMap<String, Vec<Emission>>,
+    frames: u64,
+    tuples: u64,
+    payload_bytes: u64,
+    envelopes: u64,
+}
+
+/// Runs two queries over the same 4-tree deployment with the given frame
+/// batch cap and envelope byte budget (`0` disables envelopes).
+fn run_multi(seed: u64, batch_max: usize, envelope_budget: u32, n: usize) -> MultiOutcome {
+    let mut cfg = EngineConfig::paper(n, seed);
+    cfg.plan_on_true_latency = true;
+    cfg.planner.tree_count = 4;
+    cfg.planner.branching_factor = 4;
+    cfg.peer.summary_batch_max = batch_max;
+    cfg.peer.envelope_budget = envelope_budget;
+    let mut eng = Engine::new(cfg);
+    eng.install(fast_spec(n)).expect("valid spec");
+    eng.install(peak_spec(n)).expect("valid spec");
+    eng.run_secs(15.0);
+    let mut results: BTreeMap<String, Vec<Emission>> = BTreeMap::new();
+    for r in eng.results(0) {
+        results.entry(r.query.to_string()).or_default().push((
+            r.tb,
+            r.te,
+            r.scalar,
+            r.participants,
+        ));
+    }
+    MultiOutcome {
+        results,
+        frames: eng.summary_frames_sent(),
+        tuples: eng.summary_tuples_sent(),
+        payload_bytes: eng.summary_payload_bytes_sent(),
+        envelopes: eng.summary_envelopes_sent(),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -104,6 +165,51 @@ proptest! {
     }
 
     #[test]
+    fn cross_query_envelopes_match_per_tuple(seed in 0u64..1_000, batch in 2usize..48) {
+        // The tentpole claim: enveloping *all* frames a peer owes one next
+        // hop in a tick — across two queries and four trees — is pure
+        // transport. An enveloped engine at an arbitrary batch cap must
+        // reproduce the per-tuple, envelope-free engine's root results
+        // bit-for-bit, query by query.
+        let n = 12;
+        let single = run_multi(seed, 1, 0, n);
+        let enveloped = run_multi(seed, batch, 16_384, n);
+        prop_assert_eq!(&single.results, &enveloped.results,
+            "multi-query results diverged at seed {} batch {}", seed, batch);
+        prop_assert!(single.results.len() == 2, "expected both queries to emit at seed {}", seed);
+        prop_assert!(!single.results["fast"].is_empty() && !single.results["peak"].is_empty());
+        // Payload conservation: envelopes regroup frames, never tuples.
+        prop_assert_eq!(single.tuples, enveloped.tuples);
+        prop_assert_eq!(single.payload_bytes, enveloped.payload_bytes);
+        // The whole point: per-query frames share wire messages, so the
+        // enveloped run sends strictly fewer messages than it has frames —
+        // cross-query coalescing actually occurred.
+        prop_assert!(single.envelopes == 0, "envelopes leaked into the disabled run");
+        prop_assert!(enveloped.envelopes > 0, "no envelopes at seed {} batch {}", seed, batch);
+        prop_assert!(enveloped.envelopes < enveloped.frames,
+            "frames never shared an envelope at seed {} batch {}: {} envelopes for {} frames",
+            seed, batch, enveloped.envelopes, enveloped.frames);
+        prop_assert!(enveloped.envelopes < single.frames);
+    }
+
+    #[test]
+    fn envelopes_off_is_bit_for_bit_the_per_query_frame_protocol(seed in 0u64..1_000, batch in 1usize..48) {
+        // The acceptance bar for `envelope_budget = 0`: disabling
+        // envelopes reproduces the per-query-frame protocol exactly —
+        // same results, same logical frames, same payload — and turning
+        // them on changes nothing but the wire grouping.
+        let n = 12;
+        let off = run_multi(seed, batch, 0, n);
+        let on = run_multi(seed, batch, 16_384, n);
+        prop_assert_eq!(&off.results, &on.results,
+            "envelope on/off diverged at seed {} batch {}", seed, batch);
+        prop_assert_eq!(off.frames, on.frames, "logical frame count must not change");
+        prop_assert_eq!(off.tuples, on.tuples);
+        prop_assert_eq!(off.payload_bytes, on.payload_bytes);
+        prop_assert_eq!(off.envelopes, 0);
+    }
+
+    #[test]
     fn batch_of_one_is_the_per_tuple_protocol(seed in 0u64..1_000) {
         // Determinism parity: two separate engines at batch 1 reproduce
         // each other exactly — frame count equals tuple count (one tuple
@@ -115,4 +221,39 @@ proptest! {
         prop_assert_eq!(a.frames, b.frames);
         prop_assert_eq!(a.frames, a.tuples, "batch=1 must send one tuple per frame");
     }
+}
+
+/// Delay-bounded holding: with a hold slack below the timeout floor,
+/// pending envelopes ride across ticks and coalesce more traffic per wire
+/// message. Held tuples age honestly (the hold is charged to `age_us` at
+/// flush), so receivers still re-index them into the right windows and
+/// netDist adapts its timeouts to the added latency — results stay
+/// complete, only later.
+#[test]
+fn hold_coalesces_across_ticks_without_losing_results() {
+    let n = 12;
+    let run_hold = |hold_us: u64| {
+        let mut cfg = EngineConfig::paper(n, 5);
+        cfg.plan_on_true_latency = true;
+        cfg.planner.tree_count = 4;
+        cfg.planner.branching_factor = 4;
+        cfg.peer.envelope_hold_us = hold_us;
+        let mut eng = Engine::new(cfg);
+        eng.install(fast_spec(n)).expect("valid spec");
+        eng.run_secs(25.0);
+        let complete = mortar_core::metrics::mean_completeness(eng.results(0), n, 30);
+        let wire_msgs = eng.sim.bandwidth().msgs_total(mortar_net::TrafficClass::Data);
+        (wire_msgs, eng.summary_tuples_sent(), complete)
+    };
+    let (msgs0, tup0, c0) = run_hold(0);
+    let (msgsh, tuph, ch) = run_hold(150_000);
+    assert!(msgsh < msgs0, "holding should coalesce more: {msgsh} vs {msgs0} wire messages");
+    // Tuples are conserved up to the run-end in-flight tail.
+    let tol = tup0 / 50;
+    assert!(
+        tup0.abs_diff(tuph) <= tol,
+        "holding changed tuple volume beyond the tail: {tup0} vs {tuph}"
+    );
+    assert!(c0 > 90.0, "baseline unhealthy: {c0}%");
+    assert!(ch > 85.0, "held run lost completeness: {ch}%");
 }

@@ -420,14 +420,23 @@ impl<A: App> Simulator<A> {
         } else {
             1
         };
-        for _ in 0..copies {
+        // The payload is cloned only for genuine duplicates; the last (in
+        // the common case, only) delivery takes the message by move, so a
+        // chaos-free send never copies application data.
+        let mut msg = Some(msg);
+        for i in 0..copies {
             let jitter = if self.chaos.reorder_jitter_us > 0 {
                 self.rng.gen_range(0..=self.chaos.reorder_jitter_us)
             } else {
                 0
             };
             let time = self.now + base + jitter;
-            self.push(time, EventKind::Deliver { to, from, msg: msg.clone(), bytes, id });
+            let payload = if i + 1 == copies {
+                msg.take().expect("one move per send")
+            } else {
+                msg.as_ref().expect("clones precede the move").clone()
+            };
+            self.push(time, EventKind::Deliver { to, from, msg: payload, bytes, id });
         }
     }
 

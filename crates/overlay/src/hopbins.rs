@@ -1,0 +1,115 @@
+//! Deterministic per-next-hop aggregation of route outputs.
+//!
+//! The routing policy decides tuple by tuple, but the transport wants to
+//! speak per *next hop*: every tuple (and, one level up, every per-query
+//! frame) a peer owes the same neighbour within a tick should share one
+//! wire unit. [`HopBins`] is the little structure both layers use: a keyed
+//! accumulator whose iteration order is the key order — never insertion or
+//! hash order — so a simulated fleet drains its outboxes deterministically
+//! across runs and seeds.
+
+use std::collections::BTreeMap;
+
+/// A deterministic keyed accumulator for route outputs.
+///
+/// `K` identifies the stream (a next hop, or a (next hop, tree) pair) and
+/// `B` is whatever accumulates per stream — a tuple vector, a pending
+/// frame, a pending envelope. Draining yields bins in ascending key order.
+#[derive(Debug)]
+pub struct HopBins<K: Ord + Copy, B> {
+    bins: BTreeMap<K, B>,
+}
+
+impl<K: Ord + Copy, B> Default for HopBins<K, B> {
+    fn default() -> Self {
+        Self { bins: BTreeMap::new() }
+    }
+}
+
+impl<K: Ord + Copy, B> HopBins<K, B> {
+    /// An empty set of bins.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of open bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether no bin is open.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// The bin for `key`, created via `Default` on first touch.
+    pub fn bin_mut(&mut self, key: K) -> &mut B
+    where
+        B: Default,
+    {
+        self.bins.entry(key).or_default()
+    }
+
+    /// Closes and returns the bin for `key`, if open.
+    pub fn take(&mut self, key: K) -> Option<B> {
+        self.bins.remove(&key)
+    }
+
+    /// Visits every open bin mutably, in ascending key order. Bins stay
+    /// open — the long-lived-outbox pattern, where a bin's buffers are
+    /// emptied in place and their allocations reused next tick.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&K, &mut B)> {
+        self.bins.iter_mut()
+    }
+
+    /// Closes every bin, returning them in ascending key order.
+    pub fn drain(&mut self) -> Vec<(K, B)> {
+        std::mem::take(&mut self.bins).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_accumulate_and_drain_in_key_order() {
+        let mut bins: HopBins<u32, Vec<u8>> = HopBins::new();
+        bins.bin_mut(9).push(1);
+        bins.bin_mut(2).push(2);
+        bins.bin_mut(9).push(3);
+        assert_eq!(bins.len(), 2);
+        let drained = bins.drain();
+        assert_eq!(drained, vec![(2, vec![2]), (9, vec![1, 3])]);
+        assert!(bins.is_empty());
+    }
+
+    #[test]
+    fn take_closes_one_bin() {
+        let mut bins: HopBins<(u32, u8), Vec<u8>> = HopBins::new();
+        bins.bin_mut((1, 0)).push(7);
+        bins.bin_mut((1, 1)).push(8);
+        assert_eq!(bins.take((1, 0)), Some(vec![7]));
+        assert_eq!(bins.take((1, 0)), None);
+        assert_eq!(bins.len(), 1);
+    }
+
+    #[test]
+    fn iter_mut_visits_in_key_order_and_keeps_bins_open() {
+        // The long-lived-outbox pattern: bins are emptied in place so
+        // their allocations survive for the next tick.
+        let mut bins: HopBins<u32, Vec<u8>> = HopBins::new();
+        bins.bin_mut(9).push(1);
+        bins.bin_mut(2).push(2);
+        let visited: Vec<u32> = bins
+            .iter_mut()
+            .map(|(&k, b)| {
+                b.clear();
+                k
+            })
+            .collect();
+        assert_eq!(visited, vec![2, 9]);
+        assert_eq!(bins.len(), 2, "bins stay open");
+        assert_eq!(bins.take(9), Some(vec![]));
+    }
+}

@@ -13,12 +13,14 @@
 //! the graph-level failure simulation behind Figure 1.
 
 pub mod failure_sim;
+pub mod hopbins;
 pub mod planner;
 pub mod route_table;
 pub mod routing;
 pub mod tree;
 
 pub use failure_sim::{simulate_completeness, FailureSimConfig, Strategy};
+pub use hopbins::HopBins;
 pub use planner::{derive_sibling, plan_primary, plan_tree_set, PlannerConfig};
 pub use route_table::{QueryId, RouteEntry, RouteTable};
 pub use routing::{
