@@ -1,5 +1,11 @@
 //! End-to-end wall-clock throughput of the summary data path; emits
 //! `BENCH_hotpath.json` at the repo root. See `experiments::hotpath`.
+//!
+//! This binary installs the counting allocator so the harness can prove
+//! the steady-state idle tick allocation-free (`allocs_per_sim_sec`).
+
+#[global_allocator]
+static ALLOC: mortar_bench::alloc_probe::CountingAlloc = mortar_bench::alloc_probe::CountingAlloc;
 
 fn main() {
     mortar_bench::experiments::hotpath::run();

@@ -25,6 +25,16 @@ use mortar_core::peer::PeerConfig;
 use mortar_core::query::SensorSpec;
 use std::time::Instant;
 
+/// The 1000-host full-scale workload's window-slide tiers, µs: one
+/// high-rate telemetry query plus slow 1 s and 10 s tiers.
+pub const FULL_SCALE_SLIDES_US: [u64; 3] = [25_000, 1_000_000, 10_000_000];
+
+/// Fleet-wide queries installed per slide tier. One 25 ms query keeps the
+/// data plane hot; the twelve slow queries are idle on ≥ 96% of ticks —
+/// the regime the due index exists for. The full scan pays 13 query
+/// passes per peer per tick regardless; due-driven ticks pay ~2.
+pub const FULL_SCALE_QUERIES_PER_SLIDE: [usize; 3] = [1, 4, 8];
+
 /// One timed run's measurements.
 #[derive(Debug, Clone)]
 pub struct HotpathOutcome {
@@ -77,25 +87,28 @@ impl HotpathOutcome {
 
 /// Runs the hotpath workload: install + warm-up untimed, then `sim_secs`
 /// of simulated time under the wall clock. Envelopes ride at the default
-/// budget (the production configuration).
+/// budget and ticks are due-driven (the production configuration).
 pub fn hotpath_run(n: usize, sim_secs: f64, seed: u64, track_truth: bool) -> HotpathOutcome {
-    hotpath_run_cfg(n, sim_secs, seed, track_truth, PeerConfig::default().envelope_budget)
+    hotpath_run_cfg(n, sim_secs, seed, track_truth, PeerConfig::default().envelope_budget, true)
 }
 
 /// [`hotpath_run`] with an explicit envelope byte budget (`0` = per-query
-/// frames on the wire — the pre-envelope transport).
+/// frames on the wire — the pre-envelope transport) and tick-scheduling
+/// discipline (`due_driven = false` = the legacy every-query full scan).
 pub fn hotpath_run_cfg(
     n: usize,
     sim_secs: f64,
     seed: u64,
     track_truth: bool,
     envelope_budget: u32,
+    due_driven: bool,
 ) -> HotpathOutcome {
     let slide_us = 25_000u64;
     let mut cfg = EngineConfig::paper(n, seed);
     cfg.plan_on_true_latency = true;
     cfg.peer.track_truth = track_truth;
     cfg.peer.envelope_budget = envelope_budget;
+    cfg.peer.due_driven_ticks = due_driven;
     let mut eng = Engine::new(cfg);
     let mut spec = count_peers_spec("hot", n, slide_us);
     spec.sensor = SensorSpec::Periodic { period_us: slide_us, value: 1.0 };
@@ -135,17 +148,163 @@ pub fn hotpath_run_cfg(
     }
 }
 
+/// One full-scale (1000-host, mixed-slide, multi-query) run's measurements.
+#[derive(Debug, Clone)]
+pub struct FullScaleOutcome {
+    /// Hosts simulated.
+    pub hosts: usize,
+    /// Installed queries (one per slide in [`FULL_SCALE_SLIDES_US`]).
+    pub queries: usize,
+    /// Simulated seconds in the timed region.
+    pub sim_secs: f64,
+    /// Wall-clock seconds the timed region took.
+    pub wall_secs: f64,
+    /// Mean per-query tick passes actually run per timer tick, fleet-wide.
+    /// The full scan pins this at the installed query count; the due
+    /// index drops it to the work actually due.
+    pub wakeups_per_tick: f64,
+    /// Fraction of ticks (%) on which no query was due at all.
+    pub idle_tick_pct: f64,
+    /// Steady-state completeness (%) of the high-rate query.
+    pub completeness_fast: f64,
+    /// TS-list evictions performed fleet-wide.
+    pub evictions: u64,
+    /// Summary tuples sent fleet-wide.
+    pub summaries_out: u64,
+}
+
+impl FullScaleOutcome {
+    /// Simulated seconds per real second.
+    pub fn sim_per_real(&self) -> f64 {
+        self.sim_secs / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Runs the 1000-host mixed-slide workload: three fleet-wide sums whose
+/// slides (and sensor cadences) span 25 ms to 10 s, with tick scheduling
+/// due-driven or full-scan. The slow queries make most (query, tick)
+/// pairs idle, which is exactly what the due index converts from scan
+/// cost into nothing.
+pub fn full_scale_run(n: usize, sim_secs: f64, seed: u64, due_driven: bool) -> FullScaleOutcome {
+    let mut cfg = EngineConfig::paper(n, seed);
+    cfg.plan_on_true_latency = true;
+    cfg.peer.track_truth = false;
+    cfg.peer.due_driven_ticks = due_driven;
+    let mut eng = Engine::new(cfg);
+    let mut qi = 0;
+    for (tier, &slide_us) in FULL_SCALE_SLIDES_US.iter().enumerate() {
+        for _ in 0..FULL_SCALE_QUERIES_PER_SLIDE[tier] {
+            let mut spec = count_peers_spec(&format!("scale{qi}"), n, slide_us);
+            spec.sensor = SensorSpec::Periodic { period_us: slide_us, value: 1.0 };
+            eng.install(spec).expect("valid spec");
+            qi += 1;
+        }
+    }
+    // Warm up: installation multicast, first windows, netDist settling.
+    eng.run_secs(5.0);
+    let start = Instant::now();
+    eng.run_secs(sim_secs);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let (mut ticks, mut idle, mut wakeups, mut evictions, mut summaries_out) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for p in eng.sim.apps() {
+        ticks += p.stats.ticks;
+        idle += p.stats.idle_ticks;
+        wakeups += p.stats.query_wakeups;
+        evictions += p.stats.evictions;
+        summaries_out += p.stats.summaries_out;
+    }
+    let fast: Vec<_> = eng.results(0).iter().filter(|r| &*r.query == "scale0").cloned().collect();
+    FullScaleOutcome {
+        hosts: n,
+        queries: FULL_SCALE_QUERIES_PER_SLIDE.iter().sum(),
+        sim_secs,
+        wall_secs,
+        wakeups_per_tick: wakeups as f64 / ticks.max(1) as f64,
+        idle_tick_pct: 100.0 * idle as f64 / ticks.max(1) as f64,
+        completeness_fast: mean_completeness(&fast, n, 40),
+        evictions,
+        summaries_out,
+    }
+}
+
+/// Measures heap allocations across a window of steady-state **idle**
+/// ticks (warm peer, three installed 10 s-slide queries, no due instant
+/// inside the window) and returns `(allocs, window_sim_secs)`. Requires
+/// the counting allocator the hotpath binary installs; panics if the
+/// probe is not wired in, so a broken setup can never report a
+/// vacuous zero.
+///
+/// Keep the scenario (topology, query cadences, 7 s warm-up past the
+/// first hash-carrying heartbeat, window clear of the 10 s dues) in
+/// lockstep with `crates/core/tests/alloc_hotpath.rs::
+/// idle_steady_state_ticks_are_alloc_free` — the unit pin and this CI
+/// gate must measure the same regime.
+pub fn idle_alloc_run() -> (u64, f64) {
+    use mortar_core::msg::MortarMsg;
+    use mortar_core::op::{OpKind, OpRegistry};
+    use mortar_core::peer::MortarPeer;
+    use mortar_core::query::{build_records, QueryId, QuerySpec};
+    use mortar_core::window::WindowSpec;
+    use mortar_net::{SimBuilder, Topology};
+    use mortar_overlay::{Tree, TreeSet};
+    use std::sync::Arc;
+
+    let cfg = PeerConfig { track_truth: false, ..PeerConfig::default() };
+    let reg = OpRegistry::new();
+    let mut sim = SimBuilder::new(Topology::star(2, 1_000), 11)
+        .build(move |id| MortarPeer::new(id, cfg, reg.clone()));
+    for qi in 1..=3u32 {
+        let spec = QuerySpec {
+            name: format!("slow{qi}"),
+            root: 0,
+            members: vec![0],
+            op: OpKind::Sum { field: 0 },
+            window: WindowSpec::time_tumbling_us(10_000_000),
+            filter: None,
+            sensor: SensorSpec::Periodic { period_us: 10_000_000, value: 1.0 },
+            post: None,
+        };
+        let trees = TreeSet::new(vec![Tree::from_parents(0, vec![None])]);
+        let records = build_records(&spec.members, &trees);
+        let msg = MortarMsg::Install {
+            spec: Arc::new(spec),
+            id: QueryId(qi),
+            seq: qi as u64,
+            records,
+            issue_age_us: 0,
+        };
+        sim.inject(0, 0, msg, 256);
+    }
+    // Warm past the first hash-carrying heartbeat; the first due instants
+    // (10 s slides) stay outside the measured window.
+    sim.run_for_secs(7.0);
+    assert!(
+        crate::alloc_probe::probe_active(),
+        "counting allocator not installed; run via the hotpath bench binary"
+    );
+    let window_sim_secs = 2.4;
+    let (allocs, _) = crate::alloc_probe::count_allocs(|| sim.run_for_secs(window_sim_secs));
+    (allocs, window_sim_secs)
+}
+
 fn json_field(out: &mut String, key: &str, value: String) {
     out.push_str(&format!("  \"{key}\": {value},\n"));
 }
 
 /// Renders the outcome (the envelopes-on main run, the envelopes-off
-/// comparison, the truth-tracking contrast, plus an optional external
-/// baseline) as JSON.
+/// comparison, the truth-tracking and full-scan contrasts, the idle-tick
+/// allocation probe, the 1000-host full-scale rows, plus an optional
+/// external baseline) as JSON.
+#[allow(clippy::too_many_arguments)]
 pub fn to_json(
     main: &HotpathOutcome,
     plain: &HotpathOutcome,
     tracked: &HotpathOutcome,
+    scan: &HotpathOutcome,
+    idle: (u64, f64),
+    full: &FullScaleOutcome,
+    full_scan: &FullScaleOutcome,
     baseline: Option<f64>,
 ) -> String {
     let mut s = String::from("{\n");
@@ -180,12 +339,50 @@ pub fn to_json(
     json_field(&mut s, "completeness_pct", format!("{:.2}", main.completeness));
     json_field(&mut s, "track_truth", "false".into());
     json_field(&mut s, "tracked_sim_secs_per_real_sec", format!("{:.2}", tracked.sim_per_real()));
+    json_field(&mut s, "scan_ticks_sim_secs_per_real_sec", format!("{:.2}", scan.sim_per_real()));
+    // Steady-state allocation discipline: heap allocations per simulated
+    // second across a window of warm idle ticks. The tentpole pin is 0.
+    let (idle_allocs, idle_window) = idle;
+    json_field(
+        &mut s,
+        "allocs_per_sim_sec",
+        format!("{:.2}", idle_allocs as f64 / idle_window.max(1e-9)),
+    );
+    json_field(&mut s, "idle_alloc_window_sim_secs", format!("{idle_window:.1}"));
+    // The 1000-host mixed-slide row: the due index proven at scale.
+    json_field(&mut s, "full_scale_hosts", full.hosts.to_string());
+    json_field(&mut s, "full_scale_queries", full.queries.to_string());
+    json_field(
+        &mut s,
+        "full_scale_slides_us",
+        format!("[{}]", FULL_SCALE_SLIDES_US.map(|v| v.to_string()).join(", ")),
+    );
+    json_field(&mut s, "full_scale_sim_secs", format!("{:.1}", full.sim_secs));
+    json_field(&mut s, "full_scale_wall_secs", format!("{:.4}", full.wall_secs));
+    json_field(&mut s, "full_scale_sim_secs_per_real_sec", format!("{:.2}", full.sim_per_real()));
+    json_field(
+        &mut s,
+        "full_scale_scan_sim_secs_per_real_sec",
+        format!("{:.2}", full_scan.sim_per_real()),
+    );
+    json_field(&mut s, "full_scale_wakeups_per_tick", format!("{:.3}", full.wakeups_per_tick));
+    json_field(
+        &mut s,
+        "full_scale_scan_wakeups_per_tick",
+        format!("{:.3}", full_scan.wakeups_per_tick),
+    );
+    json_field(&mut s, "full_scale_idle_tick_pct", format!("{:.2}", full.idle_tick_pct));
+    json_field(&mut s, "full_scale_completeness_pct", format!("{:.2}", full.completeness_fast));
+    json_field(&mut s, "full_scale_evictions", full.evictions.to_string());
+    json_field(&mut s, "full_scale_summary_tuples_sent", full.summaries_out.to_string());
     if let Some(base) = baseline {
         json_field(&mut s, "baseline_sim_secs_per_real_sec", format!("{base:.2}"));
         json_field(&mut s, "speedup_vs_baseline", format!("{:.2}", main.sim_per_real() / base));
     }
-    // Last field without the trailing comma.
-    s.push_str(&format!("  \"full_scale\": {}\n}}\n", crate::full_scale()));
+    // Last field without the trailing comma. The artifact now always
+    // carries the 1000-host full-scale row above, whatever the quick/full
+    // sweep scale of the other harnesses.
+    s.push_str("  \"full_scale\": true\n}\n");
     s
 }
 
@@ -206,14 +403,18 @@ pub fn run() {
             b
         }
     };
-    let plain = best(&|| hotpath_run_cfg(n, sim_secs, 13, false, 0));
+    let plain = best(&|| hotpath_run_cfg(n, sim_secs, 13, false, 0, true));
     let main = best(&|| hotpath_run(n, sim_secs, 13, false));
     let tracked = best(&|| hotpath_run(n, sim_secs, 13, true));
+    let scan = best(&|| {
+        hotpath_run_cfg(n, sim_secs, 13, false, PeerConfig::default().envelope_budget, false)
+    });
     println!(
         "\n{n}-host 25 ms-slide sum, {sim_secs:.0} simulated seconds:\n\
          envelopes on (default): {:.2} sim-secs/real-sec ({:.0} tuples/s wall, {:.3} s wall)\n\
          envelopes off:          {:.2} sim-secs/real-sec\n\
          track_truth on:         {:.2} sim-secs/real-sec\n\
+         full-scan ticks:        {:.2} sim-secs/real-sec\n\
          wire: {} data messages enveloped vs {} per-query frames ({:.2}x fewer)\n\
          health: completeness {:.1}%, {} evictions, {} tuples in {} frames, peak TS entries {}",
         main.sim_per_real(),
@@ -221,6 +422,7 @@ pub fn run() {
         main.wall_secs,
         plain.sim_per_real(),
         tracked.sim_per_real(),
+        scan.sim_per_real(),
         main.data_msgs,
         plain.data_msgs,
         plain.data_msgs as f64 / main.data_msgs.max(1) as f64,
@@ -230,8 +432,40 @@ pub fn run() {
         main.frames_out,
         main.ts_peak_entries,
     );
+    // Steady-state allocation discipline across warm idle ticks.
+    let idle = idle_alloc_run();
+    println!(
+        "\nidle steady-state ticks: {} allocations over {:.1} simulated seconds \
+         ({:.2} allocs/sim-sec)",
+        idle.0,
+        idle.1,
+        idle.0 as f64 / idle.1
+    );
+    // The 1000-host mixed-slide full-scale row: due-driven vs full scan.
+    let full_hosts = 1_000;
+    let full_secs = scaled(15.0, 60.0);
+    // Single runs: the timed region is long enough (15+ simulated
+    // seconds over 1000 hosts) that scheduler noise stays in the noise.
+    let full = full_scale_run(full_hosts, full_secs, 13, true);
+    let full_scan_ticks = full_scale_run(full_hosts, full_secs, 13, false);
+    println!(
+        "\n{full_hosts}-host mixed-slide fleet (slides {FULL_SCALE_SLIDES_US:?} µs, \
+         {full_secs:.0} simulated seconds):\n\
+         due-driven ticks: {:.2} sim-secs/real-sec, {:.3} query wakeups/tick \
+         ({:.1}% ticks fully idle)\n\
+         full-scan ticks:  {:.2} sim-secs/real-sec, {:.3} query wakeups/tick\n\
+         health: fast-query completeness {:.1}%, {} evictions, {} tuples",
+        full.sim_per_real(),
+        full.wakeups_per_tick,
+        full.idle_tick_pct,
+        full_scan_ticks.sim_per_real(),
+        full_scan_ticks.wakeups_per_tick,
+        full.completeness_fast,
+        full.evictions,
+        full.summaries_out,
+    );
     let baseline = std::env::var("MORTAR_HOTPATH_BASELINE").ok().and_then(|v| v.parse().ok());
-    let json = to_json(&main, &plain, &tracked, baseline);
+    let json = to_json(&main, &plain, &tracked, &scan, idle, &full, &full_scan_ticks, baseline);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}"),

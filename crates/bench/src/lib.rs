@@ -11,6 +11,7 @@
 //! The printed series correspond directly to the paper's plots; measured
 //! values are recorded against the paper's in `EXPERIMENTS.md`.
 
+pub mod alloc_probe;
 pub mod experiments;
 
 /// Whether full paper-scale experiments were requested.

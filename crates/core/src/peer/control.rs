@@ -124,7 +124,11 @@ impl MortarPeer {
             tuple_buf: Vec::new(),
             tuples_seen: 0,
             tuples_out: 0,
+            sched_due_us: i64::MAX,
         };
+        // A refresh replaces the whole runtime state; drop the old state's
+        // due-index entry before it is clobbered.
+        self.unschedule(id);
         self.directory.bind(id, &state.spec.name);
         let neighbours: Vec<NodeId> = state
             .record
@@ -139,6 +143,7 @@ impl MortarPeer {
         self.register_routes(id, state.record.as_ref());
         self.index_subscriptions(id, &state.spec.sensor);
         self.queries.insert(id, state);
+        self.reschedule(id);
         self.invalidate_store_hash();
         self.stats.installs += 1;
         self.rebuild_hb_children();
@@ -196,6 +201,7 @@ impl MortarPeer {
         }
         let fwd: Vec<NodeId> =
             q.record.as_ref().map(|r| r.links[0].children.clone()).unwrap_or_default();
+        self.unschedule(id);
         self.queries.remove(&id);
         self.route_table.remove(id);
         self.unindex_subscriptions(id);
@@ -440,6 +446,8 @@ impl MortarPeer {
                 q.next_emit_local_us = local_now;
                 let rec = q.record.clone();
                 self.register_routes(id, rec.as_ref());
+                // The query just went active: give it a due instant.
+                self.reschedule(id);
                 self.invalidate_store_hash();
                 self.rebuild_hb_children();
             }
@@ -458,8 +466,9 @@ impl MortarPeer {
         } else {
             None
         };
-        let children: Vec<NodeId> = self.hb_children.iter().copied().collect();
-        for c in children {
+        // Iterate the child set directly — sends only borrow `ctx`, so the
+        // per-beat clone of the child list was pure allocator churn.
+        for &c in &self.hb_children {
             let msg = MortarMsg::Heartbeat { store_hash: hash };
             let bytes = msg.wire_bytes();
             ctx.send_classified(c, msg, bytes, TrafficClass::Heartbeat);

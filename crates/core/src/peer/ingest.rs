@@ -210,6 +210,13 @@ impl MortarPeer {
                 local_now,
                 true_now,
             );
+            // A fed tuple-window subscriber may now hold a TS entry due
+            // sooner than its scheduled instant (and a time-window one may
+            // have minted buckets past the GC cap); keep the due index
+            // honest so the subscriber wakes when the full scan would —
+            // the tick's id-ordered sweep picks a newly due subscriber up
+            // in this very tick when its id lies ahead of the sweep.
+            self.reschedule(sub);
         }
     }
 }

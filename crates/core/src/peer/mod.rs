@@ -127,6 +127,18 @@ pub struct PeerConfig {
     /// the end of the tick that evicted it: cross-query coalescing with
     /// zero added delay.
     pub envelope_hold_us: u64,
+    /// Due-driven tick scheduling: when `true` (the default) a timer tick
+    /// only touches queries whose due instant — next sensor emission,
+    /// slide boundary, or earliest TS-list deadline — has arrived,
+    /// consulting the peer's due index instead of iterating every
+    /// installed query. Idle ticks reduce to a due-index peek, an
+    /// envelope-hold check and the heartbeat clock. `false` restores the
+    /// legacy full scan (every query pumped/closed/evicted every tick),
+    /// which the due index must reproduce bit-for-bit — the parity knob
+    /// `prop_batching` locks down. Tick *scheduling* never changes tick
+    /// *semantics*: a query does observable work only when something is
+    /// due, so skipping the no-work passes is invisible.
+    pub due_driven_ticks: bool,
 }
 
 impl Default for PeerConfig {
@@ -150,6 +162,7 @@ impl Default for PeerConfig {
             result_log_cap: 65_536,
             envelope_budget: 16_384,
             envelope_hold_us: 0,
+            due_driven_ticks: true,
         }
     }
 }
@@ -193,6 +206,15 @@ pub struct PeerStats {
     /// Peak live TS-list entries across this peer's queries (the
     /// allocation-sensitive high-water mark of retained summary state).
     pub ts_peak_entries: u64,
+    /// Timer ticks handled.
+    pub ticks: u64,
+    /// Ticks on which no query was due (the due index reduced them to a
+    /// heartbeat check and an envelope-hold sweep).
+    pub idle_ticks: u64,
+    /// Per-query tick passes actually run (pump + close + evict). With
+    /// due-driven scheduling this counts only due queries; the legacy
+    /// full scan counts every installed query every tick.
+    pub query_wakeups: u64,
 }
 
 /// One open raw-data window (merging across time).
@@ -232,6 +254,11 @@ pub(crate) struct QueryState {
     pub(crate) tuple_buf: Vec<(i64, RawTuple)>,
     pub(crate) tuples_seen: u64,
     pub(crate) tuples_out: u64,
+    /// The due instant this query is currently scheduled under in the
+    /// peer's due index (`i64::MAX` = unscheduled). Kept exactly in sync
+    /// with the index so a reschedule can remove the stale entry in
+    /// O(log n) — the index holds at most one entry per query.
+    pub(crate) sched_due_us: i64,
 }
 
 impl QueryState {
@@ -251,6 +278,32 @@ impl QueryState {
             IndexingMode::Timestamp => local_now,
         }
     }
+}
+
+/// Long-lived per-tick scratch buffers, owned by the peer and threaded
+/// through the tick stages so the steady-state tick performs no heap
+/// allocation:
+///
+/// * `due_ids` — the tick's reused id worklist: the drained due-now
+///   prefix under due-driven scheduling, every installed query under the
+///   legacy scan (replacing the per-tick `Vec<QueryId>` key collect);
+/// * `live` — the tick's liveness snapshot as packed bitset words, built
+///   in one pass over `last_heard` (replaces the per-query `Vec<bool>`
+///   parent snapshot and `Vec<Vec<bool>>` child vectors, and collapses
+///   repeated heartbeat-map probes into single bit tests);
+/// * `frame_bins` — the eviction pass's frame builder bins, emptied in
+///   place at emit like the outbox's long-lived envelope bins (replaces
+///   the per-query-per-pass `HopBins` allocation).
+///
+/// The scratch is moved out of the peer for the duration of a tick (the
+/// stages take `&mut TickScratch` alongside `&mut self`), so ownership is
+/// explicit and the borrow checker keeps stage code honest about what is
+/// tick-scoped.
+#[derive(Default)]
+pub(crate) struct TickScratch {
+    pub(crate) due_ids: Vec<QueryId>,
+    pub(crate) live: mortar_overlay::NodeBitmap,
+    pub(crate) frame_bins: mortar_overlay::HopBins<(NodeId, u8), route::PendingFrame>,
 }
 
 /// The Mortar peer application.
@@ -290,6 +343,25 @@ pub struct MortarPeer {
     /// flushed at the end of each tick, on budget overflow, or when an
     /// urgent tuple arrives. Empty whenever `envelope_budget = 0`.
     pub(crate) outbox: mortar_overlay::HopBins<NodeId, route::PendingEnvelope>,
+    /// The due index: `(next_due_local_us, id)` per schedulable query,
+    /// min-ordered so a tick pops exactly the queries whose slide
+    /// boundary, sensor cadence, or TS-list deadline has arrived.
+    /// Maintained at install/remove, after every per-query tick pass, and
+    /// whenever an arriving frame or subscription feed could move a
+    /// query's due instant earlier. Unused (and unmaintained) in legacy
+    /// scan mode.
+    pub(crate) due: BTreeSet<(i64, QueryId)>,
+    /// The current tick's local instant while `on_timer` is sweeping
+    /// (`i64::MIN` outside a tick): lets `reschedule` detect a mid-sweep
+    /// insert that is already due and set `due_dirty`.
+    tick_now_us: i64,
+    /// Set by `reschedule` when a mid-sweep insert landed at ≤ the
+    /// tick's instant; tells the sweep to re-consult the index.
+    due_dirty: bool,
+    /// Long-lived per-tick scratch (id buffer, liveness bitmap, frame
+    /// bins): the steady-state tick reuses these buffers instead of
+    /// allocating per query or per pass.
+    pub(crate) scratch: TickScratch,
     /// Results recorded by the root operator: a bounded ring with stable
     /// sequence numbers (see [`ResultLog`]).
     pub results: ResultLog,
@@ -322,6 +394,10 @@ impl MortarPeer {
             topo: HashMap::new(),
             subscribers: HashMap::new(),
             outbox: mortar_overlay::HopBins::new(),
+            due: BTreeSet::new(),
+            tick_now_us: i64::MIN,
+            due_dirty: false,
+            scratch: TickScratch::default(),
             store_hash_cache: Cell::new(None),
             results: ResultLog::new(cfg.result_log_cap),
             replay: Vec::new(),
@@ -335,6 +411,11 @@ impl MortarPeer {
     pub fn set_replay(&mut self, trace: Vec<(u64, RawTuple)>) {
         self.replay = trace;
         self.replay_pos = 0;
+        // A new trace moves every replay query's next sensor emission.
+        let ids: Vec<QueryId> = self.queries.keys().copied().collect();
+        for id in ids {
+            self.reschedule(id);
+        }
     }
 
     /// Resolves a query name to its state.
@@ -400,10 +481,135 @@ impl MortarPeer {
         self.store_hash_cache.set(None);
     }
 
-    pub(crate) fn alive(&self, peer: NodeId, now: i64) -> bool {
-        let horizon = (self.cfg.hb_period_us * self.cfg.hb_timeout_beats as u64) as i64
-            + self.cfg.tick_us as i64;
-        self.last_heard.get(&peer).is_some_and(|&t| now - t <= horizon)
+    /// How long a neighbour may stay silent before it is presumed down.
+    fn liveness_horizon_us(&self) -> i64 {
+        (self.cfg.hb_period_us * self.cfg.hb_timeout_beats as u64) as i64 + self.cfg.tick_us as i64
+    }
+
+    /// Rebuilds the tick's liveness snapshot: one pass over `last_heard`
+    /// sets a bit per recently heard neighbour. Liveness is stable within
+    /// a tick (nothing the tick stages do mutates `last_heard`), so every
+    /// routing decision this tick answers from the bitmap — a word index
+    /// and a mask — instead of a map probe per (query × link).
+    pub(crate) fn rebuild_liveness(&self, live: &mut mortar_overlay::NodeBitmap, now: i64) {
+        live.clear();
+        let horizon = self.liveness_horizon_us();
+        for (&peer, &t) in &self.last_heard {
+            if now - t <= horizon {
+                live.set(peer);
+            }
+        }
+    }
+
+    /// The query's next due instant on this peer's local clock: the
+    /// earliest of its sensor cadence, its next slide boundary, and its
+    /// earliest TS-list eviction deadline (`i64::MAX` = nothing pending,
+    /// leave unscheduled). A bucket census past the GC cap forces an
+    /// immediate wake so the close-stage garbage collector runs on the
+    /// next tick, exactly as the full scan would.
+    fn next_due_of(&self, q: &QueryState) -> i64 {
+        if !q.active() {
+            return i64::MAX;
+        }
+        let mut due = i64::MAX;
+        match q.spec.sensor {
+            crate::query::SensorSpec::Periodic { .. } => due = due.min(q.next_emit_local_us),
+            crate::query::SensorSpec::Replay => {
+                if let Some(&(off, _)) = self.replay.get(self.replay_pos) {
+                    due = due.min(q.t_ref_base_us.saturating_add(off as i64));
+                }
+            }
+            _ => {}
+        }
+        if q.spec.window.kind == crate::window::WindowKind::Time {
+            // Close fires once the indexing frame reaches the end of slide
+            // `next_close_k`; map that frame instant back to local time.
+            let slide = q.spec.window.slide as i64;
+            let close_frame = q.next_close_k.saturating_add(1).saturating_mul(slide);
+            let close_local = match self.cfg.indexing {
+                IndexingMode::Syncless => q.t_ref_base_us.saturating_add(close_frame),
+                IndexingMode::Timestamp => close_frame,
+            };
+            due = due.min(close_local);
+            if q.buckets.len() > self.cfg.bucket_gc_cap {
+                due = i64::MIN;
+            }
+        }
+        if let Some(d) = q.ts.next_deadline_us() {
+            due = due.min(d);
+        }
+        due
+    }
+
+    /// Recomputes `id`'s due instant and moves its due-index entry, if the
+    /// instant changed. Cheap to call defensively: an unchanged instant
+    /// returns without touching the index, an unknown id is a no-op, and
+    /// legacy scan mode (which never consults the index) skips the
+    /// maintenance entirely — the parity baseline pays nothing for the
+    /// machinery it is being compared against.
+    pub(crate) fn reschedule(&mut self, id: QueryId) {
+        if !self.cfg.due_driven_ticks {
+            return;
+        }
+        let Some(q) = self.queries.get(&id) else { return };
+        let new_due = self.next_due_of(q);
+        let q = self.queries.get_mut(&id).expect("present above");
+        if q.sched_due_us == new_due {
+            return;
+        }
+        if q.sched_due_us != i64::MAX {
+            self.due.remove(&(q.sched_due_us, id));
+        }
+        q.sched_due_us = new_due;
+        if new_due != i64::MAX {
+            self.due.insert((new_due, id));
+            // A mid-tick insert that is already due belongs in this
+            // tick's sweep (if its position lies ahead); flag it so the
+            // sweep re-consults the index only when something moved.
+            if new_due <= self.tick_now_us {
+                self.due_dirty = true;
+            }
+        }
+    }
+
+    /// Drops `id`'s due-index entry (query removal / state replacement).
+    pub(crate) fn unschedule(&mut self, id: QueryId) {
+        if let Some(q) = self.queries.get_mut(&id) {
+            if q.sched_due_us != i64::MAX {
+                self.due.remove(&(q.sched_due_us, id));
+                q.sched_due_us = i64::MAX;
+            }
+        }
+    }
+
+    /// Pulls every index entry that became due mid-sweep at a position
+    /// the sweep has not yet passed (`id > cursor`) into the worklist's
+    /// pending tail (`worklist[from..]`, kept sorted). Called only when a
+    /// pass actually moved a due instant to ≤ now — the rare
+    /// subscription-feed / GC-overflow case — so the common sweep walks
+    /// the due-now prefix exactly once.
+    fn merge_newly_due(
+        &mut self,
+        worklist: &mut Vec<QueryId>,
+        from: usize,
+        cursor: QueryId,
+        now: i64,
+    ) {
+        loop {
+            let found = self
+                .due
+                .iter()
+                .take_while(|&&(due, _)| due <= now)
+                .find(|&&(_, id)| id > cursor && worklist[from..].binary_search(&id).is_err())
+                .copied();
+            let Some((due, id)) = found else { break };
+            self.due.remove(&(due, id));
+            if let Some(q) = self.queries.get_mut(&id) {
+                q.sched_due_us = i64::MAX;
+            }
+            let pos = from + worklist[from..].binary_search(&id).unwrap_err();
+            worklist.insert(pos, id);
+        }
     }
 
     pub(crate) fn rebuild_hb_children(&mut self) {
@@ -465,13 +671,82 @@ impl App for MortarPeer {
             return;
         }
         let local_now = ctx.local_now_us();
-        // BTreeMap keys: stable, sorted, duplicate-free tick order.
-        let ids: Vec<QueryId> = self.queries.keys().copied().collect();
-        for &id in &ids {
-            self.pump_sensor(id, ctx);
-            self.close_windows(id, local_now);
-            self.evict_and_route(id, ctx);
+        self.stats.ticks += 1;
+        // The scratch moves out of the peer for the tick so the stages can
+        // borrow it alongside `&mut self`; its buffers live across ticks.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut processed = 0u64;
+        if self.cfg.due_driven_ticks {
+            // Sweep due-now queries in ascending id order — exactly the
+            // full scan's single ascending pass, restricted to queries
+            // with work (a non-due query's pass does no observable work:
+            // no state change, no send, no RNG draw — so skipping it is
+            // invisible). The due-now entries form the prefix of the
+            // (due, id)-ordered index; drain it once into the reused
+            // worklist (idle ticks peek one element and stop). Work that
+            // becomes due *mid-sweep* (a subscription feed, a bucket-GC
+            // overflow) sets `due_dirty`, and `merge_newly_due` splices
+            // it into the pending tail when its position lies ahead of
+            // the sweep — while work at an already-passed position waits
+            // a tick. Both are precisely what the scan would do, without
+            // re-walking the index prefix on every pass.
+            self.tick_now_us = local_now;
+            scratch.due_ids.clear();
+            while let Some(&(due, id)) = self.due.first() {
+                if due > local_now {
+                    break;
+                }
+                self.due.pop_first();
+                if let Some(q) = self.queries.get_mut(&id) {
+                    q.sched_due_us = i64::MAX;
+                }
+                scratch.due_ids.push(id);
+            }
+            // The index yields (due, id) order; the sweep runs in the
+            // scan's ascending-id order.
+            scratch.due_ids.sort_unstable();
+            if !scratch.due_ids.is_empty() {
+                self.rebuild_liveness(&mut scratch.live, local_now);
+            }
+            let mut i = 0;
+            while i < scratch.due_ids.len() {
+                let id = scratch.due_ids[i];
+                i += 1;
+                processed += 1;
+                self.due_dirty = false;
+                self.pump_sensor(id, ctx);
+                self.close_windows(id, local_now);
+                self.evict_and_route(id, ctx, &mut scratch);
+                self.reschedule(id);
+                if self.due_dirty {
+                    self.due_dirty = false;
+                    self.merge_newly_due(&mut scratch.due_ids, i, id, local_now);
+                }
+            }
+            self.tick_now_us = i64::MIN;
+        } else {
+            // Legacy full scan: every installed query, every tick, in
+            // stable BTreeMap key order (the parity baseline).
+            scratch.due_ids.clear();
+            scratch.due_ids.extend(self.queries.keys().copied());
+            if !scratch.due_ids.is_empty() {
+                self.rebuild_liveness(&mut scratch.live, local_now);
+            }
+            for i in 0..scratch.due_ids.len() {
+                let id = scratch.due_ids[i];
+                processed += 1;
+                self.pump_sensor(id, ctx);
+                self.close_windows(id, local_now);
+                self.evict_and_route(id, ctx, &mut scratch);
+                self.reschedule(id);
+            }
         }
+        if processed == 0 {
+            self.stats.idle_ticks += 1;
+        } else {
+            self.stats.query_wakeups += processed;
+        }
+        self.scratch = scratch;
         // The coalescing flush: everything the tick's eviction passes owe
         // each next hop leaves as one envelope per destination (frames
         // under an active hold deadline stay in the outbox).

@@ -25,18 +25,22 @@
 //! transport's duplication/fan-out clone of a frame is a pointer bump,
 //! never a tuple-vector copy.
 
-use super::MortarPeer;
+use super::{MortarPeer, TickScratch};
 use crate::metrics::ResultRecord;
 use crate::msg::{MortarMsg, SummaryFrame};
 use crate::query::QueryId;
 use crate::tuple::SummaryTuple;
 use mortar_net::{Ctx, NodeId, TrafficClass};
-use mortar_overlay::{Decision, HopBins, RouteState};
+use mortar_overlay::{Decision, HopBins, RouteState, MAX_TREES};
 use std::sync::Arc;
 
 /// An under-construction outgoing frame for one (destination, tree).
+///
+/// Lives in the tick scratch's long-lived bins: emitting a frame empties
+/// the bin in place (tuple vector moved out, budget/flags reset), so the
+/// bin map itself never churns nodes across passes.
 #[derive(Default)]
-struct PendingFrame {
+pub(crate) struct PendingFrame {
     tuples: Vec<SummaryTuple>,
     store_hash: Option<u64>,
     payload_bytes: u32,
@@ -115,16 +119,27 @@ fn seal_and_send_single(
 }
 
 /// Outgoing frames for one query's eviction pass, keyed (deterministically)
-/// by destination then tree.
-struct FrameBuilder {
+/// by destination then tree. Borrows the tick scratch's long-lived bins:
+/// a pass leaves every bin empty but open, so the next pass (same tick or
+/// a later one) reuses the map nodes and tuple buffers instead of
+/// rebuilding a `HopBins` per query per pass.
+struct FrameBuilder<'a> {
     id: QueryId,
-    frames: HopBins<(NodeId, u8), PendingFrame>,
+    frames: &'a mut HopBins<(NodeId, u8), PendingFrame>,
     batch_max: usize,
 }
 
-impl FrameBuilder {
-    fn new(id: QueryId, batch_max: usize) -> Self {
-        Self { id, frames: HopBins::new(), batch_max }
+impl<'a> FrameBuilder<'a> {
+    fn new(
+        id: QueryId,
+        frames: &'a mut HopBins<(NodeId, u8), PendingFrame>,
+        batch_max: usize,
+    ) -> Self {
+        debug_assert!(
+            frames.iter_mut().all(|(_, f)| f.tuples.is_empty()),
+            "a prior pass left frames in the scratch bins"
+        );
+        Self { id, frames, batch_max }
     }
 
     /// Adds a routed tuple; emits the destination's frame when full.
@@ -145,45 +160,50 @@ impl FrameBuilder {
         entry.store_hash = entry.store_hash.or(store_hash);
         entry.urgent |= urgent;
         if entry.tuples.len() >= self.batch_max {
-            let frame = self.frames.take((dest, tree)).expect("just inserted");
-            Self::emit(peer, ctx, self.id, dest, tree, frame);
+            Self::emit(peer, ctx, self.id, dest, tree, entry);
         }
     }
 
-    /// Emits all remaining frames in deterministic key order.
-    fn finish(mut self, peer: &mut MortarPeer, ctx: &mut Ctx<'_, MortarMsg>) {
-        for ((dest, tree), frame) in self.frames.drain() {
-            Self::emit(peer, ctx, self.id, dest, tree, frame);
+    /// Emits all remaining frames in deterministic key order, leaving
+    /// every bin empty and open for the next pass.
+    fn finish(self, peer: &mut MortarPeer, ctx: &mut Ctx<'_, MortarMsg>) {
+        for (&(dest, tree), frame) in self.frames.iter_mut() {
+            if !frame.tuples.is_empty() {
+                Self::emit(peer, ctx, self.id, dest, tree, frame);
+            }
         }
     }
 
     /// Hands one finished logical frame to the transport layer: straight
     /// to the wire when envelopes are disabled, into the per-destination
-    /// outbox otherwise.
+    /// outbox otherwise. The bin is drained in place: its tuple vector
+    /// moves into the wire frame's shared payload and its budget/flag
+    /// state resets for reuse.
     fn emit(
         peer: &mut MortarPeer,
         ctx: &mut Ctx<'_, MortarMsg>,
         id: QueryId,
         dest: NodeId,
         tree: u8,
-        frame: PendingFrame,
+        frame: &mut PendingFrame,
     ) {
+        let tuples = std::mem::take(&mut frame.tuples);
+        let store_hash = frame.store_hash.take();
+        let payload_bytes = frame.payload_bytes;
+        let urgent = frame.urgent;
+        frame.payload_bytes = 0;
+        frame.urgent = false;
         peer.stats.frames_out += 1;
-        peer.stats.summaries_out += frame.tuples.len() as u64;
-        peer.stats.summary_payload_bytes_out += frame.payload_bytes as u64;
-        let wire = SummaryFrame {
-            query: id,
-            tree,
-            hold_age_us: 0,
-            tuples: frame.tuples.into(),
-            store_hash: frame.store_hash,
-        };
+        peer.stats.summaries_out += tuples.len() as u64;
+        peer.stats.summary_payload_bytes_out += payload_bytes as u64;
+        let wire =
+            SummaryFrame { query: id, tree, hold_age_us: 0, tuples: tuples.into(), store_hash };
         if peer.cfg.envelope_budget == 0 {
             let msg = MortarMsg::SummaryBatch(wire);
             let bytes = msg.wire_bytes();
             ctx.send_classified(dest, msg, bytes, TrafficClass::Data);
         } else {
-            peer.enqueue_frame(ctx, dest, wire, frame.payload_bytes, frame.urgent);
+            peer.enqueue_frame(ctx, dest, wire, payload_bytes, urgent);
         }
     }
 }
@@ -240,8 +260,16 @@ impl MortarPeer {
     }
 
     /// Pops every TS-list entry due this tick and routes it: root entries
-    /// finalize into results, others continue up the tree set.
-    pub(crate) fn evict_and_route(&mut self, id: QueryId, ctx: &mut Ctx<'_, MortarMsg>) {
+    /// finalize into results, others continue up the tree set. The tick
+    /// scratch supplies the per-tick liveness bitmap and the long-lived
+    /// frame bins; the pass allocates nothing per query beyond the due
+    /// vector and the wire frames themselves.
+    pub(crate) fn evict_and_route(
+        &mut self,
+        id: QueryId,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        scratch: &mut TickScratch,
+    ) {
         let local_now = ctx.local_now_us();
         let true_now = ctx.true_now_us();
         let Some(q) = self.queries.get_mut(&id) else { return };
@@ -259,17 +287,16 @@ impl MortarPeer {
         let is_root = q.spec.root == self.id;
         let width = rec.width();
         let name = q.name.clone();
-        // Liveness snapshot, once per pass (stable within a tick: nothing
-        // below mutates `last_heard`).
-        let parent_live: Vec<bool> = (0..width)
-            .map(|x| rec.links[x].parent.is_some_and(|p| self.alive(p, local_now)))
-            .collect();
-        let child_liveness: Vec<Vec<bool>> = (0..width)
-            .map(|x| {
-                rec.links[x].children.iter().map(|&peer| self.alive(peer, local_now)).collect()
-            })
-            .collect();
-        let mut frames = FrameBuilder::new(id, self.cfg.summary_batch_max);
+        // Liveness answers come from the tick's bitmap snapshot (built
+        // once per tick from `last_heard`, which nothing below mutates);
+        // the parent view is an inline array, so the pass performs no
+        // snapshot allocation at all.
+        let live = &scratch.live;
+        let mut parent_live = [false; MAX_TREES];
+        for (x, slot) in parent_live.iter_mut().enumerate().take(width) {
+            *slot = rec.links[x].parent.is_some_and(|p| live.get(p));
+        }
+        let mut frames = FrameBuilder::new(id, &mut scratch.frame_bins, self.cfg.summary_batch_max);
         for entry in due {
             self.stats.evictions += 1;
             let mut summary = entry.into_summary(local_now);
@@ -280,14 +307,14 @@ impl MortarPeer {
             // The tuple continues up the tree it was striped onto (stage
             // 1); failures migrate it per the staged policy.
             let arrival_tree = (summary.stripe_tree as usize).min(width.saturating_sub(1));
-            let mut child_live = |x: usize, c: usize| child_liveness[x][c];
+            let mut child_live = |x: usize, c: usize| live.get(rec.links[x].children[c]);
             let decision = self
                 .route_table
                 .decide(
                     id,
                     arrival_tree,
                     &mut summary.route,
-                    &parent_live,
+                    &parent_live[..width],
                     &mut child_live,
                     ctx.rng(),
                 )
@@ -442,6 +469,10 @@ impl MortarPeer {
                 }
             }
         }
+        // The merges may have opened TS entries with deadlines earlier
+        // than the query's scheduled due instant; refresh the due index so
+        // the eviction tick fires exactly when the full scan would notice.
+        self.reschedule(id);
     }
 
     /// Merges one arriving summary tuple into the query's TS list.

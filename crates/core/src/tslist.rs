@@ -118,10 +118,23 @@ impl TsEntry {
 }
 
 /// The time-space list.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TimeSpaceList {
     /// Disjoint entries sorted by `tb`.
     entries: Vec<TsEntry>,
+    /// Memoized earliest deadline (`i64::MAX` = no entries), or `None`
+    /// when an eviction invalidated it. Inserts maintain it exactly in
+    /// O(1) — a splice never raises an existing deadline and any segment
+    /// it creates gets `min(existing, incoming)` — so the due index can
+    /// ask for the next deadline per arriving frame without a scan; only
+    /// the first ask after an eviction recomputes.
+    min_deadline: std::cell::Cell<Option<i64>>,
+}
+
+impl Default for TimeSpaceList {
+    fn default() -> Self {
+        Self { entries: Vec::new(), min_deadline: std::cell::Cell::new(Some(i64::MAX)) }
+    }
 }
 
 impl TimeSpaceList {
@@ -162,9 +175,17 @@ impl TimeSpaceList {
         // Fast path: exact index match (the common case for time windows).
         if let Ok(i) = self.entries.binary_search_by(|e| e.tb.cmp(&tuple.tb)) {
             if self.entries[i].te == tuple.te {
+                // Absorb keeps the entry's (earlier) deadline: the memoized
+                // minimum is untouched.
                 self.entries[i].absorb_tuple(tuple, now_us);
                 return false;
             }
+        }
+        // Every remaining path leaves some entry with a deadline of
+        // exactly `min(its old deadline, new_deadline)` and raises none,
+        // so the memoized minimum folds in the new deadline exactly.
+        if let Some(m) = self.min_deadline.get() {
+            self.min_deadline.set(Some(m.min(new_deadline)));
         }
         // Overlap range: entries[lo..hi] are exactly those intersecting
         // the incoming interval (entries are sorted and disjoint).
@@ -256,7 +277,26 @@ impl TimeSpaceList {
         // `tb`, so the due list comes out earliest-first for free.
         let mut due = Vec::with_capacity(n_due);
         due.extend(self.entries.extract_if(.., |e| e.deadline_us <= now_us));
+        // The minimum left the list; recompute lazily on the next ask.
+        self.min_deadline.set(None);
         due
+    }
+
+    /// The earliest eviction deadline among active entries, if any — the
+    /// list's contribution to its query's next-due instant. Answered from
+    /// the memoized minimum (maintained exactly by inserts); only the
+    /// first ask after an eviction scans the (small, contiguous) entry
+    /// vector to rebuild it.
+    pub fn next_deadline_us(&self) -> Option<i64> {
+        let m = match self.min_deadline.get() {
+            Some(m) => m,
+            None => {
+                let m = self.entries.iter().map(|e| e.deadline_us).min().unwrap_or(i64::MAX);
+                self.min_deadline.set(Some(m));
+                m
+            }
+        };
+        (m != i64::MAX).then_some(m)
     }
 
     /// Asserts the disjoint-sorted invariant (test/diagnostic helper).

@@ -175,6 +175,70 @@ fn transmitting_envelopes_never_clones_tuple_vectors() {
 }
 
 #[test]
+fn idle_steady_state_ticks_are_alloc_free() {
+    // The PR 5 tentpole pin: once a peer is warm, a tick on which no
+    // query is due — no sensor emission, no slide boundary, no TS-list
+    // deadline — performs **zero** heap allocations end to end: simulator
+    // timer dispatch, due-index peek, envelope-hold sweep, heartbeat
+    // clock, timer re-arm. This also pins the old per-tick
+    // `queries.keys().collect()` regression: with three installed queries
+    // a key collect would allocate on every tick, idle or not.
+    //
+    // Keep the scenario in lockstep with `mortar-bench`'s
+    // `experiments::hotpath::idle_alloc_run`, which measures the same
+    // regime into BENCH_hotpath.json's `allocs_per_sim_sec` for the CI
+    // gate.
+    use mortar_core::msg::MortarMsg;
+    use mortar_core::op::{OpKind, OpRegistry};
+    use mortar_core::peer::{MortarPeer, PeerConfig};
+    use mortar_core::query::{build_records, QueryId, QuerySpec, SensorSpec};
+    use mortar_core::window::WindowSpec;
+    use mortar_net::{SimBuilder, Topology};
+    use mortar_overlay::{Tree, TreeSet};
+    use std::sync::Arc;
+
+    let cfg = PeerConfig { track_truth: false, ..PeerConfig::default() };
+    let reg = OpRegistry::new();
+    let mut sim = SimBuilder::new(Topology::star(2, 1_000), 11)
+        .build(move |id| MortarPeer::new(id, cfg, reg.clone()));
+    // Three slow queries on peer 0: 10 s slides and 10 s sensor cadences,
+    // so the window [7 s, 9.4 s) contains no due instant for any of them.
+    for qi in 1..=3u32 {
+        let spec = QuerySpec {
+            name: format!("slow{qi}"),
+            root: 0,
+            members: vec![0],
+            op: OpKind::Sum { field: 0 },
+            window: WindowSpec::time_tumbling_us(10_000_000),
+            filter: None,
+            sensor: SensorSpec::Periodic { period_us: 10_000_000, value: 1.0 },
+            post: None,
+        };
+        let trees = TreeSet::new(vec![Tree::from_parents(0, vec![None])]);
+        let records = build_records(&spec.members, &trees);
+        let msg = MortarMsg::Install {
+            spec: Arc::new(spec),
+            id: QueryId(qi),
+            seq: qi as u64,
+            records,
+            issue_age_us: 0,
+        };
+        sim.inject(0, 0, msg, 256);
+    }
+    // Warm up past the first hash-carrying heartbeat (6 s) so the
+    // memoized store hash is hot; the first pump/close/evict cadence
+    // arrives at 10 s, outside the measured window.
+    sim.run_for_secs(7.0);
+    for qi in 1..=3u32 {
+        assert!(sim.app(0).is_active(&format!("slow{qi}")), "warm-up failed to install");
+    }
+    let (allocs, _) = count_allocs(|| sim.run_for_secs(2.4));
+    let idle = sim.app(0).stats.idle_ticks;
+    assert!(idle >= 10, "measured window saw too few idle ticks: {idle}");
+    assert_eq!(allocs, 0, "idle steady-state ticks must not allocate, performed {allocs}");
+}
+
+#[test]
 fn cloning_a_summary_batch_frame_is_alloc_free() {
     // The single-frame wire shape (`envelope_budget = 0`) shares its
     // payload the same way: retransmitting/duplicating a frame is pure

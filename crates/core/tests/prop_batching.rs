@@ -8,7 +8,7 @@ use mortar_core::engine::{Engine, EngineConfig};
 use mortar_core::op::OpKind;
 use mortar_core::query::{QuerySpec, SensorSpec};
 use mortar_core::window::WindowSpec;
-use mortar_net::NodeId;
+use mortar_net::{ClockModel, NodeId};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -119,6 +119,67 @@ fn run_multi(seed: u64, batch_max: usize, envelope_budget: u32, n: usize) -> Mul
     }
 }
 
+/// A slow query sharing the deployment: 1 s slide against the 200 ms
+/// tick, so with due-driven scheduling it is idle on four of every five
+/// ticks — the case the due index exists for.
+fn slow_spec(n: usize) -> QuerySpec {
+    QuerySpec {
+        name: "slow".into(),
+        root: 0,
+        members: (0..n as NodeId).collect(),
+        op: OpKind::Sum { field: 0 },
+        window: WindowSpec::time_tumbling_us(1_000_000),
+        filter: None,
+        sensor: SensorSpec::Periodic { period_us: 500_000, value: 1.0 },
+        post: None,
+    }
+}
+
+/// Runs a mixed-slide multi-query plan (100 ms + 1 s slides, four trees,
+/// envelopes on) under skewed local clocks, with due-driven ticks on or
+/// off, optionally churning the installed set mid-run (late install of a
+/// third query, then removal of the fast one).
+fn run_sched(seed: u64, due_driven: bool, churn: bool, n: usize) -> MultiOutcome {
+    let mut cfg = EngineConfig::paper(n, seed);
+    cfg.plan_on_true_latency = true;
+    cfg.planner.tree_count = 4;
+    cfg.planner.branching_factor = 4;
+    cfg.peer.due_driven_ticks = due_driven;
+    // Skewed clocks: due instants and tick boundaries both live on each
+    // peer's local clock, so scheduling must commute with clock error.
+    cfg.clock_model = ClockModel::planetlab_like(1.0);
+    let mut eng = Engine::new(cfg);
+    eng.install(fast_spec(n)).expect("valid spec");
+    eng.install(slow_spec(n)).expect("valid spec");
+    if churn {
+        eng.run_secs(6.0);
+        let mut late = peak_spec(n);
+        late.name = "late".into();
+        eng.install(late).expect("valid spec");
+        eng.run_secs(6.0);
+        eng.remove("fast", 0).expect("installed");
+        eng.run_secs(8.0);
+    } else {
+        eng.run_secs(15.0);
+    }
+    let mut results: BTreeMap<String, Vec<Emission>> = BTreeMap::new();
+    for r in eng.results(0) {
+        results.entry(r.query.to_string()).or_default().push((
+            r.tb,
+            r.te,
+            r.scalar,
+            r.participants,
+        ));
+    }
+    MultiOutcome {
+        results,
+        frames: eng.summary_frames_sent(),
+        tuples: eng.summary_tuples_sent(),
+        payload_bytes: eng.summary_payload_bytes_sent(),
+        envelopes: eng.summary_envelopes_sent(),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -207,6 +268,47 @@ proptest! {
         prop_assert_eq!(off.tuples, on.tuples);
         prop_assert_eq!(off.payload_bytes, on.payload_bytes);
         prop_assert_eq!(off.envelopes, 0);
+    }
+
+    #[test]
+    fn due_driven_ticks_match_full_scan(seed in 0u64..1_000) {
+        // The PR 5 tentpole claim: due-driven tick scheduling is pure
+        // *when*, never *what*. On a mixed-slide multi-query plan under
+        // skewed local clocks, a peer that only wakes the queries whose
+        // slide boundary, sensor cadence, or TS-list deadline has arrived
+        // must reproduce the exhaustive every-query-every-tick scan
+        // bit-for-bit: same emissions in the same order for every query,
+        // same frames, tuples, payload bytes and envelopes on the wire.
+        let n = 12;
+        let scan = run_sched(seed, false, false, n);
+        let due = run_sched(seed, true, false, n);
+        prop_assert_eq!(&scan.results, &due.results,
+            "due-driven results diverged from the full scan at seed {}", seed);
+        prop_assert!(scan.results.len() == 2, "expected both queries to emit at seed {}", seed);
+        prop_assert!(!scan.results["fast"].is_empty() && !scan.results["slow"].is_empty());
+        prop_assert_eq!(scan.frames, due.frames);
+        prop_assert_eq!(scan.tuples, due.tuples);
+        prop_assert_eq!(scan.payload_bytes, due.payload_bytes);
+        prop_assert_eq!(scan.envelopes, due.envelopes);
+    }
+
+    #[test]
+    fn due_driven_ticks_match_full_scan_under_churn(seed in 0u64..1_000) {
+        // Install/remove churn moves due instants wholesale: a late
+        // install must enter the index mid-run, a removal must leave it,
+        // and reconciliation-driven reinstalls must reschedule — all
+        // without perturbing a single emission relative to the scan.
+        let n = 12;
+        let scan = run_sched(seed, false, true, n);
+        let due = run_sched(seed, true, true, n);
+        prop_assert_eq!(&scan.results, &due.results,
+            "churn results diverged at seed {}", seed);
+        prop_assert!(scan.results.contains_key("late"),
+            "late install produced no results at seed {}", seed);
+        prop_assert_eq!(scan.frames, due.frames);
+        prop_assert_eq!(scan.tuples, due.tuples);
+        prop_assert_eq!(scan.payload_bytes, due.payload_bytes);
+        prop_assert_eq!(scan.envelopes, due.envelopes);
     }
 
     #[test]

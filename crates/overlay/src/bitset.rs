@@ -1,0 +1,89 @@
+//! A packed per-node bitset for tick-scoped liveness snapshots.
+//!
+//! Peers consult neighbour liveness for every routed tuple. Probing the
+//! heartbeat map per (query × link) repeats the same lookups many times a
+//! tick and, snapshotted per query, used to allocate a `Vec<bool>` parent
+//! vector plus one child vector per tree per eviction pass. A
+//! [`NodeBitmap`] replaces all of that: one pass over the heartbeat map
+//! per tick sets a bit per live neighbour, and every subsequent liveness
+//! question is a word index and a mask. The words are long-lived — clearing
+//! keeps capacity — so the steady-state tick touches no allocator.
+
+/// A growable bitset keyed by dense node ids (`u64` words).
+///
+/// Bits default to `false`; [`NodeBitmap::set`] grows the word vector on
+/// first touch of a high id and [`NodeBitmap::clear`] zeroes words in
+/// place, so a bitmap reused across ticks stops allocating once it has
+/// seen the highest node id it will ever be asked about.
+#[derive(Debug, Default)]
+pub struct NodeBitmap {
+    words: Vec<u64>,
+}
+
+impl NodeBitmap {
+    /// An empty bitmap (no words allocated).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zeroes every bit, keeping the word allocation for reuse.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets the bit for `id`, growing the word vector if needed.
+    pub fn set(&mut self, id: u32) {
+        let w = (id / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (id % 64);
+    }
+
+    /// Whether the bit for `id` is set (`false` for never-grown ids).
+    pub fn get(&self, id: u32) -> bool {
+        let w = (id / 64) as usize;
+        self.words.get(w).is_some_and(|&word| word & (1u64 << (id % 64)) != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_across_word_boundaries() {
+        let mut b = NodeBitmap::new();
+        assert!(!b.get(0));
+        assert!(!b.get(1_000_000));
+        for id in [0u32, 1, 63, 64, 65, 700, 4096] {
+            b.set(id);
+        }
+        for id in [0u32, 1, 63, 64, 65, 700, 4096] {
+            assert!(b.get(id), "bit {id} lost");
+        }
+        assert!(!b.get(2));
+        assert!(!b.get(62));
+        assert!(!b.get(4097));
+        assert_eq!(b.count(), 7);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_zeroes_bits() {
+        let mut b = NodeBitmap::new();
+        b.set(999);
+        let words_before = b.words.len();
+        b.clear();
+        assert_eq!(b.words.len(), words_before, "clear must keep the words");
+        assert!(!b.get(999));
+        assert_eq!(b.count(), 0);
+        // Re-set after clear works without observable difference.
+        b.set(3);
+        assert!(b.get(3));
+    }
+}

@@ -12,6 +12,7 @@
 //! policy (a pure decision function, reused by `mortar-core`'s peers), and
 //! the graph-level failure simulation behind Figure 1.
 
+pub mod bitset;
 pub mod failure_sim;
 pub mod hopbins;
 pub mod planner;
@@ -19,6 +20,7 @@ pub mod route_table;
 pub mod routing;
 pub mod tree;
 
+pub use bitset::NodeBitmap;
 pub use failure_sim::{simulate_completeness, FailureSimConfig, Strategy};
 pub use hopbins::HopBins;
 pub use planner::{derive_sibling, plan_primary, plan_tree_set, PlannerConfig};
