@@ -153,6 +153,9 @@ pub fn hotpath_run_cfg(
 pub struct FullScaleOutcome {
     /// Hosts simulated.
     pub hosts: usize,
+    /// Simulator shards (worker threads) that drove the run; 1 is the
+    /// legacy single-threaded event loop.
+    pub shards: usize,
     /// Installed queries (one per slide in [`FULL_SCALE_SLIDES_US`]).
     pub queries: usize,
     /// Simulated seconds in the timed region.
@@ -185,11 +188,18 @@ impl FullScaleOutcome {
 /// due-driven or full-scan. The slow queries make most (query, tick)
 /// pairs idle, which is exactly what the due index converts from scan
 /// cost into nothing.
-pub fn full_scale_run(n: usize, sim_secs: f64, seed: u64, due_driven: bool) -> FullScaleOutcome {
+pub fn full_scale_run(
+    n: usize,
+    sim_secs: f64,
+    seed: u64,
+    due_driven: bool,
+    shards: usize,
+) -> FullScaleOutcome {
     let mut cfg = EngineConfig::paper(n, seed);
     cfg.plan_on_true_latency = true;
     cfg.peer.track_truth = false;
     cfg.peer.due_driven_ticks = due_driven;
+    cfg.shards = shards;
     let mut eng = Engine::new(cfg);
     let mut qi = 0;
     for (tier, &slide_us) in FULL_SCALE_SLIDES_US.iter().enumerate() {
@@ -217,6 +227,7 @@ pub fn full_scale_run(n: usize, sim_secs: f64, seed: u64, due_driven: bool) -> F
     let fast: Vec<_> = eng.results(0).iter().filter(|r| &*r.query == "scale0").cloned().collect();
     FullScaleOutcome {
         hosts: n,
+        shards,
         queries: FULL_SCALE_QUERIES_PER_SLIDE.iter().sum(),
         sim_secs,
         wall_secs,
@@ -292,6 +303,39 @@ fn json_field(out: &mut String, key: &str, value: String) {
     out.push_str(&format!("  \"{key}\": {value},\n"));
 }
 
+/// Renders a numeric array field: `[a, b, c]`.
+fn json_array<T, F: Fn(&T) -> String>(items: &[T], fmt: F) -> String {
+    format!("[{}]", items.iter().map(fmt).collect::<Vec<_>>().join(", "))
+}
+
+/// Shard counts to sweep at full scale. `--shards 1,2,4` (after `--` with
+/// `cargo bench`) or `MORTAR_HOTPATH_SHARDS=1,2,4` overrides; 1 is always
+/// forced in (it is the artifact's baseline row).
+pub fn shard_counts() -> Vec<usize> {
+    let parse = |spec: &str| -> Vec<usize> {
+        spec.split(',').filter_map(|t| t.trim().parse::<usize>().ok()).filter(|&s| s > 0).collect()
+    };
+    let mut picked: Option<Vec<usize>> = None;
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            picked = args.next().map(|v| parse(&v));
+        } else if let Some(v) = a.strip_prefix("--shards=") {
+            picked = Some(parse(v));
+        }
+    }
+    if picked.is_none() {
+        picked = std::env::var("MORTAR_HOTPATH_SHARDS").ok().map(|v| parse(&v));
+    }
+    let mut shards = picked.unwrap_or_else(|| vec![1, 2, 4, 8]);
+    if !shards.contains(&1) {
+        shards.push(1);
+    }
+    shards.sort_unstable();
+    shards.dedup();
+    shards
+}
+
 /// Renders the outcome (the envelopes-on main run, the envelopes-off
 /// comparison, the truth-tracking and full-scan contrasts, the idle-tick
 /// allocation probe, the 1000-host full-scale rows, plus an optional
@@ -305,6 +349,7 @@ pub fn to_json(
     idle: (u64, f64),
     full: &FullScaleOutcome,
     full_scan: &FullScaleOutcome,
+    shard_rows: &[FullScaleOutcome],
     baseline: Option<f64>,
 ) -> String {
     let mut s = String::from("{\n");
@@ -375,6 +420,42 @@ pub fn to_json(
     json_field(&mut s, "full_scale_completeness_pct", format!("{:.2}", full.completeness_fast));
     json_field(&mut s, "full_scale_evictions", full.evictions.to_string());
     json_field(&mut s, "full_scale_summary_tuples_sent", full.summaries_out.to_string());
+    // The shard-scaling sweep: the same due-driven workload driven by
+    // 1..N worker threads. Determinism makes every non-throughput column
+    // identical across rows; CI gates on that and on the speedup when the
+    // machine actually has the cores.
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    json_field(&mut s, "shards_available_parallelism", cores.to_string());
+    json_field(&mut s, "full_scale_shards", json_array(shard_rows, |r| r.shards.to_string()));
+    json_field(
+        &mut s,
+        "full_scale_shards_sim_secs_per_real_sec",
+        json_array(shard_rows, |r| format!("{:.2}", r.sim_per_real())),
+    );
+    json_field(
+        &mut s,
+        "full_scale_shards_completeness_pct",
+        json_array(shard_rows, |r| format!("{:.2}", r.completeness_fast)),
+    );
+    json_field(
+        &mut s,
+        "full_scale_shards_evictions",
+        json_array(shard_rows, |r| r.evictions.to_string()),
+    );
+    json_field(
+        &mut s,
+        "full_scale_shards_summary_tuples_sent",
+        json_array(shard_rows, |r| r.summaries_out.to_string()),
+    );
+    if let Some(base_row) = shard_rows.iter().find(|r| r.shards == 1) {
+        json_field(
+            &mut s,
+            "full_scale_shards_speedup",
+            json_array(shard_rows, |r| {
+                format!("{:.2}", r.sim_per_real() / base_row.sim_per_real().max(1e-9))
+            }),
+        );
+    }
     if let Some(base) = baseline {
         json_field(&mut s, "baseline_sim_secs_per_real_sec", format!("{base:.2}"));
         json_field(&mut s, "speedup_vs_baseline", format!("{:.2}", main.sim_per_real() / base));
@@ -446,8 +527,8 @@ pub fn run() {
     let full_secs = scaled(15.0, 60.0);
     // Single runs: the timed region is long enough (15+ simulated
     // seconds over 1000 hosts) that scheduler noise stays in the noise.
-    let full = full_scale_run(full_hosts, full_secs, 13, true);
-    let full_scan_ticks = full_scale_run(full_hosts, full_secs, 13, false);
+    let full = full_scale_run(full_hosts, full_secs, 13, true, 1);
+    let full_scan_ticks = full_scale_run(full_hosts, full_secs, 13, false, 1);
     println!(
         "\n{full_hosts}-host mixed-slide fleet (slides {FULL_SCALE_SLIDES_US:?} µs, \
          {full_secs:.0} simulated seconds):\n\
@@ -464,8 +545,57 @@ pub fn run() {
         full.evictions,
         full.summaries_out,
     );
+    // The shard-scaling sweep: the same due-driven workload across worker
+    // thread counts. Shards = 1 reuses the row above (identical config);
+    // determinism demands every non-throughput column match it exactly.
+    let shards = shard_counts();
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let shard_rows: Vec<FullScaleOutcome> =
+        shards
+            .iter()
+            .map(|&s| {
+                if s == 1 {
+                    full.clone()
+                } else {
+                    full_scale_run(full_hosts, full_secs, 13, true, s)
+                }
+            })
+            .collect();
+    println!(
+        "\nshard scaling ({full_hosts} hosts, {} cores available):\n\
+         {:>8} {:>18} {:>10} {:>14} {:>12} {:>14}",
+        cores, "shards", "sim-s/real-s", "speedup", "completeness", "evictions", "tuples",
+    );
+    let base_rate = full.sim_per_real().max(1e-9);
+    for r in &shard_rows {
+        println!(
+            "{:>8} {:>18.2} {:>9.2}x {:>13.2}% {:>12} {:>14}",
+            r.shards,
+            r.sim_per_real(),
+            r.sim_per_real() / base_rate,
+            r.completeness_fast,
+            r.evictions,
+            r.summaries_out,
+        );
+        assert_eq!(
+            (r.evictions, r.summaries_out, r.completeness_fast.to_bits()),
+            (full.evictions, full.summaries_out, full.completeness_fast.to_bits()),
+            "shards={} run diverged from the single-threaded baseline",
+            r.shards
+        );
+    }
     let baseline = std::env::var("MORTAR_HOTPATH_BASELINE").ok().and_then(|v| v.parse().ok());
-    let json = to_json(&main, &plain, &tracked, &scan, idle, &full, &full_scan_ticks, baseline);
+    let json = to_json(
+        &main,
+        &plain,
+        &tracked,
+        &scan,
+        idle,
+        &full,
+        &full_scan_ticks,
+        &shard_rows,
+        baseline,
+    );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}"),

@@ -16,7 +16,7 @@ use crate::peer::{MortarPeer, PeerConfig};
 use crate::query::{build_records, QueryId, QuerySpec};
 use crate::store::ObjectStore;
 use mortar_coords::VivaldiSystem;
-use mortar_net::{ChaosConfig, ClockModel, NodeId, SimBuilder, Simulator, Topology};
+use mortar_net::{ChaosConfig, ClockModel, Fleet, NodeId, SimBuilder, Topology};
 use mortar_overlay::{plan_tree_set, PlannerConfig, TreeSet};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -45,6 +45,11 @@ pub struct EngineConfig {
     /// Transport fault injection (loss / duplication / reorder jitter);
     /// defaults to none.
     pub chaos: ChaosConfig,
+    /// Worker threads for the simulator. `1` (the default) runs the
+    /// legacy single-threaded event loop bit-for-bit; larger values
+    /// partition peers across shards advancing in conservative windows
+    /// (see `mortar_net::runtime::parallel`).
+    pub shards: usize,
 }
 
 impl EngineConfig {
@@ -60,14 +65,15 @@ impl EngineConfig {
             vivaldi_dim: 3,
             plan_on_true_latency: false,
             chaos: ChaosConfig::none(),
+            shards: 1,
         }
     }
 }
 
 /// A running Mortar system.
 pub struct Engine {
-    /// The underlying simulator (exposed for failure scripting).
-    pub sim: Simulator<MortarPeer>,
+    /// The underlying simulator fleet (exposed for failure scripting).
+    pub sim: Fleet<MortarPeer>,
     store: ObjectStore,
     coords: Vec<Vec<f64>>,
     planner: PlannerConfig,
@@ -95,10 +101,11 @@ impl Engine {
             viv.coords().into_iter().map(|c| c.0).collect()
         };
         let peer_cfg = cfg.peer;
-        let sim = SimBuilder::new(cfg.topology, cfg.seed)
-            .clock_model(cfg.clock_model)
-            .chaos(cfg.chaos)
-            .build(move |id| MortarPeer::new(id, peer_cfg, registry.clone()));
+        let builder =
+            SimBuilder::new(cfg.topology, cfg.seed).clock_model(cfg.clock_model).chaos(cfg.chaos);
+        let sim = Fleet::build(builder, cfg.shards, move |id| {
+            MortarPeer::new(id, peer_cfg, registry.clone())
+        });
         Self {
             sim,
             store: ObjectStore::new(),

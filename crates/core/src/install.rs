@@ -11,7 +11,7 @@
 
 use crate::query::InstallRecord;
 use mortar_net::NodeId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Splits the full record set into ≤ `chunks` connected primary-tree
 /// components of roughly equal size. Component roots are chosen by a
@@ -128,7 +128,7 @@ pub fn forward_groups(
     my_member: u32,
     records: &[InstallRecord],
     peers: Option<&[NodeId]>,
-) -> HashMap<NodeId, Vec<InstallRecord>> {
+) -> BTreeMap<NodeId, Vec<InstallRecord>> {
     let by_member: HashMap<u32, &InstallRecord> = records.iter().map(|r| (r.member, r)).collect();
     let member_idx = |peer: NodeId| -> Option<u32> {
         match peers {
@@ -142,7 +142,11 @@ pub fn forward_groups(
             None => member,
         }
     };
-    let mut groups: HashMap<NodeId, Vec<InstallRecord>> = HashMap::new();
+    // Keyed by child peer in a *sorted* map: the caller iterates this to
+    // send Install messages, and hash order would make the send order —
+    // and with it event tie-breaking across the whole run — vary from
+    // process to process.
+    let mut groups: BTreeMap<NodeId, Vec<InstallRecord>> = BTreeMap::new();
     for r in records {
         if r.member == my_member {
             continue;

@@ -139,6 +139,24 @@ pub struct PeerConfig {
     /// *semantics*: a query does observable work only when something is
     /// due, so skipping the no-work passes is invisible.
     pub due_driven_ticks: bool,
+    /// Adaptive tick arming: instead of a fixed `tick_us` cadence, each
+    /// tick arms the next timer at `min(next due instant, next heartbeat,
+    /// earliest pending-envelope deadline)`, and message arrivals that
+    /// move a due instant earlier re-arm the timer to match. Idle peers
+    /// then wake at the heartbeat period instead of every `tick_us`, and
+    /// due work runs at its due instant instead of the next grid tick.
+    /// Off by default: firing between grid ticks shifts emission and
+    /// eviction timing, so the fixed cadence remains the parity baseline.
+    pub adaptive_ticks: bool,
+    /// Piggyback liveness transitions on the due index: when a
+    /// record-linked neighbour is first heard after exceeding the
+    /// liveness horizon (it *returned*), or is noticed at a heartbeat
+    /// boundary to have crossed it (it *died*), every query linked to
+    /// that neighbour is rescheduled due-now, so failover and recovery
+    /// routing run on the next tick — with [`Self::adaptive_ticks`],
+    /// immediately — instead of waiting for the query's natural due
+    /// instant. Off by default for the same parity reason.
+    pub liveness_reschedule: bool,
 }
 
 impl Default for PeerConfig {
@@ -163,6 +181,8 @@ impl Default for PeerConfig {
             envelope_budget: 16_384,
             envelope_hold_us: 0,
             due_driven_ticks: true,
+            adaptive_ticks: false,
+            liveness_reschedule: false,
         }
     }
 }
@@ -215,6 +235,12 @@ pub struct PeerStats {
     /// due-driven scheduling this counts only due queries; the legacy
     /// full scan counts every installed query every tick.
     pub query_wakeups: u64,
+    /// Adaptive arms where a message arrival pulled the timer earlier
+    /// than the wake instant the last tick chose (`adaptive_ticks` only).
+    pub timer_rearms: u64,
+    /// Due-now reschedules forced by a liveness transition of a linked
+    /// neighbour (`liveness_reschedule` only).
+    pub liveness_reschedules: u64,
 }
 
 /// One open raw-data window (merging across time).
@@ -328,6 +354,19 @@ pub struct MortarPeer {
     pub(crate) hb_children: BTreeSet<NodeId>,
     pub(crate) hb_count: u64,
     pub(crate) next_hb_local_us: i64,
+    /// Neighbours currently presumed live (only maintained when
+    /// `liveness_reschedule` is on): a sender absent from this set has
+    /// *returned* when its next message arrives; a member that crosses
+    /// the horizon by the next heartbeat boundary has *died*. Either
+    /// transition reschedules the linked queries due-now.
+    pub(crate) presumed_live: BTreeSet<NodeId>,
+    /// Tag of the most recent adaptive timer arm; older arms that fire
+    /// after a re-arm carry a stale tag and are ignored. Starts above
+    /// `TICK` so the two tag spaces never collide.
+    armed_seq: u64,
+    /// Local instant the armed adaptive timer will fire; an arrival
+    /// re-arms (pulls the timer) only when it moves the wake earlier.
+    armed_wake_local_us: i64,
     /// Topology service state (query roots only).
     pub(crate) topo: HashMap<String, Vec<InstallRecord>>,
     /// Subscriber index: upstream query name → co-located queries whose
@@ -391,6 +430,9 @@ impl MortarPeer {
             hb_children: BTreeSet::new(),
             hb_count: 0,
             next_hb_local_us: i64::MIN,
+            presumed_live: BTreeSet::new(),
+            armed_seq: TICK,
+            armed_wake_local_us: i64::MAX,
             topo: HashMap::new(),
             subscribers: HashMap::new(),
             outbox: mortar_overlay::HopBins::new(),
@@ -623,6 +665,98 @@ impl MortarPeer {
         }
         self.hb_children.remove(&self.id);
     }
+
+    /// The earliest local instant at which this peer has anything to do:
+    /// the due index head, the heartbeat clock, and the earliest pending
+    /// envelope hold deadline. The heartbeat clock is always finite, so
+    /// an adaptive peer never sleeps longer than one heartbeat period.
+    fn next_wake_local_us(&self) -> i64 {
+        let mut wake = self.next_hb_local_us;
+        if let Some(&(due, _)) = self.due.first() {
+            wake = wake.min(due);
+        }
+        wake.min(self.earliest_envelope_deadline())
+    }
+
+    /// Arms the next adaptive tick at [`Self::next_wake_local_us`].
+    /// Bumping `armed_seq` retires any timer armed earlier: its tag no
+    /// longer matches, so it fires as a no-op.
+    fn arm_next_tick(&mut self, ctx: &mut Ctx<'_, MortarMsg>) {
+        let wake = self.next_wake_local_us();
+        self.armed_seq += 1;
+        self.armed_wake_local_us = wake;
+        let delay = wake.saturating_sub(ctx.local_now_us()).max(1) as u64;
+        ctx.set_timer_local_us(delay, self.armed_seq);
+    }
+
+    /// Re-arms the adaptive timer if new work (an arrival's reschedule, a
+    /// forced liveness reschedule, a fresh envelope hold deadline) is due
+    /// before the currently armed wake — arrivals pull the timer earlier,
+    /// they never push it later.
+    fn maybe_rearm(&mut self, ctx: &mut Ctx<'_, MortarMsg>) {
+        if self.next_wake_local_us() < self.armed_wake_local_us {
+            self.stats.timer_rearms += 1;
+            self.arm_next_tick(ctx);
+        }
+    }
+
+    /// Forces `id`'s due-index entry to `at` if it is currently scheduled
+    /// later (or not at all) — the liveness-transition fast path. Never
+    /// called mid-sweep, so no `due_dirty` bookkeeping is needed.
+    fn force_due_at(&mut self, id: QueryId, at: i64) {
+        let Some(q) = self.queries.get_mut(&id) else { return };
+        if !q.active() || q.sched_due_us <= at {
+            return;
+        }
+        if q.sched_due_us != i64::MAX {
+            self.due.remove(&(q.sched_due_us, id));
+        }
+        q.sched_due_us = at;
+        self.due.insert((at, id));
+    }
+
+    /// Reschedules every query whose install record links `peer` (as a
+    /// parent or child on any tree) to due-now: the next tick re-routes
+    /// around a death or back onto a returned neighbour instead of
+    /// waiting for each query's natural due instant.
+    fn reschedule_linked_now(&mut self, peer: NodeId, local_now: i64) {
+        let mut rescheduled = false;
+        let ids: Vec<QueryId> = self
+            .queries
+            .iter()
+            .filter(|(_, q)| {
+                q.record.as_ref().is_some_and(|rec| {
+                    rec.links.iter().any(|l| l.parent == Some(peer) || l.children.contains(&peer))
+                })
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            rescheduled = true;
+            self.force_due_at(id, local_now);
+        }
+        if rescheduled {
+            self.stats.liveness_reschedules += 1;
+        }
+    }
+
+    /// Heartbeat-boundary half of liveness piggybacking: any neighbour
+    /// still presumed live whose last contact has crossed the horizon
+    /// *died* since the last beat — reschedule its linked queries so
+    /// failover starts now. (The *returned* half is detected inline on
+    /// message arrival, where the evidence is.)
+    pub(crate) fn sweep_liveness_transitions(&mut self, local_now: i64) {
+        let horizon = self.liveness_horizon_us();
+        while let Some(peer) = self
+            .presumed_live
+            .iter()
+            .copied()
+            .find(|p| self.last_heard.get(p).is_none_or(|&t| local_now - t > horizon))
+        {
+            self.presumed_live.remove(&peer);
+            self.reschedule_linked_now(peer, local_now);
+        }
+    }
 }
 
 impl App for MortarPeer {
@@ -630,13 +764,23 @@ impl App for MortarPeer {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, MortarMsg>) {
         self.next_hb_local_us = ctx.local_now_us() + self.cfg.hb_period_us as i64;
-        ctx.set_timer_local_us(self.cfg.tick_us, TICK);
+        if self.cfg.adaptive_ticks {
+            self.arm_next_tick(ctx);
+        } else {
+            ctx.set_timer_local_us(self.cfg.tick_us, TICK);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, MortarMsg>, from: NodeId, msg: MortarMsg, _b: u32) {
         let local_now = ctx.local_now_us();
         if from != self.id {
             self.last_heard.insert(from, local_now);
+            // Arrival half of liveness piggybacking: a sender not
+            // presumed live just (re)appeared — point its linked queries'
+            // due entries at now so the next tick routes through it.
+            if self.cfg.liveness_reschedule && self.presumed_live.insert(from) {
+                self.reschedule_linked_now(from, local_now);
+            }
         }
         match msg {
             MortarMsg::SummaryBatch(frame) => {
@@ -664,10 +808,17 @@ impl App for MortarPeer {
                 self.handle_topo_reply(ctx, id, seq, spec, record, issue_age_us);
             }
         }
+        // Anything the handlers made due (a subscription feed, an install,
+        // a forced liveness reschedule, a fresh envelope hold) may fall
+        // before the armed wake — pull the timer to it.
+        if self.cfg.adaptive_ticks {
+            self.maybe_rearm(ctx);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, MortarMsg>, tag: u64) {
-        if tag != TICK {
+        let expected = if self.cfg.adaptive_ticks { self.armed_seq } else { TICK };
+        if tag != expected {
             return;
         }
         let local_now = ctx.local_now_us();
@@ -755,7 +906,11 @@ impl App for MortarPeer {
             self.next_hb_local_us += self.cfg.hb_period_us as i64;
             self.send_heartbeats(ctx);
         }
-        ctx.set_timer_local_us(self.cfg.tick_us, TICK);
+        if self.cfg.adaptive_ticks {
+            self.arm_next_tick(ctx);
+        } else {
+            ctx.set_timer_local_us(self.cfg.tick_us, TICK);
+        }
     }
 }
 

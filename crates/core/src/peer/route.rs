@@ -259,6 +259,18 @@ impl MortarPeer {
         }
     }
 
+    /// Earliest hold deadline across all pending envelopes (`i64::MAX`
+    /// with nothing parked) — one input to adaptive tick arming, which
+    /// must wake the peer when a held envelope falls due.
+    pub(crate) fn earliest_envelope_deadline(&self) -> i64 {
+        self.outbox
+            .iter()
+            .filter(|(_, env)| !env.frames.is_empty())
+            .map(|(_, env)| env.deadline_local_us)
+            .min()
+            .unwrap_or(i64::MAX)
+    }
+
     /// Pops every TS-list entry due this tick and routes it: root entries
     /// finalize into results, others continue up the tree set. The tick
     /// scratch supplies the per-tick liveness bitmap and the long-lived

@@ -63,6 +63,24 @@ impl BandwidthTracker {
         self.msgs[class.idx()] += 1;
     }
 
+    /// Adds every bucket and message count from `other` — the merge rule
+    /// for shard-local trackers. All fields are sums, so merging is
+    /// order-independent and merging per-shard trackers recorded under any
+    /// partition yields the same totals as one global tracker.
+    pub fn merge_from(&mut self, other: &BandwidthTracker) {
+        for c in 0..TrafficClass::COUNT {
+            let theirs = &other.buckets[c];
+            let ours = &mut self.buckets[c];
+            if ours.len() < theirs.len() {
+                ours.resize(theirs.len(), 0);
+            }
+            for (sec, b) in theirs.iter().enumerate() {
+                ours[sec] += b;
+            }
+            self.msgs[c] += other.msgs[c];
+        }
+    }
+
     /// Link-bytes recorded for `class` during second `sec`.
     pub fn bytes_at(&self, class: TrafficClass, sec: usize) -> u64 {
         self.buckets[class.idx()].get(sec).copied().unwrap_or(0)
@@ -170,6 +188,36 @@ mod tests {
         assert!((bw.mbps_at(0) - 8.0).abs() < 1e-9);
         assert!((bw.mean_mbps(0, 1) - 8.0).abs() < 1e-9);
         assert_eq!(bw.mean_mbps(5, 5), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_global_recording() {
+        // Recording under any partition and merging must equal one global
+        // tracker: the parallel runtime's accounting contract.
+        let records = [
+            (0u64, TrafficClass::Data, 100u32, 2u32),
+            (500_000, TrafficClass::Heartbeat, 40, 3),
+            (2_100_000, TrafficClass::Data, 64, 1),
+            (2_900_000, TrafficClass::Control, 8, 4),
+        ];
+        let mut global = BandwidthTracker::new();
+        let mut a = BandwidthTracker::new();
+        let mut b = BandwidthTracker::new();
+        for (i, &(t, c, bytes, hops)) in records.iter().enumerate() {
+            global.record(t, c, bytes, hops);
+            if i % 2 == 0 { &mut a } else { &mut b }.record(t, c, bytes, hops);
+        }
+        let mut merged = BandwidthTracker::new();
+        merged.merge_from(&b);
+        merged.merge_from(&a);
+        for c in [TrafficClass::Data, TrafficClass::Heartbeat, TrafficClass::Control] {
+            assert_eq!(merged.msgs_total(c), global.msgs_total(c));
+            assert_eq!(merged.bytes_total(c), global.bytes_total(c));
+            for sec in 0..3 {
+                assert_eq!(merged.bytes_at(c, sec), global.bytes_at(c, sec));
+            }
+        }
+        assert_eq!(merged.seconds(), global.seconds());
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod bandwidth;
 pub mod chaos;
 pub mod clock;
 pub mod event;
+pub mod runtime;
 pub mod sim;
 pub mod time;
 pub mod topology;
@@ -48,7 +49,7 @@ pub mod topology;
 pub use bandwidth::{BandwidthTracker, TrafficClass};
 pub use chaos::ChaosConfig;
 pub use clock::{ClockModel, LocalClock};
-pub use sim::{App, Ctx, SimBuilder, Simulator};
+pub use runtime::{App, Ctx, Fleet, ParallelSimulator, Runtime, SimBuilder, SimStats, Simulator};
 pub use time::{ms, secs, TimeUs, MS, SEC};
 pub use topology::{StarConfig, Topology, TransitStubConfig};
 

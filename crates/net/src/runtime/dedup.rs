@@ -1,0 +1,42 @@
+//! Receiver-side duplicate suppression with bounded memory.
+
+use std::collections::HashSet;
+
+/// Ids retained per dedup generation (two generations are live at once).
+///
+/// Duplicate copies of a message are injected at transmit time and arrive
+/// within the topology latency plus the chaos reorder jitter — a horizon
+/// of a few hundred message ids at realistic rates. 64k ids per
+/// generation leaves orders of magnitude of slack while bounding a
+/// receiver's dedup memory for the lifetime of the run (the set used to
+/// grow monotonically with every message ever received).
+pub(crate) const DEDUP_GENERATION_CAP: usize = 65_536;
+
+/// Receiver-side duplicate suppression with bounded memory: a classic
+/// two-generation scheme. Inserts go to the current generation; once it
+/// fills, it becomes the previous generation and the oldest ids are
+/// forgotten. An id is a duplicate if either generation has seen it.
+#[derive(Debug, Default)]
+pub(crate) struct DedupSet {
+    cur: HashSet<u64>,
+    prev: HashSet<u64>,
+}
+
+impl DedupSet {
+    /// Records `id`; returns `false` if it was already seen (a duplicate).
+    pub(crate) fn insert(&mut self, id: u64) -> bool {
+        if self.cur.contains(&id) || self.prev.contains(&id) {
+            return false;
+        }
+        if self.cur.len() >= DEDUP_GENERATION_CAP {
+            self.prev = std::mem::take(&mut self.cur);
+        }
+        self.cur.insert(id);
+        true
+    }
+
+    /// Ids currently retained (bounded by two generations).
+    pub(crate) fn len(&self) -> usize {
+        self.cur.len() + self.prev.len()
+    }
+}

@@ -202,6 +202,47 @@ impl Topology {
         2 + mid
     }
 
+    /// Minimum one-way latency across all *distinct* host pairs — the
+    /// conservative lookahead bound for the parallel runtime: no message
+    /// between two different hosts can arrive sooner than this, whatever
+    /// the shard layout, so it is safe (and shard-count-independent) as the
+    /// width of a conservative time window. Loopback (a == b) is excluded
+    /// because a host always shares a shard with itself. Returns `u64::MAX`
+    /// when fewer than two hosts exist.
+    pub fn min_latency_us(&self) -> TimeUs {
+        let s = self.stubs;
+        // Smallest and second-smallest access link per stub: the global
+        // minimum is either two hosts on one stub (their two links) or the
+        // cheapest host of two stubs plus the stub-to-stub path, so only
+        // per-stub minima matter — O(hosts + stubs²), not O(hosts²).
+        let mut min1 = vec![u64::MAX; s];
+        let mut min2 = vec![u64::MAX; s];
+        for h in 0..self.hosts {
+            let st = self.host_stub[h] as usize;
+            let l = self.host_link_us[h];
+            if l < min1[st] {
+                min2[st] = min1[st];
+                min1[st] = l;
+            } else if l < min2[st] {
+                min2[st] = l;
+            }
+        }
+        let mut best = u64::MAX;
+        for a in 0..s {
+            if min2[a] != u64::MAX {
+                best = best.min(min1[a] + min2[a]);
+            }
+            for b in 0..s {
+                if a != b && min1[a] != u64::MAX && min1[b] != u64::MAX {
+                    best = best.min(
+                        min1[a].saturating_add(min1[b]).saturating_add(self.stub_lat[a * s + b]),
+                    );
+                }
+            }
+        }
+        best
+    }
+
     /// Maximum one-way latency across all host pairs (diagnostic).
     pub fn max_latency_us(&self) -> TimeUs {
         let mut max = 0;
@@ -304,6 +345,25 @@ mod tests {
             }
         }
         assert!(found, "expected at least one same-stub pair");
+    }
+
+    #[test]
+    fn min_latency_matches_exhaustive_search() {
+        for seed in [1, 7, 2008] {
+            let t = Topology::paper_inet(120, seed);
+            let mut brute = u64::MAX;
+            for a in 0..120u32 {
+                for b in 0..120u32 {
+                    if a != b {
+                        brute = brute.min(t.latency_us(a, b));
+                    }
+                }
+            }
+            assert_eq!(t.min_latency_us(), brute, "seed {seed}");
+        }
+        let star = Topology::star(6, 1_000);
+        assert_eq!(star.min_latency_us(), 2_000);
+        assert_eq!(Topology::star(1, 1_000).min_latency_us(), u64::MAX);
     }
 
     #[test]

@@ -55,6 +55,12 @@ impl<K: Ord + Copy, B> HopBins<K, B> {
         self.bins.remove(&key)
     }
 
+    /// Visits every open bin, in ascending key order — read-only scans
+    /// such as "earliest deadline across all pending envelopes".
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &B)> {
+        self.bins.iter()
+    }
+
     /// Visits every open bin mutably, in ascending key order. Bins stay
     /// open — the long-lived-outbox pattern, where a bin's buffers are
     /// emptied in place and their allocations reused next tick.

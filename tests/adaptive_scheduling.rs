@@ -1,0 +1,100 @@
+//! Adaptive tick arming and liveness-transition piggybacking.
+//!
+//! `adaptive_ticks` replaces the fixed `tick_us` wake grid with arming at
+//! `min(next due instant, next heartbeat, earliest envelope deadline)`;
+//! arrivals that move a due instant earlier pull the armed timer forward.
+//! `liveness_reschedule` points linked queries' due entries at *now* when
+//! a neighbour dies or returns, so failover does not wait for the next
+//! natural due instant. Both default off (the fixed grid is the parity
+//! baseline); these tests pin what turning them on buys and preserves.
+
+use mortar::prelude::*;
+
+fn session(
+    n: usize,
+    seed: u64,
+    cadence_secs: f64,
+    tune: impl FnOnce(&mut PeerConfig),
+) -> (Mortar, QueryHandle) {
+    let mut cfg = EngineConfig::paper(n, seed);
+    cfg.plan_on_true_latency = true;
+    tune(&mut cfg.peer);
+    let mut mortar = Mortar::new(cfg);
+    let q = mortar
+        .query("agg")
+        .members(0..n as NodeId)
+        .periodic_secs(cadence_secs, cadence_secs)
+        .sum(0)
+        .every_secs(cadence_secs)
+        .install()
+        .expect("valid query");
+    (mortar, q)
+}
+
+fn total_ticks(mortar: &Mortar) -> u64 {
+    mortar.engine().sim.apps().map(|p| p.stats.ticks).sum()
+}
+
+#[test]
+fn adaptive_ticks_cut_wakeups_without_losing_results() {
+    // A mostly idle fleet (4 s cadence against a 200 ms grid) is where
+    // due-instant arming pays: the grid burns 5 wakes/s/peer regardless.
+    let n = 64;
+    let (mut grid, gq) = session(n, 55, 4.0, |_| {});
+    grid.run_secs(40.0);
+    let (mut adaptive, aq) = session(n, 55, 4.0, |p| p.adaptive_ticks = true);
+    adaptive.run_secs(40.0);
+
+    let grid_c = grid.completeness(&gq, 3);
+    let adaptive_c = adaptive.completeness(&aq, 3);
+    assert!(grid_c > 90.0, "grid baseline unhealthy: {grid_c}%");
+    assert!(
+        adaptive_c > grid_c - 2.0,
+        "adaptive arming lost completeness: {adaptive_c}% vs {grid_c}%"
+    );
+    assert!(!adaptive.results(&aq).is_empty());
+
+    // The whole point: waking at due instants instead of every `tick_us`
+    // must collapse the tick count (4 s cadence + 2 s heartbeats vs a
+    // 200 ms grid leaves at least a 2× margin even with install churn
+    // and one wake per distinct eviction deadline).
+    let (gt, at) = (total_ticks(&grid), total_ticks(&adaptive));
+    assert!(at * 2 < gt, "adaptive ticks did not pay: {at} vs {gt} grid ticks");
+
+    // Arrivals pulled the armed timer earlier at least somewhere (e.g.
+    // the install wave scheduling the first emissions).
+    let rearms: u64 = adaptive.engine().sim.apps().map(|p| p.stats.timer_rearms).sum();
+    assert!(rearms > 0, "no arrival ever pulled the timer");
+}
+
+#[test]
+fn liveness_transitions_reschedule_linked_queries() {
+    let n = 32;
+    let (mut mortar, q) = session(n, 77, 1.0, |p| {
+        p.adaptive_ticks = true;
+        p.liveness_reschedule = true;
+    });
+    mortar.run_secs(12.0);
+    let healthy = mortar.completeness(&q, 5);
+    assert!(healthy > 90.0, "unhealthy before failures: {healthy}%");
+
+    // Kill a third of the non-root fleet long enough for the survivors to
+    // cross the liveness horizon (2 s beats × 3 + tick), then revive.
+    for node in [3u32, 7, 11, 19, 26] {
+        mortar.set_host_up(node, false);
+    }
+    mortar.run_secs(10.0);
+    let deaths: u64 = mortar.engine().sim.apps().map(|p| p.stats.liveness_reschedules).sum();
+    assert!(deaths > 0, "no death transition was piggybacked onto the due index");
+
+    for node in [3u32, 7, 11, 19, 26] {
+        mortar.set_host_up(node, true);
+    }
+    mortar.run_secs(10.0);
+    let total: u64 = mortar.engine().sim.apps().map(|p| p.stats.liveness_reschedules).sum();
+    assert!(total > deaths, "no return transition was piggybacked onto the due index");
+
+    // The run stays healthy through the churn.
+    let final_c = mortar.completeness(&q, 5);
+    assert!(final_c > 70.0, "completeness collapsed through failover: {final_c}%");
+}

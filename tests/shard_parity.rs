@@ -1,0 +1,83 @@
+//! Seed-stable parity across simulator shard counts.
+//!
+//! The parallel runtime's contract: for a fixed seed, a run's observable
+//! outputs — results, completeness, tuple/frame/message counters, transport
+//! stats — do not depend on how many worker threads drove it, and repeated
+//! runs of the same configuration reproduce themselves exactly. A
+//! fig13-style aggregate over 100 hosts is driven at shards ∈ {1, 2, 4}
+//! (shards = 1 being the legacy single-threaded event loop) and every
+//! fingerprint must coincide.
+
+use mortar::net::TrafficClass;
+use mortar::prelude::*;
+
+const HOSTS: usize = 100;
+const SEED: u64 = 1313;
+
+/// Everything an experiment reads back, summarized for exact comparison.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    results: Vec<(i64, i64, Option<u64>, u32)>,
+    completeness_bits: u64,
+    tuples_sent: u64,
+    frames_sent: u64,
+    envelopes_sent: u64,
+    delivered: u64,
+    dropped: u64,
+    data_msgs: u64,
+    hb_msgs: u64,
+    control_msgs: u64,
+    data_bytes: u64,
+}
+
+fn run(shards: usize) -> Fingerprint {
+    let mut cfg = EngineConfig::paper(HOSTS, SEED);
+    cfg.plan_on_true_latency = true;
+    cfg.shards = shards;
+    let mut mortar = Mortar::new(cfg);
+    let q = mortar
+        .query("agg")
+        .members(0..HOSTS as NodeId)
+        .periodic_secs(1.0, 1.0)
+        .sum(0)
+        .every_secs(1.0)
+        .install()
+        .expect("valid query");
+    mortar.run_secs(30.0);
+    let eng = mortar.engine();
+    let stats = eng.sim.stats();
+    let bw = eng.sim.bandwidth();
+    Fingerprint {
+        results: mortar
+            .results(&q)
+            .iter()
+            .map(|r| (r.tb, r.te, r.scalar.map(f64::to_bits), r.participants))
+            .collect(),
+        completeness_bits: mortar.completeness(&q, 5).to_bits(),
+        tuples_sent: eng.summary_tuples_sent(),
+        frames_sent: eng.summary_frames_sent(),
+        envelopes_sent: eng.summary_envelopes_sent(),
+        delivered: stats.delivered,
+        dropped: stats.dropped,
+        data_msgs: bw.msgs_total(TrafficClass::Data),
+        hb_msgs: bw.msgs_total(TrafficClass::Heartbeat),
+        control_msgs: bw.msgs_total(TrafficClass::Control),
+        data_bytes: bw.bytes_total(TrafficClass::Data),
+    }
+}
+
+#[test]
+fn results_and_counters_agree_across_shard_counts() {
+    let single = run(1);
+    assert!(!single.results.is_empty(), "baseline produced no results");
+    for shards in [2usize, 4] {
+        let parallel = run(shards);
+        assert_eq!(single, parallel, "shards={shards} diverged from single-threaded run");
+    }
+}
+
+#[test]
+fn repeated_same_seed_runs_reproduce_exactly() {
+    assert_eq!(run(2), run(2), "same seed, same shards: runs diverged");
+    assert_eq!(run(4), run(4), "same seed, same shards: runs diverged");
+}
