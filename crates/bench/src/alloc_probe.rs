@@ -11,6 +11,10 @@
 //! `#[global_allocator]`; callers use [`probe_active`] to distinguish
 //! "zero allocations" from "not counting at all".
 
+// One of the two sanctioned `unsafe` sites in the workspace (see
+// `[workspace.lints.rust]`): implementing `GlobalAlloc` requires it.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 

@@ -19,7 +19,7 @@ use crate::tslist::TimeSpaceList;
 use crate::window::WindowKind;
 use mortar_net::{Ctx, NodeId, TrafficClass};
 use mortar_overlay::RouteState;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The origin route state implied by an install record: the member's own
@@ -274,12 +274,15 @@ impl MortarPeer {
         reply: bool,
     ) {
         let local_now = ctx.local_now_us();
-        let other_installed: HashMap<String, u64> =
+        // `BTreeMap` so `reconcile`'s pairs() walk over the remote sets is
+        // ordered — the outcome vectors are sorted anyway, but the ordered
+        // map keeps every intermediate step hash-seed independent.
+        let other_installed: BTreeMap<String, u64> =
             installed.iter().map(|(s, _, q, _)| (s.name.clone(), *q)).collect();
         // The remote's removal cache arrives id-keyed; resolve through our
         // directory. Ids we cannot resolve name queries we never installed
         // — nothing of ours they could cancel.
-        let other_removed: HashMap<String, u64> = removed
+        let other_removed: BTreeMap<String, u64> = removed
             .into_iter()
             .filter_map(|(id, s)| self.directory.name_of(id).map(|n| (n.to_string(), s)))
             .collect();

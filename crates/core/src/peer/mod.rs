@@ -372,8 +372,9 @@ pub struct MortarPeer {
     /// Subscriber index: upstream query name → co-located queries whose
     /// sensor subscribes to it. Maintained at install/remove so each root
     /// emission is an O(1) lookup instead of a scan over every installed
-    /// query's sensor spec.
-    pub(crate) subscribers: HashMap<String, Vec<QueryId>>,
+    /// query's sensor spec. A `BTreeMap` so the install/remove maintenance
+    /// (which iterates the index) is hash-seed independent.
+    pub(crate) subscribers: BTreeMap<String, Vec<QueryId>>,
     /// Memoized store hash (the reconciliation fingerprint piggybacked on
     /// data frames); recomputed only when the installed/removed sets
     /// change instead of on every hash-carrying tuple.
@@ -434,7 +435,7 @@ impl MortarPeer {
             armed_seq: TICK,
             armed_wake_local_us: i64::MAX,
             topo: HashMap::new(),
-            subscribers: HashMap::new(),
+            subscribers: BTreeMap::new(),
             outbox: mortar_overlay::HopBins::new(),
             due: BTreeSet::new(),
             tick_now_us: i64::MIN,
@@ -536,6 +537,7 @@ impl MortarPeer {
     pub(crate) fn rebuild_liveness(&self, live: &mut mortar_overlay::NodeBitmap, now: i64) {
         live.clear();
         let horizon = self.liveness_horizon_us();
+        // lint:order-insensitive(bitmap OR: each pass sets independent bits, so visit order cannot affect the resulting bitmap)
         for (&peer, &t) in &self.last_heard {
             if now - t <= horizon {
                 live.set(peer);
@@ -816,6 +818,7 @@ impl App for MortarPeer {
         }
     }
 
+    // lint:hot-path
     fn on_timer(&mut self, ctx: &mut Ctx<'_, MortarMsg>, tag: u64) {
         let expected = if self.cfg.adaptive_ticks { self.armed_seq } else { TICK };
         if tag != expected {

@@ -84,6 +84,7 @@ impl PendingEnvelope {
 /// lone frame skips the envelope wrapper entirely: it ships as a plain
 /// `SummaryBatch`, byte-identical to the envelope-free protocol, so
 /// single-stream peers never pay the envelope header.
+// lint:hot-path
 fn seal_and_send(
     stats: &mut super::PeerStats,
     ctx: &mut Ctx<'_, MortarMsg>,
@@ -106,6 +107,7 @@ fn seal_and_send(
 
 /// [`seal_and_send`] for a flush that popped a lone frame, leaving its
 /// bin's buffer in place for reuse.
+// lint:hot-path
 fn seal_and_send_single(
     ctx: &mut Ctx<'_, MortarMsg>,
     dest: NodeId,
@@ -144,6 +146,7 @@ impl<'a> FrameBuilder<'a> {
 
     /// Adds a routed tuple; emits the destination's frame when full.
     #[allow(clippy::too_many_arguments)]
+    // lint:hot-path
     fn push(
         &mut self,
         peer: &mut MortarPeer,
@@ -166,6 +169,7 @@ impl<'a> FrameBuilder<'a> {
 
     /// Emits all remaining frames in deterministic key order, leaving
     /// every bin empty and open for the next pass.
+    // lint:hot-path
     fn finish(self, peer: &mut MortarPeer, ctx: &mut Ctx<'_, MortarMsg>) {
         for (&(dest, tree), frame) in self.frames.iter_mut() {
             if !frame.tuples.is_empty() {
@@ -179,6 +183,7 @@ impl<'a> FrameBuilder<'a> {
     /// outbox otherwise. The bin is drained in place: its tuple vector
     /// moves into the wire frame's shared payload and its budget/flag
     /// state resets for reuse.
+    // lint:hot-path
     fn emit(
         peer: &mut MortarPeer,
         ctx: &mut Ctx<'_, MortarMsg>,
@@ -213,6 +218,7 @@ impl MortarPeer {
     /// flushing it early on budget overflow or urgency. The frame's
     /// `hold_age_us` is stamped with the enqueue instant; sealing rewrites
     /// it to the hold duration.
+    // lint:hot-path
     fn enqueue_frame(
         &mut self,
         ctx: &mut Ctx<'_, MortarMsg>,
@@ -238,6 +244,7 @@ impl MortarPeer {
     /// (with `envelope_hold_us = 0` that is all of them: the deadline is
     /// the enqueueing tick itself). Bins persist across flushes so the
     /// steady-state tick reuses their buffers instead of re-allocating.
+    // lint:hot-path
     pub(crate) fn flush_due_envelopes(&mut self, ctx: &mut Ctx<'_, MortarMsg>) {
         if self.outbox.is_empty() {
             return;
@@ -276,6 +283,7 @@ impl MortarPeer {
     /// scratch supplies the per-tick liveness bitmap and the long-lived
     /// frame bins; the pass allocates nothing per query beyond the due
     /// vector and the wire frames themselves.
+    // lint:hot-path
     pub(crate) fn evict_and_route(
         &mut self,
         id: QueryId,

@@ -40,6 +40,7 @@ impl SeqMap for HashMap<String, u64> {
         self.get(name).copied()
     }
     fn pairs(&self) -> Box<dyn Iterator<Item = (&str, u64)> + '_> {
+        // lint:order-insensitive(every pairs() consumer sorts: reconcile sorts its outcome vectors and store_hash sorts before hashing)
         Box::new(self.iter().map(|(n, &s)| (n.as_str(), s)))
     }
 }

@@ -169,6 +169,7 @@ impl TimeSpaceList {
     /// place: entries outside `[tuple.tb, tuple.te)` are never touched,
     /// moved individually, or re-sorted, and fully covered entries merge
     /// by move rather than clone.
+    // lint:hot-path
     pub fn insert(&mut self, tuple: &SummaryTuple, now_us: i64, timeout_us: u64) -> bool {
         assert!(tuple.tb < tuple.te, "summary interval must be nonempty");
         let new_deadline = now_us + timeout_us as i64;
@@ -200,6 +201,7 @@ impl TimeSpaceList {
         // (head retaining its value, the merged overlap — built by *moving*
         // the entry — and a value-retaining tail), with tuple-only gap
         // segments in between.
+        // lint:allow(H1, the general splice path allocates by design; the exact-match fast path above is the alloc-free case pinned by alloc_hotpath.rs)
         let removed: Vec<TsEntry> = self.entries.splice(lo..hi, std::iter::empty()).collect();
         let mut seg: Vec<TsEntry> = Vec::with_capacity(2 * removed.len() + 1);
         let mut created = false;
@@ -268,6 +270,7 @@ impl TimeSpaceList {
     /// Due entries are moved out, never cloned; the common no-eviction
     /// tick allocates nothing, and an evicting tick allocates exactly the
     /// returned vector.
+    // lint:hot-path
     pub fn pop_due(&mut self, now_us: i64) -> Vec<TsEntry> {
         let n_due = self.entries.iter().filter(|e| e.deadline_us <= now_us).count();
         if n_due == 0 {

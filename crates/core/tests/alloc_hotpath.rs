@@ -8,6 +8,10 @@
 //! global allocator. The counter is thread-local, so the measurement is
 //! immune to any allocation the test harness makes on other threads.
 
+// One of the two sanctioned `unsafe` sites in the workspace (see
+// `[workspace.lints.rust]`): implementing `GlobalAlloc` requires it.
+#![allow(unsafe_code)]
+
 use mortar_core::tslist::{summary, TimeSpaceList};
 use mortar_core::value::AggState;
 use mortar_overlay::RouteState;

@@ -1,0 +1,282 @@
+//! A minimal Rust lexer: just enough structure for token-tree matching.
+//!
+//! Produces a flat token stream (identifiers, single-character punctuation,
+//! literals, lifetimes) tagged with 1-based line numbers, plus the lint
+//! directives found in line comments. Comments and literals never produce
+//! identifier tokens, so rule matchers cannot be fooled by a `HashMap`
+//! mentioned in a doc comment or a `"panic!"` inside a string.
+//!
+//! Directive comments are plain `//` line comments whose content starts
+//! with `lint:` (doc comments are deliberately ignored so documentation
+//! can *mention* the directives without asserting them):
+//!
+//! - `lint:order-insensitive(<reason>)` — waives a D1 finding on the same
+//!   or the next source line.
+//! - `lint:allow(<RULE>, <reason>)` — waives a finding of `<RULE>` on the
+//!   same or the next source line.
+//! - `lint:hot-path` — marks the next `fn` as an allocation-free hot path
+//!   (rule H1 scans its body).
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// One character of punctuation (multi-character operators arrive as
+    /// consecutive tokens: `::` is `:` then `:`).
+    Punct(char),
+    /// String / char / numeric literal (contents dropped).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One token with its source line.
+#[derive(Debug, Clone)]
+pub(crate) struct Tok {
+    /// 1-based source line the token starts on.
+    pub(crate) line: u32,
+    pub(crate) kind: TokKind,
+    /// The identifier text (empty for non-identifiers).
+    pub(crate) text: String,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub(crate) fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub(crate) fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A lint directive extracted from a line comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum DirectiveKind {
+    /// `lint:order-insensitive(<reason>)`
+    OrderInsensitive { reason: String },
+    /// `lint:allow(<RULE>, <reason>)`
+    Allow { rule: String, reason: String },
+    /// `lint:hot-path`
+    HotPath,
+}
+
+/// A directive and the line it appears on.
+#[derive(Debug, Clone)]
+pub(crate) struct Directive {
+    pub(crate) line: u32,
+    pub(crate) kind: DirectiveKind,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub(crate) struct Lexed {
+    pub(crate) toks: Vec<Tok>,
+    pub(crate) directives: Vec<Directive>,
+}
+
+fn parse_directive(comment: &str, line: u32) -> Option<Directive> {
+    let body = comment.trim();
+    let rest = body.strip_prefix("lint:")?;
+    if rest.trim() == "hot-path" {
+        return Some(Directive { line, kind: DirectiveKind::HotPath });
+    }
+    if let Some(inner) = rest.strip_prefix("order-insensitive(") {
+        let reason = inner.rfind(')').map_or(inner, |i| &inner[..i]).trim().to_string();
+        return Some(Directive { line, kind: DirectiveKind::OrderInsensitive { reason } });
+    }
+    if let Some(inner) = rest.strip_prefix("allow(") {
+        let inner = inner.rfind(')').map_or(inner, |i| &inner[..i]);
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (inner.trim(), ""),
+        };
+        return Some(Directive {
+            line,
+            kind: DirectiveKind::Allow { rule: rule.to_string(), reason: reason.to_string() },
+        });
+    }
+    None
+}
+
+/// Lexes `src` into tokens and directives.
+pub(crate) fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                // Line comment: a plain `//` (not `///` or `//!`) may carry
+                // a directive.
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                let is_doc = text.starts_with('/') || text.starts_with('!');
+                if !is_doc {
+                    if let Some(d) = parse_directive(&text, line) {
+                        out.directives.push(d);
+                    }
+                }
+                i = j;
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Block comment, nested.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && b.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let tline = line;
+                i = skip_string(&b, i, &mut line);
+                out.toks.push(Tok { line: tline, kind: TokKind::Literal, text: String::new() });
+            }
+            '\'' => {
+                // Lifetime vs char literal. A lifetime is `'` followed by
+                // an identifier NOT terminated by a closing `'`.
+                let next = b.get(i + 1).copied();
+                let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_') && {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    b.get(j) != Some(&'\'')
+                };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    out.toks.push(Tok { line, kind: TokKind::Lifetime, text: String::new() });
+                    i = j;
+                } else {
+                    // Char literal: handle `'\''`, `'\\'`, `'x'`.
+                    let mut j = i + 1;
+                    if b.get(j) == Some(&'\\') {
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                    while j < b.len() && b[j] != '\'' {
+                        j += 1;
+                    }
+                    out.toks.push(Tok { line, kind: TokKind::Literal, text: String::new() });
+                    i = j + 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                // Consume a fractional part, but not a `..` range operator.
+                if b.get(j) == Some(&'.') && b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    j += 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                }
+                out.toks.push(Tok { line, kind: TokKind::Literal, text: String::new() });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let word: String = b[i..j].iter().collect();
+                // Raw / byte string prefixes: `r"`, `r#"`, `b"`, `br#"`…
+                if (word == "r" || word == "br") && matches!(b.get(j), Some(&'"') | Some(&'#')) {
+                    i = skip_raw_string(&b, j, &mut line);
+                    out.toks.push(Tok { line, kind: TokKind::Literal, text: String::new() });
+                    continue;
+                }
+                if word == "b" && b.get(j) == Some(&'"') {
+                    i = skip_string(&b, j, &mut line);
+                    out.toks.push(Tok { line, kind: TokKind::Literal, text: String::new() });
+                    continue;
+                }
+                out.toks.push(Tok { line, kind: TokKind::Ident, text: word });
+                i = j;
+            }
+            c => {
+                out.toks.push(Tok { line, kind: TokKind::Punct(c), text: String::new() });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// one past the closing quote.
+fn skip_string(b: &[char], open: usize, line: &mut u32) -> usize {
+    let mut j = open + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skips a raw string whose `#…"` run starts at `hashes_start` (just past
+/// the `r` / `br` prefix); returns the index one past the terminator.
+fn skip_raw_string(b: &[char], hashes_start: usize, line: &mut u32) -> usize {
+    let mut j = hashes_start;
+    let mut nhash = 0usize;
+    while b.get(j) == Some(&'#') {
+        nhash += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&'"') {
+        return j;
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if b[j] == '"'
+            && b[j + 1..].iter().take(nhash).filter(|&&c| c == '#').count() == nhash
+        {
+            return j + 1 + nhash;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}

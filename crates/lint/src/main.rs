@@ -1,0 +1,82 @@
+//! The `mortar-lint` binary: walks the workspace sources, prints findings,
+//! optionally writes the JSON report, and exits non-zero on any unwaived
+//! finding.
+//!
+//! ```text
+//! mortar-lint [WORKSPACE_ROOT] [--report PATH] [--quiet]
+//! ```
+//!
+//! With no root argument the workspace is located by walking up from the
+//! current directory to the first `Cargo.toml` declaring `[workspace]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--report" => report = args.next().map(PathBuf::from),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: mortar-lint [WORKSPACE_ROOT] [--report PATH] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("mortar-lint: no workspace root found (pass it explicitly)");
+        return ExitCode::FAILURE;
+    };
+    let findings = match mortar_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mortar-lint: failed to read sources under {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &report {
+        if let Err(e) = std::fs::write(path, mortar_lint::render_json(&findings)) {
+            eprintln!("mortar-lint: failed to write report {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let unwaived = findings.iter().filter(|f| !f.waived).count();
+    if !quiet {
+        for f in &findings {
+            println!("{}", mortar_lint::render_line(f));
+        }
+        println!(
+            "mortar-lint: {} finding(s), {} unwaived, {} waived",
+            findings.len(),
+            unwaived,
+            findings.len() - unwaived
+        );
+    }
+    if unwaived > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

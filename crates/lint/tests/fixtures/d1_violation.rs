@@ -1,0 +1,37 @@
+//! Fixture: unwaived D1 ordered-iteration violations, plus test code the
+//! lint must skip. Never compiled — parsed by `tests/fixtures.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+struct Peer {
+    last_seen: HashMap<u32, i64>,
+}
+
+impl Peer {
+    fn sweep(&self) -> i64 {
+        let mut sum = 0;
+        for (_, &t) in &self.last_seen {
+            sum += t;
+        }
+        sum
+    }
+
+    fn drain_names(&mut self) {
+        let mut seen = HashSet::new();
+        seen.insert(1u32);
+        for v in seen.iter() {
+            let _ = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_reported_in_test_code() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for _ in m.iter() {}
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: D1 findings carrying waivers — the lint must report them as
+//! waived, with the written reasons. Never compiled.
+
+use std::collections::HashMap;
+
+struct Counters {
+    by_node: HashMap<u32, u64>,
+}
+
+impl Counters {
+    fn total(&self) -> u64 {
+        let mut sum = 0;
+        // lint:order-insensitive(summing u64 counters is commutative)
+        for (_, &v) in &self.by_node {
+            sum += v;
+        }
+        sum
+    }
+
+    fn prune(&mut self) {
+        self.by_node.retain(|_, v| *v > 0); // lint:order-insensitive(retain predicate is per-entry)
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: D2 clock/entropy hygiene violations. Never compiled.
+
+fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}
+
+fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn seeded() -> u64 {
+    let _s = std::collections::hash_map::RandomState::new();
+    0
+}
+
+fn sim_time_ok(clock_us: u64) -> u64 {
+    // lint:allow(D2, fixture: demonstrates a waived wall-clock read)
+    let _t = std::time::Instant::now();
+    clock_us
+}

@@ -1,0 +1,21 @@
+//! Fixture: H1 allocations inside `lint:hot-path` bodies. Never compiled.
+
+// lint:hot-path
+fn splice_fast(xs: &mut Vec<u64>) -> String {
+    let label = format!("{}", xs.len());
+    let doubled: Vec<u64> = xs.iter().map(|x| x * 2).collect();
+    xs.extend(doubled);
+    label
+}
+
+fn unmarked_allocates_freely() -> Vec<String> {
+    vec![String::from("fine: no hot-path marker here")]
+}
+
+// lint:hot-path
+fn flush(xs: &mut Vec<u64>) {
+    // lint:allow(H1, scratch buffer measured zero steady-state by the alloc gate)
+    let mut scratch = vec![0u64; 4];
+    scratch[0] = xs.len() as u64;
+    xs.push(scratch[0]);
+}

@@ -1,0 +1,25 @@
+//! Fixture: P1 panics in worker paths. Linted under the parallel
+//! runtime's path so the rule applies. Never compiled.
+
+fn drain(queue: &mut Vec<u64>) -> u64 {
+    let head = queue.pop().unwrap();
+    if head == 0 {
+        panic!("zero in queue");
+    }
+    head
+}
+
+fn checked(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().expect("nonempty") // lint:allow(P1, fixture: demonstrates a waived panic site)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn harness_may_panic_and_assert() {
+        let v: Vec<u64> = Vec::new();
+        assert!(v.first().is_none());
+        let w: Vec<u64> = Vec::new();
+        let _ = w.last().unwrap_or(&0);
+    }
+}

@@ -149,16 +149,22 @@ impl<A: App> Shard<A> {
             self.process_window(win_end);
             for dst in 0..nshards {
                 if dst != self.index && !self.outgoing[dst].is_empty() {
-                    let mut mb =
-                        mailboxes[self.index * nshards + dst].lock().expect("mailbox poisoned");
+                    // A poisoned mailbox means another worker panicked; the
+                    // event vector itself is still intact (appends are
+                    // all-or-nothing), so take the guard rather than
+                    // panicking here too and deadlocking the barrier.
+                    let mut mb = mailboxes[self.index * nshards + dst]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     mb.append(&mut self.outgoing[dst]);
                 }
             }
             sync.barrier.wait();
             for src in 0..nshards {
                 if src != self.index {
-                    let mut mb =
-                        mailboxes[src * nshards + self.index].lock().expect("mailbox poisoned");
+                    let mut mb = mailboxes[src * nshards + self.index]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     self.heap.extend(mb.drain(..));
                 }
             }
@@ -183,11 +189,8 @@ impl<A: App> Shard<A> {
     }
 
     fn process_window(&mut self, win_end: TimeUs) {
-        while let Some(ev) = self.heap.peek() {
-            if ev.time > win_end || self.stop {
-                break;
-            }
-            let ev = self.heap.pop().expect("peeked event exists");
+        while self.heap.peek().is_some_and(|ev| ev.time <= win_end) && !self.stop {
+            let Some(ev) = self.heap.pop() else { break };
             self.now = ev.time;
             self.dispatch(ev.kind);
         }
@@ -275,21 +278,26 @@ impl<A: App> Shard<A> {
             } else {
                 1
             };
-        let mut msg = Some(msg);
-        for i in 0..copies {
+        // Clone copies go first and the original moves last, each drawing
+        // its jitter in turn — the same RNG draw order as the legacy
+        // simulator, with no `Option` dance a panic path could hide in.
+        for _ in 1..copies {
             let jitter = if self.chaos.reorder_jitter_us > 0 {
                 self.rngs[fli].gen_range(0..=self.chaos.reorder_jitter_us)
             } else {
                 0
             };
             let time = self.now + base + jitter;
-            let payload = if i + 1 == copies {
-                msg.take().expect("one move per send")
-            } else {
-                msg.as_ref().expect("clones precede the move").clone()
-            };
+            let payload = msg.clone();
             self.push_from(from, time, EventKind::Deliver { to, from, msg: payload, bytes, id });
         }
+        let jitter = if self.chaos.reorder_jitter_us > 0 {
+            self.rngs[fli].gen_range(0..=self.chaos.reorder_jitter_us)
+        } else {
+            0
+        };
+        let time = self.now + base + jitter;
+        self.push_from(from, time, EventKind::Deliver { to, from, msg, bytes, id });
     }
 
     /// Mints the event key from `origin`'s counter and routes the event to
@@ -537,12 +545,14 @@ impl<A: App> ParallelSimulator<A> {
         std::thread::scope(|scope| {
             let sync = &sync;
             let mailboxes = mailboxes.as_slice();
-            let mut it = self.shards.iter_mut();
-            let first = it.next().expect("at least one shard");
-            for shard in it {
-                scope.spawn(move || shard.worker(sync, mailboxes, deadline, lookahead, do_start));
+            if let Some((first, rest)) = self.shards.split_first_mut() {
+                for shard in rest {
+                    scope.spawn(move || {
+                        shard.worker(sync, mailboxes, deadline, lookahead, do_start)
+                    });
+                }
+                first.worker(sync, mailboxes, deadline, lookahead, do_start);
             }
-            first.worker(sync, mailboxes, deadline, lookahead, do_start);
         });
         self.stop = sync.app_stop.load(Ordering::SeqCst);
         self.now = if self.stop {

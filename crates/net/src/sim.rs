@@ -2,7 +2,7 @@
 //!
 //! The single-threaded event loop moved verbatim to `runtime/single.rs`
 //! when the [`Runtime`](crate::runtime::Runtime) seam split the driver
-//! from the [`App`](crate::runtime::App) contract. This module keeps the
-//! historical `mortar_net::sim::*` paths working.
+//! from the [`App`] contract. This module keeps the historical
+//! `mortar_net::sim::*` paths working.
 
 pub use crate::runtime::{App, Ctx, SimBuilder, SimStats, Simulator, TRANSPORT_OVERHEAD_BYTES};

@@ -249,9 +249,10 @@ impl TreeSet {
     }
 
     /// The set of distinct (parent, child) pairs across all trees — each is a
-    /// heartbeat relationship; Figure 13 counts these per node.
-    pub fn unique_parent_child_pairs(&self) -> std::collections::HashSet<(usize, usize)> {
-        let mut pairs = std::collections::HashSet::new();
+    /// heartbeat relationship; Figure 13 counts these per node. Ordered so
+    /// any caller that walks the set is hash-seed independent.
+    pub fn unique_parent_child_pairs(&self) -> std::collections::BTreeSet<(usize, usize)> {
+        let mut pairs = std::collections::BTreeSet::new();
         for t in &self.trees {
             for m in 0..t.len() {
                 if let Some(p) = t.parent(m) {
@@ -262,9 +263,9 @@ impl TreeSet {
         pairs
     }
 
-    /// Unique children of `m` across all trees.
-    pub fn unique_children(&self, m: usize) -> std::collections::HashSet<usize> {
-        let mut set = std::collections::HashSet::new();
+    /// Unique children of `m` across all trees, in ascending order.
+    pub fn unique_children(&self, m: usize) -> std::collections::BTreeSet<usize> {
+        let mut set = std::collections::BTreeSet::new();
         for t in &self.trees {
             set.extend(t.children(m).iter().copied());
         }

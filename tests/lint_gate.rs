@@ -1,0 +1,36 @@
+//! Tier-1 gate: `mortar-lint` must run clean over the workspace.
+//!
+//! Every finding the static pass raises must either be fixed or carry a
+//! written waiver (`lint:order-insensitive(...)` / `lint:allow(...)`).
+//! This is the enforcement point for the determinism discipline described
+//! in ARCHITECTURE.md — an unwaived finding fails the ordinary test run,
+//! not just CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unwaived_lint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = mortar_lint::lint_workspace(root).expect("workspace sources readable");
+    let unwaived: Vec<String> =
+        findings.iter().filter(|f| !f.waived).map(mortar_lint::render_line).collect();
+    assert!(
+        unwaived.is_empty(),
+        "mortar-lint found {} unwaived finding(s):\n{}\nfix the site or add a written waiver \
+         (see ARCHITECTURE.md, \"Determinism discipline\")",
+        unwaived.len(),
+        unwaived.join("\n")
+    );
+}
+
+#[test]
+fn workspace_waivers_all_carry_reasons() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = mortar_lint::lint_workspace(root).expect("workspace sources readable");
+    let bare: Vec<String> = findings
+        .iter()
+        .filter(|f| f.waived && f.waive_reason.as_deref().unwrap_or("").is_empty())
+        .map(mortar_lint::render_line)
+        .collect();
+    assert!(bare.is_empty(), "waivers without a written reason:\n{}", bare.join("\n"));
+}
