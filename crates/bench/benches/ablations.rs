@@ -154,7 +154,7 @@ fn reconcile_period() {
         let mut cfg = EngineConfig::paper(n, 55);
         cfg.plan_on_true_latency = true;
         cfg.peer.reconcile_every = every;
-        let mut eng = Engine::new(cfg);
+        let mut eng = Engine::new(cfg).expect("valid config");
         let down = eng.disconnect_random(0.4, 0);
         eng.install(QuerySpec {
             name: "q".into(),

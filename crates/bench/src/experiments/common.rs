@@ -32,7 +32,7 @@ pub fn standard_engine(n: usize, trees: usize, bf: usize, seed: u64) -> Engine {
     cfg.plan_on_true_latency = true;
     cfg.planner.tree_count = trees;
     cfg.planner.branching_factor = bf;
-    Engine::new(cfg)
+    Engine::new(cfg).expect("valid config")
 }
 
 /// Mean of a slice.

@@ -24,7 +24,7 @@ fn mortar_run(mode: IndexingMode, scale: f64, n: usize, secs: f64, seed: u64) ->
     cfg.plan_on_true_latency = true;
     cfg.peer.indexing = mode;
     cfg.clock_model = ClockModel::planetlab_like(scale);
-    let mut eng = Engine::new(cfg);
+    let mut eng = Engine::new(cfg).expect("valid config");
     eng.install(count_peers_spec("sum5", n, SLIDE_US)).expect("valid spec");
     eng.run_secs(secs);
     let results = eng.results(0);

@@ -50,7 +50,7 @@ pub fn network_load(
     cfg.planner.tree_count = trees;
     cfg.peer.summary_batch_max = batch;
     cfg.peer.envelope_budget = envelope_budget;
-    let mut eng = Engine::new(cfg);
+    let mut eng = Engine::new(cfg).expect("valid config");
     let mut spec = count_peers_spec("fast", n, 25_000);
     spec.sensor = SensorSpec::Periodic { period_us: 25_000, value: 1.0 };
     eng.install(spec).expect("valid spec");

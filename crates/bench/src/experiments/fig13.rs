@@ -73,7 +73,7 @@ pub fn batching_run(n: usize, batch_max: usize, seed: u64, secs: f64) -> Batchin
     let mut cfg = EngineConfig::paper(n, seed);
     cfg.plan_on_true_latency = true;
     cfg.peer.summary_batch_max = batch_max;
-    let mut eng = Engine::new(cfg);
+    let mut eng = Engine::new(cfg).expect("valid config");
     let mut spec = count_peers_spec("fast", n, 25_000);
     spec.sensor = SensorSpec::Periodic { period_us: 25_000, value: 1.0 };
     eng.install(spec).expect("valid spec");
@@ -118,7 +118,7 @@ pub fn envelope_run(
     let mut cfg = EngineConfig::paper(n, seed);
     cfg.plan_on_true_latency = true;
     cfg.peer.envelope_budget = envelope_budget;
-    let mut eng = Engine::new(cfg);
+    let mut eng = Engine::new(cfg).expect("valid config");
     let roots: Vec<mortar_net::NodeId> =
         (0..queries).map(|qi| (qi * n / queries) as mortar_net::NodeId).collect();
     for (qi, &root) in roots.iter().enumerate() {

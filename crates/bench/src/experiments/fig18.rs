@@ -45,7 +45,7 @@ fn run_once(scenario: &WifiScenario, bf: usize, secs: f64, aggregate: bool) -> (
     cfg.plan_on_true_latency = true;
     cfg.planner.branching_factor = bf;
     // A bf of n-1 yields a flat one-level "tree": no in-network merging.
-    let mut eng = Engine::with_registry(cfg, registry);
+    let mut eng = Engine::with_registry(cfg, registry).expect("valid config");
     for (i, trace) in scenario.traces.iter().enumerate() {
         eng.sim.app_mut(i as NodeId).set_replay(trace.clone());
     }

@@ -109,7 +109,7 @@ pub fn hotpath_run_cfg(
     cfg.peer.track_truth = track_truth;
     cfg.peer.envelope_budget = envelope_budget;
     cfg.peer.due_driven_ticks = due_driven;
-    let mut eng = Engine::new(cfg);
+    let mut eng = Engine::new(cfg).expect("valid config");
     let mut spec = count_peers_spec("hot", n, slide_us);
     spec.sensor = SensorSpec::Periodic { period_us: slide_us, value: 1.0 };
     eng.install(spec).expect("valid spec");
@@ -200,7 +200,7 @@ pub fn full_scale_run(
     cfg.peer.track_truth = false;
     cfg.peer.due_driven_ticks = due_driven;
     cfg.shards = shards;
-    let mut eng = Engine::new(cfg);
+    let mut eng = Engine::new(cfg).expect("valid config");
     let mut qi = 0;
     for (tier, &slide_us) in FULL_SCALE_SLIDES_US.iter().enumerate() {
         for _ in 0..FULL_SCALE_QUERIES_PER_SLIDE[tier] {

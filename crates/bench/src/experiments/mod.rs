@@ -1,5 +1,6 @@
 //! One module per reproduced figure, plus common engine plumbing.
 
+pub mod chaos;
 pub mod common;
 pub mod fig01;
 pub mod fig0910;

@@ -1,0 +1,69 @@
+//! CI chaos soak: sweep seeded scenarios through the property oracles.
+//!
+//! Runs `MORTAR_CHAOS_SEEDS` generated scenarios (default 25) on
+//! `MORTAR_CHAOS_HOSTS` hosts (default 24) with a 30 s fault window each
+//! — deterministic simulation, so the wall-clock is bounded and the run
+//! reproducible. On the first failing seed the soak shrinks the fault
+//! schedule to a minimal repro, writes seed + violations + schedule to
+//! `chaos-soak-failure.txt` (the CI artifact), and exits nonzero.
+//!
+//! Reproduce a failure locally with the printed seed:
+//! `Scenario::generate(<seed>, <hosts>, 30_000)`.
+
+use mortar_chaos::{shrink, sweep, RunConfig, Scenario};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let seeds = env_usize("MORTAR_CHAOS_SEEDS", 25) as u64;
+    let hosts = env_usize("MORTAR_CHAOS_HOSTS", 24);
+    let duration_ms = 30_000;
+    let cfg = RunConfig::default();
+
+    println!("chaos soak: {seeds} seeds, {hosts} hosts, {duration_ms} ms fault window");
+    let report = sweep(0..seeds, hosts, duration_ms, &cfg).expect("soak workload is well-formed");
+    for (seed, r) in &report.outcomes {
+        println!(
+            "  seed {seed:>3}: {} violations, fingerprint {:#018x}",
+            r.violations.len(),
+            r.fingerprint
+        );
+    }
+
+    let Some(seed) = report.first_failure() else {
+        println!("soak clean: {}/{seeds} scenarios passed every oracle", report.outcomes.len());
+        return;
+    };
+
+    // Shrink the first failure to a minimal schedule and write the repro.
+    let sc = Scenario::generate(seed, hosts, duration_ms);
+    let shrunk = shrink(&sc, &cfg).expect("shrink re-runs the same workload");
+    let violations =
+        mortar_chaos::run_scenario(&shrunk, &cfg).expect("shrunken scenario still runs").violations;
+    let mut repro = String::new();
+    repro.push_str(&format!(
+        "chaos soak failure\nseed: {seed}\nhosts: {hosts}\nduration_ms: {duration_ms}\n\n"
+    ));
+    repro.push_str("violations (under the shrunken schedule):\n");
+    for v in &violations {
+        repro.push_str(&format!("  {v}\n"));
+    }
+    repro.push_str(&format!(
+        "\noriginal schedule ({} events):\n{}\n",
+        sc.events.len(),
+        sc.describe()
+    ));
+    repro.push_str(&format!(
+        "\nshrunken schedule ({} events):\n{}\n",
+        shrunk.events.len(),
+        shrunk.describe()
+    ));
+    if let Err(e) = std::fs::write("chaos-soak-failure.txt", &repro) {
+        eprintln!("could not write chaos-soak-failure.txt: {e}");
+    }
+    eprint!("{repro}");
+    eprintln!("\nsoak FAILED at seed {seed} ({} failing seeds total)", report.failures());
+    std::process::exit(1);
+}

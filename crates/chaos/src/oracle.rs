@@ -1,0 +1,179 @@
+//! Property oracles: invariants checked over the engine after a run.
+//!
+//! Each oracle is a pure check over post-run engine state, returning
+//! [`Violation`]s instead of panicking so the driver can collect every
+//! broken property of a run (and the shrinker can re-evaluate candidate
+//! schedules cheaply). The properties mirror the paper's robustness
+//! claims: results stay complete enough through faults (Section 4.3),
+//! removed queries stay removed everywhere (Section 4.4), anti-entropy
+//! converges every live peer onto one query set, and two-generation
+//! dedup never double-counts a source.
+
+use mortar_core::engine::Engine;
+use mortar_core::metrics;
+
+/// One broken property.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which oracle fired.
+    pub oracle: &'static str,
+    /// What it saw.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// Which properties to demand, and how hard.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Minimum mean completeness (percent) each surviving base query
+    /// must reach at its root; `<= 0.0` disables the floor.
+    pub completeness_floor: f64,
+    /// Ragged warm-up windows excluded from the completeness mean.
+    pub skip_first_windows: usize,
+    /// Demand every live peer agree on one store fingerprint (the
+    /// anti-entropy convergence property).
+    pub require_convergence: bool,
+    /// Demand removed queries be absent from every live peer (no stale
+    /// results / resurrection after tombstone propagation).
+    pub require_no_stale: bool,
+    /// Demand no window at any base root count more participants than
+    /// the query has members (the dedup conservation property).
+    pub require_conservation: bool,
+    /// Per-window participant head-room multiplier for the conservation
+    /// oracle. Mode-frame indexing can legitimately attribute a source
+    /// to an adjacent frame under jitter or a clock jump (one extra
+    /// contribution, not a systematic double-count), so the established
+    /// tolerance is 1.25× the roster; systematic duplication shows up as
+    /// ~2× and still trips the oracle.
+    pub conservation_slack: f64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        Self {
+            completeness_floor: 55.0,
+            skip_first_windows: 3,
+            require_convergence: true,
+            require_no_stale: true,
+            require_conservation: true,
+            conservation_slack: 1.25,
+        }
+    }
+}
+
+/// A query the driver installed at run start and expects to survive.
+#[derive(Debug, Clone)]
+pub struct BaseQuery {
+    /// Query name.
+    pub name: String,
+    /// The root peer whose result log the completeness oracle reads.
+    pub root: mortar_net::NodeId,
+    /// Member count (the completeness denominator).
+    pub members: usize,
+}
+
+/// Run every enabled oracle; returns all violations (empty = clean run).
+///
+/// `removed` lists query names the scenario removed and never
+/// re-installed — the no-stale oracle demands they are gone everywhere.
+pub fn evaluate(
+    eng: &Engine,
+    base: &[BaseQuery],
+    removed: &[String],
+    cfg: &OracleConfig,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let hosts = eng.hosts();
+    let live: Vec<mortar_net::NodeId> =
+        (0..hosts as mortar_net::NodeId).filter(|&n| eng.sim.is_up(n)).collect();
+
+    if cfg.completeness_floor > 0.0 {
+        for q in base {
+            let results = eng.results(q.root);
+            let ours: Vec<_> =
+                results.iter().filter(|r| r.query.as_ref() == q.name).cloned().collect();
+            if ours.is_empty() {
+                out.push(Violation {
+                    oracle: "completeness",
+                    detail: format!("query {:?} produced no results at root {}", q.name, q.root),
+                });
+                continue;
+            }
+            let mean = metrics::mean_completeness(&ours, q.members, cfg.skip_first_windows);
+            if mean < cfg.completeness_floor {
+                out.push(Violation {
+                    oracle: "completeness",
+                    detail: format!(
+                        "query {:?}: mean completeness {:.1}% below floor {:.1}%",
+                        q.name, mean, cfg.completeness_floor
+                    ),
+                });
+            }
+        }
+    }
+
+    if cfg.require_no_stale {
+        for name in removed {
+            for &n in &live {
+                if eng.sim.app(n).has_query(name) {
+                    out.push(Violation {
+                        oracle: "no-stale",
+                        detail: format!("removed query {name:?} still installed on peer {n}"),
+                    });
+                }
+            }
+        }
+    }
+
+    if cfg.require_convergence {
+        let mut first: Option<(mortar_net::NodeId, u64)> = None;
+        for &n in &live {
+            let fp = eng.sim.app(n).store_fingerprint();
+            match first {
+                None => first = Some((n, fp)),
+                Some((n0, fp0)) if fp != fp0 => {
+                    out.push(Violation {
+                        oracle: "convergence",
+                        detail: format!(
+                            "store fingerprints diverge: peer {n0} has {fp0:#018x}, \
+                             peer {n} has {fp:#018x}"
+                        ),
+                    });
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    if cfg.require_conservation {
+        for q in base {
+            let ours: Vec<_> = eng
+                .results(q.root)
+                .iter()
+                .filter(|r| r.query.as_ref() == q.name)
+                .cloned()
+                .collect();
+            let cap = (q.members as f64 * cfg.conservation_slack).ceil() as u32;
+            for (w, count) in metrics::participants_by_index(&ours) {
+                if count > cap {
+                    out.push(Violation {
+                        oracle: "conservation",
+                        detail: format!(
+                            "query {:?} window {w}: {count} participants exceed the \
+                             {}-member roster's {cap} head room (duplicate leak)",
+                            q.name, q.members
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    out
+}

@@ -1,0 +1,280 @@
+//! The fault DSL: composable, phased fault schedules over simulated time.
+//!
+//! A [`Scenario`] is a list of [`FaultEvent`]s — each a [`Fault`] applied
+//! at a simulated millisecond — plus the seed every random choice was
+//! derived from. Scenarios are plain data: they compare, clone, print,
+//! and (crucially) shrink. [`Scenario::generate`] composes one from a
+//! single seed so a sweep is reproducible from its seed list alone.
+
+use mortar_net::NodeId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// One fault the driver can apply to a running engine.
+///
+/// Faults are phased: kinds that switch something on (`Chaos`,
+/// `Partition`, `Kill`, `Skew`) are normally paired with a later event
+/// that switches it off (`ClearChaos`, `Heal`, `Revive`, a zero-offset
+/// `Skew`), but nothing enforces pairing — an unhealed fault is a valid
+/// (and useful) scenario, and [`crate::driver::RunConfig::heal_at_end`]
+/// controls whether the driver force-heals before the oracle pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Begin a message-chaos phase: loss, duplication, reorder jitter.
+    Chaos {
+        /// Per-message drop probability (0.0–1.0).
+        drop_prob: f64,
+        /// Per-message duplication probability (0.0–1.0).
+        dup_prob: f64,
+        /// Extra uniform delivery jitter in microseconds (reordering).
+        reorder_jitter_us: u64,
+    },
+    /// End the current chaos phase (restore a clean network).
+    ClearChaos,
+    /// Split the fleet at `boundary`: nodes `< boundary` form group A,
+    /// the rest group B, and traffic A→B is cut. `symmetric` also cuts
+    /// B→A; otherwise the partition is asymmetric (B still reaches A),
+    /// the nastier case for anti-entropy.
+    Partition {
+        /// First node of group B.
+        boundary: NodeId,
+        /// Cut both directions?
+        symmetric: bool,
+    },
+    /// Heal every partition cut.
+    Heal,
+    /// Disconnect these hosts' access links (crash without state loss).
+    Kill {
+        /// The victims.
+        nodes: Vec<NodeId>,
+    },
+    /// Reconnect these hosts.
+    Revive {
+        /// The survivors coming back.
+        nodes: Vec<NodeId>,
+    },
+    /// Set one host's clock to a fixed offset from true time (a skew
+    /// burst; offset 0 restores a perfect clock).
+    Skew {
+        /// The host whose clock drifts.
+        node: NodeId,
+        /// Additive offset in microseconds.
+        offset_us: i64,
+    },
+    /// Install `count` fresh queries (names minted by the driver from
+    /// the scenario seed), stressing install propagation mid-fault.
+    InstallStorm {
+        /// How many queries to install.
+        count: u32,
+    },
+    /// Remove the `count` most recently storm-installed queries,
+    /// stressing tombstone propagation mid-fault.
+    RemoveStorm {
+        /// How many storm queries to remove.
+        count: u32,
+    },
+}
+
+impl Fault {
+    /// Short kind tag, for composition assertions and artifacts.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::Chaos { .. } => "chaos",
+            Fault::ClearChaos => "clear-chaos",
+            Fault::Partition { .. } => "partition",
+            Fault::Heal => "heal",
+            Fault::Kill { .. } => "kill",
+            Fault::Revive { .. } => "revive",
+            Fault::Skew { .. } => "skew",
+            Fault::InstallStorm { .. } => "install-storm",
+            Fault::RemoveStorm { .. } => "remove-storm",
+        }
+    }
+}
+
+/// A fault applied at a simulated instant (milliseconds from run start).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When to apply it, in simulated milliseconds.
+    pub at_ms: u64,
+    /// What to apply.
+    pub fault: Fault,
+}
+
+/// A complete, replayable fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The seed every random choice in this scenario derives from; also
+    /// seeds the engine, so the whole run is a function of this number.
+    pub seed: u64,
+    /// Fleet size the schedule was generated for.
+    pub hosts: usize,
+    /// Total simulated run length (fault window; the driver appends its
+    /// own settle and converge phases around it).
+    pub duration_ms: u64,
+    /// The schedule. The driver applies events in `at_ms` order (ties
+    /// break by position).
+    pub events: Vec<FaultEvent>,
+}
+
+impl Scenario {
+    /// An empty scenario (faults added via [`Scenario::at`]).
+    pub fn new(seed: u64, hosts: usize, duration_ms: u64) -> Self {
+        Self { seed, hosts, duration_ms, events: Vec::new() }
+    }
+
+    /// Append a fault at `at_ms` (builder-style).
+    pub fn at(mut self, at_ms: u64, fault: Fault) -> Self {
+        self.events.push(FaultEvent { at_ms, fault });
+        self
+    }
+
+    /// Distinct fault kinds in the schedule (on-kinds and off-kinds).
+    pub fn kinds(&self) -> BTreeSet<&'static str> {
+        self.events.iter().map(|e| e.fault.kind()).collect()
+    }
+
+    /// One line per event — the artifact a failing sweep uploads.
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "scenario seed={} hosts={} duration_ms={} events={}\n",
+            self.seed,
+            self.hosts,
+            self.duration_ms,
+            self.events.len()
+        );
+        for e in &self.events {
+            out.push_str(&format!("  t={:>7}ms {:?}\n", e.at_ms, e.fault));
+        }
+        out
+    }
+
+    /// Compose a scenario from a single seed: three to five fault waves
+    /// of distinct kinds, each phased (switched on, later switched off)
+    /// inside the middle of the run so the fleet has settle time before
+    /// and converge time after. The same `(seed, hosts, duration_ms)`
+    /// always yields the same schedule.
+    pub fn generate(seed: u64, hosts: usize, duration_ms: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC4A0_5CE7_A810_57ED);
+        let mut sc = Scenario::new(seed, hosts, duration_ms);
+        let lo = duration_ms / 10;
+        let hi = duration_ms * 7 / 10;
+
+        // Wave menu; shuffled, then the first `waves` entries fire.
+        let mut menu: Vec<u8> = vec![0, 1, 2, 3, 4];
+        menu.shuffle(&mut rng);
+        let waves = rng.gen_range(3..=5usize);
+
+        for &wave in menu.iter().take(waves) {
+            let start = rng.gen_range(lo..hi);
+            let len = rng.gen_range(duration_ms / 10..duration_ms / 4);
+            let end = (start + len).min(duration_ms * 9 / 10);
+            match wave {
+                0 => {
+                    sc.events.push(FaultEvent {
+                        at_ms: start,
+                        fault: Fault::Chaos {
+                            drop_prob: rng.gen_range(0.02..0.10),
+                            dup_prob: rng.gen_range(0.0..0.25),
+                            reorder_jitter_us: rng.gen_range(0..400_000u64),
+                        },
+                    });
+                    sc.events.push(FaultEvent { at_ms: end, fault: Fault::ClearChaos });
+                }
+                1 => {
+                    let boundary = rng.gen_range(1..hosts.max(2)) as NodeId;
+                    let symmetric = rng.gen_range(0..2u32) == 1;
+                    sc.events.push(FaultEvent {
+                        at_ms: start,
+                        fault: Fault::Partition { boundary, symmetric },
+                    });
+                    sc.events.push(FaultEvent { at_ms: end, fault: Fault::Heal });
+                }
+                2 => {
+                    // Churn wave: kill a random minority (never node 0,
+                    // which roots the base queries), revive them later.
+                    let mut pool: Vec<NodeId> = (1..hosts as NodeId).collect();
+                    pool.shuffle(&mut rng);
+                    let k = rng.gen_range(1..=(hosts / 5).max(1));
+                    let mut victims: Vec<NodeId> = pool.into_iter().take(k).collect();
+                    victims.sort_unstable();
+                    sc.events.push(FaultEvent {
+                        at_ms: start,
+                        fault: Fault::Kill { nodes: victims.clone() },
+                    });
+                    sc.events
+                        .push(FaultEvent { at_ms: end, fault: Fault::Revive { nodes: victims } });
+                }
+                3 => {
+                    let node = rng.gen_range(0..hosts) as NodeId;
+                    let offset_us = rng.gen_range(-3_000_000i64..3_000_000);
+                    sc.events
+                        .push(FaultEvent { at_ms: start, fault: Fault::Skew { node, offset_us } });
+                    sc.events
+                        .push(FaultEvent { at_ms: end, fault: Fault::Skew { node, offset_us: 0 } });
+                }
+                _ => {
+                    let count = rng.gen_range(2..=6u32);
+                    let removed = rng.gen_range(1..=count);
+                    sc.events
+                        .push(FaultEvent { at_ms: start, fault: Fault::InstallStorm { count } });
+                    sc.events.push(FaultEvent {
+                        at_ms: end,
+                        fault: Fault::RemoveStorm { count: removed },
+                    });
+                }
+            }
+        }
+        sc.events.sort_by_key(|e| e.at_ms);
+        sc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed() {
+        for seed in 0..20u64 {
+            let a = Scenario::generate(seed, 32, 60_000);
+            let b = Scenario::generate(seed, 32, 60_000);
+            assert_eq!(a, b, "seed {seed}: generation not deterministic");
+            assert!(
+                a.kinds().len() >= 3,
+                "seed {seed}: wants >= 3 fault kinds, got {:?}",
+                a.kinds()
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_schedules() {
+        let a = Scenario::generate(1, 32, 60_000);
+        let b = Scenario::generate(2, 32, 60_000);
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn events_are_time_sorted_and_inside_the_run() {
+        for seed in 0..20u64 {
+            let sc = Scenario::generate(seed, 24, 40_000);
+            let mut last = 0;
+            for e in &sc.events {
+                assert!(e.at_ms >= last, "events out of order");
+                assert!(e.at_ms <= sc.duration_ms, "event past the end of the run");
+                last = e.at_ms;
+            }
+        }
+    }
+
+    #[test]
+    fn describe_names_every_event() {
+        let sc = Scenario::generate(7, 16, 30_000);
+        let text = sc.describe();
+        assert_eq!(text.lines().count(), sc.events.len() + 1);
+        assert!(text.contains("seed=7"));
+    }
+}

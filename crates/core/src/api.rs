@@ -20,7 +20,7 @@
 //!
 //! let mut cfg = EngineConfig::paper(16, 42);
 //! cfg.plan_on_true_latency = true;
-//! let mut mortar = Mortar::new(cfg);
+//! let mut mortar = Mortar::new(cfg)?;
 //! let up = mortar
 //!     .query("up")
 //!     .members(0..16)
@@ -584,14 +584,17 @@ pub struct Mortar {
 }
 
 impl Mortar {
-    /// Builds a session over a fresh deployment.
-    pub fn new(cfg: EngineConfig) -> Self {
-        Self::from_engine(Engine::new(cfg))
+    /// Builds a session over a fresh deployment. A configuration
+    /// violating an invariant (see
+    /// [`crate::engine::EngineConfig::validate`]) is a typed error, not
+    /// a panic.
+    pub fn new(cfg: EngineConfig) -> Result<Self, MortarError> {
+        Ok(Self::from_engine(Engine::new(cfg)?))
     }
 
     /// Builds a session with user-defined operators registered.
-    pub fn with_registry(cfg: EngineConfig, registry: OpRegistry) -> Self {
-        Self::from_engine(Engine::with_registry(cfg, registry))
+    pub fn with_registry(cfg: EngineConfig, registry: OpRegistry) -> Result<Self, MortarError> {
+        Ok(Self::from_engine(Engine::with_registry(cfg, registry)?))
     }
 
     /// Wraps an already-built engine.
@@ -875,7 +878,20 @@ mod tests {
     fn session(n: usize, seed: u64) -> Mortar {
         let mut cfg = EngineConfig::paper(n, seed);
         cfg.plan_on_true_latency = true;
-        Mortar::new(cfg)
+        Mortar::new(cfg).expect("valid config")
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error_not_a_panic() {
+        let mut cfg = EngineConfig::paper(4, 1);
+        cfg.chaos.drop_prob = 1.5;
+        assert!(matches!(Mortar::new(cfg), Err(MortarError::InvalidConfig { .. })));
+        let mut cfg = EngineConfig::paper(4, 1);
+        cfg.peer.summary_batch_max = 0;
+        assert!(matches!(Mortar::new(cfg), Err(MortarError::InvalidConfig { .. })));
+        let mut cfg = EngineConfig::paper(4, 1);
+        cfg.shards = 0;
+        assert!(matches!(Mortar::new(cfg), Err(MortarError::InvalidConfig { .. })));
     }
 
     #[test]

@@ -53,6 +53,24 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
+    /// Validates the configuration: chaos probabilities in range, a
+    /// positive summary batch size, at least one shard. Everything the
+    /// transport or peer runtime would otherwise reject at run time
+    /// surfaces here as a typed error — there is no panic left on the
+    /// configuration-validation path.
+    pub fn validate(&self) -> Result<(), MortarError> {
+        self.chaos.validate().map_err(|e| MortarError::InvalidConfig { reason: e.reason })?;
+        if self.peer.summary_batch_max < 1 {
+            return Err(MortarError::InvalidConfig {
+                reason: "summary_batch_max must be at least 1".into(),
+            });
+        }
+        if self.shards == 0 {
+            return Err(MortarError::InvalidConfig { reason: "shards must be at least 1".into() });
+        }
+        Ok(())
+    }
+
     /// The paper's standard evaluation setup over `hosts` peers.
     pub fn paper(hosts: usize, seed: u64) -> Self {
         Self {
@@ -81,13 +99,16 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Builds the system (topology → coordinates → peers).
-    pub fn new(cfg: EngineConfig) -> Self {
+    /// Builds the system (topology → coordinates → peers). A
+    /// configuration violating an invariant (see
+    /// [`EngineConfig::validate`]) is a typed error, not a panic.
+    pub fn new(cfg: EngineConfig) -> Result<Self, MortarError> {
         Self::with_registry(cfg, OpRegistry::new())
     }
 
     /// Builds the system with user-defined operators registered.
-    pub fn with_registry(cfg: EngineConfig, registry: OpRegistry) -> Self {
+    pub fn with_registry(cfg: EngineConfig, registry: OpRegistry) -> Result<Self, MortarError> {
+        cfg.validate()?;
         let hosts = cfg.topology.hosts();
         let lat = cfg.topology.latency_matrix_ms();
         let coords: Vec<Vec<f64>> = if cfg.plan_on_true_latency {
@@ -106,13 +127,13 @@ impl Engine {
         let sim = Fleet::build(builder, cfg.shards, move |id| {
             MortarPeer::new(id, peer_cfg, registry.clone())
         });
-        Self {
+        Ok(Self {
             sim,
             store: ObjectStore::new(),
             coords,
             planner: cfg.planner,
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0x9e37),
-        }
+        })
     }
 
     /// The planner's coordinate view (for diagnostics and custom planning).
@@ -355,7 +376,7 @@ mod tests {
         let mut cfg = EngineConfig::paper(n, 7);
         cfg.plan_on_true_latency = true;
         cfg.planner.branching_factor = 4;
-        let mut eng = Engine::new(cfg);
+        let mut eng = Engine::new(cfg).expect("valid config");
         let trees = eng.install(sum_spec(n)).expect("valid spec");
         assert_eq!(trees.width(), 4);
         eng.run_secs(40.0);
@@ -371,7 +392,7 @@ mod tests {
         let n = 16;
         let mut cfg = EngineConfig::paper(n, 9);
         cfg.plan_on_true_latency = true;
-        let mut eng = Engine::new(cfg);
+        let mut eng = Engine::new(cfg).expect("valid config");
         eng.install(sum_spec(n)).expect("valid spec");
         eng.run_secs(10.0);
         assert_eq!(eng.installed_count("sum"), n);
@@ -382,7 +403,7 @@ mod tests {
 
     #[test]
     fn bad_specs_are_typed_errors_not_panics() {
-        let mut eng = Engine::new(EngineConfig::paper(8, 3));
+        let mut eng = Engine::new(EngineConfig::paper(8, 3)).expect("valid config");
         // Root outside the member list.
         let mut s = sum_spec(4);
         s.root = 7;
@@ -413,7 +434,7 @@ mod tests {
         // config must surface at validation, not panic at install.
         let mut cfg = EngineConfig::paper(8, 5);
         cfg.planner.tree_count = mortar_overlay::MAX_TREES + 1;
-        let mut eng = Engine::new(cfg);
+        let mut eng = Engine::new(cfg).expect("valid config");
         assert_eq!(
             eng.install(sum_spec(4)).unwrap_err(),
             MortarError::TooManyTrees {
@@ -425,7 +446,7 @@ mod tests {
 
     #[test]
     fn removing_unknown_query_is_an_error() {
-        let mut eng = Engine::new(EngineConfig::paper(8, 4));
+        let mut eng = Engine::new(EngineConfig::paper(8, 4)).expect("valid config");
         assert_eq!(
             eng.remove("ghost", 0).unwrap_err(),
             MortarError::UnknownQuery { name: "ghost".into() }

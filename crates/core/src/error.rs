@@ -151,6 +151,14 @@ pub enum MortarError {
         /// The compiler's message.
         message: String,
     },
+    /// An engine/session configuration violates an invariant (an
+    /// out-of-range chaos probability, a zero batch size, a zero shard
+    /// count). Surfaced by [`crate::engine::EngineConfig::validate`] at
+    /// construction instead of panicking inside the runtime.
+    InvalidConfig {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for MortarError {
@@ -224,6 +232,9 @@ impl std::fmt::Display for MortarError {
                 )
             }
             MortarError::Compile { message } => write!(f, "compile error: {message}"),
+            MortarError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
         }
     }
 }

@@ -106,12 +106,50 @@ pub enum MortarMsg {
         /// clock). Specs are shared — building the exchange clones
         /// pointers, not specs.
         installed: Vec<(Arc<QuerySpec>, QueryId, u64, i64)>,
-        /// Cached removals, keyed by interned id (receivers resolve names
-        /// through their [`crate::query::QueryDirectory`], which retains
-        /// retired bindings).
-        removed: Vec<(QueryId, u64)>,
+        /// Cached removals as `(name, id, seq)`. The name rides along so a
+        /// receiver that never installed the query can still *adopt* the
+        /// tombstone (bind the id, cache the removal) — without it, peers
+        /// that missed both the install and the removal can never match
+        /// the remover's store hash and re-reconcile on every hash beat
+        /// forever.
+        removed: Vec<(Arc<str>, QueryId, u64)>,
         /// Whether the receiver should reply with its own sets.
         reply: bool,
+    },
+    /// Phase 1 of three-phase digest anti-entropy, sent instead of a full
+    /// [`MortarMsg::Reconcile`] when
+    /// [`crate::peer::PeerConfig::digest_reconcile`] is on: the sender's
+    /// store as fixed-size `(id, seq)` entries. No spec travels until a
+    /// concrete difference is identified, so a hash mismatch over a large
+    /// mostly-agreeing store costs digests, not full sets.
+    ReconcileDigest {
+        /// Installed queries as (interned id, install sequence).
+        installed: Vec<(QueryId, u64)>,
+        /// Cached removals as (interned id, removal sequence).
+        removed: Vec<(QueryId, u64)>,
+    },
+    /// Phase 2: the digest receiver's reconciliation plan.
+    ReconcilePlan {
+        /// Full entries for queries the digest showed the sender is
+        /// missing (or holds at a stale sequence). Specs are shared.
+        push: Vec<(Arc<QuerySpec>, QueryId, u64, i64)>,
+        /// Ids the planner itself is missing; the digest sender answers
+        /// with a [`MortarMsg::ReconcileTransfer`].
+        want: Vec<QueryId>,
+        /// Tombstone ids from the digest the planner cannot resolve to a
+        /// name (it never saw the query); the digest sender answers them,
+        /// named, in the transfer so the planner can adopt them.
+        want_removed: Vec<QueryId>,
+        /// The planner's removal cache as `(name, id, seq)` — named for
+        /// the same adoption reason as [`MortarMsg::Reconcile`]'s.
+        removed: Vec<(Arc<str>, QueryId, u64)>,
+    },
+    /// Phase 3: full entries answering a plan's `want` list.
+    ReconcileTransfer {
+        /// The requested entries (shared specs).
+        entries: Vec<(Arc<QuerySpec>, QueryId, u64, i64)>,
+        /// Named tombstones answering the plan's `want_removed` list.
+        removed: Vec<(Arc<str>, QueryId, u64)>,
     },
     /// Chunked-multicast query installation.
     Install {
@@ -170,7 +208,19 @@ impl MortarMsg {
             MortarMsg::Heartbeat { store_hash } => 24 + if store_hash.is_some() { 8 } else { 0 },
             MortarMsg::Reconcile { installed, removed, .. } => {
                 16 + installed.iter().map(|(s, _, _, _)| s.wire_bytes() + 20).sum::<u32>()
-                    + removed.len() as u32 * 12
+                    + removed.iter().map(|(n, _, _)| 12 + n.len() as u32).sum::<u32>()
+            }
+            MortarMsg::ReconcileDigest { installed, removed } => {
+                16 + (installed.len() + removed.len()) as u32 * 12
+            }
+            MortarMsg::ReconcilePlan { push, want, want_removed, removed } => {
+                16 + push.iter().map(|(s, _, _, _)| s.wire_bytes() + 20).sum::<u32>()
+                    + (want.len() + want_removed.len()) as u32 * 8
+                    + removed.iter().map(|(n, _, _)| 12 + n.len() as u32).sum::<u32>()
+            }
+            MortarMsg::ReconcileTransfer { entries, removed } => {
+                16 + entries.iter().map(|(s, _, _, _)| s.wire_bytes() + 20).sum::<u32>()
+                    + removed.iter().map(|(n, _, _)| 12 + n.len() as u32).sum::<u32>()
             }
             MortarMsg::Install { spec, records, .. } => {
                 28 + spec.wire_bytes() + records.iter().map(InstallRecord::wire_bytes).sum::<u32>()
@@ -266,15 +316,36 @@ mod tests {
     }
 
     #[test]
-    fn removed_cache_entries_are_fixed_size() {
-        // De-stringed removal cache: each entry costs 12 bytes regardless
-        // of how long the removed query's name was.
+    fn digest_entries_are_fixed_size_and_spec_free() {
+        // The whole point of phase 1: a digest entry costs 12 bytes no
+        // matter how large the query spec is, so a mismatch over a large
+        // mostly-agreeing store is cheap to localize.
+        let base = MortarMsg::ReconcileDigest { installed: vec![], removed: vec![] };
+        let three = MortarMsg::ReconcileDigest {
+            installed: vec![(QueryId(1), 1), (QueryId(2), 5)],
+            removed: vec![(QueryId(3), 9)],
+        };
+        assert_eq!(three.wire_bytes() - base.wire_bytes(), 36);
+        // A plan with no pushes is want ids + named tombstones.
+        let plan = MortarMsg::ReconcilePlan {
+            push: vec![],
+            want: vec![QueryId(1), QueryId(2)],
+            want_removed: vec![QueryId(5)],
+            removed: vec![(Arc::from("gone"), QueryId(3), 9)],
+        };
+        assert_eq!(plan.wire_bytes(), 16 + 3 * 8 + (12 + 4));
+    }
+
+    #[test]
+    fn removal_entries_charge_for_their_names() {
+        // Applied removal entries carry the name so any receiver can adopt
+        // the tombstone: 12 bytes of (id, seq) plus the name itself.
         let base = MortarMsg::Reconcile { installed: vec![], removed: vec![], reply: false };
         let two = MortarMsg::Reconcile {
             installed: vec![],
-            removed: vec![(QueryId(7), 3), (QueryId(900), 12)],
+            removed: vec![(Arc::from("abc"), QueryId(7), 3), (Arc::from("x"), QueryId(900), 12)],
             reply: false,
         };
-        assert_eq!(two.wire_bytes() - base.wire_bytes(), 24);
+        assert_eq!(two.wire_bytes() - base.wire_bytes(), (12 + 3) + (12 + 1));
     }
 }

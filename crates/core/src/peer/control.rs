@@ -232,9 +232,8 @@ impl MortarPeer {
     }
 
     /// Builds this peer's reconciliation message. Specs ship as shared
-    /// pointers and the removal cache as `(id, seq)` pairs — assembling
-    /// the exchange allocates the two vectors, nothing per spec and no
-    /// name strings.
+    /// pointers; removal-cache entries carry their name so any receiver
+    /// can adopt the tombstone (see [`Self::adopt_removal`]).
     pub(crate) fn reconcile_payload(&self, local_now: i64, reply: bool) -> MortarMsg {
         MortarMsg::Reconcile {
             installed: self
@@ -242,12 +241,57 @@ impl MortarPeer {
                 .values()
                 .map(|q| (q.spec.clone(), q.id, q.seq, local_now - q.t_ref_base_us))
                 .collect(),
-            removed: self.removed.iter().map(|(&id, &s)| (id, s)).collect(),
+            removed: self.named_removals(),
             reply,
         }
     }
 
-    /// Handles a heartbeat, answering hash mismatches with a full exchange.
+    /// The removal cache as named `(name, id, seq)` entries. Tombstones
+    /// whose id no longer resolves (the name was re-bound to a newer
+    /// incarnation, evicting the old binding) are invisible to the store
+    /// hash and so are not advertised either.
+    pub(crate) fn named_removals(&self) -> Vec<(Arc<str>, QueryId, u64)> {
+        self.removed
+            .iter()
+            .filter_map(|(&id, &s)| self.directory.name_of(id).map(|n| (Arc::from(n), id, s)))
+            .collect()
+    }
+
+    /// Builds this peer's fixed-size store digest (phase 1 of digest
+    /// anti-entropy): `(id, seq)` pairs only, no specs.
+    pub(crate) fn digest_payload(&self) -> MortarMsg {
+        MortarMsg::ReconcileDigest {
+            installed: self.queries.values().map(|q| (q.id, q.seq)).collect(),
+            removed: self.removed.iter().map(|(&id, &s)| (id, s)).collect(),
+        }
+    }
+
+    /// Sends a reconciliation message, charging the reconcile-traffic
+    /// counters (both protocols count here, so full-map vs digest byte
+    /// comparisons read straight off [`super::PeerStats`]).
+    fn send_reconcile_msg(&mut self, ctx: &mut Ctx<'_, MortarMsg>, to: NodeId, msg: MortarMsg) {
+        let bytes = msg.wire_bytes();
+        self.stats.reconcile_msgs_out += 1;
+        self.stats.reconcile_bytes_out += bytes as u64;
+        ctx.send_classified(to, msg, bytes, TrafficClass::Control);
+    }
+
+    /// Starts a reconciliation with `from` after a store-hash mismatch
+    /// (heartbeat- or data-path-carried): a fixed-size digest under
+    /// [`super::PeerConfig::digest_reconcile`], the legacy full-map
+    /// exchange otherwise.
+    pub(crate) fn trigger_reconcile(&mut self, ctx: &mut Ctx<'_, MortarMsg>, from: NodeId) {
+        self.stats.reconciles += 1;
+        let payload = if self.cfg.digest_reconcile {
+            self.digest_payload()
+        } else {
+            self.reconcile_payload(ctx.local_now_us(), true)
+        };
+        self.send_reconcile_msg(ctx, from, payload);
+    }
+
+    /// Handles a heartbeat, answering hash mismatches with a
+    /// reconciliation exchange.
     pub(crate) fn handle_heartbeat(
         &mut self,
         ctx: &mut Ctx<'_, MortarMsg>,
@@ -256,10 +300,7 @@ impl MortarPeer {
     ) {
         if let Some(h) = store_hash {
             if h != self.my_store_hash() {
-                self.stats.reconciles += 1;
-                let payload = self.reconcile_payload(ctx.local_now_us(), true);
-                let bytes = payload.wire_bytes();
-                ctx.send_classified(from, payload, bytes, TrafficClass::Control);
+                self.trigger_reconcile(ctx, from);
             }
         }
     }
@@ -270,7 +311,7 @@ impl MortarPeer {
         ctx: &mut Ctx<'_, MortarMsg>,
         from: NodeId,
         installed: Vec<(Arc<QuerySpec>, QueryId, u64, i64)>,
-        removed: Vec<(QueryId, u64)>,
+        removed: Vec<(Arc<str>, QueryId, u64)>,
         reply: bool,
     ) {
         let local_now = ctx.local_now_us();
@@ -279,33 +320,210 @@ impl MortarPeer {
         // map keeps every intermediate step hash-seed independent.
         let other_installed: BTreeMap<String, u64> =
             installed.iter().map(|(s, _, q, _)| (s.name.clone(), *q)).collect();
-        // The remote's removal cache arrives id-keyed; resolve through our
-        // directory. Ids we cannot resolve name queries we never installed
-        // — nothing of ours they could cancel.
-        let other_removed: BTreeMap<String, u64> = removed
-            .into_iter()
-            .filter_map(|(id, s)| self.directory.name_of(id).map(|n| (n.to_string(), s)))
-            .collect();
+        let other_removed: BTreeMap<String, u64> =
+            removed.iter().map(|(n, _, s)| (n.to_string(), *s)).collect();
         let outcome =
             reconcile(&InstalledView(self), &RemovedView(self), &other_installed, &other_removed);
         if reply {
             let payload = self.reconcile_payload(local_now, false);
-            let bytes = payload.wire_bytes();
-            ctx.send_classified(from, payload, bytes, TrafficClass::Control);
+            self.send_reconcile_msg(ctx, from, payload);
         }
         for (name, seq) in outcome.to_install {
             if let Some((spec, id, _, age)) = installed.iter().find(|(s, _, _, _)| s.name == name) {
-                let age = age + self.cfg.hop_age_est_us as i64;
-                let root = spec.root;
-                self.install_query(spec.clone(), *id, seq, None, age, local_now);
-                // Fetch this peer's physical-plan record from the root.
-                let req = MortarMsg::TopoRequest { name: name.clone() };
-                let bytes = req.wire_bytes();
-                ctx.send_classified(root, req, bytes, TrafficClass::Control);
+                self.reconcile_install(ctx, spec.clone(), *id, seq, *age, local_now);
             }
         }
-        for (name, seq) in outcome.to_remove {
-            self.remove_query(&name, seq);
+        // Adoption subsumes `outcome.to_remove`: `adopt_removal` tears
+        // down live installs the removal beats, and additionally caches
+        // tombstones for queries never seen here.
+        for (name, id, rseq) in &removed {
+            self.adopt_removal(name, *id, *rseq);
+        }
+    }
+
+    /// Installs one entry learned through reconciliation (full-map or
+    /// digest) and fetches this peer's physical-plan record from the
+    /// query root. Entries the local state already beats — an equal or
+    /// newer install, or an equal or newer tombstone — are skipped, so no
+    /// spurious topology fetch goes out; these are exactly the
+    /// [`reconcile`] `to_install` conditions, re-checked here because a
+    /// digest plan was computed from a snapshot that may have raced a
+    /// direct install or removal in flight.
+    fn reconcile_install(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        spec: Arc<QuerySpec>,
+        id: QueryId,
+        seq: u64,
+        age: i64,
+        local_now: i64,
+    ) {
+        let have = self.queries.get(&id).is_some_and(|q| q.seq >= seq);
+        let removed_newer = self.removed.get(&id).is_some_and(|&r| r >= seq);
+        if have || removed_newer {
+            return;
+        }
+        let age = age + self.cfg.hop_age_est_us as i64;
+        let root = spec.root;
+        let name = spec.name.clone();
+        self.install_query(spec, id, seq, None, age, local_now);
+        let req = MortarMsg::TopoRequest { name };
+        let bytes = req.wire_bytes();
+        ctx.send_classified(root, req, bytes, TrafficClass::Control);
+    }
+
+    /// Applies one remote tombstone, whatever this peer knew before:
+    ///
+    /// - a live install the removal beats is torn down
+    ///   ([`Self::remove_query`], which also discards stale sequences);
+    /// - a query never seen here gets the tombstone *adopted* — id bound
+    ///   (unless either key already belongs to a newer incarnation) and
+    ///   the removal cached — so this peer's store hash can actually
+    ///   match the remover's instead of re-reconciling every hash beat.
+    pub(crate) fn adopt_removal(&mut self, name: &str, id: QueryId, rseq: u64) {
+        if self.removed.get(&id).is_some_and(|&r| r >= rseq) {
+            return; // An equal or newer tombstone is already cached.
+        }
+        if self.queries.contains_key(&id) {
+            // Resolve through the *local* binding: a live install always
+            // bound it, and ids map 1:1 to names under the single-writer
+            // store (colliding ids were refused at install).
+            if let Some(local) = self.directory.name_of(id).map(str::to_string) {
+                self.remove_query(&local, rseq);
+            }
+            return;
+        }
+        if self.directory.name_of(id).is_none() && self.directory.id_of(name).is_none() {
+            self.directory.bind(id, name);
+        }
+        self.removed.insert(id, rseq);
+        self.invalidate_store_hash();
+    }
+
+    /// Handles a store digest (phase 1 → phase 2): computes which entries
+    /// actually differ and replies with a plan that pushes the digest
+    /// sender's gaps in full, requests this peer's own gaps, and carries
+    /// this peer's removal cache. The decisions are exactly
+    /// [`crate::reconcile::digest_plan`]'s — [`reconcile`] run in both
+    /// directions — expressed in id space (ids bind 1:1 to names through
+    /// the single-writer object store; a colliding id from a second
+    /// injector is refused at install, same as the full-map path).
+    pub(crate) fn handle_reconcile_digest(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        from: NodeId,
+        installed: Vec<(QueryId, u64)>,
+        removed: Vec<(QueryId, u64)>,
+    ) {
+        let local_now = ctx.local_now_us();
+        // `want`: remote installs that beat everything known locally —
+        // including ids never seen here (no binding, no tombstone), which
+        // by definition are wanted.
+        let want: Vec<QueryId> = installed
+            .iter()
+            .filter(|&&(id, seq)| {
+                let have = self.queries.get(&id).is_some_and(|q| q.seq >= seq);
+                let removed_newer = self.removed.get(&id).is_some_and(|&r| r >= seq);
+                !have && !removed_newer
+            })
+            .map(|&(id, _)| id)
+            .collect();
+        // `want_removed`: digest tombstones that beat the local cache but
+        // whose id this peer cannot name — adoption needs the name, so
+        // the digest sender ships them named in the transfer.
+        let want_removed: Vec<QueryId> = removed
+            .iter()
+            .filter(|&&(id, rseq)| {
+                self.directory.name_of(id).is_none()
+                    && self.removed.get(&id).is_none_or(|&r| r < rseq)
+            })
+            .map(|&(id, _)| id)
+            .collect();
+        // `push`: local installs the digest lacks or holds at a stale
+        // sequence, shipped in full (spec pointers, no copies).
+        let other_installed: BTreeMap<QueryId, u64> = installed.into_iter().collect();
+        let other_removed: BTreeMap<QueryId, u64> = removed.iter().copied().collect();
+        let push: Vec<(Arc<QuerySpec>, QueryId, u64, i64)> = self
+            .queries
+            .values()
+            .filter(|q| {
+                let have = other_installed.get(&q.id).is_some_and(|&s| s >= q.seq);
+                let removed_newer = other_removed.get(&q.id).is_some_and(|&r| r >= q.seq);
+                !have && !removed_newer
+            })
+            .map(|q| (q.spec.clone(), q.id, q.seq, local_now - q.t_ref_base_us))
+            .collect();
+        let plan =
+            MortarMsg::ReconcilePlan { push, want, want_removed, removed: self.named_removals() };
+        self.send_reconcile_msg(ctx, from, plan);
+        // Apply the digest's resolvable tombstones after the plan is
+        // built from the pre-exchange snapshot — the same ordering as the
+        // full exchange, which replies before applying its outcome.
+        // (Unresolvable ones were requested above and adopt on transfer.)
+        for (id, rseq) in removed {
+            if let Some(name) = self.directory.name_of(id).map(str::to_string) {
+                self.adopt_removal(&name, id, rseq);
+            }
+        }
+    }
+
+    /// Handles a reconciliation plan (phase 2 → phase 3): installs the
+    /// pushed entries, adopts the planner's removal cache, and answers
+    /// the `want`/`want_removed` lists with full entries (and named
+    /// tombstones) from the live state.
+    pub(crate) fn handle_reconcile_plan(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        from: NodeId,
+        push: Vec<(Arc<QuerySpec>, QueryId, u64, i64)>,
+        want: Vec<QueryId>,
+        want_removed: Vec<QueryId>,
+        removed: Vec<(Arc<str>, QueryId, u64)>,
+    ) {
+        let local_now = ctx.local_now_us();
+        let entries: Vec<(Arc<QuerySpec>, QueryId, u64, i64)> = want
+            .iter()
+            .filter_map(|id| {
+                self.queries
+                    .get(id)
+                    .map(|q| (q.spec.clone(), q.id, q.seq, local_now - q.t_ref_base_us))
+            })
+            .collect();
+        let tombstones: Vec<(Arc<str>, QueryId, u64)> = want_removed
+            .iter()
+            .filter_map(|&id| {
+                let &rseq = self.removed.get(&id)?;
+                let name = self.directory.name_of(id)?;
+                Some((Arc::from(name), id, rseq))
+            })
+            .collect();
+        if !entries.is_empty() || !tombstones.is_empty() {
+            let transfer = MortarMsg::ReconcileTransfer { entries, removed: tombstones };
+            self.send_reconcile_msg(ctx, from, transfer);
+        }
+        for (spec, id, seq, age) in push {
+            self.reconcile_install(ctx, spec, id, seq, age, local_now);
+        }
+        for (name, id, rseq) in &removed {
+            self.adopt_removal(name, *id, *rseq);
+        }
+    }
+
+    /// Handles a reconciliation transfer (phase 3): the requested entries
+    /// arrive in full and install under the usual sequence guards; the
+    /// requested tombstones arrive named and are adopted.
+    pub(crate) fn handle_reconcile_transfer(
+        &mut self,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        entries: Vec<(Arc<QuerySpec>, QueryId, u64, i64)>,
+        removed: Vec<(Arc<str>, QueryId, u64)>,
+    ) {
+        let local_now = ctx.local_now_us();
+        for (spec, id, seq, age) in entries {
+            self.reconcile_install(ctx, spec, id, seq, age, local_now);
+        }
+        for (name, id, rseq) in &removed {
+            self.adopt_removal(name, *id, *rseq);
         }
     }
 

@@ -148,6 +148,15 @@ pub struct PeerConfig {
     /// Off by default: firing between grid ticks shifts emission and
     /// eviction timing, so the fixed cadence remains the parity baseline.
     pub adaptive_ticks: bool,
+    /// Three-phase digest anti-entropy (the default): on a store-hash
+    /// mismatch the detecting peer sends fixed-size `(id, seq)` digests
+    /// of its installed and removed sets; the receiver computes a plan
+    /// and only the entries that actually differ travel with their
+    /// specs. `false` restores the full-map exchange (both sides ship
+    /// their complete installed sets) — kept as the equivalence baseline
+    /// the digest protocol is property-tested against (see
+    /// [`crate::reconcile::digest_plan`]).
+    pub digest_reconcile: bool,
     /// Piggyback liveness transitions on the due index: when a
     /// record-linked neighbour is first heard after exceeding the
     /// liveness horizon (it *returned*), or is noticed at a heartbeat
@@ -182,6 +191,7 @@ impl Default for PeerConfig {
             envelope_hold_us: 0,
             due_driven_ticks: true,
             adaptive_ticks: false,
+            digest_reconcile: true,
             liveness_reschedule: false,
         }
     }
@@ -215,6 +225,12 @@ pub struct PeerStats {
     pub summary_payload_bytes_out: u64,
     /// Reconciliation exchanges initiated.
     pub reconciles: u64,
+    /// Reconciliation wire messages sent (full exchanges, or
+    /// digest/plan/transfer phases, whichever protocol is active).
+    pub reconcile_msgs_out: u64,
+    /// Modelled wire bytes of all reconciliation messages sent — the
+    /// quantity digest anti-entropy exists to shrink.
+    pub reconcile_bytes_out: u64,
     /// Installs applied (including via reconciliation).
     pub installs: u64,
     /// Removals applied.
@@ -495,6 +511,14 @@ impl MortarPeer {
     /// scaling metric: heartbeats are shared across trees and queries).
     pub fn heartbeat_children(&self) -> usize {
         self.hb_children.len()
+    }
+
+    /// The peer's current store fingerprint: the hash of its installed
+    /// and tombstone sets that reconciliation compares. Equal
+    /// fingerprints across peers mean anti-entropy has converged — the
+    /// observable the chaos property oracles assert on after a heal.
+    pub fn store_fingerprint(&self) -> u64 {
+        self.my_store_hash()
     }
 
     pub(crate) fn my_store_hash(&self) -> u64 {
@@ -796,6 +820,15 @@ impl App for MortarPeer {
             }
             MortarMsg::Reconcile { installed, removed, reply } => {
                 self.handle_reconcile(ctx, from, installed, removed, reply);
+            }
+            MortarMsg::ReconcileDigest { installed, removed } => {
+                self.handle_reconcile_digest(ctx, from, installed, removed);
+            }
+            MortarMsg::ReconcilePlan { push, want, want_removed, removed } => {
+                self.handle_reconcile_plan(ctx, from, push, want, want_removed, removed);
+            }
+            MortarMsg::ReconcileTransfer { entries, removed } => {
+                self.handle_reconcile_transfer(ctx, entries, removed);
             }
             MortarMsg::Install { spec, id, seq, records, issue_age_us } => {
                 self.handle_install(ctx, spec, id, seq, records, issue_age_us);

@@ -441,10 +441,7 @@ impl MortarPeer {
         let local_now = ctx.local_now_us();
         if let Some(h) = frame.store_hash {
             if h != self.my_store_hash() {
-                self.stats.reconciles += 1;
-                let payload = self.reconcile_payload(local_now, true);
-                let bytes = payload.wire_bytes();
-                ctx.send_classified(from, payload, bytes, TrafficClass::Control);
+                self.trigger_reconcile(ctx, from);
             }
         }
         if !self.queries.contains_key(&id) {

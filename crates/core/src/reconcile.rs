@@ -86,6 +86,42 @@ pub fn reconcile(
     out
 }
 
+/// The planner's half of a three-phase digest exchange: what a peer
+/// decides on receiving a fixed-size store digest instead of a full set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DigestPlan {
+    /// Entries the digest sender is missing (or holds at a stale
+    /// sequence); the planner pushes them in full.
+    pub push: Vec<(String, u64)>,
+    /// Entries the planner itself is missing; requested in full via the
+    /// transfer phase.
+    pub want: Vec<(String, u64)>,
+    /// Removals the planner must apply locally (the digest's removal
+    /// cache cancelled a local install).
+    pub to_remove: Vec<(String, u64)>,
+}
+
+/// Computes the digest-exchange plan: [`reconcile`] run in both
+/// directions. The three-phase protocol therefore applies *exactly* the
+/// full exchange's install/remove decisions — only the wire shape differs
+/// (12-byte digest entries and targeted spec transfers instead of both
+/// sides shipping their complete installed sets).
+///
+/// The digest sender's own removals (`reconcile` from its perspective)
+/// are not computed here: the plan ships the planner's removal cache and
+/// the sender applies it under the same sequence rules, exactly as it
+/// would a full exchange's `removed` field.
+pub fn digest_plan(
+    my_installed: &impl SeqMap,
+    my_removed: &impl SeqMap,
+    other_installed: &impl SeqMap,
+    other_removed: &impl SeqMap,
+) -> DigestPlan {
+    let mine = reconcile(my_installed, my_removed, other_installed, other_removed);
+    let theirs = reconcile(other_installed, other_removed, my_installed, my_removed);
+    DigestPlan { push: theirs.to_install, want: mine.to_install, to_remove: mine.to_remove }
+}
+
 /// FNV-1a hash of the (name, seq) pairs ordered by name — the summary the
 /// paper computes with MD5. Identical sets ⇒ identical hashes; used to skip
 /// full exchanges.
@@ -173,6 +209,147 @@ mod tests {
         let none = map(&[]);
         let first = reconcile(&a_i, &none, &a_i, &none);
         assert_eq!(first, ReconcileOutcome::default());
+    }
+
+    #[test]
+    fn digest_plan_mirrors_full_reconcile_in_both_directions() {
+        let a_i = map(&[("q1", 1), ("q3", 1)]);
+        let a_r = map(&[]);
+        let b_i = map(&[("q2", 4)]);
+        let b_r = map(&[("q3", 9)]);
+        let plan = digest_plan(&a_i, &a_r, &b_i, &b_r);
+        assert_eq!(plan.want, reconcile(&a_i, &a_r, &b_i, &b_r).to_install);
+        assert_eq!(plan.push, reconcile(&b_i, &b_r, &a_i, &a_r).to_install);
+        assert_eq!(plan.to_remove, vec![("q3".to_string(), 9)]);
+    }
+
+    /// Applies install/remove decisions to a (installed, removed) state
+    /// pair under the peer's sequence rules: an install loses to an equal
+    /// or newer tombstone or incumbent; a removal only cancels an install
+    /// with a smaller sequence.
+    fn apply(
+        installed: &mut HashMap<String, u64>,
+        removed: &mut HashMap<String, u64>,
+        to_install: &[(String, u64)],
+        to_remove: &[(String, u64)],
+    ) {
+        for (n, s) in to_install {
+            if removed.get(n).is_some_and(|r| r >= s) {
+                continue;
+            }
+            if installed.get(n).is_some_and(|m| m >= s) {
+                continue;
+            }
+            removed.remove(n);
+            installed.insert(n.clone(), *s);
+        }
+        for (n, s) in to_remove {
+            if installed.get(n).is_some_and(|m| m < s) {
+                installed.remove(n);
+                removed.insert(n.clone(), *s);
+            }
+        }
+    }
+
+    /// A sorted `(name, seq)` listing of one side of a state pair.
+    type Canon = Vec<(String, u64)>;
+
+    /// Canonical sorted view of a state pair for equivalence assertions.
+    fn canon(installed: &HashMap<String, u64>, removed: &HashMap<String, u64>) -> (Canon, Canon) {
+        let mut i: Vec<_> = installed.iter().map(|(n, &s)| (n.clone(), s)).collect();
+        let mut r: Vec<_> = removed.iter().map(|(n, &s)| (n.clone(), s)).collect();
+        i.sort();
+        r.sort();
+        (i, r)
+    }
+
+    #[test]
+    fn digest_flow_converges_identically_to_full_map_on_random_states() {
+        // Property: for random peer-state pairs over a small name/seq
+        // space (so installs, tombstones, races and re-installs collide
+        // constantly), running the three-phase digest flow end to end
+        // lands both peers in exactly the state the full-map exchange
+        // would — and that state is symmetric (both agree).
+        // States are generated per the single-writer store model: each
+        // name has one strictly alternating install/remove history with
+        // strictly increasing sequences, and each peer knows some prefix
+        // of it. (Arbitrary independent (seq, seq) pairs can mint an
+        // install and a removal *tying* on a sequence — a state the store
+        // never issues, and one where neither protocol converges in a
+        // single round: the tombstone blocks the install locally but is
+        // too old to cancel it remotely.)
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0xD16E57);
+        for case in 0..500 {
+            let mut a_i0 = HashMap::new();
+            let mut a_r0 = HashMap::new();
+            let mut b_i0 = HashMap::new();
+            let mut b_r0 = HashMap::new();
+            for n in 0..6 {
+                let name = format!("q{n}");
+                let hist_len = rng.gen_range(0..7u64);
+                // Command k of the history: odd = install(seq k), even =
+                // remove(seq k). A peer knowing prefix k holds the state
+                // the k-th command leaves behind (0 = never heard of it).
+                for (i, r) in [(&mut a_i0, &mut a_r0), (&mut b_i0, &mut b_r0)] {
+                    let k = rng.gen_range(0..=hist_len);
+                    if k == 0 {
+                        continue;
+                    }
+                    if k % 2 == 1 {
+                        i.insert(name.clone(), k);
+                    } else {
+                        r.insert(name.clone(), k);
+                    }
+                }
+            }
+
+            // Full-map flow: both sides compute their outcome from the
+            // pre-exchange states, then apply.
+            let a_out = reconcile(&a_i0, &a_r0, &b_i0, &b_r0);
+            let b_out = reconcile(&b_i0, &b_r0, &a_i0, &a_r0);
+            let (mut fa_i, mut fa_r) = (a_i0.clone(), a_r0.clone());
+            let (mut fb_i, mut fb_r) = (b_i0.clone(), b_r0.clone());
+            apply(&mut fa_i, &mut fa_r, &a_out.to_install, &a_out.to_remove);
+            apply(&mut fb_i, &mut fb_r, &b_out.to_install, &b_out.to_remove);
+
+            // Digest flow: B digests to A; A plans (pushes B's gaps,
+            // wants its own, ships its removal cache); B applies the
+            // pushes and A's removals and transfers A's wants; A applies
+            // the transfer and B's removal cache (carried by the digest).
+            let plan = digest_plan(&a_i0, &a_r0, &b_i0, &b_r0);
+            let (mut da_i, mut da_r) = (a_i0.clone(), a_r0.clone());
+            let (mut db_i, mut db_r) = (b_i0.clone(), b_r0.clone());
+            let a_removed_cache: Vec<(String, u64)> =
+                a_r0.iter().map(|(n, &s)| (n.clone(), s)).collect();
+            apply(&mut db_i, &mut db_r, &plan.push, &a_removed_cache);
+            // The transfer answers `want` from B's live pre-plan set.
+            let transfer: Vec<(String, u64)> = plan
+                .want
+                .iter()
+                .filter_map(|(n, _)| b_i0.get(n).map(|&s| (n.clone(), s)))
+                .collect();
+            let b_removed_cache: Vec<(String, u64)> =
+                b_r0.iter().map(|(n, &s)| (n.clone(), s)).collect();
+            apply(&mut da_i, &mut da_r, &transfer, &b_removed_cache);
+
+            assert_eq!(
+                canon(&da_i, &da_r),
+                canon(&fa_i, &fa_r),
+                "case {case}: A diverged (digest vs full-map)"
+            );
+            assert_eq!(
+                canon(&db_i, &db_r),
+                canon(&fb_i, &fb_r),
+                "case {case}: B diverged (digest vs full-map)"
+            );
+            assert_eq!(
+                canon(&da_i, &da_r).0,
+                canon(&db_i, &db_r).0,
+                "case {case}: peers failed to agree on the installed set"
+            );
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn run_trees(seed: u64, batch_max: usize, n: usize, trees: usize) -> RunOutcome 
     cfg.planner.tree_count = trees;
     cfg.planner.branching_factor = 4;
     cfg.peer.summary_batch_max = batch_max;
-    let mut eng = Engine::new(cfg);
+    let mut eng = Engine::new(cfg).expect("valid config");
     eng.install(fast_spec(n)).expect("valid spec");
     eng.run_secs(15.0);
     RunOutcome {
@@ -97,7 +97,7 @@ fn run_multi(seed: u64, batch_max: usize, envelope_budget: u32, n: usize) -> Mul
     cfg.planner.branching_factor = 4;
     cfg.peer.summary_batch_max = batch_max;
     cfg.peer.envelope_budget = envelope_budget;
-    let mut eng = Engine::new(cfg);
+    let mut eng = Engine::new(cfg).expect("valid config");
     eng.install(fast_spec(n)).expect("valid spec");
     eng.install(peak_spec(n)).expect("valid spec");
     eng.run_secs(15.0);
@@ -148,7 +148,7 @@ fn run_sched(seed: u64, due_driven: bool, churn: bool, n: usize) -> MultiOutcome
     // Skewed clocks: due instants and tick boundaries both live on each
     // peer's local clock, so scheduling must commute with clock error.
     cfg.clock_model = ClockModel::planetlab_like(1.0);
-    let mut eng = Engine::new(cfg);
+    let mut eng = Engine::new(cfg).expect("valid config");
     eng.install(fast_spec(n)).expect("valid spec");
     eng.install(slow_spec(n)).expect("valid spec");
     if churn {
@@ -340,7 +340,7 @@ fn hold_coalesces_across_ticks_without_losing_results() {
         cfg.planner.tree_count = 4;
         cfg.planner.branching_factor = 4;
         cfg.peer.envelope_hold_us = hold_us;
-        let mut eng = Engine::new(cfg);
+        let mut eng = Engine::new(cfg).expect("valid config");
         eng.install(fast_spec(n)).expect("valid spec");
         eng.run_secs(25.0);
         let complete = mortar_core::metrics::mean_completeness(eng.results(0), n, 30);

@@ -11,7 +11,7 @@ fn session(n: usize, seed: u64, cap: usize) -> Mortar {
     let mut cfg = EngineConfig::paper(n, seed);
     cfg.plan_on_true_latency = true;
     cfg.peer.result_log_cap = cap;
-    Mortar::new(cfg)
+    Mortar::new(cfg).expect("valid config")
 }
 
 /// A record's identity for ordering/equality checks.

@@ -32,13 +32,17 @@ const ORDERED_METHODS: &[&str] =
 const HOT_ALLOC_MACROS: &[&str] = &["format", "vec"];
 const HOT_ALLOC_METHODS: &[&str] = &["to_string", "collect"];
 
-/// Whether rule D1 (ordered iteration) applies to this file.
+/// Whether rule D1 (ordered iteration) applies to this file. The chaos
+/// engine is in scope: its scenarios, drivers, and oracles must replay
+/// bit-for-bit from a seed, so hash-ordered iteration is as much a
+/// determinism leak there as in the reconciliation path it exercises.
 fn d1_in_scope(rel: &str) -> bool {
     rel == "crates/core/src/install.rs"
         || rel == "crates/core/src/reconcile.rs"
         || rel.starts_with("crates/core/src/peer/")
         || rel.starts_with("crates/net/src/runtime/")
         || rel.starts_with("crates/overlay/src/")
+        || rel.starts_with("crates/chaos/src/")
 }
 
 /// Whether rule D2 (clock/entropy hygiene) applies to this file.
@@ -46,11 +50,15 @@ fn d2_in_scope(rel: &str) -> bool {
     rel.starts_with("crates/core/src/")
         || rel.starts_with("crates/net/src/")
         || rel.starts_with("crates/overlay/src/")
+        || rel.starts_with("crates/chaos/src/")
 }
 
-/// Whether rule P1 (worker panic-freedom) applies to this file.
+/// Whether rule P1 (worker panic-freedom) applies to this file. The
+/// chaos driver is in scope: a fault schedule must report misbehaviour
+/// through oracle violations, never by panicking mid-sweep (a panic
+/// would lose the failing seed the soak exists to capture).
 fn p1_in_scope(rel: &str) -> bool {
-    rel == "crates/net/src/runtime/parallel.rs"
+    rel == "crates/net/src/runtime/parallel.rs" || rel.starts_with("crates/chaos/src/")
 }
 
 /// Lints one source file. `rel` is the workspace-relative path and selects

@@ -47,7 +47,7 @@ pub mod time;
 pub mod topology;
 
 pub use bandwidth::{BandwidthTracker, TrafficClass};
-pub use chaos::ChaosConfig;
+pub use chaos::{ChaosConfig, ChaosError, PartitionMap};
 pub use clock::{ClockModel, LocalClock};
 pub use runtime::{App, Ctx, Fleet, ParallelSimulator, Runtime, SimBuilder, SimStats, Simulator};
 pub use time::{ms, secs, TimeUs, MS, SEC};

@@ -24,6 +24,7 @@ pub use parallel::ParallelSimulator;
 pub use single::{SimBuilder, Simulator};
 
 use crate::bandwidth::BandwidthTracker;
+use crate::chaos::ChaosConfig;
 use crate::clock::LocalClock;
 use crate::time::{secs, TimeUs};
 use crate::topology::Topology;
@@ -50,6 +51,18 @@ pub trait Runtime<A: App> {
     fn set_host_up(&mut self, node: NodeId, up: bool);
     /// Number of hosts currently up.
     fn live_count(&self) -> usize;
+    /// Labels `node` as a member of partition `group` (see
+    /// [`PartitionMap`](crate::chaos::PartitionMap)).
+    fn set_net_group(&mut self, node: NodeId, group: u8);
+    /// Cuts (or restores) traffic flowing `from_group → to_group`; a
+    /// symmetric split is two directed cuts. Checked at transmit time.
+    fn set_group_block(&mut self, from_group: u8, to_group: u8, blocked: bool);
+    /// Heals every partition cut and clears all group labels.
+    fn clear_partition(&mut self);
+    /// The current chaos configuration.
+    fn chaos(&self) -> ChaosConfig;
+    /// Replaces the chaos configuration between run steps (phased faults).
+    fn set_chaos(&mut self, chaos: ChaosConfig);
     /// Bandwidth accounting for the run so far (merged across shards).
     fn bandwidth(&self) -> &BandwidthTracker;
     /// Transport counters (merged across shards).
@@ -91,6 +104,21 @@ impl<A: App> Runtime<A> for Simulator<A> {
     }
     fn live_count(&self) -> usize {
         Simulator::live_count(self)
+    }
+    fn set_net_group(&mut self, node: NodeId, group: u8) {
+        Simulator::set_net_group(self, node, group)
+    }
+    fn set_group_block(&mut self, from_group: u8, to_group: u8, blocked: bool) {
+        Simulator::set_group_block(self, from_group, to_group, blocked)
+    }
+    fn clear_partition(&mut self) {
+        Simulator::clear_partition(self)
+    }
+    fn chaos(&self) -> ChaosConfig {
+        Simulator::chaos(self)
+    }
+    fn set_chaos(&mut self, chaos: ChaosConfig) {
+        Simulator::set_chaos(self, chaos)
     }
     fn bandwidth(&self) -> &BandwidthTracker {
         Simulator::bandwidth(self)
@@ -136,6 +164,21 @@ where
     }
     fn live_count(&self) -> usize {
         ParallelSimulator::live_count(self)
+    }
+    fn set_net_group(&mut self, node: NodeId, group: u8) {
+        ParallelSimulator::set_net_group(self, node, group)
+    }
+    fn set_group_block(&mut self, from_group: u8, to_group: u8, blocked: bool) {
+        ParallelSimulator::set_group_block(self, from_group, to_group, blocked)
+    }
+    fn clear_partition(&mut self) {
+        ParallelSimulator::clear_partition(self)
+    }
+    fn chaos(&self) -> ChaosConfig {
+        ParallelSimulator::chaos(self)
+    }
+    fn set_chaos(&mut self, chaos: ChaosConfig) {
+        ParallelSimulator::set_chaos(self, chaos)
     }
     fn bandwidth(&self) -> &BandwidthTracker {
         ParallelSimulator::bandwidth(self)
@@ -260,6 +303,31 @@ where
     /// Number of hosts currently up.
     pub fn live_count(&self) -> usize {
         self.runtime_ref().live_count()
+    }
+
+    /// Labels `node` as a member of partition `group`.
+    pub fn set_net_group(&mut self, node: NodeId, group: u8) {
+        self.runtime().set_net_group(node, group)
+    }
+
+    /// Cuts (or restores) traffic flowing `from_group → to_group`.
+    pub fn set_group_block(&mut self, from_group: u8, to_group: u8, blocked: bool) {
+        self.runtime().set_group_block(from_group, to_group, blocked)
+    }
+
+    /// Heals every partition cut and clears all group labels.
+    pub fn clear_partition(&mut self) {
+        self.runtime().clear_partition()
+    }
+
+    /// The current chaos configuration.
+    pub fn chaos(&self) -> ChaosConfig {
+        self.runtime_ref().chaos()
+    }
+
+    /// Replaces the chaos configuration between run steps (phased faults).
+    pub fn set_chaos(&mut self, chaos: ChaosConfig) {
+        self.runtime().set_chaos(chaos)
     }
 
     /// Bandwidth accounting for the run so far (merged across shards).

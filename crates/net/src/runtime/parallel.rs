@@ -54,7 +54,7 @@
 //! is shard-layout dependent (everything before the stop request is not).
 
 use crate::bandwidth::{BandwidthTracker, TrafficClass};
-use crate::chaos::ChaosConfig;
+use crate::chaos::{ChaosConfig, PartitionMap};
 use crate::clock::LocalClock;
 use crate::event::{Event, EventKind};
 use crate::runtime::ctx::{App, Command, Ctx, SimStats, TRANSPORT_OVERHEAD_BYTES};
@@ -100,6 +100,10 @@ struct Shard<A: App> {
     topo: Arc<Topology>,
     node_shard: Arc<Vec<u32>>,
     chaos: ChaosConfig,
+    /// Full-fleet partition state; every shard holds a copy because a
+    /// sender needs both endpoints' group labels. Mutations are rare
+    /// (driver-side, between run steps) so the copies are pushed eagerly.
+    partition: PartitionMap,
     apps: Vec<A>,
     clocks: Vec<LocalClock>,
     up: Vec<bool>,
@@ -265,6 +269,12 @@ impl<A: App> Shard<A> {
             return;
         }
         self.bw.record(self.now, class, bytes + TRANSPORT_OVERHEAD_BYTES, self.topo.hops(from, to));
+        // Partition cut: charged like loss, before any chaos RNG draw so
+        // partition toggles never perturb the sender's chaos stream.
+        if self.partition.blocks(from, to) {
+            self.stats.dropped += 1;
+            return;
+        }
         if self.chaos.drop_prob > 0.0 && self.rngs[fli].gen::<f64>() < self.chaos.drop_prob {
             self.stats.dropped += 1;
             return;
@@ -384,6 +394,7 @@ impl<A: App> ParallelSimulator<A> {
                 topo: Arc::clone(&topo),
                 node_shard: Arc::clone(&node_shard),
                 chaos,
+                partition: PartitionMap::default(),
                 apps: apps_s,
                 clocks: clocks_s,
                 up: vec![true; count],
@@ -488,6 +499,45 @@ impl<A: App> ParallelSimulator<A> {
     /// Number of hosts currently up.
     pub fn live_count(&self) -> usize {
         self.shards.iter().map(|s| s.up.iter().filter(|&&u| u).count()).sum()
+    }
+
+    /// Labels `node` as a member of partition `group`. Propagated to every
+    /// shard (senders need both endpoints' labels).
+    pub fn set_net_group(&mut self, node: NodeId, group: u8) {
+        for s in &mut self.shards {
+            s.partition.set_group(node, group);
+        }
+    }
+
+    /// Cuts (or restores) traffic flowing `from_group → to_group`.
+    pub fn set_group_block(&mut self, from_group: u8, to_group: u8, blocked: bool) {
+        for s in &mut self.shards {
+            s.partition.set_block(from_group, to_group, blocked);
+        }
+    }
+
+    /// Heals every partition cut and clears all group labels.
+    pub fn clear_partition(&mut self) {
+        for s in &mut self.shards {
+            s.partition.clear();
+        }
+    }
+
+    /// The current chaos configuration.
+    pub fn chaos(&self) -> ChaosConfig {
+        self.shards.first().map(|s| s.chaos).unwrap_or_default()
+    }
+
+    /// Replaces the chaos configuration between run steps. If duplication
+    /// is enabled for the first time mid-run, per-receiver dedup sets are
+    /// materialized in every shard.
+    pub fn set_chaos(&mut self, chaos: ChaosConfig) {
+        for s in &mut self.shards {
+            s.chaos = chaos;
+            if chaos.dup_prob > 0.0 && s.seen.is_empty() {
+                s.seen = (0..s.apps.len()).map(|_| DedupSet::default()).collect();
+            }
+        }
     }
 
     /// Merged bandwidth accounting (refreshed after every run step).
@@ -689,6 +739,39 @@ mod tests {
             whole
         );
         assert_eq!(sim.now(), 8 * SEC);
+    }
+
+    #[test]
+    fn partitions_and_dynamic_chaos_are_shard_count_invariant() {
+        // A phased fault schedule — partition on, chaos storm, heal — must
+        // produce bit-identical executions regardless of shard layout,
+        // because partition checks consume no RNG draws and chaos draws
+        // stay on the sender's stream.
+        let run = |shards: usize| {
+            let n = 12u32;
+            let topo = Topology::paper_inet(n as usize, 5);
+            let mut sim = SimBuilder::new(topo, 99).build_parallel(shards, |_| Gossip::new(n));
+            sim.run_for_secs(2.0);
+            for node in 0..n {
+                sim.set_net_group(node, if node < 6 { 0 } else { 1 });
+            }
+            sim.set_group_block(0, 1, true);
+            sim.set_group_block(1, 0, true);
+            sim.set_chaos(ChaosConfig { drop_prob: 0.1, dup_prob: 0.2, reorder_jitter_us: 500 });
+            sim.run_for_secs(3.0);
+            sim.clear_partition();
+            sim.set_chaos(ChaosConfig::none());
+            sim.run_for_secs(3.0);
+            let logs: GossipLogs = sim.apps().map(|a| a.log.clone()).collect();
+            let draws: Vec<Vec<u32>> = sim.apps().map(|a| a.draws.clone()).collect();
+            (logs, draws, sim.stats(), sim.bandwidth().bytes_total(TrafficClass::Data))
+        };
+        let base = run(1);
+        assert!(base.2.dropped > 0, "partition/chaos never dropped");
+        assert!(base.2.duplicates_suppressed > 0, "chaos storm never duplicated");
+        for shards in [2, 4, 12] {
+            assert_eq!(base, run(shards), "{shards} shards diverged under faults");
+        }
     }
 
     #[test]

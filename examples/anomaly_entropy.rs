@@ -42,7 +42,7 @@ fn main() -> Result<(), MortarError> {
 
     let mut cfg = EngineConfig::paper(n, 99);
     cfg.plan_on_true_latency = true;
-    let mut mortar = Mortar::new(cfg);
+    let mut mortar = Mortar::new(cfg)?;
     for i in 0..n as NodeId {
         mortar.set_replay(i, flow_trace(1000 + i as u64));
     }

@@ -18,7 +18,7 @@ fn main() -> Result<(), MortarError> {
     let n: usize = 48;
     let mut cfg = EngineConfig::paper(n, 7);
     cfg.plan_on_true_latency = true;
-    let mut mortar = Mortar::new(cfg);
+    let mut mortar = Mortar::new(cfg)?;
 
     // --- 1. Fan-in built fluently -------------------------------------
     // Two regional sums, each rooted in its own half of the fleet, feed a

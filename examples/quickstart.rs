@@ -13,7 +13,7 @@ fn main() -> Result<(), MortarError> {
     // An Inet-like transit–stub topology with 64 end hosts.
     let mut cfg = EngineConfig::paper(n, 42);
     cfg.planner.branching_factor = 8; // Four trees, branching factor 8.
-    let mut mortar = Mortar::new(cfg);
+    let mut mortar = Mortar::new(cfg)?;
 
     // The fluent builder validates eagerly: a bad member list, window, or
     // field name surfaces here as a typed MortarError — it never panics

@@ -14,7 +14,7 @@ fn run(mode: IndexingMode, scale: f64) -> (f64, f64) {
     cfg.plan_on_true_latency = true;
     cfg.peer.indexing = mode;
     cfg.clock_model = ClockModel::planetlab_like(scale);
-    let mut mortar = Mortar::new(cfg);
+    let mut mortar = Mortar::new(cfg).expect("valid config");
     let sum = mortar
         .query("sum")
         .members(0..n as NodeId)

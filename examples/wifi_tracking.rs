@@ -35,7 +35,7 @@ fn main() -> Result<(), MortarError> {
     cfg.topology = Topology::star(n, 1_000);
     cfg.plan_on_true_latency = true;
     cfg.planner.branching_factor = 16;
-    let mut mortar = Mortar::with_registry(cfg, registry);
+    let mut mortar = Mortar::with_registry(cfg, registry)?;
 
     // Hand each sniffer peer its captured frames, then deploy the
     // compiled definition through the session.

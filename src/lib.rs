@@ -33,7 +33,7 @@
 //! // A 16-peer federation; every peer contributes "1" every second.
 //! let mut cfg = EngineConfig::paper(16, 42);
 //! cfg.plan_on_true_latency = true;
-//! let mut mortar = Mortar::new(cfg);
+//! let mut mortar = Mortar::new(cfg)?;
 //! let up = mortar
 //!     .query("up")
 //!     .fields(["value"])
@@ -60,7 +60,7 @@
 //!
 //! let mut cfg = EngineConfig::paper(16, 42);
 //! cfg.plan_on_true_latency = true;
-//! let mut mortar = Mortar::new(cfg);
+//! let mut mortar = Mortar::new(cfg)?;
 //! let program = mortar::lang::compile_pipeline(
 //!     "stream sensors(value);\n\
 //!      up = sum(sensors, value) every 1s;\n\

@@ -19,7 +19,7 @@ fn session(
     let mut cfg = EngineConfig::paper(n, seed);
     cfg.plan_on_true_latency = true;
     tune(&mut cfg.peer);
-    let mut mortar = Mortar::new(cfg);
+    let mut mortar = Mortar::new(cfg).expect("valid config");
     let q = mortar
         .query("agg")
         .members(0..n as NodeId)

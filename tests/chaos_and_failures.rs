@@ -12,7 +12,7 @@ fn chaotic_session(n: usize, chaos: ChaosConfig, seed: u64) -> Mortar {
     cfg.planner.branching_factor = 4;
     cfg.planner.tree_count = 4;
     cfg.chaos = chaos;
-    Mortar::new(cfg)
+    Mortar::new(cfg).expect("valid config")
 }
 
 fn install_sum(mortar: &mut Mortar, n: usize) -> QueryHandle {
@@ -156,7 +156,7 @@ fn envelopes_under_chaos_uphold_the_per_query_frame_contract() {
         cfg.planner.tree_count = 4;
         cfg.chaos = chaos;
         cfg.peer.envelope_budget = envelope_budget;
-        let mut mortar = Mortar::new(cfg);
+        let mut mortar = Mortar::new(cfg).expect("valid config");
         let q = install_sum(&mut mortar, n);
         // A second, faster query over the same members: its frames share
         // wire envelopes with the sum's whenever both evict toward the

@@ -7,7 +7,7 @@ use mortar::prelude::*;
 fn session(n: usize, seed: u64) -> Mortar {
     let mut cfg = EngineConfig::paper(n, seed);
     cfg.plan_on_true_latency = true;
-    Mortar::new(cfg)
+    Mortar::new(cfg).expect("valid config")
 }
 
 #[test]
@@ -16,7 +16,7 @@ fn fluent_sum_query_end_to_end() {
     let mut cfg = EngineConfig::paper(n, 1);
     cfg.plan_on_true_latency = true;
     cfg.planner.branching_factor = 8;
-    let mut mortar = Mortar::new(cfg);
+    let mut mortar = Mortar::new(cfg).expect("valid config");
     let up = mortar
         .query("up")
         .fields(["value"])

@@ -8,7 +8,7 @@ use mortar::prelude::*;
 fn session(n: usize, seed: u64) -> Mortar {
     let mut cfg = EngineConfig::paper(n, seed);
     cfg.plan_on_true_latency = true;
-    Mortar::new(cfg)
+    Mortar::new(cfg).expect("valid config")
 }
 
 #[test]

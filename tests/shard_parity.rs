@@ -34,7 +34,7 @@ fn run(shards: usize) -> Fingerprint {
     let mut cfg = EngineConfig::paper(HOSTS, SEED);
     cfg.plan_on_true_latency = true;
     cfg.shards = shards;
-    let mut mortar = Mortar::new(cfg);
+    let mut mortar = Mortar::new(cfg).expect("valid config");
     let q = mortar
         .query("agg")
         .members(0..HOSTS as NodeId)

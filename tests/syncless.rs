@@ -11,7 +11,7 @@ fn run(mode: IndexingMode, scale: f64, n: usize, secs: f64, seed: u64) -> Vec<f6
     cfg.planner.branching_factor = 8;
     cfg.peer.indexing = mode;
     cfg.clock_model = ClockModel::planetlab_like(scale);
-    let mut mortar = Mortar::new(cfg);
+    let mut mortar = Mortar::new(cfg).expect("valid config");
     let sum5 = mortar
         .query("sum5")
         .members(0..n as NodeId)
