@@ -29,6 +29,13 @@ use std::time::Instant;
 /// high-rate telemetry query plus slow 1 s and 10 s tiers.
 pub const FULL_SCALE_SLIDES_US: [u64; 3] = [25_000, 1_000_000, 10_000_000];
 
+/// Distinct key classes in the keyed GROUP-BY contrast run.
+pub const KEYED_KEY_CLASSES: u64 = 16;
+
+/// Per-window group cap of the keyed contrast run (headroom over the 16
+/// live classes, so overflow never kicks in and every merge is key-wise).
+pub const KEYED_GROUP_CAP: usize = 32;
+
 /// Fleet-wide queries installed per slide tier. One 25 ms query keeps the
 /// data plane hot; the twelve slow queries are idle on ≥ 96% of ticks —
 /// the regime the due index exists for. The full scan pays 13 query
@@ -118,6 +125,18 @@ pub fn hotpath_run_cfg(
     let start = Instant::now();
     eng.run_secs(sim_secs);
     let wall_secs = start.elapsed().as_secs_f64();
+    collect_outcome(&eng, n, slide_us, sim_secs, wall_secs, track_truth)
+}
+
+/// Sums the fleet-wide counters and result health of a finished timed run.
+fn collect_outcome(
+    eng: &Engine,
+    n: usize,
+    slide_us: u64,
+    sim_secs: f64,
+    wall_secs: f64,
+    track_truth: bool,
+) -> HotpathOutcome {
     let (mut evictions, mut summaries_out, mut frames_out, mut envelopes_out, mut ts_peak) =
         (0u64, 0u64, 0u64, 0u64, 0u64);
     for p in eng.sim.apps() {
@@ -146,6 +165,57 @@ pub fn hotpath_run_cfg(
         results: results.len(),
         completeness: mean_completeness(results, n, 40),
     }
+}
+
+/// The keyed GROUP-BY contrast: the same 100-host 25 ms cadence, but the
+/// sum is grouped by the tuple's routing key ([`KEYED_KEY_CLASSES`]
+/// classes, cap [`KEYED_GROUP_CAP`]). Per-key maps lift at the sources,
+/// split across the sibling trees by key range at every eviction hop and
+/// re-merge key-wise on the way up — the map-valued hot path measured
+/// against the scalar rows above.
+pub fn keyed_hotpath_run(n: usize, sim_secs: f64, seed: u64) -> HotpathOutcome {
+    use mortar_core::op::{KeyField, OpKind};
+    use mortar_core::query::QuerySpec;
+    use mortar_core::tuple::RawTuple;
+    use mortar_core::window::WindowSpec;
+    use mortar_net::NodeId;
+
+    let slide_us = 25_000u64;
+    let mut cfg = EngineConfig::paper(n, seed);
+    cfg.plan_on_true_latency = true;
+    cfg.peer.track_truth = false;
+    let mut eng = Engine::new(cfg).expect("valid config");
+    // One tuple per slide per host, keyed by `host % KEYED_KEY_CLASSES`;
+    // the trace covers warm-up plus the timed region with a tail of slack.
+    let steps = ((sim_secs + 6.0) * 1_000_000.0 / slide_us as f64) as u64;
+    for i in 0..n {
+        let key = i as u64 % KEYED_KEY_CLASSES;
+        let trace: Vec<(u64, RawTuple)> = (0..steps)
+            .map(|s| (s * slide_us + slide_us / 2, RawTuple { key, vals: vec![1.0] }))
+            .collect();
+        eng.sim.app_mut(i as NodeId).set_replay(trace);
+    }
+    let spec = QuerySpec {
+        name: "keyed_hot".into(),
+        root: 0,
+        members: (0..n as NodeId).collect(),
+        op: OpKind::Keyed {
+            key_field: KeyField::TupleKey,
+            cap: KEYED_GROUP_CAP,
+            inner: Box::new(OpKind::Sum { field: 0 }),
+        },
+        window: WindowSpec::time_tumbling_us(slide_us),
+        filter: None,
+        sensor: SensorSpec::Replay,
+        post: None,
+    };
+    eng.install(spec).expect("valid spec");
+    // Warm up: installation multicast, first windows, netDist settling.
+    eng.run_secs(5.0);
+    let start = Instant::now();
+    eng.run_secs(sim_secs);
+    let wall_secs = start.elapsed().as_secs_f64();
+    collect_outcome(&eng, n, slide_us, sim_secs, wall_secs, false)
 }
 
 /// One full-scale (1000-host, mixed-slide, multi-query) run's measurements.
@@ -346,6 +416,7 @@ pub fn to_json(
     plain: &HotpathOutcome,
     tracked: &HotpathOutcome,
     scan: &HotpathOutcome,
+    keyed: &HotpathOutcome,
     idle: (u64, f64),
     full: &FullScaleOutcome,
     full_scan: &FullScaleOutcome,
@@ -385,6 +456,15 @@ pub fn to_json(
     json_field(&mut s, "track_truth", "false".into());
     json_field(&mut s, "tracked_sim_secs_per_real_sec", format!("{:.2}", tracked.sim_per_real()));
     json_field(&mut s, "scan_ticks_sim_secs_per_real_sec", format!("{:.2}", scan.sim_per_real()));
+    // The keyed GROUP-BY contrast: map-valued partials over the same
+    // cadence, riding the key-range split across the sibling trees.
+    json_field(&mut s, "keyed_key_classes", KEYED_KEY_CLASSES.to_string());
+    json_field(&mut s, "keyed_group_cap", KEYED_GROUP_CAP.to_string());
+    json_field(&mut s, "keyed_sim_secs_per_real_sec", format!("{:.2}", keyed.sim_per_real()));
+    json_field(&mut s, "keyed_summary_tuples_sent", keyed.summaries_out.to_string());
+    json_field(&mut s, "keyed_mean_data_msg_bytes", format!("{:.1}", keyed.mean_data_msg_bytes));
+    json_field(&mut s, "keyed_ts_peak_entries", keyed.ts_peak_entries.to_string());
+    json_field(&mut s, "keyed_completeness_pct", format!("{:.2}", keyed.completeness));
     // Steady-state allocation discipline: heap allocations per simulated
     // second across a window of warm idle ticks. The tentpole pin is 0.
     let (idle_allocs, idle_window) = idle;
@@ -490,6 +570,7 @@ pub fn run() {
     let scan = best(&|| {
         hotpath_run_cfg(n, sim_secs, 13, false, PeerConfig::default().envelope_budget, false)
     });
+    let keyed = best(&|| keyed_hotpath_run(n, sim_secs, 13));
     println!(
         "\n{n}-host 25 ms-slide sum, {sim_secs:.0} simulated seconds:\n\
          envelopes on (default): {:.2} sim-secs/real-sec ({:.0} tuples/s wall, {:.3} s wall)\n\
@@ -512,6 +593,16 @@ pub fn run() {
         main.summaries_out,
         main.frames_out,
         main.ts_peak_entries,
+    );
+    println!(
+        "\nkeyed GROUP-BY contrast ({KEYED_KEY_CLASSES} key classes, cap {KEYED_GROUP_CAP}):\n\
+         per-key maps:           {:.2} sim-secs/real-sec \
+         ({} tuples, {:.1} B/msg, completeness {:.1}%, peak TS entries {})",
+        keyed.sim_per_real(),
+        keyed.summaries_out,
+        keyed.mean_data_msg_bytes,
+        keyed.completeness,
+        keyed.ts_peak_entries,
     );
     // Steady-state allocation discipline across warm idle ticks.
     let idle = idle_alloc_run();
@@ -590,6 +681,7 @@ pub fn run() {
         &plain,
         &tracked,
         &scan,
+        &keyed,
         idle,
         &full,
         &full_scan_ticks,

@@ -92,6 +92,12 @@ struct StageDraft {
     filter: Option<Predicate>,
     sensor: Option<SensorSpec>,
     post: Option<String>,
+    /// GROUP-BY key recorded by [`QueryBuilder::group_by`]; wraps the
+    /// aggregate in [`OpKind::Keyed`] at [`StageDraft::finish`] so the
+    /// key may be declared before or after the aggregate itself.
+    group_key: Option<crate::op::KeyField>,
+    /// Distinct-key bound for the keyed state.
+    group_cap: Option<usize>,
     /// Upstream (name, root) recorded by [`QueryBuilder::subscribe`]; the
     /// subscriber must keep that root among its members or it can never
     /// receive data.
@@ -162,6 +168,16 @@ impl StageDraft {
         }
     }
 
+    fn set_group_key(&mut self, k: crate::op::KeyField) {
+        if self.group_key.is_some() {
+            // One GROUP-BY per query: the key is part of the single
+            // in-network aggregate.
+            self.fail(MortarError::DuplicateOperator { query: self.name.clone() });
+        } else {
+            self.group_key = Some(k);
+        }
+    }
+
     fn add_filter(&mut self, p: Predicate) {
         self.filter = Some(match self.filter.take() {
             Some(prev) => Predicate::And(Box::new(prev), Box::new(p)),
@@ -176,7 +192,14 @@ impl StageDraft {
         if let Some(e) = self.err.take() {
             return Err(e);
         }
-        let op = self.op.ok_or(MortarError::NoOperator { query: self.name.clone() })?;
+        let mut op = self.op.ok_or(MortarError::NoOperator { query: self.name.clone() })?;
+        if let Some(key_field) = self.group_key {
+            op = OpKind::Keyed {
+                key_field,
+                cap: self.group_cap.unwrap_or(crate::op::DEFAULT_KEYED_CAP),
+                inner: Box::new(op),
+            };
+        }
         if self.members.is_empty() {
             return Err(MortarError::NoMembers { query: self.name });
         }
@@ -342,6 +365,32 @@ impl<'m> QueryBuilder<'m> {
     pub fn entropy(mut self, field: impl Into<Field>, cap: usize) -> Self {
         let f = self.draft.resolve(field.into());
         self.draft.set_op(OpKind::Entropy { field: f, cap });
+        self
+    }
+
+    /// Groups the aggregate by a `u64`-valued field: the query computes one
+    /// inner aggregate per distinct key, merged key-wise at every hop and
+    /// delivered as a per-key map at the root. May be called before or
+    /// after the aggregate itself. Per-window distinct keys are bounded by
+    /// [`crate::op::DEFAULT_KEYED_CAP`] (override with
+    /// [`QueryBuilder::group_cap`]); overflow keys are dropped
+    /// deterministically, mirroring the entropy operator's discipline.
+    pub fn group_by(mut self, field: impl Into<Field>) -> Self {
+        let f = self.draft.resolve(field.into());
+        self.draft.set_group_key(crate::op::KeyField::Field(f));
+        self
+    }
+
+    /// Groups the aggregate by the raw tuple's `key` (e.g. a source
+    /// address) — the natural grouping for top-k-talkers workloads.
+    pub fn group_by_key(mut self) -> Self {
+        self.draft.set_group_key(crate::op::KeyField::TupleKey);
+        self
+    }
+
+    /// Bounds the number of distinct keys a GROUP-BY window tracks.
+    pub fn group_cap(mut self, cap: usize) -> Self {
+        self.draft.group_cap = Some(cap.max(1));
         self
     }
 

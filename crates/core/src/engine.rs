@@ -96,6 +96,10 @@ pub struct Engine {
     coords: Vec<Vec<f64>>,
     planner: PlannerConfig,
     rng: SmallRng,
+    /// The same registry handed to every peer, retained so
+    /// [`Engine::validate`] can reject specs naming unregistered custom
+    /// operators before they reach the runtime.
+    registry: OpRegistry,
 }
 
 impl Engine {
@@ -124,8 +128,9 @@ impl Engine {
         let peer_cfg = cfg.peer;
         let builder =
             SimBuilder::new(cfg.topology, cfg.seed).clock_model(cfg.clock_model).chaos(cfg.chaos);
+        let peer_registry = registry.clone();
         let sim = Fleet::build(builder, cfg.shards, move |id| {
-            MortarPeer::new(id, peer_cfg, registry.clone())
+            MortarPeer::new(id, peer_cfg, peer_registry.clone())
         });
         Ok(Self {
             sim,
@@ -133,6 +138,7 @@ impl Engine {
             coords,
             planner: cfg.planner,
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0x9e37),
+            registry,
         })
     }
 
@@ -175,6 +181,24 @@ impl Engine {
         }
         if spec.member_of(spec.root).is_none() {
             return Err(MortarError::RootNotMember { query: query.clone(), root: spec.root });
+        }
+        // Custom operator names (aggregate tree and root post-op) must
+        // resolve now — the runtime treats a missing name as inert rather
+        // than panicking, so an unvalidated install would silently compute
+        // nothing.
+        if let Some(name) = spec.op.missing_custom(&self.registry) {
+            return Err(MortarError::UnknownOperator {
+                query: query.clone(),
+                name: name.to_string(),
+            });
+        }
+        if let Some(post) = &spec.post {
+            if !self.registry.contains(post) {
+                return Err(MortarError::UnknownOperator {
+                    query: query.clone(),
+                    name: post.clone(),
+                });
+            }
         }
         let w = spec.window;
         if w.range == 0 || w.slide == 0 {
@@ -426,6 +450,35 @@ mod tests {
         let mut s = sum_spec(4);
         s.window = WindowSpec::time_sliding_us(500_000, 1_000_000);
         assert!(matches!(eng.plan(&s), Err(MortarError::InvalidWindow { .. })));
+    }
+
+    #[test]
+    fn unregistered_custom_op_is_a_typed_error_at_install() {
+        let mut eng = Engine::new(EngineConfig::paper(8, 3)).expect("valid config");
+        // Unregistered aggregate — including one buried inside a GROUP-BY.
+        let mut s = sum_spec(4);
+        s.op = OpKind::Custom { name: "nope".into() };
+        assert_eq!(
+            eng.install(s).unwrap_err(),
+            MortarError::UnknownOperator { query: "sum".into(), name: "nope".into() }
+        );
+        let mut s = sum_spec(4);
+        s.op = OpKind::Keyed {
+            key_field: crate::op::KeyField::TupleKey,
+            cap: 16,
+            inner: Box::new(OpKind::Custom { name: "inner_nope".into() }),
+        };
+        assert_eq!(
+            eng.plan(&s).unwrap_err(),
+            MortarError::UnknownOperator { query: "sum".into(), name: "inner_nope".into() }
+        );
+        // Unregistered root post-operator.
+        let mut s = sum_spec(4);
+        s.post = Some("ghost_post".into());
+        assert_eq!(
+            eng.plan(&s).unwrap_err(),
+            MortarError::UnknownOperator { query: "sum".into(), name: "ghost_post".into() }
+        );
     }
 
     #[test]

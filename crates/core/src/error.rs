@@ -80,6 +80,16 @@ pub enum MortarError {
         /// Query name.
         query: String,
     },
+    /// The query references a custom operator name (aggregate or post)
+    /// that is not registered with the engine's [`crate::op::OpRegistry`].
+    /// Caught at install/plan time so the peer runtime never resolves a
+    /// missing name mid-tick.
+    UnknownOperator {
+        /// Query name.
+        query: String,
+        /// The unregistered operator name.
+        name: String,
+    },
     /// A field was referenced by a name the builder does not know (declare
     /// names with `fields(..)`, or use positional `f0`, `f1`, … / indices).
     UnknownField {
@@ -194,6 +204,9 @@ impl std::fmt::Display for MortarError {
             }
             MortarError::DuplicatePost { query } => {
                 write!(f, "query {query:?}: at most one post operator")
+            }
+            MortarError::UnknownOperator { query, name } => {
+                write!(f, "query {query:?}: custom operator {name:?} is not registered")
             }
             MortarError::UnknownField { query, field } => {
                 write!(f, "query {query:?}: unknown field {field:?}")

@@ -10,9 +10,29 @@
 //! an [`OpRegistry`] shared by all peers.
 
 use crate::tuple::RawTuple;
-use crate::value::{bloom_insert, AggState, Row, TopKEntry, BLOOM_WORDS};
+use crate::value::{bloom_insert, topk_order, AggState, Row, TopKEntry, BLOOM_WORDS};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+
+/// What a GROUP-BY key is extracted from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyField {
+    /// The raw tuple's `key` (e.g. a source address) — the natural choice
+    /// for top-k-talkers-style workloads.
+    TupleKey,
+    /// A value field, truncated to `u64`.
+    Field(usize),
+}
+
+impl KeyField {
+    /// Extracts the group key from a raw tuple.
+    pub fn of(&self, t: &RawTuple) -> u64 {
+        match self {
+            KeyField::TupleKey => t.key,
+            KeyField::Field(i) => t.field(*i) as u64,
+        }
+    }
+}
 
 /// Comparison operators for select predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,7 +162,22 @@ pub enum OpKind {
         /// Registered name.
         name: String,
     },
+    /// GROUP-BY: one inner partial aggregate per key, bounded by `cap`
+    /// distinct keys with the deterministic [`AggState::Freq`]-style
+    /// overflow policy (tracked keys keep merging, unseen keys beyond the
+    /// cap are dropped).
+    Keyed {
+        /// Where the group key comes from.
+        key_field: KeyField,
+        /// Maximum distinct keys tracked per window.
+        cap: usize,
+        /// The per-group aggregate.
+        inner: Box<OpKind>,
+    },
 }
+
+/// Default per-window distinct-key bound for GROUP-BY state.
+pub const DEFAULT_KEYED_CAP: usize = 1024;
 
 impl OpKind {
     /// The empty partial state for this operator.
@@ -160,7 +195,13 @@ impl OpKind {
             OpKind::Distinct => {
                 AggState::Hll { registers: Box::new([0u8; crate::value::HLL_REGISTERS]) }
             }
-            OpKind::Custom { name } => registry.get(name).zero(),
+            // Unregistered names degrade to the inert `None` state rather
+            // than panicking inside the peer runtime; `Engine::validate`
+            // rejects such specs at install time.
+            OpKind::Custom { name } => {
+                registry.get(name).map(|op| op.zero()).unwrap_or(AggState::None)
+            }
+            OpKind::Keyed { cap, .. } => AggState::Keyed { cap: *cap, groups: BTreeMap::new() },
         }
     }
 
@@ -177,9 +218,7 @@ impl OpKind {
             (OpKind::Max { field }, AggState::Max(m)) => *m = m.max(t.field(*field)),
             (OpKind::TopK { k, field }, AggState::TopK { entries, .. }) => {
                 entries.push(TopKEntry { score: t.field(*field), source, payload: t.vals.clone() });
-                entries.sort_by(|a, b| {
-                    b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
-                });
+                entries.sort_by(topk_order);
                 entries.truncate(*k);
             }
             (OpKind::Union { cap }, AggState::Rows { rows, .. }) => {
@@ -197,18 +236,55 @@ impl OpKind {
             (OpKind::Distinct, AggState::Hll { registers }) => {
                 crate::value::hll_insert(registers, t.key)
             }
-            (OpKind::Custom { name }, state) => registry.get(name).lift(state, source, t),
+            (OpKind::Custom { name }, state) => {
+                if let Some(op) = registry.get(name) {
+                    op.lift(state, source, t);
+                }
+            }
+            (OpKind::Keyed { key_field, inner, .. }, AggState::Keyed { cap, groups }) => {
+                let key = key_field.of(t);
+                if groups.len() >= *cap && !groups.contains_key(&key) {
+                    return; // Bounded state: overflow keys dropped.
+                }
+                let g = groups.entry(key).or_insert_with(|| inner.zero(registry));
+                inner.lift(registry, g, source, t);
+            }
             (kind, state) => {
                 debug_assert!(false, "lift mismatch: {kind:?} into {state:?}");
             }
         }
     }
 
-    /// Root-side finalization hook for custom operators.
+    /// Root-side finalization: resolves custom operators, recurses into
+    /// keyed groups, and normalizes empty-window sentinels so a window that
+    /// saw no data surfaces [`AggState::None`] (never ±inf) to subscribers.
     pub fn finalize(&self, registry: &OpRegistry, state: &AggState) -> AggState {
-        match self {
-            OpKind::Custom { name } => registry.get(name).finalize(state),
+        match (self, state) {
+            (OpKind::Custom { name }, _) => {
+                registry.get(name).map(|op| op.finalize(state)).unwrap_or_else(|| state.clone())
+            }
+            (OpKind::Min { .. }, AggState::Min(v)) if *v == f64::INFINITY => AggState::None,
+            (OpKind::Max { .. }, AggState::Max(v)) if *v == f64::NEG_INFINITY => AggState::None,
+            (OpKind::Keyed { inner, .. }, AggState::Keyed { cap, groups }) => AggState::Keyed {
+                cap: *cap,
+                groups: groups
+                    .iter()
+                    .map(|(k, g)| (*k, inner.finalize(registry, g)))
+                    .filter(|(_, g)| !matches!(g, AggState::None))
+                    .collect(),
+            },
             _ => state.clone(),
+        }
+    }
+
+    /// The first unregistered custom-operator name referenced by this
+    /// operator tree, if any — checked at install/plan time so the peer
+    /// runtime never resolves a missing name.
+    pub fn missing_custom<'a>(&'a self, registry: &OpRegistry) -> Option<&'a str> {
+        match self {
+            OpKind::Custom { name } => (!registry.contains(name)).then_some(name.as_str()),
+            OpKind::Keyed { inner, .. } => inner.missing_custom(registry),
+            _ => None,
         }
     }
 }
@@ -236,14 +312,13 @@ impl OpRegistry {
         self.ops.insert(name.into(), op);
     }
 
-    /// Looks up an operator.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the name is unknown — queries referencing unregistered
-    /// operators are configuration errors caught at install time.
-    pub fn get(&self, name: &str) -> &Arc<dyn CustomOp> {
-        self.ops.get(name).unwrap_or_else(|| panic!("custom operator {name:?} not registered"))
+    /// Looks up an operator. Unknown names return `None`: queries
+    /// referencing unregistered operators are configuration errors caught
+    /// by `Engine::validate` at install time, and the runtime degrades
+    /// gracefully (inert state) rather than panicking mid-tick should a
+    /// stale spec slip through anyway.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn CustomOp>> {
+        self.ops.get(name)
     }
 
     /// Whether `name` is registered.
@@ -387,9 +462,83 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
-    fn unknown_custom_op_panics() {
+    fn unknown_custom_op_degrades_to_inert_none() {
         let r = reg();
-        let _ = OpKind::Custom { name: "nope".into() }.zero(&r);
+        let op = OpKind::Custom { name: "nope".into() };
+        assert_eq!(op.zero(&r), AggState::None);
+        let mut s = op.zero(&r);
+        op.lift(&r, &mut s, 0, &RawTuple::of(1.0));
+        assert_eq!(s, AggState::None, "lift through a missing op is a no-op");
+        assert_eq!(op.finalize(&r, &s), AggState::None);
+        assert_eq!(op.missing_custom(&r), Some("nope"));
+        let keyed = OpKind::Keyed { key_field: KeyField::TupleKey, cap: 4, inner: Box::new(op) };
+        assert_eq!(keyed.missing_custom(&r), Some("nope"), "keyed wrapper checks its inner op");
+    }
+
+    #[test]
+    fn empty_window_min_max_finalize_to_none() {
+        let r = reg();
+        for op in [OpKind::Min { field: 0 }, OpKind::Max { field: 0 }] {
+            let zero = op.zero(&r);
+            let fin = op.finalize(&r, &zero);
+            assert_eq!(fin, AggState::None, "{op:?} empty window must not surface ±inf");
+            assert_eq!(fin.scalar(), None);
+            // A window that did see data still finalizes to its value.
+            let mut s = op.zero(&r);
+            op.lift(&r, &mut s, 0, &RawTuple::of(3.0));
+            assert_eq!(op.finalize(&r, &s).scalar(), Some(3.0));
+        }
+    }
+
+    #[test]
+    fn keyed_lift_groups_by_tuple_key() {
+        let r = reg();
+        let op = OpKind::Keyed {
+            key_field: KeyField::TupleKey,
+            cap: 8,
+            inner: Box::new(OpKind::Sum { field: 0 }),
+        };
+        let mut s = op.zero(&r);
+        op.lift(&r, &mut s, 0, &RawTuple { key: 7, vals: vec![2.0] });
+        op.lift(&r, &mut s, 1, &RawTuple { key: 7, vals: vec![3.0] });
+        op.lift(&r, &mut s, 2, &RawTuple { key: 9, vals: vec![5.0] });
+        let groups = s.groups().unwrap();
+        assert_eq!(groups[&7], AggState::Sum(5.0));
+        assert_eq!(groups[&9], AggState::Sum(5.0));
+    }
+
+    #[test]
+    fn keyed_lift_respects_cap() {
+        let r = reg();
+        let op =
+            OpKind::Keyed { key_field: KeyField::Field(0), cap: 2, inner: Box::new(OpKind::Count) };
+        let mut s = op.zero(&r);
+        for v in [1.0, 2.0, 3.0, 1.0] {
+            op.lift(&r, &mut s, 0, &RawTuple::of(v));
+        }
+        let groups = s.groups().unwrap();
+        assert_eq!(groups.len(), 2, "cap bounds distinct keys");
+        assert_eq!(groups[&1], AggState::Count(2), "tracked keys keep accumulating");
+        assert!(!groups.contains_key(&3));
+    }
+
+    #[test]
+    fn keyed_finalize_recurses_and_drops_empty_groups() {
+        let r = reg();
+        let op = OpKind::Keyed {
+            key_field: KeyField::TupleKey,
+            cap: 8,
+            inner: Box::new(OpKind::Min { field: 0 }),
+        };
+        let mut s = op.zero(&r);
+        op.lift(&r, &mut s, 0, &RawTuple { key: 1, vals: vec![4.0] });
+        // Inject an untouched (empty) group, as a merge of a zero state would.
+        if let AggState::Keyed { groups, .. } = &mut s {
+            groups.insert(2, AggState::Min(f64::INFINITY));
+        }
+        let fin = op.finalize(&r, &s);
+        let groups = fin.groups().unwrap();
+        assert_eq!(groups.len(), 1, "empty-window group dropped, not surfaced as +inf");
+        assert_eq!(groups[&1].scalar(), Some(4.0));
     }
 }

@@ -28,10 +28,13 @@
 use super::{MortarPeer, TickScratch};
 use crate::metrics::ResultRecord;
 use crate::msg::{MortarMsg, SummaryFrame};
-use crate::query::QueryId;
+use crate::op::OpKind;
+use crate::query::{mix_key, InstallRecord, QueryId};
 use crate::tuple::SummaryTuple;
+use crate::value::AggState;
 use mortar_net::{Ctx, NodeId, TrafficClass};
-use mortar_overlay::{Decision, HopBins, RouteState, MAX_TREES};
+use mortar_overlay::{Decision, HopBins, NodeBitmap, RouteState, MAX_TREES};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// An under-construction outgoing frame for one (destination, tree).
@@ -307,6 +310,7 @@ impl MortarPeer {
         let is_root = q.spec.root == self.id;
         let width = rec.width();
         let name = q.name.clone();
+        let split_keyed = width > 1 && matches!(q.spec.op, OpKind::Keyed { .. });
         // Liveness answers come from the tick's bitmap snapshot (built
         // once per tick from `last_heard`, which nothing below mutates);
         // the parent view is an inline array, so the pass performs no
@@ -319,56 +323,87 @@ impl MortarPeer {
         let mut frames = FrameBuilder::new(id, &mut scratch.frame_bins, self.cfg.summary_batch_max);
         for entry in due {
             self.stats.evictions += 1;
-            let mut summary = entry.into_summary(local_now);
+            let summary = entry.into_summary(local_now);
             if is_root {
                 self.record_result(id, &name, summary, local_now, true_now);
                 continue;
             }
-            // The tuple continues up the tree it was striped onto (stage
-            // 1); failures migrate it per the staged policy.
-            let arrival_tree = (summary.stripe_tree as usize).min(width.saturating_sub(1));
-            let mut child_live = |x: usize, c: usize| live.get(rec.links[x].children[c]);
-            let decision = self
-                .route_table
-                .decide(
-                    id,
-                    arrival_tree,
-                    &mut summary.route,
-                    &parent_live[..width],
-                    &mut child_live,
-                    ctx.rng(),
-                )
-                .expect("active query is registered in the route table");
-            let (dest, tree) = match decision {
-                Decision::Parent { tree } => {
-                    (rec.links[tree].parent.expect("live parent exists"), tree)
-                }
-                Decision::Child { tree, child } => (rec.links[tree].children[child], tree),
-                Decision::Drop => {
-                    self.stats.route_drops += 1;
+            // Keyed states split across the sibling trees by key range at
+            // every hop: each tree carries only its slice of the per-key
+            // map, receivers re-merge the (disjoint) slices key-wise, and
+            // exactly one part keeps the participants/truth so the root's
+            // completeness accounting sees each constituent once.
+            if split_keyed {
+                if let Some(parts) = split_keyed_summary(&summary, &rec) {
+                    for part in parts {
+                        self.route_summary(
+                            id,
+                            ctx,
+                            &rec,
+                            &parent_live[..width],
+                            live,
+                            &mut frames,
+                            part,
+                        );
+                    }
                     continue;
                 }
-            };
-            summary.stripe_tree = tree as u8;
-            summary.age_us += self.cfg.hop_age_est_us as i64;
-            summary.hops = summary.hops.saturating_add(1);
-            let q = self.queries.get_mut(&id).expect("query exists");
-            q.tuples_out += 1;
-            let need_hash = q.tuples_out.is_multiple_of(self.cfg.data_hash_every as u64);
-            // Urgency (only meaningful under a hold): if the downstream
-            // operator is expected to close this tuple's window within
-            // the hold slack, holding it would risk missing the merge —
-            // flush its envelope immediately instead.
-            let urgent = self.cfg.envelope_hold_us > 0
-                && q.netdist.timeout_us(summary.age_us, self.cfg.min_timeout_us)
-                    <= self.cfg.envelope_hold_us;
-            let hash = if need_hash { Some(self.my_store_hash()) } else { None };
-            frames.push(self, ctx, dest, tree as u8, summary, hash, urgent);
+            }
+            self.route_summary(id, ctx, &rec, &parent_live[..width], live, &mut frames, summary);
         }
         frames.finish(self, ctx);
         if let Some(q) = self.queries.get_mut(&id) {
             q.record = Some(rec);
         }
+    }
+
+    /// Routes one outgoing summary up the tree set: the tuple continues up
+    /// the tree it was striped onto (stage 1); failures migrate it per the
+    /// staged policy.
+    #[allow(clippy::too_many_arguments)]
+    // lint:hot-path
+    fn route_summary(
+        &mut self,
+        id: QueryId,
+        ctx: &mut Ctx<'_, MortarMsg>,
+        rec: &InstallRecord,
+        parent_live: &[bool],
+        live: &NodeBitmap,
+        frames: &mut FrameBuilder<'_>,
+        mut summary: SummaryTuple,
+    ) {
+        let width = rec.width();
+        let arrival_tree = (summary.stripe_tree as usize).min(width.saturating_sub(1));
+        let mut child_live = |x: usize, c: usize| live.get(rec.links[x].children[c]);
+        let decision = self
+            .route_table
+            .decide(id, arrival_tree, &mut summary.route, parent_live, &mut child_live, ctx.rng())
+            .expect("active query is registered in the route table");
+        let (dest, tree) = match decision {
+            Decision::Parent { tree } => {
+                (rec.links[tree].parent.expect("live parent exists"), tree)
+            }
+            Decision::Child { tree, child } => (rec.links[tree].children[child], tree),
+            Decision::Drop => {
+                self.stats.route_drops += 1;
+                return;
+            }
+        };
+        summary.stripe_tree = tree as u8;
+        summary.age_us += self.cfg.hop_age_est_us as i64;
+        summary.hops = summary.hops.saturating_add(1);
+        let q = self.queries.get_mut(&id).expect("query exists");
+        q.tuples_out += 1;
+        let need_hash = q.tuples_out.is_multiple_of(self.cfg.data_hash_every as u64);
+        // Urgency (only meaningful under a hold): if the downstream
+        // operator is expected to close this tuple's window within
+        // the hold slack, holding it would risk missing the merge —
+        // flush its envelope immediately instead.
+        let urgent = self.cfg.envelope_hold_us > 0
+            && q.netdist.timeout_us(summary.age_us, self.cfg.min_timeout_us)
+                <= self.cfg.envelope_hold_us;
+        let hash = if need_hash { Some(self.my_store_hash()) } else { None };
+        frames.push(self, ctx, dest, tree as u8, summary, hash, urgent);
     }
 
     /// Finalizes a root eviction into a [`ResultRecord`] and feeds any
@@ -386,7 +421,11 @@ impl MortarPeer {
         let q = self.queries.get_mut(&id).expect("query exists");
         let mut finalized = q.spec.op.finalize(&self.registry, &summary.state);
         if let Some(post) = &q.spec.post {
-            finalized = self.registry.get(post).finalize(&finalized);
+            // Missing post-ops were rejected at install time; a stale spec
+            // degrades to the un-post-processed state instead of panicking.
+            if let Some(op) = self.registry.get(post) {
+                finalized = op.finalize(&finalized);
+            }
         }
         // The window was due at its interval end, measured in the root's
         // indexing frame.
@@ -537,4 +576,47 @@ impl MortarPeer {
         q.ts.insert(&tuple, local_now, timeout);
         self.stats.ts_peak_entries = self.stats.ts_peak_entries.max(q.ts.len() as u64);
     }
+}
+
+/// Splits one evicted keyed summary into per-tree parts: group `k` rides
+/// the tree whose installed [`crate::query::KeyRange`] contains
+/// `mix_key(k)`. Exactly one part — the tuple's current stripe tree —
+/// keeps the participants count and truth metadata (and is emitted even
+/// when its key slice is empty), so the root's completeness and
+/// ground-truth accounting see each constituent exactly once; the other
+/// parts carry pure keyed payload. Returns `None` when the state holds
+/// fewer than two groups — nothing to split, the caller routes the tuple
+/// whole.
+fn split_keyed_summary(summary: &SummaryTuple, rec: &InstallRecord) -> Option<Vec<SummaryTuple>> {
+    let AggState::Keyed { cap, groups } = &summary.state else { return None };
+    if groups.len() < 2 {
+        return None;
+    }
+    let width = rec.width();
+    let home = (summary.stripe_tree as usize).min(width - 1);
+    let mut parts = Vec::with_capacity(width);
+    for (t, link) in rec.links.iter().enumerate() {
+        let mut slice = BTreeMap::new();
+        for (k, st) in groups {
+            if link.key_range.contains(mix_key(*k)) {
+                slice.insert(*k, st.clone());
+            }
+        }
+        if slice.is_empty() && t != home {
+            continue;
+        }
+        parts.push(SummaryTuple {
+            tb: summary.tb,
+            te: summary.te,
+            age_us: summary.age_us,
+            participants: if t == home { summary.participants } else { 0 },
+            has_value: summary.has_value,
+            state: AggState::Keyed { cap: *cap, groups: slice },
+            route: summary.route,
+            hops: summary.hops,
+            stripe_tree: t as u8,
+            truth: if t == home { summary.truth.clone() } else { None },
+        });
+    }
+    Some(parts)
 }

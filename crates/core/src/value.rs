@@ -92,6 +92,34 @@ pub enum AggState {
         /// Per-register maximum leading-zero ranks.
         registers: Box<[u8; HLL_REGISTERS]>,
     },
+    /// Per-key inner partial aggregates (GROUP-BY). Keys are `u64` field
+    /// values; each group carries the inner operator's partial state and
+    /// merges key-wise at every hop. The map is bounded by `cap` with the
+    /// same deterministic overflow policy as [`AggState::Freq`]: once full,
+    /// keys already tracked keep merging and unseen keys are dropped, so
+    /// every merge order converges on the same survivor set (the `cap`
+    /// smallest keys seen, since `BTreeMap` iteration is ordered).
+    Keyed {
+        /// Maximum distinct keys tracked.
+        cap: usize,
+        /// key → inner partial aggregate.
+        groups: BTreeMap<u64, AggState>,
+    },
+}
+
+/// Total order for top-k entries: descending score with NaN sorted last,
+/// ties broken by source member then payload bits, so entry order — and
+/// with it which entries survive truncation — is independent of merge
+/// order even under NaN scores and score ties.
+pub fn topk_order(a: &TopKEntry, b: &TopKEntry) -> std::cmp::Ordering {
+    a.score
+        .is_nan()
+        .cmp(&b.score.is_nan())
+        .then_with(|| b.score.total_cmp(&a.score))
+        .then_with(|| a.source.cmp(&b.source))
+        .then_with(|| {
+            a.payload.iter().map(|v| v.to_bits()).cmp(b.payload.iter().map(|v| v.to_bits()))
+        })
 }
 
 impl AggState {
@@ -111,9 +139,7 @@ impl AggState {
             }
             (AggState::TopK { k, entries }, AggState::TopK { entries: other_e, .. }) => {
                 entries.extend(other_e.iter().cloned());
-                entries.sort_by(|a, b| {
-                    b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
-                });
+                entries.sort_by(topk_order);
                 entries.truncate(*k);
             }
             (AggState::Rows { cap, rows }, AggState::Rows { rows: other_r, .. }) => {
@@ -148,6 +174,14 @@ impl AggState {
                     *x = (*x).max(*y);
                 }
             }
+            (AggState::Keyed { cap, groups }, AggState::Keyed { groups: other_g, .. }) => {
+                for (k, st) in other_g {
+                    if groups.len() >= *cap && !groups.contains_key(k) {
+                        continue; // Bounded state: overflow keys dropped.
+                    }
+                    groups.entry(*k).or_insert(AggState::None).merge(st);
+                }
+            }
             (me, other) => {
                 debug_assert!(false, "merging mismatched aggregate variants: {me:?} vs {other:?}");
             }
@@ -168,7 +202,18 @@ impl AggState {
             }
             AggState::Vector(v) => v.first().copied(),
             AggState::Hll { registers } => Some(hll_estimate(registers)),
+            // A keyed state has no single scalar; render the group count so
+            // scalar-only consumers still see a meaningful signal.
+            AggState::Keyed { groups, .. } => (!groups.is_empty()).then_some(groups.len() as f64),
             AggState::None => None,
+        }
+    }
+
+    /// The per-key map, when this is a keyed (GROUP-BY) state.
+    pub fn groups(&self) -> Option<&BTreeMap<u64, AggState>> {
+        match self {
+            AggState::Keyed { groups, .. } => Some(groups),
+            _ => None,
         }
     }
 
@@ -188,6 +233,9 @@ impl AggState {
             AggState::Bloom { .. } => (BLOOM_WORDS * 8) as u32,
             AggState::Vector(v) => 8 * v.len() as u32 + 4,
             AggState::Hll { .. } => HLL_REGISTERS as u32,
+            AggState::Keyed { groups, .. } => {
+                groups.values().map(|s| 9 + s.wire_bytes()).sum::<u32>() + 4
+            }
         }
     }
 }
@@ -432,6 +480,65 @@ mod tests {
         let est = hll_estimate(&a);
         let err = (est - 500.0).abs() / 500.0;
         assert!(err < 0.15, "duplicates inflated the estimate: {est}");
+    }
+
+    #[test]
+    fn keyed_merge_is_keywise() {
+        let g = |pairs: &[(u64, f64)]| AggState::Keyed {
+            cap: 8,
+            groups: pairs.iter().map(|&(k, v)| (k, AggState::Sum(v))).collect(),
+        };
+        let mut a = g(&[(1, 2.0), (2, 5.0)]);
+        a.merge(&g(&[(2, 1.0), (3, 4.0)]));
+        let groups = a.groups().unwrap();
+        assert_eq!(groups[&1], AggState::Sum(2.0));
+        assert_eq!(groups[&2], AggState::Sum(6.0));
+        assert_eq!(groups[&3], AggState::Sum(4.0));
+    }
+
+    #[test]
+    fn keyed_merge_respects_cap_deterministically() {
+        let g = |pairs: &[(u64, f64)]| AggState::Keyed {
+            cap: 2,
+            groups: pairs.iter().map(|&(k, v)| (k, AggState::Sum(v))).collect(),
+        };
+        let x = g(&[(1, 1.0)]);
+        let y = g(&[(2, 1.0), (3, 1.0)]);
+        let mut xy = x.clone();
+        xy.merge(&y);
+        match &xy {
+            AggState::Keyed { groups, .. } => {
+                assert_eq!(groups.len(), 2, "cap enforced");
+                assert!(groups.contains_key(&1), "already-tracked keys survive");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn topk_nan_and_tied_scores_merge_order_independent() {
+        let e = |s: f64, src: u32| TopKEntry { score: s, source: src, payload: vec![] };
+        let x = AggState::TopK { k: 3, entries: vec![e(f64::NAN, 4), e(5.0, 1)] };
+        let y = AggState::TopK { k: 3, entries: vec![e(5.0, 0), e(7.0, 2)] };
+        let mut xy = x.clone();
+        xy.merge(&y);
+        let mut yx = y.clone();
+        yx.merge(&x);
+        let scores = |s: &AggState| match s {
+            AggState::TopK { entries, .. } => {
+                entries.iter().map(|e| (e.score.to_bits(), e.source)).collect::<Vec<_>>()
+            }
+            _ => unreachable!(),
+        };
+        assert_eq!(scores(&xy), scores(&yx), "merge order must not leak into entry order");
+        match &xy {
+            AggState::TopK { entries, .. } => {
+                assert_eq!(entries[0].score, 7.0);
+                assert_eq!((entries[1].score, entries[1].source), (5.0, 0), "tie broken by source");
+                assert_eq!((entries[2].score, entries[2].source), (5.0, 1));
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

@@ -422,6 +422,7 @@ fn lower_pipeline(p: &Program) -> Result<PipelineDef, LangError> {
                 }
             }
         };
+        let mut stmt_set_op = false;
         let out_kind = if matches!(call.func.as_str(), "select" | "filter") {
             if current.op.is_some() {
                 return Err(LangError::new("select must precede the aggregate"));
@@ -434,6 +435,7 @@ fn lower_pipeline(p: &Program) -> Result<PipelineDef, LangError> {
             Kind::Filtered
         } else if let Some(agg) = builtin_agg(call, &fidx)? {
             set_op(&mut current.op, agg)?;
+            stmt_set_op = true;
             Kind::Aggregated
         } else if in_kind == Kind::Aggregated && current.op.is_some() {
             // Custom call over the current stage's aggregate: a root
@@ -445,8 +447,27 @@ fn lower_pipeline(p: &Program) -> Result<PipelineDef, LangError> {
             Kind::Aggregated
         } else {
             set_op(&mut current.op, OpKind::Custom { name: call.func.clone() })?;
+            stmt_set_op = true;
             Kind::Aggregated
         };
+        if let Some(gb) = &stmt.group_by {
+            if !stmt_set_op {
+                return Err(LangError::new(
+                    "group by must be attached to the statement that defines the aggregate",
+                ));
+            }
+            let key_field = if gb == "key" {
+                mortar_core::op::KeyField::TupleKey
+            } else {
+                mortar_core::op::KeyField::Field(field_index(&src_name, gb)?)
+            };
+            let inner = current.op.take().expect("set by this statement");
+            current.op = Some(OpKind::Keyed {
+                key_field,
+                cap: stmt.group_cap.unwrap_or(mortar_core::op::DEFAULT_KEYED_CAP),
+                inner: Box::new(inner),
+            });
+        }
         if let Some(range) = stmt.window_range {
             let slide = stmt.window_slide.unwrap_or(range);
             if range < slide {
@@ -611,6 +632,49 @@ mod tests {
         let def = compile("stream s(a, b);\nf = select(s, a > 1, b < 5);\nq = count(f) every 1s;")
             .unwrap();
         assert!(matches!(def.filter, Some(Predicate::And(_, _))));
+    }
+
+    #[test]
+    fn group_by_wraps_the_aggregate() {
+        use mortar_core::op::KeyField;
+        let def = compile("stream s(v);\nq = sum(s, v) group by key every 1s;").unwrap();
+        assert_eq!(
+            def.op,
+            OpKind::Keyed {
+                key_field: KeyField::TupleKey,
+                cap: mortar_core::op::DEFAULT_KEYED_CAP,
+                inner: Box::new(OpKind::Sum { field: 0 }),
+            }
+        );
+        // Named field key with an explicit cap; the filter still applies
+        // upstream of the keyed aggregate.
+        let def = compile(
+            "stream flows(svc, lat);\n\
+             slow = select(flows, lat > 100);\n\
+             p = avg(slow, lat) group by svc cap 64 window 10s slide 5s;",
+        )
+        .unwrap();
+        assert_eq!(
+            def.op,
+            OpKind::Keyed {
+                key_field: KeyField::Field(0),
+                cap: 64,
+                inner: Box::new(OpKind::Avg { field: 1 }),
+            }
+        );
+        assert!(def.filter.is_some());
+        assert_eq!(def.window, WindowSpec::time_sliding_us(10_000_000, 5_000_000));
+    }
+
+    #[test]
+    fn group_by_on_non_aggregate_statement_is_an_error() {
+        let err = compile(
+            "stream s(v);\n\
+             f = select(s, v > 1) group by key;\n\
+             q = count(f) every 1s;",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("group by"), "{}", err.message);
     }
 
     #[test]

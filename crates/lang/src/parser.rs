@@ -25,6 +25,10 @@ pub struct Stmt {
     pub window_slide: Option<u64>,
     /// Whether the window counts tuples instead of time.
     pub tuple_window: bool,
+    /// GROUP BY field (`key` names the tuple's routing key).
+    pub group_by: Option<String>,
+    /// Optional `cap <n>` bound on distinct keys per window.
+    pub group_cap: Option<usize>,
 }
 
 /// A stage invocation.
@@ -164,8 +168,11 @@ fn statement(p: &mut P) -> Result<Stmt, LangError> {
         window_range: None,
         window_slide: None,
         tuple_window: false,
+        group_by: None,
+        group_cap: None,
     };
-    // Optional window clause: `window <dur> [slide <dur>]` or `every <dur>`.
+    // Optional trailing clauses, in any order:
+    // `window <dur> [slide <dur>]` / `every <dur>` / `group by <field> [cap <n>]`.
     while let Some(Token::Ident(k)) = p.peek() {
         match k.as_str() {
             "window" | "every" => {
@@ -181,6 +188,34 @@ fn statement(p: &mut P) -> Result<Stmt, LangError> {
                     return Err(LangError::new("mixed time and tuple window units"));
                 }
                 stmt.window_slide = Some(v);
+            }
+            "group" => {
+                p.next();
+                match p.next() {
+                    Some(Token::Ident(by)) if by == "by" => {}
+                    other => {
+                        return Err(LangError::new(format!(
+                            "expected `by` after `group`, found {other:?}"
+                        )))
+                    }
+                }
+                if stmt.group_by.is_some() {
+                    return Err(LangError::new("duplicate group by clause"));
+                }
+                stmt.group_by = Some(p.ident()?);
+                if let Some(Token::Ident(c)) = p.peek() {
+                    if c == "cap" {
+                        p.next();
+                        match p.next() {
+                            Some(Token::Number(n)) if n >= 1.0 => stmt.group_cap = Some(n as usize),
+                            other => {
+                                return Err(LangError::new(format!(
+                                    "expected positive key cap, found {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                }
             }
             _ => break,
         }
@@ -286,6 +321,21 @@ mod tests {
         let p = parse_str("x = count(s) every 5s;").unwrap();
         assert_eq!(p.stmts[0].window_range, Some(5_000_000));
         assert_eq!(p.stmts[0].window_slide, None);
+    }
+
+    #[test]
+    fn group_by_clause() {
+        let p = parse_str("x = sum(s, v) group by key window 10s;").unwrap();
+        assert_eq!(p.stmts[0].group_by.as_deref(), Some("key"));
+        assert_eq!(p.stmts[0].group_cap, None);
+        assert_eq!(p.stmts[0].window_range, Some(10_000_000));
+        // Clause order is free; `cap` bounds distinct keys.
+        let p = parse_str("x = count(s) window 5s group by svc cap 64;").unwrap();
+        assert_eq!(p.stmts[0].group_by.as_deref(), Some("svc"));
+        assert_eq!(p.stmts[0].group_cap, Some(64));
+        assert!(parse_str("x = count(s) group key;").is_err());
+        assert!(parse_str("x = count(s) group by k cap 0;").is_err());
+        assert!(parse_str("x = count(s) group by a group by b;").is_err());
     }
 
     #[test]

@@ -10,14 +10,21 @@
 
 use mortar::net::TrafficClass;
 use mortar::prelude::*;
+use mortar::stream::tuple::RawTuple;
 
 const HOSTS: usize = 100;
 const SEED: u64 = 1313;
+
+/// One keyed emission: (tb, te, participants, per-key value bits).
+type KeyedRow = (i64, i64, u32, Vec<(u64, u64)>);
 
 /// Everything an experiment reads back, summarized for exact comparison.
 #[derive(Debug, PartialEq)]
 struct Fingerprint {
     results: Vec<(i64, i64, Option<u64>, u32)>,
+    /// Keyed emissions — the group maps that rode the key-range split
+    /// must coincide bit for bit.
+    keyed: Vec<KeyedRow>,
     completeness_bits: u64,
     tuples_sent: u64,
     frames_sent: u64,
@@ -35,6 +42,15 @@ fn run(shards: usize) -> Fingerprint {
     cfg.plan_on_true_latency = true;
     cfg.shards = shards;
     let mut mortar = Mortar::new(cfg).expect("valid config");
+    for i in 0..HOSTS as NodeId {
+        let trace: Vec<(u64, RawTuple)> = (0..35u64)
+            .map(|s| {
+                let t = 500_000 + s * 1_000_000;
+                (t, RawTuple { key: i as u64 % 7, vals: vec![i as f64 + 1.0] })
+            })
+            .collect();
+        mortar.set_replay(i, trace);
+    }
     let q = mortar
         .query("agg")
         .members(0..HOSTS as NodeId)
@@ -43,6 +59,16 @@ fn run(shards: usize) -> Fingerprint {
         .every_secs(1.0)
         .install()
         .expect("valid query");
+    let keyed = mortar
+        .query("per_key")
+        .members(0..HOSTS as NodeId)
+        .replay()
+        .sum(0)
+        .group_by_key()
+        .group_cap(16)
+        .every_secs(1.0)
+        .install()
+        .expect("valid keyed query");
     mortar.run_secs(30.0);
     let eng = mortar.engine();
     let stats = eng.sim.stats();
@@ -52,6 +78,22 @@ fn run(shards: usize) -> Fingerprint {
             .results(&q)
             .iter()
             .map(|r| (r.tb, r.te, r.scalar.map(f64::to_bits), r.participants))
+            .collect(),
+        keyed: mortar
+            .results(&keyed)
+            .iter()
+            .map(|r| {
+                let groups = r
+                    .state
+                    .groups()
+                    .map(|g| {
+                        g.iter()
+                            .map(|(k, st)| (*k, st.scalar().unwrap_or(f64::NAN).to_bits()))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                (r.tb, r.te, r.participants, groups)
+            })
             .collect(),
         completeness_bits: mortar.completeness(&q, 5).to_bits(),
         tuples_sent: eng.summary_tuples_sent(),
@@ -70,6 +112,10 @@ fn run(shards: usize) -> Fingerprint {
 fn results_and_counters_agree_across_shard_counts() {
     let single = run(1);
     assert!(!single.results.is_empty(), "baseline produced no results");
+    assert!(
+        single.keyed.iter().any(|(_, _, _, g)| g.len() == 7),
+        "keyed baseline never surfaced all key classes"
+    );
     for shards in [2usize, 4] {
         let parallel = run(shards);
         assert_eq!(single, parallel, "shards={shards} diverged from single-threaded run");
