@@ -2,6 +2,7 @@
 
 pub mod chaos;
 pub mod common;
+pub mod feeds;
 pub mod fig01;
 pub mod fig0910;
 pub mod fig11;

@@ -16,7 +16,10 @@ use crate::oracle::{self, BaseQuery, OracleConfig, Violation};
 use crate::scenario::{Fault, Scenario};
 use mortar_core::engine::{Engine, EngineConfig};
 use mortar_core::query::QuerySpec;
-use mortar_core::{MortarError, OpKind, SensorSpec, WindowSpec};
+use mortar_core::{
+    BurstProfile, FeedConnector, FeedSpec, IntakePolicy, MortarError, OpKind, SensorSpec,
+    WindowSpec,
+};
 use mortar_net::{ChaosConfig, LocalClock, NodeId, TrafficClass};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -174,6 +177,8 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> Result<RunReport, MortarE
     let mut removed: Vec<String> = Vec::new();
     let mut skewed: Vec<NodeId> = Vec::new();
     let mut storm_seq = 0u64;
+    let mut bursts: Vec<String> = Vec::new();
+    let mut burst_seq = 0u64;
     for ev in &sc.events {
         let at = ev.at_ms.min(sc.duration_ms);
         if at > cursor {
@@ -246,6 +251,31 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> Result<RunReport, MortarE
                 }
                 storms.extend(kept.into_iter().rev());
             }
+            Fault::LinkLoss { src, dst, pct } => eng.sim.set_link_loss(*src, *dst, *pct),
+            Fault::HealLinks => eng.sim.clear_link_loss(),
+            Fault::Burst { factor, len_ms, policy } => {
+                // An overload wave: install a feed-driven query whose
+                // synthetic source bursts `factor`× from activation for
+                // `len_ms`, guarded by the scenario-picked intake policy.
+                // Burst queries are never removed (they are workload, not
+                // control-plane churn) and count toward installed_total.
+                let members = roster(sc.seed ^ 0x0B57_BEEF, burst_seq, hosts, 4.min(hosts));
+                let name = format!("burst{burst_seq}");
+                burst_seq += 1;
+                let mut spec = sum_spec(name.clone(), members);
+                let profile =
+                    BurstProfile::steady(250_000, 1.0).with_burst(0, len_ms * 1_000, *factor);
+                let policy = match policy % 4 {
+                    0 => IntakePolicy::Backpressure { credits: 256 },
+                    1 => IntakePolicy::Shed { watermark: 256 },
+                    2 => IntakePolicy::Sample { keep_1_in_n: 4 },
+                    _ => IntakePolicy::Spill { cap_bytes: 16_384 },
+                };
+                spec.sensor =
+                    SensorSpec::Feed(FeedSpec::new(FeedConnector::Bursty(profile), policy));
+                eng.install(spec)?;
+                bursts.push(name);
+            }
         }
     }
     if sc.duration_ms > cursor {
@@ -254,6 +284,7 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> Result<RunReport, MortarE
 
     if cfg.heal_at_end {
         eng.sim.clear_partition();
+        eng.sim.clear_link_loss();
         eng.sim.set_chaos(ChaosConfig::none());
         for n in 0..hosts as NodeId {
             eng.sim.set_host_up(n, true);
@@ -330,9 +361,32 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> Result<RunReport, MortarE
         fnv(&mut h, bw.msgs_total(class));
         fnv(&mut h, bw.bytes_total(class));
     }
+    // Feed intake counters are part of the replay contract too: a burst
+    // wave that sheds or spills differently across shard counts must
+    // show up as a fingerprint divergence.
+    let (feed, feed_conserved, feed_held) = eng.feed_totals();
+    for v in [
+        feed.offered,
+        feed.delivered,
+        feed.shed_tuples,
+        feed.sampled_out,
+        feed.spilled,
+        feed.spill_drops,
+        feed.peak_queue_bytes,
+        feed.peak_spill_bytes,
+        feed.overcap,
+        u64::from(feed_conserved),
+        feed_held,
+    ] {
+        fnv(&mut h, v);
+    }
 
-    let installed_total =
-        base.iter().map(|q| q.name.clone()).chain(storms.into_iter().map(|(n, _)| n)).count();
+    let installed_total = base
+        .iter()
+        .map(|q| q.name.clone())
+        .chain(storms.into_iter().map(|(n, _)| n))
+        .chain(bursts)
+        .count();
     Ok(RunReport {
         seed: sc.seed,
         fingerprint: h,

@@ -51,6 +51,11 @@ pub struct OracleConfig {
     /// tolerance is 1.25× the roster; systematic duplication shows up as
     /// ~2× and still trips the oracle.
     pub conservation_slack: f64,
+    /// Demand every ingestion feed stayed inside its declared intake
+    /// bound (`overcap == 0`) and that its counters account for every
+    /// offered tuple (admitted + shed + sampled-out + spill-dropped +
+    /// still queued/spilled). Vacuously true when no feeds ran.
+    pub require_feed_bounds: bool,
 }
 
 impl Default for OracleConfig {
@@ -62,6 +67,7 @@ impl Default for OracleConfig {
             require_no_stale: true,
             require_conservation: true,
             conservation_slack: 1.25,
+            require_feed_bounds: true,
         }
     }
 }
@@ -148,6 +154,34 @@ pub fn evaluate(
                 }
                 Some(_) => {}
             }
+        }
+    }
+
+    if cfg.require_feed_bounds {
+        let (totals, conserved, _held) = eng.feed_totals();
+        if totals.overcap > 0 {
+            out.push(Violation {
+                oracle: "feed-bounds",
+                detail: format!(
+                    "intake exceeded a declared cap {} time(s) \
+                     (peak queue {} B, peak spill {} B)",
+                    totals.overcap, totals.peak_queue_bytes, totals.peak_spill_bytes
+                ),
+            });
+        }
+        if !conserved {
+            out.push(Violation {
+                oracle: "feed-bounds",
+                detail: format!(
+                    "feed counters lost tuples: offered {} != delivered {} + shed {} \
+                     + sampled-out {} + spill-dropped {} + held",
+                    totals.offered,
+                    totals.delivered,
+                    totals.shed_tuples,
+                    totals.sampled_out,
+                    totals.spill_drops
+                ),
+            });
         }
     }
 

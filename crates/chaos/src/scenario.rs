@@ -75,6 +75,34 @@ pub enum Fault {
         /// How many storm queries to remove.
         count: u32,
     },
+    /// Degrade one directed link to drop each message with probability
+    /// `pct` — the flaky last-mile uplink / asymmetric-routing blackhole,
+    /// sharper than a whole-fleet `Chaos` phase. `pct = 0` heals the
+    /// link.
+    LinkLoss {
+        /// Sending end of the lossy direction.
+        src: NodeId,
+        /// Receiving end.
+        dst: NodeId,
+        /// Per-message drop probability (0.0–1.0).
+        pct: f64,
+    },
+    /// Heal every lossy link at once.
+    HealLinks,
+    /// Install an extra feed-driven query whose synthetic source bursts
+    /// at `factor`× its steady rate for `len_ms` starting at activation,
+    /// guarded by the [`mortar_core::IntakePolicy`] selected by `policy`
+    /// (0 = Backpressure, 1 = Shed, 2 = Sample, 3 = Spill). The
+    /// feed-bounds oracle then demands intake memory stayed under the
+    /// declared cap and every offered tuple is accounted for.
+    Burst {
+        /// Burst rate multiplier over the steady emission period.
+        factor: u32,
+        /// Burst window length, milliseconds from query activation.
+        len_ms: u64,
+        /// Intake-policy selector (mod 4).
+        policy: u8,
+    },
 }
 
 impl Fault {
@@ -90,6 +118,9 @@ impl Fault {
             Fault::Skew { .. } => "skew",
             Fault::InstallStorm { .. } => "install-storm",
             Fault::RemoveStorm { .. } => "remove-storm",
+            Fault::LinkLoss { .. } => "link-loss",
+            Fault::HealLinks => "heal-links",
+            Fault::Burst { .. } => "burst",
         }
     }
 }
@@ -163,7 +194,7 @@ impl Scenario {
         let hi = duration_ms * 7 / 10;
 
         // Wave menu; shuffled, then the first `waves` entries fire.
-        let mut menu: Vec<u8> = vec![0, 1, 2, 3, 4];
+        let mut menu: Vec<u8> = vec![0, 1, 2, 3, 4, 5, 6];
         menu.shuffle(&mut rng);
         let waves = rng.gen_range(3..=5usize);
 
@@ -215,7 +246,7 @@ impl Scenario {
                     sc.events
                         .push(FaultEvent { at_ms: end, fault: Fault::Skew { node, offset_us: 0 } });
                 }
-                _ => {
+                4 => {
                     let count = rng.gen_range(2..=6u32);
                     let removed = rng.gen_range(1..=count);
                     sc.events
@@ -223,6 +254,33 @@ impl Scenario {
                     sc.events.push(FaultEvent {
                         at_ms: end,
                         fault: Fault::RemoveStorm { count: removed },
+                    });
+                }
+                5 => {
+                    // One flaky directed link; healed at wave end.
+                    let src = rng.gen_range(0..hosts) as NodeId;
+                    let mut dst = rng.gen_range(0..hosts) as NodeId;
+                    if dst == src {
+                        dst = (dst + 1) % hosts.max(2) as NodeId;
+                    }
+                    let pct = rng.gen_range(0.2..0.9);
+                    sc.events.push(FaultEvent {
+                        at_ms: start,
+                        fault: Fault::LinkLoss { src, dst, pct },
+                    });
+                    sc.events.push(FaultEvent { at_ms: end, fault: Fault::HealLinks });
+                }
+                _ => {
+                    // Overload wave: a feed-driven query bursting under a
+                    // seed-picked intake policy. No off-event — the burst
+                    // window is carried inside the fault itself.
+                    sc.events.push(FaultEvent {
+                        at_ms: start,
+                        fault: Fault::Burst {
+                            factor: rng.gen_range(5..=12u32),
+                            len_ms: len.min(end.saturating_sub(start)).max(1_000),
+                            policy: rng.gen_range(0..4u32) as u8,
+                        },
                     });
                 }
             }

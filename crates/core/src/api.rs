@@ -35,6 +35,7 @@
 
 use crate::engine::{Engine, EngineConfig};
 use crate::error::MortarError;
+use crate::feed::{BurstProfile, ChannelHub, FeedConnector, FeedSpec, IntakePolicy};
 use crate::metrics::{self, ResultRecord};
 use crate::op::{Cmp, OpKind, OpRegistry, Predicate};
 use crate::query::{QueryId, QuerySpec, SensorSpec};
@@ -450,6 +451,66 @@ impl<'m> QueryBuilder<'m> {
         self
     }
 
+    /// Attaches an ingestion feed: every member instantiates the
+    /// connector and pumps tuples through its declared [`IntakePolicy`]
+    /// (default: lossless [`IntakePolicy::Backpressure`] with
+    /// [`crate::feed::DEFAULT_QUEUE_CAP`] credits). Refine with
+    /// [`QueryBuilder::intake`].
+    pub fn with_feed(mut self, connector: FeedConnector) -> Self {
+        let policy = IntakePolicy::Backpressure { credits: crate::feed::DEFAULT_QUEUE_CAP };
+        self.draft.set_sensor(SensorSpec::Feed(FeedSpec::new(connector, policy)));
+        self
+    }
+
+    /// A feed replaying a shared `(frame-µs offset, tuple)` trace at every
+    /// member (see [`crate::feed::ReplaySource`]).
+    pub fn feed_replay(self, trace: impl Into<std::sync::Arc<[(u64, RawTuple)]>>) -> Self {
+        self.with_feed(FeedConnector::Replay { trace: trace.into() })
+    }
+
+    /// A synthetic feed emitting on a fixed period with an optional burst
+    /// window (see [`BurstProfile`]).
+    pub fn feed_bursty(self, profile: BurstProfile) -> Self {
+        self.with_feed(FeedConnector::Bursty(profile))
+    }
+
+    /// A feed draining externally pushed tuples from a shared
+    /// [`ChannelHub`] (each member drains only its own per-node queue).
+    pub fn feed_channel(self, hub: &std::sync::Arc<ChannelHub>) -> Self {
+        self.with_feed(FeedConnector::Channel { hub: std::sync::Arc::clone(hub) })
+    }
+
+    /// Declares the feed's intake policy — how the member behaves when
+    /// the source outruns the operator. Must follow a feed sensor
+    /// ([`QueryBuilder::with_feed`] or a `feed_*` convenience).
+    pub fn intake(mut self, policy: IntakePolicy) -> Self {
+        match &mut self.draft.sensor {
+            Some(SensorSpec::Feed(fs)) => fs.policy = policy,
+            _ => self.draft.fail(MortarError::InvalidConfig {
+                reason: format!(
+                    "query {:?}: intake() requires a feed sensor (call with_feed first)",
+                    self.draft.name
+                ),
+            }),
+        }
+        self
+    }
+
+    /// Bounds how many queued feed tuples one tick hands to the operator
+    /// (pacing; default [`crate::feed::DEFAULT_DRAIN_MAX`]).
+    pub fn intake_drain_max(mut self, max: usize) -> Self {
+        match &mut self.draft.sensor {
+            Some(SensorSpec::Feed(fs)) => fs.drain_max = max.max(1),
+            _ => self.draft.fail(MortarError::InvalidConfig {
+                reason: format!(
+                    "query {:?}: intake_drain_max() requires a feed sensor",
+                    self.draft.name
+                ),
+            }),
+        }
+        self
+    }
+
     /// Subscribes this query to an installed upstream's output stream
     /// (Section 2.2's composition). When no members were set, the query
     /// defaults to living entirely on the upstream's root peer — the only
@@ -630,6 +691,19 @@ pub struct Mortar {
     /// Per-query drain cursor: the result-log sequence number up to which
     /// this query's records have been delivered.
     cursors: HashMap<QueryId, u64>,
+    /// Push-style result sinks, pumped after every [`Mortar::run_secs`].
+    sinks: Vec<ResultSink>,
+}
+
+/// One attached push-style consumer: a callback plus its own drain cursor
+/// (independent of [`Mortar::subscribe`]'s), so pull and push consumers of
+/// the same query never steal each other's records.
+struct ResultSink {
+    id: QueryId,
+    name: String,
+    root: NodeId,
+    cursor: u64,
+    deliver: Box<dyn FnMut(&ResultRecord)>,
 }
 
 impl Mortar {
@@ -648,7 +722,7 @@ impl Mortar {
 
     /// Wraps an already-built engine.
     pub fn from_engine(engine: Engine) -> Self {
-        Self { engine, handles: HashMap::new(), cursors: HashMap::new() }
+        Self { engine, handles: HashMap::new(), cursors: HashMap::new(), sinks: Vec::new() }
     }
 
     /// The underlying engine (simulator access, failure scripting,
@@ -813,13 +887,77 @@ impl Mortar {
         fresh
     }
 
+    /// Attaches a push-style sink to the query: after every
+    /// [`Mortar::run_secs`] step, `deliver` is called once per fresh
+    /// result record, in emission order. Each record reaches the sink
+    /// exactly once (cursors are sequence-based, mirroring
+    /// [`Mortar::subscribe`]'s never-redeliver discipline), and sinks
+    /// drain independently of `subscribe` cursors. Records older than the
+    /// root log's bounded retention at pump time are gone, exactly as for
+    /// a slow `subscribe` caller.
+    pub fn attach_sink(
+        &mut self,
+        h: &QueryHandle,
+        deliver: impl FnMut(&ResultRecord) + 'static,
+    ) -> Result<(), MortarError> {
+        self.check(h)?;
+        self.sinks.push(ResultSink {
+            id: h.id(),
+            name: h.name().to_string(),
+            root: h.root(),
+            cursor: h.base,
+            deliver: Box::new(deliver),
+        });
+        Ok(())
+    }
+
+    /// Attaches a channel-backed sink: fresh result records are cloned
+    /// into the returned receiver after every [`Mortar::run_secs`] step.
+    /// Same exactly-once discipline as [`Mortar::attach_sink`]; a dropped
+    /// receiver simply discards subsequent records.
+    pub fn attach_channel(
+        &mut self,
+        h: &QueryHandle,
+    ) -> Result<std::sync::mpsc::Receiver<ResultRecord>, MortarError> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.attach_sink(h, move |r| {
+            let _ = tx.send(r.clone());
+        })?;
+        Ok(rx)
+    }
+
+    /// Delivers every fresh record to the attached sinks. Runs after each
+    /// simulation step; the sinks vector is taken out of `self` for the
+    /// sweep so callbacks can't alias the session.
+    fn pump_sinks(&mut self) {
+        if self.sinks.is_empty() {
+            return;
+        }
+        let mut sinks = std::mem::take(&mut self.sinks);
+        for s in &mut sinks {
+            for r in self.engine.results_from(s.root, s.cursor) {
+                if &*r.query == s.name.as_str() {
+                    (s.deliver)(r);
+                }
+            }
+            s.cursor = self.engine.result_seq(s.root);
+        }
+        // Callbacks cannot re-enter the session (it is exclusively
+        // borrowed here), so no sink can have been attached meanwhile.
+        self.sinks = sinks;
+    }
+
     /// Removes the query, consuming its handle. The removal command
     /// carries the interned id and multicasts down the primary tree.
+    /// Attached sinks are detached (after a final drain of anything
+    /// already recorded).
     pub fn remove(&mut self, h: QueryHandle) -> Result<(), MortarError> {
         self.check(&h)?;
+        self.pump_sinks();
         self.engine.remove(h.name(), h.root())?;
         self.handles.remove(h.name());
         self.cursors.remove(&h.id());
+        self.sinks.retain(|s| s.id != h.id());
         Ok(())
     }
 
@@ -839,9 +977,10 @@ impl Mortar {
         metrics::mean_completeness(&self.results(h), h.member_count(), skip_first)
     }
 
-    /// Runs `s` seconds of true time.
+    /// Runs `s` seconds of true time, then pumps attached sinks.
     pub fn run_secs(&mut self, s: f64) {
         self.engine.run_secs(s);
+        self.pump_sinks();
     }
 
     /// Connects/disconnects a host's access link.
@@ -1023,6 +1162,74 @@ mod tests {
         for (a, b) in drained.iter().zip(&all) {
             assert_eq!((a.tb, a.emit_true_us), (b.tb, b.emit_true_us));
         }
+    }
+
+    #[test]
+    fn sink_delivers_every_record_exactly_once() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut m = session(8, 21);
+        let h = m
+            .query("up")
+            .members(0..8)
+            .periodic_secs(1.0, 1.0)
+            .sum(0)
+            .every_secs(1.0)
+            .install()
+            .unwrap();
+        let pushed: Rc<RefCell<Vec<(i64, u64)>>> = Rc::default();
+        let sink_log = Rc::clone(&pushed);
+        m.attach_sink(&h, move |r| sink_log.borrow_mut().push((r.tb, r.emit_true_us)))
+            .expect("live handle");
+        let rx = m.attach_channel(&h).expect("live handle");
+        // Ragged steps: the sink must see each record exactly once no
+        // matter how the run is chopped up.
+        for s in [5.0, 0.5, 7.5, 2.0, 5.0] {
+            m.run_secs(s);
+        }
+        let all = m.results(&h);
+        assert!(!all.is_empty());
+        let want: Vec<(i64, u64)> = all.iter().map(|r| (r.tb, r.emit_true_us)).collect();
+        assert_eq!(*pushed.borrow(), want, "sink must partition the result log");
+        let chan: Vec<(i64, u64)> = rx.try_iter().map(|r| (r.tb, r.emit_true_us)).collect();
+        assert_eq!(chan, want, "channel sink must agree with callback sink");
+        // Pull-side subscribe cursors are independent of sink cursors.
+        assert_eq!(m.subscribe(&h).len(), all.len());
+        // Removal detaches; a further run pushes nothing new.
+        let n = pushed.borrow().len();
+        m.remove(h).unwrap();
+        m.run_secs(5.0);
+        assert_eq!(pushed.borrow().len(), n, "detached sink still received records");
+    }
+
+    #[test]
+    fn feed_builder_installs_and_intake_requires_feed() {
+        let mut m = session(8, 22);
+        let h = m
+            .query("feed")
+            .members(0..8)
+            .feed_bursty(BurstProfile::steady(500_000, 1.0))
+            .intake(IntakePolicy::Backpressure { credits: 64 })
+            .sum(0)
+            .every_secs(1.0)
+            .install()
+            .expect("feed query installs");
+        m.run_secs(15.0);
+        assert_eq!(m.active_count(&h), 8);
+        assert!(!m.results(&h).is_empty(), "feed produced no results");
+        let (totals, conserved, _) = m.engine().feed_totals();
+        assert!(totals.offered > 0 && totals.delivered > 0);
+        assert!(conserved, "feed accounting does not balance");
+        // intake() without a feed sensor is a typed error.
+        let err = m
+            .query("bad")
+            .members(0..8)
+            .periodic_secs(1.0, 1.0)
+            .intake(IntakePolicy::Shed { watermark: 8 })
+            .sum(0)
+            .install()
+            .unwrap_err();
+        assert!(matches!(err, MortarError::InvalidConfig { .. }));
     }
 
     #[test]

@@ -372,6 +372,37 @@ impl Engine {
     pub fn summary_envelopes_sent(&self) -> u64 {
         self.sim.apps().map(|p| p.stats.envelopes_out).sum()
     }
+
+    /// Largest total outbox payload any single peer ever held pending in
+    /// envelopes — the memory-side metric the adaptive envelope budget
+    /// drives down under congestion.
+    pub fn outbox_peak_bytes(&self) -> u64 {
+        self.sim.apps().map(|p| p.stats.outbox_peak_bytes).max().unwrap_or(0)
+    }
+
+    /// Total AIMD budget cuts taken across the fleet (zero unless
+    /// [`PeerConfig::adaptive_envelopes`] is on and congestion engaged).
+    pub fn envelope_budget_cuts(&self) -> u64 {
+        self.sim.apps().map(|p| p.stats.envelope_budget_cuts).sum()
+    }
+
+    /// Fleet-wide feed intake accounting: summed/peak-merged
+    /// [`crate::feed::FeedStats`] over every installed feed, whether every
+    /// feed's conservation invariant holds (offered tuples are fully
+    /// accounted for), and the largest intake+spill byte footprint any
+    /// single feed currently holds.
+    pub fn feed_totals(&self) -> (crate::feed::FeedStats, bool, u64) {
+        let mut total = crate::feed::FeedStats::default();
+        let mut conserved = true;
+        let mut peak_held = 0u64;
+        for p in self.sim.apps() {
+            let (t, c, held) = p.feed_totals();
+            total.absorb(&t);
+            conserved &= c;
+            peak_held = peak_held.max(held);
+        }
+        (total, conserved, peak_held)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,147 @@
+//! Bursty-synthetic connector: a deterministic base emission rate with an
+//! optional burst window during which the rate is multiplied.
+//!
+//! Emission is cursor-based — the next emission instant is a pure function
+//! of how many tuples have been handed out — so the total tuple count of a
+//! profile is fixed regardless of when intake polls. A paused feed
+//! catches up late; it never changes what the profile produces.
+
+use super::FeedSource;
+use crate::tuple::RawTuple;
+
+/// A deterministic load profile, in query-frame microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstProfile {
+    /// Base emission period.
+    pub period_us: u64,
+    /// During `[burst_start_us, burst_end_us)` the period shrinks to
+    /// `period_us / burst_factor` — a `burst_factor`× rate burst.
+    pub burst_start_us: u64,
+    pub burst_end_us: u64,
+    pub burst_factor: u32,
+    /// Emitted tuple payload.
+    pub value: f64,
+    /// Emitted tuple key.
+    pub key: u64,
+    /// Stop emitting past this frame instant (`u64::MAX` = run forever).
+    pub until_us: u64,
+}
+
+impl BurstProfile {
+    /// A steady profile with no burst window.
+    pub fn steady(period_us: u64, value: f64) -> Self {
+        Self {
+            period_us: period_us.max(1),
+            burst_start_us: 0,
+            burst_end_us: 0,
+            burst_factor: 1,
+            value,
+            key: 0,
+            until_us: u64::MAX,
+        }
+    }
+
+    /// Adds a `factor`× burst over `[start_us, end_us)`.
+    pub fn with_burst(mut self, start_us: u64, end_us: u64, factor: u32) -> Self {
+        self.burst_start_us = start_us;
+        self.burst_end_us = end_us;
+        self.burst_factor = factor.max(1);
+        self
+    }
+
+    /// Emission period in force at frame instant `at_us`.
+    fn period_at(&self, at_us: u64) -> u64 {
+        if at_us >= self.burst_start_us && at_us < self.burst_end_us {
+            (self.period_us / u64::from(self.burst_factor)).max(1)
+        } else {
+            self.period_us
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct BurstySource {
+    profile: BurstProfile,
+    /// Frame instant of the next emission; advances only on emission, so
+    /// deferred tuples are emitted late rather than skipped.
+    next_emit_us: u64,
+}
+
+impl BurstySource {
+    pub fn new(profile: BurstProfile) -> Self {
+        Self { profile, next_emit_us: profile.period_us.max(1) }
+    }
+}
+
+impl FeedSource for BurstySource {
+    fn poll(&mut self, frame_now_us: i64, max: usize, out: &mut Vec<RawTuple>) {
+        if frame_now_us < 0 {
+            return;
+        }
+        let now = frame_now_us as u64;
+        let mut emitted = 0usize;
+        while emitted < max
+            && self.next_emit_us <= now
+            && self.next_emit_us <= self.profile.until_us
+        {
+            out.push(RawTuple { key: self.profile.key, vals: vec![self.profile.value] });
+            // The period in force is the one at the emission's own instant,
+            // so catch-up after a pause reproduces the exact schedule.
+            self.next_emit_us += self.profile.period_at(self.next_emit_us);
+            emitted += 1;
+        }
+    }
+
+    fn next_due_us(&self) -> i64 {
+        if self.next_emit_us > self.profile.until_us {
+            i64::MAX
+        } else {
+            self.next_emit_us as i64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(s: &mut BurstySource, now: i64) -> usize {
+        let mut out = Vec::new();
+        s.poll(now, usize::MAX, &mut out);
+        out.len()
+    }
+
+    #[test]
+    fn burst_window_multiplies_rate() {
+        // 1 ms base period, 10× burst over [10 ms, 20 ms).
+        let p = BurstProfile::steady(1_000, 1.0).with_burst(10_000, 20_000, 10);
+        let mut s = BurstySource::new(p);
+        assert_eq!(drain(&mut s, 10_000 - 1), 9, "9 steady emissions before the burst");
+        assert_eq!(drain(&mut s, 20_000 - 1), 100, "10 ms at 100 µs period");
+        assert_eq!(drain(&mut s, 30_000), 11, "steady again after the burst");
+    }
+
+    #[test]
+    fn paused_source_catches_up_with_identical_totals() {
+        let p = BurstProfile::steady(1_000, 1.0).with_burst(10_000, 20_000, 10);
+        let mut eager = BurstySource::new(p);
+        let mut total_eager = 0;
+        for ms in 1..=30 {
+            total_eager += drain(&mut eager, ms * 1_000);
+        }
+        // The lazy copy is never polled until the very end.
+        let mut lazy = BurstySource::new(p);
+        let total_lazy = drain(&mut lazy, 30_000);
+        assert_eq!(total_eager, total_lazy);
+        assert_eq!(eager.next_emit_us, lazy.next_emit_us);
+    }
+
+    #[test]
+    fn until_bound_exhausts_source() {
+        let mut p = BurstProfile::steady(1_000, 2.5);
+        p.until_us = 5_000;
+        let mut s = BurstySource::new(p);
+        assert_eq!(drain(&mut s, 100_000), 5);
+        assert_eq!(s.next_due_us(), i64::MAX);
+    }
+}

@@ -1,0 +1,453 @@
+//! Ingestion feeds: pluggable leaf source connectors with per-feed
+//! overload policies.
+//!
+//! The paper drives leaves from simulator closures; the ROADMAP north-star
+//! is a production ingestion layer whose overload behavior is a declared,
+//! per-feed *policy* rather than an accident of queue growth (the
+//! AsterixDB fault-tolerant data-feeds model: spill / sample / shed /
+//! backpressure, congestion handled inside the system).
+//!
+//! A feed is a [`FeedConnector`] (what produces raw tuples) plus an
+//! [`IntakePolicy`] (what happens when tuples arrive faster than the
+//! operator drains). Connectors live one-per-module: [`replay`] replays a
+//! recorded trace, [`bursty`] synthesizes a deterministic load profile with
+//! an optional burst window, [`channel`] drains tuples pushed from outside
+//! the engine. All connectors are *cursor-based*: a tuple that cannot be
+//! admitted right now (e.g. a paused `Backpressure` feed) stays at the
+//! source and is offered again later — pausing defers, it never loses.
+//!
+//! Intake memory is structurally bounded: the intake queue never holds
+//! more than the policy's queue cap, and the `Spill` overflow ring never
+//! holds more than its declared byte cap. [`FeedStats::overcap`] counts
+//! violations of those bounds and is asserted zero by the chaos oracle and
+//! the burst bench — "bounded" is checked, not eyeballed.
+
+pub mod bursty;
+pub mod channel;
+pub mod replay;
+
+pub use bursty::{BurstProfile, BurstySource};
+pub use channel::{ChannelHub, ChannelSource};
+pub use replay::ReplaySource;
+
+use crate::tuple::RawTuple;
+use mortar_net::NodeId;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Default intake-queue cap (tuples) for policies that do not bound the
+/// queue themselves (`Sample`, `Spill`).
+pub const DEFAULT_QUEUE_CAP: usize = 1024;
+
+/// Default number of queued tuples drained into the operator per tick.
+pub const DEFAULT_DRAIN_MAX: usize = 256;
+
+/// Modelled in-memory cost of a raw tuple sitting in an intake queue:
+/// fixed header plus its numeric fields. Used for every byte-cap check so
+/// bounds are deterministic across platforms.
+pub fn raw_cost_bytes(t: &RawTuple) -> u64 {
+    24 + 8 * t.vals.len() as u64
+}
+
+/// Per-feed overload policy, declared at install time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IntakePolicy {
+    /// Bounded credit queue: the source is *not polled* while the queue
+    /// holds `credits` tuples, so overload pauses the source instead of
+    /// growing memory. Nothing is ever dropped; delivery is
+    /// late-but-complete.
+    Backpressure { credits: usize },
+    /// Deterministic load shedding: tuples offered while the queue holds
+    /// `watermark` tuples are dropped and counted in
+    /// [`FeedStats::shed_tuples`].
+    Shed { watermark: usize },
+    /// Deterministic stride sampling: of every `keep_1_in_n` consecutive
+    /// tuples offered, the first is admitted and the rest are counted in
+    /// [`FeedStats::sampled_out`]. The residual stream is still shed past
+    /// [`DEFAULT_QUEUE_CAP`] so intake stays bounded.
+    Sample { keep_1_in_n: u32 },
+    /// Overflow past [`DEFAULT_QUEUE_CAP`] lands in a byte-bounded spill
+    /// ring (≤ `cap_bytes`) that drains back into the queue when pressure
+    /// clears; tuples that do not fit the ring are counted in
+    /// [`FeedStats::spill_drops`].
+    Spill { cap_bytes: u64 },
+}
+
+impl IntakePolicy {
+    /// Structural bound on the intake queue, in tuples.
+    pub fn queue_cap(&self) -> usize {
+        match *self {
+            IntakePolicy::Backpressure { credits } => credits.max(1),
+            IntakePolicy::Shed { watermark } => watermark.max(1),
+            IntakePolicy::Sample { .. } | IntakePolicy::Spill { .. } => DEFAULT_QUEUE_CAP,
+        }
+    }
+
+    /// Byte cap of the spill ring (0 for non-spill policies).
+    pub fn spill_cap_bytes(&self) -> u64 {
+        match *self {
+            IntakePolicy::Spill { cap_bytes } => cap_bytes,
+            _ => 0,
+        }
+    }
+}
+
+/// A pluggable tuple source driven by the peer's local clock.
+///
+/// Times are *query-frame* microseconds: offsets from the query's
+/// activation instant (`t_ref_base`), the same base [`SensorSpec::Replay`]
+/// traces use, so sources are portable across clock skew.
+///
+/// [`SensorSpec::Replay`]: crate::query::SensorSpec::Replay
+pub trait FeedSource: Send {
+    /// Appends up to `max` tuples due by `frame_now_us` to `out`. A source
+    /// capped by `max` keeps its cursor: undelivered tuples are offered on
+    /// the next poll, never lost.
+    fn poll(&mut self, frame_now_us: i64, max: usize, out: &mut Vec<RawTuple>);
+
+    /// Frame instant of the next tuple this source will have due, or
+    /// `i64::MAX` if exhausted, or `i64::MIN` for externally driven
+    /// sources that must be polled every tick.
+    fn next_due_us(&self) -> i64;
+}
+
+/// What produces a feed's tuples. Cloned into every member's install
+/// record; each member instantiates its own [`FeedSource`] from it, so
+/// feed state is a pure function of (spec, node id) and therefore
+/// identical across shard counts.
+#[derive(Debug, Clone)]
+pub enum FeedConnector {
+    /// Replays a recorded trace of (frame-offset µs, tuple) pairs.
+    Replay { trace: Arc<[(u64, RawTuple)]> },
+    /// Deterministic synthetic load with an optional burst window.
+    Bursty(BurstProfile),
+    /// Drains tuples pushed into a shared per-node hub from outside the
+    /// engine (tests, bridges). Pushes made while the engine is idle are
+    /// picked up deterministically on the next tick.
+    Channel { hub: Arc<ChannelHub> },
+}
+
+impl PartialEq for FeedConnector {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (FeedConnector::Replay { trace: a }, FeedConnector::Replay { trace: b }) => a == b,
+            (FeedConnector::Bursty(a), FeedConnector::Bursty(b)) => a == b,
+            (FeedConnector::Channel { hub: a }, FeedConnector::Channel { hub: b }) => {
+                Arc::ptr_eq(a, b)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A feed declaration: connector + intake policy + drain rate. Lives in
+/// [`SensorSpec::Feed`](crate::query::SensorSpec::Feed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedSpec {
+    pub connector: FeedConnector,
+    pub policy: IntakePolicy,
+    /// Max tuples moved from the intake queue into the operator per tick;
+    /// the knob that turns a burst into sustained, bounded drain work.
+    pub drain_max: usize,
+}
+
+impl FeedSpec {
+    pub fn new(connector: FeedConnector, policy: IntakePolicy) -> Self {
+        Self { connector, policy, drain_max: DEFAULT_DRAIN_MAX }
+    }
+
+    /// Builds this member's runtime feed state. Pure function of the spec
+    /// and the node id — no clocks, no entropy — so every shard layout
+    /// reconstructs the identical source.
+    pub fn instantiate(&self, node: NodeId) -> FeedState {
+        let source: Box<dyn FeedSource> = match &self.connector {
+            FeedConnector::Replay { trace } => Box::new(ReplaySource::new(Arc::clone(trace))),
+            FeedConnector::Bursty(profile) => Box::new(BurstySource::new(*profile)),
+            FeedConnector::Channel { hub } => Box::new(ChannelSource::new(Arc::clone(hub), node)),
+        };
+        FeedState {
+            source,
+            policy: self.policy,
+            drain_max: self.drain_max.max(1),
+            queue: VecDeque::new(),
+            queue_bytes: 0,
+            spill: VecDeque::new(),
+            spill_bytes: 0,
+            sample_seen: 0,
+            poll_buf: Vec::new(),
+            stats: FeedStats::default(),
+        }
+    }
+}
+
+/// Exact intake accounting. Conservation invariant (checked by tests and
+/// the chaos oracle): `offered == delivered + shed_tuples + sampled_out +
+/// spill_drops + (still queued) + (still spilled)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedStats {
+    /// Tuples the source handed to intake.
+    pub offered: u64,
+    /// Tuples drained into the operator.
+    pub delivered: u64,
+    /// Tuples dropped at the queue watermark (`Shed`, and `Sample`'s
+    /// residual bound).
+    pub shed_tuples: u64,
+    /// Tuples removed by stride sampling.
+    pub sampled_out: u64,
+    /// Tuples that entered the spill ring (may since have drained).
+    pub spilled: u64,
+    /// Tuples dropped because the spill ring's byte cap was full.
+    pub spill_drops: u64,
+    /// High-water mark of intake-queue bytes.
+    pub peak_queue_bytes: u64,
+    /// High-water mark of spill-ring bytes.
+    pub peak_spill_bytes: u64,
+    /// Times a structural bound was exceeded — always 0 by construction;
+    /// asserted by the feed-bounds oracle.
+    pub overcap: u64,
+}
+
+impl FeedStats {
+    /// Sums another feed's counters into this one (peaks take the max).
+    pub fn absorb(&mut self, o: &FeedStats) {
+        self.offered += o.offered;
+        self.delivered += o.delivered;
+        self.shed_tuples += o.shed_tuples;
+        self.sampled_out += o.sampled_out;
+        self.spilled += o.spilled;
+        self.spill_drops += o.spill_drops;
+        self.peak_queue_bytes = self.peak_queue_bytes.max(o.peak_queue_bytes);
+        self.peak_spill_bytes = self.peak_spill_bytes.max(o.peak_spill_bytes);
+        self.overcap += o.overcap;
+    }
+}
+
+/// Per-member runtime state of one feed: the live source, the bounded
+/// intake queue, the spill ring, and exact accounting.
+pub struct FeedState {
+    pub source: Box<dyn FeedSource>,
+    pub policy: IntakePolicy,
+    pub drain_max: usize,
+    queue: VecDeque<RawTuple>,
+    queue_bytes: u64,
+    spill: VecDeque<RawTuple>,
+    spill_bytes: u64,
+    sample_seen: u64,
+    /// Reusable scratch for source polls — no per-tick allocation once
+    /// warm.
+    poll_buf: Vec<RawTuple>,
+    pub stats: FeedStats,
+}
+
+impl std::fmt::Debug for FeedState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeedState")
+            .field("policy", &self.policy)
+            .field("queued", &self.queue.len())
+            .field("spilled", &self.spill.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl FeedState {
+    /// Tuples currently queued (intake only, not the spill ring).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Bytes currently held across queue and spill ring.
+    pub fn held_bytes(&self) -> u64 {
+        self.queue_bytes + self.spill_bytes
+    }
+
+    /// True when either buffer still holds tuples awaiting drain.
+    pub fn has_pending(&self) -> bool {
+        !self.queue.is_empty() || !self.spill.is_empty()
+    }
+
+    /// How many tuples the source may be offered right now. `Backpressure`
+    /// pauses the source (polls nothing) when credits are exhausted; every
+    /// other policy polls freely and resolves pressure at admission.
+    fn poll_allowance(&self) -> usize {
+        match self.policy {
+            IntakePolicy::Backpressure { credits } => {
+                credits.max(1).saturating_sub(self.queue.len())
+            }
+            _ => usize::MAX,
+        }
+    }
+
+    /// One intake round, called from the peer's tick: drain the spill ring
+    /// back into the queue while pressure is clear, poll the source under
+    /// the policy's allowance, admit per policy, then hand up to
+    /// `drain_max` tuples to `deliver` (the operator's `ingest_raw`).
+    ///
+    /// Returns the number of tuples delivered.
+    pub fn pump<F: FnMut(RawTuple)>(&mut self, frame_now_us: i64, mut deliver: F) -> u64 {
+        let cap = self.policy.queue_cap();
+        // Spill ring drains first: oldest overflow re-enters the queue as
+        // soon as pressure clears, preserving arrival order.
+        while self.queue.len() < cap {
+            let Some(t) = self.spill.pop_front() else { break };
+            self.spill_bytes -= raw_cost_bytes(&t);
+            self.enqueue(t, cap);
+        }
+        let allowance = self.poll_allowance();
+        if allowance > 0 {
+            self.poll_buf.clear();
+            self.source.poll(frame_now_us, allowance, &mut self.poll_buf);
+            let mut polled = std::mem::take(&mut self.poll_buf);
+            self.stats.offered += polled.len() as u64;
+            for t in polled.drain(..) {
+                self.admit(t, cap);
+            }
+            // Hand the allocation back so the next poll reuses it.
+            self.poll_buf = polled;
+        }
+        let mut delivered = 0u64;
+        while delivered < self.drain_max as u64 {
+            let Some(t) = self.queue.pop_front() else { break };
+            self.queue_bytes -= raw_cost_bytes(&t);
+            deliver(t);
+            delivered += 1;
+        }
+        self.stats.delivered += delivered;
+        if self.queue.len() > cap || self.spill_bytes > self.policy.spill_cap_bytes() {
+            self.stats.overcap += 1;
+        }
+        delivered
+    }
+
+    /// Admits one offered tuple under the declared policy.
+    fn admit(&mut self, t: RawTuple, cap: usize) {
+        if let IntakePolicy::Sample { keep_1_in_n } = self.policy {
+            let n = u64::from(keep_1_in_n.max(1));
+            let keep = self.sample_seen.is_multiple_of(n);
+            self.sample_seen += 1;
+            if !keep {
+                self.stats.sampled_out += 1;
+                return;
+            }
+        }
+        if self.queue.len() < cap {
+            self.enqueue(t, cap);
+            return;
+        }
+        match self.policy {
+            // Backpressure never polls past its credits, so arriving here
+            // would mean the allowance accounting broke.
+            IntakePolicy::Backpressure { .. } => {
+                self.stats.overcap += 1;
+            }
+            IntakePolicy::Shed { .. } | IntakePolicy::Sample { .. } => {
+                self.stats.shed_tuples += 1;
+            }
+            IntakePolicy::Spill { cap_bytes } => {
+                let c = raw_cost_bytes(&t);
+                if self.spill_bytes + c <= cap_bytes {
+                    self.spill_bytes += c;
+                    self.spill.push_back(t);
+                    self.stats.spilled += 1;
+                    self.stats.peak_spill_bytes = self.stats.peak_spill_bytes.max(self.spill_bytes);
+                } else {
+                    self.stats.spill_drops += 1;
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, t: RawTuple, _cap: usize) {
+        self.queue_bytes += raw_cost_bytes(&t);
+        self.queue.push_back(t);
+        self.stats.peak_queue_bytes = self.stats.peak_queue_bytes.max(self.queue_bytes);
+    }
+
+    /// Next frame instant this feed needs service: immediately while
+    /// tuples are buffered, otherwise whenever the source next fires.
+    pub fn next_due_us(&self) -> i64 {
+        if self.has_pending() {
+            i64::MIN
+        } else {
+            self.source.next_due_us()
+        }
+    }
+
+    /// Conservation check: every offered tuple is delivered, counted as
+    /// dropped, or still buffered.
+    pub fn conserved(&self) -> bool {
+        self.stats.offered
+            == self.stats.delivered
+                + self.stats.shed_tuples
+                + self.stats.sampled_out
+                + self.stats.spill_drops
+                + self.queue.len() as u64
+                + self.spill.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(policy: IntakePolicy, trace_len: u64) -> FeedSpec {
+        let trace: Vec<(u64, RawTuple)> =
+            (0..trace_len).map(|i| (i, RawTuple::of(i as f64))).collect();
+        FeedSpec::new(FeedConnector::Replay { trace: trace.into() }, policy)
+    }
+
+    #[test]
+    fn backpressure_defers_and_loses_nothing() {
+        let mut f = spec(IntakePolicy::Backpressure { credits: 4 }, 100).instantiate(0);
+        f.drain_max = 2;
+        let mut got = 0u64;
+        for _ in 0..200 {
+            got += f.pump(1_000_000, |_| {});
+            assert!(f.queued() <= 4, "credits exceeded");
+            assert!(f.conserved());
+        }
+        assert_eq!(got, 100);
+        assert_eq!(f.stats.shed_tuples + f.stats.sampled_out + f.stats.spill_drops, 0);
+    }
+
+    #[test]
+    fn shed_counts_every_drop_exactly() {
+        let mut f = spec(IntakePolicy::Shed { watermark: 8 }, 100).instantiate(0);
+        f.drain_max = 1;
+        for _ in 0..300 {
+            f.pump(1_000_000, |_| {});
+            assert!(f.conserved());
+        }
+        assert_eq!(f.stats.offered, 100);
+        assert!(f.stats.shed_tuples > 0);
+        assert_eq!(f.stats.delivered + f.stats.shed_tuples, 100);
+    }
+
+    #[test]
+    fn sample_keeps_exact_stride() {
+        let mut f = spec(IntakePolicy::Sample { keep_1_in_n: 4 }, 100).instantiate(0);
+        let mut vals = Vec::new();
+        for _ in 0..100 {
+            f.pump(1_000_000, |t| vals.push(t.field(0)));
+            assert!(f.conserved());
+        }
+        assert_eq!(f.stats.sampled_out, 75);
+        assert_eq!(vals, (0..100).step_by(4).map(|v| v as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spill_ring_is_byte_bounded_and_drains() {
+        let cap = 40 * raw_cost_bytes(&RawTuple::of(0.0));
+        let mut f = spec(IntakePolicy::Spill { cap_bytes: cap }, 3000).instantiate(0);
+        f.drain_max = 16;
+        let mut got = 0u64;
+        for _ in 0..400 {
+            got += f.pump(10_000_000, |_| {});
+            assert!(f.spill_bytes <= cap, "spill ring over cap");
+            assert!(f.conserved());
+        }
+        assert_eq!(f.stats.overcap, 0);
+        assert!(f.stats.spilled >= 40);
+        assert_eq!(got + f.stats.spill_drops, 3000);
+    }
+}

@@ -31,6 +31,7 @@ pub mod api;
 pub mod centralized;
 pub mod engine;
 pub mod error;
+pub mod feed;
 pub mod install;
 pub mod metrics;
 pub mod msg;
@@ -49,6 +50,9 @@ pub mod window;
 pub use api::{stage, Mortar, Pipeline, QueryBuilder, QueryHandle};
 pub use engine::{Engine, EngineConfig};
 pub use error::MortarError;
+pub use feed::{
+    BurstProfile, ChannelHub, FeedConnector, FeedSource, FeedSpec, FeedStats, IntakePolicy,
+};
 pub use op::{CustomOp, OpKind, OpRegistry};
 pub use peer::{IndexingMode, MortarPeer, PeerConfig};
 pub use query::{QuerySpec, SensorSpec};

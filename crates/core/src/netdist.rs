@@ -162,7 +162,12 @@ mod tests {
         let run = |order: &[i64]| {
             let mut nd = NetDist::new(1_000_000, 0.1);
             for &s in order {
-                nd.observe(s);
+                // black_box: in release builds LLVM const-folds the whole
+                // fold for a compile-time-known order (evaluating `powi`
+                // at compile time, off by 1 ULP from the runtime libm),
+                // which would fail the comparison for reasons that have
+                // nothing to do with arrival order.
+                nd.observe(std::hint::black_box(s));
             }
             let provisional = nd.estimate_us();
             nd.roll();

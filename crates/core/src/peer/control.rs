@@ -103,6 +103,13 @@ impl MortarPeer {
             super::IndexingMode::Timestamp => local_now,
         };
         let slide = window.slide as i64;
+        // Feed-driven sensors build their live source here, as a pure
+        // function of (spec, peer id) — installs on any shard layout
+        // reconstruct the identical connector state.
+        let feed = match &spec.sensor {
+            crate::query::SensorSpec::Feed(fs) => Some(fs.instantiate(self.id)),
+            _ => None,
+        };
         let state = QueryState {
             name: Arc::from(spec.name.as_str()),
             route_template: route_template(record.as_ref()),
@@ -121,6 +128,7 @@ impl MortarPeer {
                 0
             },
             next_emit_local_us: local_now,
+            feed,
             tuple_buf: Vec::new(),
             tuples_seen: 0,
             tuples_out: 0,

@@ -183,8 +183,30 @@ impl MortarPeer {
                     self.ingest_raw(id, t, local_now, true_now);
                 }
             }
+            SensorSpec::Feed(_) => self.pump_feed(id, local_now, true_now),
             // Subscription ingest happens where the upstream root emits.
             SensorSpec::Subscribe { .. } | SensorSpec::FanIn { .. } | SensorSpec::None => {}
+        }
+    }
+
+    /// One intake round for a feed-driven query: the feed drains its
+    /// spill ring, polls its source under the intake policy's allowance,
+    /// admits or drops per policy, and hands at most `drain_max` queued
+    /// tuples to the operator. Bounded memory and exact accounting are the
+    /// feed's contract ([`crate::feed::FeedState::pump`]); this shim only
+    /// moves the delivered tuples into `ingest_raw`.
+    fn pump_feed(&mut self, id: QueryId, local_now: i64, true_now: u64) {
+        let Some(q) = self.queries.get_mut(&id) else { return };
+        let Some(mut feed) = q.feed.take() else { return };
+        // Feed sources speak query-frame time (offsets from activation),
+        // the same base replay traces use — portable across clock skew.
+        let frame_now = local_now - q.t_ref_base_us;
+        // The feed is moved out of the query for the round so delivery can
+        // lift straight into the operator: the capped queue inside `feed`
+        // is the only buffer a burst ever occupies.
+        feed.pump(frame_now, |t| self.ingest_raw(id, t, local_now, true_now));
+        if let Some(q) = self.queries.get_mut(&id) {
+            q.feed = Some(feed);
         }
     }
 

@@ -157,6 +157,20 @@ pub struct PeerConfig {
     /// the digest protocol is property-tested against (see
     /// [`crate::reconcile::digest_plan`]).
     pub digest_reconcile: bool,
+    /// Congestion-adaptive envelope budgets (AIMD): per destination, the
+    /// peer meters the payload bytes it has recently sent and — when a
+    /// window's load crosses a congestion threshold — halves that
+    /// destination's *effective* envelope budget (flushing envelopes
+    /// earlier, so outbox memory stays small and the burst turns into
+    /// more, smaller wire messages instead of unbounded coalescing
+    /// state); quiet windows add the budget back a step at a time up to
+    /// the static [`Self::envelope_budget`]. A congested destination also
+    /// loses its [`Self::envelope_hold_us`] slack — nothing waits for
+    /// company on a hot link. Driven entirely by local clocks and byte
+    /// counters, so it is deterministic and shard-independent. Off by
+    /// default: when `false` no adaptive path runs and envelope behavior
+    /// is bit-for-bit the static protocol.
+    pub adaptive_envelopes: bool,
     /// Piggyback liveness transitions on the due index: when a
     /// record-linked neighbour is first heard after exceeding the
     /// liveness horizon (it *returned*), or is noticed at a heartbeat
@@ -192,6 +206,7 @@ impl Default for PeerConfig {
             due_driven_ticks: true,
             adaptive_ticks: false,
             digest_reconcile: true,
+            adaptive_envelopes: false,
             liveness_reschedule: false,
         }
     }
@@ -257,6 +272,13 @@ pub struct PeerStats {
     /// Due-now reschedules forced by a liveness transition of a linked
     /// neighbour (`liveness_reschedule` only).
     pub liveness_reschedules: u64,
+    /// High-water mark of total pending-envelope payload bytes across the
+    /// outbox — the coalescing memory the adaptive budget exists to bound.
+    pub outbox_peak_bytes: u64,
+    /// Multiplicative decreases applied to a destination's effective
+    /// envelope budget (`adaptive_envelopes` only) — nonzero means the
+    /// congestion controller engaged.
+    pub envelope_budget_cuts: u64,
 }
 
 /// One open raw-data window (merging across time).
@@ -292,6 +314,12 @@ pub(crate) struct QueryState {
     pub(crate) buckets: BTreeMap<i64, Bucket>,
     pub(crate) next_close_k: i64,
     pub(crate) next_emit_local_us: i64,
+    /// Live ingestion feed (present iff the sensor is
+    /// [`SensorSpec::Feed`](crate::query::SensorSpec::Feed)):
+    /// source connector, bounded intake queue, and exact accounting.
+    /// Instantiated from the spec at install, so it is identical across
+    /// shard layouts.
+    pub(crate) feed: Option<crate::feed::FeedState>,
     /// Tuple-window buffer: (frame arrival time, tuple).
     pub(crate) tuple_buf: Vec<(i64, RawTuple)>,
     pub(crate) tuples_seen: u64,
@@ -399,6 +427,10 @@ pub struct MortarPeer {
     /// flushed at the end of each tick, on budget overflow, or when an
     /// urgent tuple arrives. Empty whenever `envelope_budget = 0`.
     pub(crate) outbox: mortar_overlay::HopBins<NodeId, route::PendingEnvelope>,
+    /// Total payload bytes currently pending across the outbox —
+    /// maintained at enqueue/flush so the high-water mark
+    /// (`stats.outbox_peak_bytes`) costs no per-tick scan.
+    pub(crate) outbox_bytes: u64,
     /// The due index: `(next_due_local_us, id)` per schedulable query,
     /// min-ordered so a tick pops exactly the queries whose slide
     /// boundary, sensor cadence, or TS-list deadline has arrived.
@@ -453,6 +485,7 @@ impl MortarPeer {
             topo: HashMap::new(),
             subscribers: BTreeMap::new(),
             outbox: mortar_overlay::HopBins::new(),
+            outbox_bytes: 0,
             due: BTreeSet::new(),
             tick_now_us: i64::MIN,
             due_dirty: false,
@@ -505,6 +538,28 @@ impl MortarPeer {
     /// Current netDist estimate for a query (diagnostics).
     pub fn netdist_us(&self, name: &str) -> Option<u64> {
         self.query_by_name(name).map(|q| q.netdist.estimate_us())
+    }
+
+    /// One feed's intake accounting, by query name.
+    pub fn feed_stats(&self, name: &str) -> Option<crate::feed::FeedStats> {
+        self.query_by_name(name)?.feed.as_ref().map(|f| f.stats)
+    }
+
+    /// Intake accounting summed across this peer's feeds, plus whether
+    /// every feed's conservation invariant holds and the bytes currently
+    /// buffered in intake queues and spill rings.
+    pub fn feed_totals(&self) -> (crate::feed::FeedStats, bool, u64) {
+        let mut total = crate::feed::FeedStats::default();
+        let mut conserved = true;
+        let mut held = 0u64;
+        for q in self.queries.values() {
+            if let Some(f) = &q.feed {
+                total.absorb(&f.stats);
+                conserved &= f.conserved();
+                held += f.held_bytes();
+            }
+        }
+        (total, conserved, held)
     }
 
     /// Number of distinct children this peer heartbeats (Figure 13's
@@ -585,6 +640,19 @@ impl MortarPeer {
             crate::query::SensorSpec::Replay => {
                 if let Some(&(off, _)) = self.replay.get(self.replay_pos) {
                     due = due.min(q.t_ref_base_us.saturating_add(off as i64));
+                }
+            }
+            crate::query::SensorSpec::Feed(_) => {
+                if let Some(f) = &q.feed {
+                    // Buffered intake (or an externally driven source)
+                    // wants every tick; otherwise wake at the source's
+                    // next emission, mapped from query frame to local time
+                    // exactly as replay offsets are.
+                    match f.next_due_us() {
+                        i64::MIN => due = i64::MIN,
+                        i64::MAX => {}
+                        nd => due = due.min(q.t_ref_base_us.saturating_add(nd)),
+                    }
                 }
             }
             _ => {}

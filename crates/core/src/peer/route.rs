@@ -66,11 +66,24 @@ pub(crate) struct PendingEnvelope {
     payload_bytes: u32,
     /// Earliest hold deadline across queued frames, local µs.
     deadline_local_us: i64,
+    /// Windowed payload-byte meter for this destination
+    /// (`adaptive_envelopes` only; idle otherwise).
+    meter: mortar_net::LoadMeter,
+    /// AIMD effective envelope budget for this destination, bytes
+    /// (`adaptive_envelopes` only; `0` = not yet initialized from the
+    /// static budget).
+    eff_budget: u32,
 }
 
 impl Default for PendingEnvelope {
     fn default() -> Self {
-        Self { frames: Vec::new(), payload_bytes: 0, deadline_local_us: i64::MAX }
+        Self {
+            frames: Vec::new(),
+            payload_bytes: 0,
+            deadline_local_us: i64::MAX,
+            meter: mortar_net::LoadMeter::default(),
+            eff_budget: 0,
+        }
     }
 }
 
@@ -216,11 +229,34 @@ impl<'a> FrameBuilder<'a> {
     }
 }
 
+/// AIMD parameters for the congestion-adaptive envelope budget, expressed
+/// relative to the static budget: a congested window halves the effective
+/// budget down to `budget / FLOOR_DIV`; a quiet window restores
+/// `budget / STEP_DIV` of it. A destination counts as congested when the
+/// payload bytes *enqueued* toward it in one closed
+/// [`mortar_net::LoadMeter::WINDOW_US`] window exceed
+/// `budget / CONGEST_DIV`. The meter reads offered load, not flush sizes:
+/// a signal taken at service time collapses as soon as the controller
+/// reacts (smaller, earlier flushes look "quiet"), and the budget saws
+/// back up into the very congestion it just relieved.
+const AIMD_FLOOR_DIV: u32 = 8;
+const AIMD_STEP_DIV: u32 = 16;
+const AIMD_CONGEST_DIV: u32 = 4;
+
 impl MortarPeer {
     /// Parks a finished wire frame in the destination's pending envelope,
     /// flushing it early on budget overflow or urgency. The frame's
     /// `hold_age_us` is stamped with the enqueue instant; sealing rewrites
     /// it to the hold duration.
+    ///
+    /// With [`super::PeerConfig::adaptive_envelopes`] the flush threshold
+    /// is the destination's AIMD *effective* budget: each closed metering
+    /// window either halves it (observed load crossed the congestion
+    /// threshold — envelopes flush earlier, outbox memory shrinks, the
+    /// burst becomes more, smaller messages) or steps it back toward the
+    /// static budget. A congested destination also loses its hold slack.
+    /// When the knob is off none of this runs and behavior is bit-for-bit
+    /// the static protocol.
     // lint:hot-path
     fn enqueue_frame(
         &mut self,
@@ -232,13 +268,43 @@ impl MortarPeer {
     ) {
         let now = ctx.local_now_us();
         frame.hold_age_us = now;
+        let static_budget = self.cfg.envelope_budget;
+        let mut budget = static_budget;
+        let mut hold_us = self.cfg.envelope_hold_us;
         let env = self.outbox.bin_mut(dest);
+        if self.cfg.adaptive_envelopes {
+            if env.eff_budget == 0 {
+                env.eff_budget = static_budget;
+            }
+            if let Some(win_bytes) = env.meter.roll(now) {
+                if win_bytes > u64::from(static_budget / AIMD_CONGEST_DIV) {
+                    env.eff_budget =
+                        (env.eff_budget / 2).max(static_budget / AIMD_FLOOR_DIV).max(1);
+                    self.stats.envelope_budget_cuts += 1;
+                } else {
+                    env.eff_budget = env
+                        .eff_budget
+                        .saturating_add((static_budget / AIMD_STEP_DIV).max(1))
+                        .min(static_budget);
+                }
+            }
+            env.meter.record(now, u64::from(payload_bytes));
+            budget = env.eff_budget;
+            if env.eff_budget < static_budget {
+                // Congested: nothing waits for company on a hot link.
+                hold_us = 0;
+            }
+        }
         env.payload_bytes += payload_bytes;
-        env.deadline_local_us = env.deadline_local_us.min(now + self.cfg.envelope_hold_us as i64);
+        self.outbox_bytes += u64::from(payload_bytes);
+        self.stats.outbox_peak_bytes = self.stats.outbox_peak_bytes.max(self.outbox_bytes);
+        env.deadline_local_us = env.deadline_local_us.min(now + hold_us as i64);
         env.frames.push(frame);
-        if urgent || env.payload_bytes >= self.cfg.envelope_budget {
+        if urgent || env.payload_bytes >= budget {
+            let flushed = u64::from(env.payload_bytes);
             env.reset();
             let frames = std::mem::take(&mut env.frames);
+            self.outbox_bytes -= flushed;
             seal_and_send(&mut self.stats, ctx, dest, frames, now);
         }
     }
@@ -258,7 +324,9 @@ impl MortarPeer {
             if env.frames.is_empty() || (hold > 0 && env.deadline_local_us > now) {
                 continue;
             }
+            let flushed = u64::from(env.payload_bytes);
             env.reset();
+            self.outbox_bytes -= flushed;
             if env.frames.len() == 1 {
                 let frame = env.frames.pop().expect("length checked");
                 seal_and_send_single(ctx, dest, frame, now);

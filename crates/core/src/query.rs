@@ -103,6 +103,10 @@ pub enum SensorSpec {
         /// The upstream queries.
         queries: Vec<String>,
     },
+    /// A pluggable ingestion feed: a source connector plus a declared
+    /// intake (overload) policy, enforced at the leaf before tuples reach
+    /// the operator (see [`crate::feed`]).
+    Feed(crate::feed::FeedSpec),
     /// The member sources no data (pure aggregation point); it emits
     /// boundary tuples so completeness still counts it.
     None,

@@ -18,7 +18,7 @@ use crate::lexer::lex;
 use crate::parser::{parse, Arg, Call, CmpTok, Program, Stmt};
 use mortar_core::op::{Cmp, OpKind, Predicate};
 use mortar_core::window::WindowSpec;
-use mortar_core::MortarError;
+use mortar_core::{IntakePolicy, MortarError, SensorSpec};
 
 /// A compilation or parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +65,12 @@ pub struct QueryDef {
     pub window: WindowSpec,
     /// Root post-operator name (must be registered at deployment).
     pub post: Option<String>,
+    /// Declared `feed policy` intake behavior. Binds when the deployed
+    /// sensor is a feed ([`SensorSpec::Feed`]): [`QueryDef::to_spec`] and
+    /// [`PipelineDef::to_pipeline`] override the connector's policy with
+    /// it. Ignored for non-feed sensors (the clause declares how a feed
+    /// behaves under overload; simulator-driven sensors have no intake).
+    pub intake: Option<IntakePolicy>,
 }
 
 impl QueryDef {
@@ -73,8 +79,11 @@ impl QueryDef {
         &self,
         root: mortar_net::NodeId,
         members: Vec<mortar_net::NodeId>,
-        sensor: mortar_core::SensorSpec,
+        mut sensor: mortar_core::SensorSpec,
     ) -> mortar_core::QuerySpec {
+        if let (Some(policy), SensorSpec::Feed(fs)) = (self.intake, &mut sensor) {
+            fs.policy = policy;
+        }
         mortar_core::QuerySpec {
             name: self.name.clone(),
             root,
@@ -145,7 +154,12 @@ impl PipelineDef {
             let b = s.def.stage();
             pipe = match &s.upstream {
                 None => {
-                    pipe.stage(b.members(members.iter().copied()).root(root).sensor(sensor.clone()))
+                    let mut b =
+                        b.members(members.iter().copied()).root(root).sensor(sensor.clone());
+                    if let (Some(policy), SensorSpec::Feed(_)) = (s.def.intake, &sensor) {
+                        b = b.intake(policy);
+                    }
+                    pipe.stage(b)
                 }
                 Some(up) => pipe.fan_in([up.clone()], b),
             };
@@ -270,6 +284,7 @@ fn lower_pipeline(p: &Program) -> Result<PipelineDef, LangError> {
         op: Option<OpKind>,
         window: Option<WindowSpec>,
         post: Option<String>,
+        intake: Option<IntakePolicy>,
         name: String,
         started: bool,
         /// Aggregated bindings produced inside this stage.
@@ -285,6 +300,7 @@ fn lower_pipeline(p: &Program) -> Result<PipelineDef, LangError> {
                 op: None,
                 window: None,
                 post: None,
+                intake: None,
                 name: String::new(),
                 started: false,
                 bindings: Vec::new(),
@@ -319,6 +335,7 @@ fn lower_pipeline(p: &Program) -> Result<PipelineDef, LangError> {
                             .window
                             .unwrap_or_else(|| WindowSpec::time_tumbling_us(1_000_000)),
                         post: self.post,
+                        intake: self.intake,
                     },
                     upstream: self.upstream,
                 },
@@ -468,6 +485,18 @@ fn lower_pipeline(p: &Program) -> Result<PipelineDef, LangError> {
                 inner: Box::new(inner),
             });
         }
+        if let Some((pname, param)) = &stmt.feed_policy {
+            if current.upstream.is_some() {
+                return Err(LangError::new(
+                    "feed policy applies to source stages only (subscribing stages read an \
+                     upstream query, not a feed)",
+                ));
+            }
+            if current.intake.is_some() {
+                return Err(LangError::new("a stage declares at most one feed policy"));
+            }
+            current.intake = Some(intake_policy(pname, *param)?);
+        }
         if let Some(range) = stmt.window_range {
             let slide = stmt.window_slide.unwrap_or(range);
             if range < slide {
@@ -493,6 +522,44 @@ fn lower_pipeline(p: &Program) -> Result<PipelineDef, LangError> {
         finish(&mut current, &mut owner, &mut stages)?;
     }
     Ok(PipelineDef { stages })
+}
+
+/// Lowers a `feed policy <name> [<n>]` clause onto [`IntakePolicy`].
+/// `backpressure`/`shed` default their bound to
+/// [`mortar_core::feed::DEFAULT_QUEUE_CAP`]; `sample` (keep-1-in-n) and
+/// `spill` (cap bytes) require an explicit parameter — neither has a
+/// sensible default.
+fn intake_policy(name: &str, param: Option<f64>) -> Result<IntakePolicy, LangError> {
+    let bound = |required: bool| -> Result<Option<u64>, LangError> {
+        match param {
+            None if required => {
+                Err(LangError::new(format!("feed policy {name:?} requires a numeric parameter")))
+            }
+            None => Ok(None),
+            Some(n) if n >= 1.0 && n.fract() == 0.0 => Ok(Some(n as u64)),
+            Some(n) => Err(LangError::new(format!(
+                "feed policy {name:?}: parameter must be a positive integer, got {n}"
+            ))),
+        }
+    };
+    let cap = mortar_core::feed::DEFAULT_QUEUE_CAP as u64;
+    Ok(match name {
+        "backpressure" => {
+            IntakePolicy::Backpressure { credits: bound(false)?.unwrap_or(cap) as usize }
+        }
+        "shed" => IntakePolicy::Shed { watermark: bound(false)?.unwrap_or(cap) as usize },
+        "sample" => IntakePolicy::Sample {
+            keep_1_in_n: u32::try_from(bound(true)?.expect("required")).map_err(|_| {
+                LangError::new(format!("feed policy {name:?}: parameter too large"))
+            })?,
+        },
+        "spill" => IntakePolicy::Spill { cap_bytes: bound(true)?.expect("required") },
+        other => {
+            return Err(LangError::new(format!(
+                "unknown feed policy {other:?} (expected backpressure, shed, sample or spill)"
+            )))
+        }
+    })
 }
 
 fn set_op(slot: &mut Option<OpKind>, op: OpKind) -> Result<(), LangError> {
@@ -675,6 +742,61 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("group by"), "{}", err.message);
+    }
+
+    #[test]
+    fn feed_policy_compiles_onto_intake() {
+        for (src_pol, want) in [
+            ("backpressure 64", IntakePolicy::Backpressure { credits: 64 }),
+            (
+                "backpressure",
+                IntakePolicy::Backpressure { credits: mortar_core::feed::DEFAULT_QUEUE_CAP },
+            ),
+            ("shed 128", IntakePolicy::Shed { watermark: 128 }),
+            ("sample 4", IntakePolicy::Sample { keep_1_in_n: 4 }),
+            ("spill 4096", IntakePolicy::Spill { cap_bytes: 4096 }),
+        ] {
+            let src = format!("stream s(v);\nq = sum(s, v) every 1s feed policy {src_pol};");
+            let def = compile(&src).unwrap_or_else(|e| panic!("{src_pol}: {e:?}"));
+            assert_eq!(def.intake, Some(want), "policy {src_pol}");
+        }
+        assert!(compile("stream s(v);\nq = sum(s, v) feed policy lossy 1;").is_err());
+        assert!(compile("stream s(v);\nq = sum(s, v) feed policy sample;").is_err());
+        assert!(compile("stream s(v);\nq = sum(s, v) feed policy shed 1.5;").is_err());
+    }
+
+    #[test]
+    fn feed_policy_binds_to_a_feed_sensor_in_to_spec() {
+        use mortar_core::{BurstProfile, FeedConnector, FeedSpec};
+        let def = compile("stream s(v);\nq = sum(s, v) every 1s feed policy shed 64;").unwrap();
+        // The declared policy overrides the connector's install-time one.
+        let feed = SensorSpec::Feed(FeedSpec::new(
+            FeedConnector::Bursty(BurstProfile::steady(100_000, 1.0)),
+            IntakePolicy::Backpressure { credits: 8 },
+        ));
+        let spec = def.to_spec(0, vec![0, 1], feed);
+        match &spec.sensor {
+            SensorSpec::Feed(fs) => {
+                assert_eq!(fs.policy, IntakePolicy::Shed { watermark: 64 });
+            }
+            other => panic!("expected feed sensor, got {other:?}"),
+        }
+        // Non-feed sensors are untouched (the clause describes intake,
+        // which simulator-driven sensors do not have).
+        let spec =
+            def.to_spec(0, vec![0, 1], SensorSpec::Periodic { period_us: 1_000_000, value: 1.0 });
+        assert!(matches!(spec.sensor, SensorSpec::Periodic { .. }));
+    }
+
+    #[test]
+    fn feed_policy_on_subscribing_stage_is_an_error() {
+        let err = compile_pipeline(
+            "stream s(v);\n\
+             up = sum(s, v) every 1s feed policy shed 64;\n\
+             smooth = avg(up, f0) window 5s feed policy shed 8;",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("source stages"), "{}", err.message);
     }
 
     #[test]

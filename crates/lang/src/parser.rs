@@ -29,6 +29,9 @@ pub struct Stmt {
     pub group_by: Option<String>,
     /// Optional `cap <n>` bound on distinct keys per window.
     pub group_cap: Option<usize>,
+    /// `feed policy <name> [<n>]`: the stage's declared intake policy
+    /// (name + optional numeric parameter; validated by the compiler).
+    pub feed_policy: Option<(String, Option<f64>)>,
 }
 
 /// A stage invocation.
@@ -170,9 +173,11 @@ fn statement(p: &mut P) -> Result<Stmt, LangError> {
         tuple_window: false,
         group_by: None,
         group_cap: None,
+        feed_policy: None,
     };
     // Optional trailing clauses, in any order:
-    // `window <dur> [slide <dur>]` / `every <dur>` / `group by <field> [cap <n>]`.
+    // `window <dur> [slide <dur>]` / `every <dur>` /
+    // `group by <field> [cap <n>]` / `feed policy <name> [<n>]`.
     while let Some(Token::Ident(k)) = p.peek() {
         match k.as_str() {
             "window" | "every" => {
@@ -216,6 +221,27 @@ fn statement(p: &mut P) -> Result<Stmt, LangError> {
                         }
                     }
                 }
+            }
+            "feed" => {
+                p.next();
+                match p.next() {
+                    Some(Token::Ident(pw)) if pw == "policy" => {}
+                    other => {
+                        return Err(LangError::new(format!(
+                            "expected `policy` after `feed`, found {other:?}"
+                        )))
+                    }
+                }
+                if stmt.feed_policy.is_some() {
+                    return Err(LangError::new("duplicate feed policy clause"));
+                }
+                let name = p.ident()?;
+                let mut param = None;
+                if let Some(Token::Number(n)) = p.peek() {
+                    param = Some(*n);
+                    p.next();
+                }
+                stmt.feed_policy = Some((name, param));
             }
             _ => break,
         }
@@ -336,6 +362,19 @@ mod tests {
         assert!(parse_str("x = count(s) group key;").is_err());
         assert!(parse_str("x = count(s) group by k cap 0;").is_err());
         assert!(parse_str("x = count(s) group by a group by b;").is_err());
+    }
+
+    #[test]
+    fn feed_policy_clause() {
+        let p = parse_str("x = sum(s, v) every 1s feed policy shed 64;").unwrap();
+        assert_eq!(p.stmts[0].feed_policy, Some(("shed".into(), Some(64.0))));
+        assert_eq!(p.stmts[0].window_range, Some(1_000_000));
+        // Clause order is free; the parameter is optional.
+        let p = parse_str("x = sum(s, v) feed policy backpressure window 5s;").unwrap();
+        assert_eq!(p.stmts[0].feed_policy, Some(("backpressure".into(), None)));
+        assert_eq!(p.stmts[0].window_range, Some(5_000_000));
+        assert!(parse_str("x = sum(s, v) feed shed 64;").is_err());
+        assert!(parse_str("x = sum(s, v) feed policy shed 1 feed policy shed 2;").is_err());
     }
 
     #[test]

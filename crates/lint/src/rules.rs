@@ -36,10 +36,13 @@ const HOT_ALLOC_METHODS: &[&str] = &["to_string", "collect"];
 /// engine is in scope: its scenarios, drivers, and oracles must replay
 /// bit-for-bit from a seed, so hash-ordered iteration is as much a
 /// determinism leak there as in the reconciliation path it exercises.
+/// The feed layer is in scope for the same reason: intake decisions
+/// (shed, sample, spill) must be a pure function of arrival order.
 fn d1_in_scope(rel: &str) -> bool {
     rel == "crates/core/src/install.rs"
         || rel == "crates/core/src/reconcile.rs"
         || rel.starts_with("crates/core/src/peer/")
+        || rel.starts_with("crates/core/src/feed/")
         || rel.starts_with("crates/net/src/runtime/")
         || rel.starts_with("crates/overlay/src/")
         || rel.starts_with("crates/chaos/src/")

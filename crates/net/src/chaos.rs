@@ -137,9 +137,71 @@ impl PartitionMap {
     }
 }
 
+/// Targeted link-level asymmetric loss: a small list of directed
+/// `(src, dst)` pairs, each with an independent drop probability. Unlike
+/// [`PartitionMap`] (which cuts whole group pairs absolutely), link loss
+/// degrades one specific direction of one specific link — the flaky
+/// last-mile uplink, the asymmetric-routing blackhole.
+///
+/// Plain data (a short vector scanned per configured pair), so the map is
+/// cheap to copy to every shard of the parallel runtime. The transmit path
+/// consults it *after* partitions and draws loss randomness only for
+/// configured pairs, so adding a lossy link perturbs no other link's RNG
+/// stream — the same stream-hygiene rule the probabilistic chaos layer
+/// follows.
+#[derive(Debug, Clone, Default)]
+pub struct LinkLossMap {
+    /// Directed lossy links: `(src, dst, drop probability)`.
+    links: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl LinkLossMap {
+    /// Sets the drop probability for the directed link `src → dst`
+    /// (clamped to `[0, 1]`); `0` removes the entry.
+    pub fn set(&mut self, src: NodeId, dst: NodeId, pct: f64) {
+        let pct = pct.clamp(0.0, 1.0);
+        self.links.retain(|&(s, d, _)| (s, d) != (src, dst));
+        if pct > 0.0 {
+            self.links.push((src, dst, pct));
+        }
+    }
+
+    /// Removes every lossy link.
+    pub fn clear(&mut self) {
+        self.links.clear();
+    }
+
+    /// Whether any link is currently lossy (fast path for the common
+    /// loss-free case).
+    pub fn is_active(&self) -> bool {
+        !self.links.is_empty()
+    }
+
+    /// Drop probability configured for `src → dst` (`0.0` when absent).
+    pub fn pct_for(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.links.iter().find(|&&(s, d, _)| (s, d) == (src, dst)).map_or(0.0, |&(_, _, p)| p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn link_loss_is_directed_and_clamped() {
+        let mut m = LinkLossMap::default();
+        assert!(!m.is_active());
+        m.set(3, 7, 0.25);
+        assert_eq!(m.pct_for(3, 7), 0.25);
+        assert_eq!(m.pct_for(7, 3), 0.0, "loss is per direction");
+        m.set(3, 7, 1.5);
+        assert_eq!(m.pct_for(3, 7), 1.0, "probability clamped");
+        m.set(3, 7, 0.0);
+        assert!(!m.is_active(), "zero removes the entry");
+        m.set(1, 2, 0.5);
+        m.clear();
+        assert!(!m.is_active());
+    }
 
     #[test]
     fn default_is_benign() {

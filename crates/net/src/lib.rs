@@ -46,8 +46,8 @@ pub mod sim;
 pub mod time;
 pub mod topology;
 
-pub use bandwidth::{BandwidthTracker, TrafficClass};
-pub use chaos::{ChaosConfig, ChaosError, PartitionMap};
+pub use bandwidth::{BandwidthTracker, LoadMeter, TrafficClass};
+pub use chaos::{ChaosConfig, ChaosError, LinkLossMap, PartitionMap};
 pub use clock::{ClockModel, LocalClock};
 pub use runtime::{App, Ctx, Fleet, ParallelSimulator, Runtime, SimBuilder, SimStats, Simulator};
 pub use time::{ms, secs, TimeUs, MS, SEC};

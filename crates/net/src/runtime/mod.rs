@@ -6,8 +6,10 @@
 //! everything a harness (the engine, an experiment, a test) needs to drive
 //! a fleet and read it back. Two drivers implement it:
 //!
-//! - [`Simulator`] — the legacy single-threaded event loop, byte-for-byte
-//!   unchanged (it *is* the `shards = 1` mode, not an emulation of it);
+//! - [`Simulator`] — the single-threaded event loop (it *is* the
+//!   `shards = 1` mode, not an emulation of it). It draws from the same
+//!   per-peer RNG streams as the parallel driver, so chaos and link-loss
+//!   decisions replay bit-for-bit across shard counts;
 //! - [`ParallelSimulator`] — the sharded conservative-window driver
 //!   (see [`parallel`] for the protocol and determinism contract).
 //!
@@ -59,6 +61,13 @@ pub trait Runtime<A: App> {
     fn set_group_block(&mut self, from_group: u8, to_group: u8, blocked: bool);
     /// Heals every partition cut and clears all group labels.
     fn clear_partition(&mut self);
+    /// Degrades the directed link `src → dst` to drop each message with
+    /// probability `pct` (clamped to `[0, 1]`; `0` heals the link). Checked
+    /// at transmit time after partitions; loss randomness is drawn only for
+    /// configured pairs (see [`LinkLossMap`](crate::chaos::LinkLossMap)).
+    fn set_link_loss(&mut self, src: NodeId, dst: NodeId, pct: f64);
+    /// Heals every lossy link.
+    fn clear_link_loss(&mut self);
     /// The current chaos configuration.
     fn chaos(&self) -> ChaosConfig;
     /// Replaces the chaos configuration between run steps (phased faults).
@@ -113,6 +122,12 @@ impl<A: App> Runtime<A> for Simulator<A> {
     }
     fn clear_partition(&mut self) {
         Simulator::clear_partition(self)
+    }
+    fn set_link_loss(&mut self, src: NodeId, dst: NodeId, pct: f64) {
+        Simulator::set_link_loss(self, src, dst, pct)
+    }
+    fn clear_link_loss(&mut self) {
+        Simulator::clear_link_loss(self)
     }
     fn chaos(&self) -> ChaosConfig {
         Simulator::chaos(self)
@@ -173,6 +188,12 @@ where
     }
     fn clear_partition(&mut self) {
         ParallelSimulator::clear_partition(self)
+    }
+    fn set_link_loss(&mut self, src: NodeId, dst: NodeId, pct: f64) {
+        ParallelSimulator::set_link_loss(self, src, dst, pct)
+    }
+    fn clear_link_loss(&mut self) {
+        ParallelSimulator::clear_link_loss(self)
     }
     fn chaos(&self) -> ChaosConfig {
         ParallelSimulator::chaos(self)
@@ -318,6 +339,17 @@ where
     /// Heals every partition cut and clears all group labels.
     pub fn clear_partition(&mut self) {
         self.runtime().clear_partition()
+    }
+
+    /// Degrades the directed link `src → dst` to drop each message with
+    /// probability `pct` (clamped; `0` heals).
+    pub fn set_link_loss(&mut self, src: NodeId, dst: NodeId, pct: f64) {
+        self.runtime().set_link_loss(src, dst, pct)
+    }
+
+    /// Heals every lossy link.
+    pub fn clear_link_loss(&mut self) {
+        self.runtime().clear_link_loss()
     }
 
     /// The current chaos configuration.

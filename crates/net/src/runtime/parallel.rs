@@ -54,7 +54,7 @@
 //! is shard-layout dependent (everything before the stop request is not).
 
 use crate::bandwidth::{BandwidthTracker, TrafficClass};
-use crate::chaos::{ChaosConfig, PartitionMap};
+use crate::chaos::{ChaosConfig, LinkLossMap, PartitionMap};
 use crate::clock::LocalClock;
 use crate::event::{Event, EventKind};
 use crate::runtime::ctx::{App, Command, Ctx, SimStats, TRANSPORT_OVERHEAD_BYTES};
@@ -104,6 +104,9 @@ struct Shard<A: App> {
     /// sender needs both endpoints' group labels. Mutations are rare
     /// (driver-side, between run steps) so the copies are pushed eagerly.
     partition: PartitionMap,
+    /// Full-fleet lossy-link state; same per-shard-copy discipline as
+    /// `partition` (the sender's shard decides the drop).
+    link_loss: LinkLossMap,
     apps: Vec<A>,
     clocks: Vec<LocalClock>,
     up: Vec<bool>,
@@ -275,6 +278,16 @@ impl<A: App> Shard<A> {
             self.stats.dropped += 1;
             return;
         }
+        // Targeted link loss: rolled only for configured pairs (after the
+        // partition check) and on the *sender's* stream, so it is both
+        // shard-count-invariant and invisible to every other link's RNG.
+        if self.link_loss.is_active() {
+            let pct = self.link_loss.pct_for(from, to);
+            if pct > 0.0 && self.rngs[fli].gen::<f64>() < pct {
+                self.stats.dropped += 1;
+                return;
+            }
+        }
         if self.chaos.drop_prob > 0.0 && self.rngs[fli].gen::<f64>() < self.chaos.drop_prob {
             self.stats.dropped += 1;
             return;
@@ -395,6 +408,7 @@ impl<A: App> ParallelSimulator<A> {
                 node_shard: Arc::clone(&node_shard),
                 chaos,
                 partition: PartitionMap::default(),
+                link_loss: LinkLossMap::default(),
                 apps: apps_s,
                 clocks: clocks_s,
                 up: vec![true; count],
@@ -520,6 +534,22 @@ impl<A: App> ParallelSimulator<A> {
     pub fn clear_partition(&mut self) {
         for s in &mut self.shards {
             s.partition.clear();
+        }
+    }
+
+    /// Degrades the directed link `src → dst` to drop each message with
+    /// probability `pct` (clamped; `0` heals). Propagated to every shard,
+    /// same as partition state.
+    pub fn set_link_loss(&mut self, src: NodeId, dst: NodeId, pct: f64) {
+        for s in &mut self.shards {
+            s.link_loss.set(src, dst, pct);
+        }
+    }
+
+    /// Heals every lossy link.
+    pub fn clear_link_loss(&mut self) {
+        for s in &mut self.shards {
+            s.link_loss.clear();
         }
     }
 

@@ -14,7 +14,7 @@
 //! disconnect/reconnect scenarios are scripted.
 
 use crate::bandwidth::{BandwidthTracker, TrafficClass};
-use crate::chaos::{ChaosConfig, PartitionMap};
+use crate::chaos::{ChaosConfig, LinkLossMap, PartitionMap};
 use crate::clock::{ClockModel, LocalClock};
 use crate::event::{Event, EventKind};
 use crate::runtime::ctx::{App, Command, Ctx, SimStats, TRANSPORT_OVERHEAD_BYTES};
@@ -24,7 +24,7 @@ use crate::time::{secs, TimeUs};
 use crate::topology::Topology;
 use crate::NodeId;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use std::collections::BinaryHeap;
 
 /// Builder for [`Simulator`] (and its sharded sibling,
@@ -62,6 +62,12 @@ impl SimBuilder {
         let n = self.topo.hosts();
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let clocks: Vec<LocalClock> = (0..n).map(|_| self.clock_model.sample(&mut rng)).collect();
+        // Per-peer RNG streams, seeded exactly like the parallel runtime's
+        // (one seeding stream, node order) so a chaos draw on node `k` is
+        // the same value at every shard count — including this one.
+        let mut seeder = SmallRng::seed_from_u64(self.seed ^ 0xA5A5_5A5A_C3C3_3C3C);
+        let rngs: Vec<SmallRng> =
+            (0..n).map(|_| SmallRng::seed_from_u64(seeder.next_u64())).collect();
         let apps: Vec<A> = (0..n as NodeId).map(&mut make).collect();
         Simulator {
             apps,
@@ -72,10 +78,11 @@ impl SimBuilder {
             now: 0,
             seq: 0,
             msg_id: 0,
-            rng,
+            rngs,
             bw: BandwidthTracker::new(),
             chaos: self.chaos,
             partition: PartitionMap::default(),
+            link_loss: LinkLossMap::default(),
             seen: (0..if self.chaos.dup_prob > 0.0 { n } else { 0 })
                 .map(|_| DedupSet::default())
                 .collect(),
@@ -125,10 +132,14 @@ pub struct Simulator<A: App> {
     now: TimeUs,
     seq: u64,
     msg_id: u64,
-    rng: SmallRng,
+    /// Independent per-peer RNG streams (indexed like `apps`), seeded
+    /// identically to [`ParallelSimulator`]'s so chaos and link-loss
+    /// decisions replay bit-for-bit across shard counts.
+    rngs: Vec<SmallRng>,
     bw: BandwidthTracker,
     chaos: ChaosConfig,
     partition: PartitionMap,
+    link_loss: LinkLossMap,
     seen: Vec<DedupSet>,
     stats: SimStats,
     started: bool,
@@ -203,6 +214,20 @@ impl<A: App> Simulator<A> {
     /// Heals every partition cut and clears all group labels.
     pub fn clear_partition(&mut self) {
         self.partition.clear();
+    }
+
+    /// Degrades the directed link `src → dst` to drop each message with
+    /// probability `pct` (clamped to `[0, 1]`; `0` heals the link).
+    /// Checked at transmit time after partitions; loss randomness is drawn
+    /// only for configured pairs, so other links' RNG streams are
+    /// untouched.
+    pub fn set_link_loss(&mut self, src: NodeId, dst: NodeId, pct: f64) {
+        self.link_loss.set(src, dst, pct);
+    }
+
+    /// Heals every lossy link.
+    pub fn clear_link_loss(&mut self) {
+        self.link_loss.clear();
     }
 
     /// The current chaos configuration.
@@ -311,7 +336,7 @@ impl<A: App> Simulator<A> {
                 true_now: self.now,
                 clock: self.clocks[node as usize],
                 cmds: &mut cmds,
-                rng: &mut self.rng,
+                rng: &mut self.rngs[node as usize],
             };
             f(&mut self.apps[node as usize], &mut ctx);
         }
@@ -354,13 +379,27 @@ impl<A: App> Simulator<A> {
             self.stats.dropped += 1;
             return;
         }
-        if self.chaos.drop_prob > 0.0 && self.rng.gen::<f64>() < self.chaos.drop_prob {
+        // Targeted link loss: the roll happens only for configured pairs
+        // (after the partition check), so enabling a lossy link perturbs no
+        // other link's RNG stream.
+        if self.link_loss.is_active() {
+            let pct = self.link_loss.pct_for(from, to);
+            if pct > 0.0 && self.rngs[from as usize].gen::<f64>() < pct {
+                self.stats.dropped += 1;
+                return;
+            }
+        }
+        if self.chaos.drop_prob > 0.0
+            && self.rngs[from as usize].gen::<f64>() < self.chaos.drop_prob
+        {
             self.stats.dropped += 1;
             return;
         }
         let base = self.topo.latency_us(from, to);
         let id = self.next_msg_id();
-        let copies = if self.chaos.dup_prob > 0.0 && self.rng.gen::<f64>() < self.chaos.dup_prob {
+        let copies = if self.chaos.dup_prob > 0.0
+            && self.rngs[from as usize].gen::<f64>() < self.chaos.dup_prob
+        {
             2
         } else {
             1
@@ -371,7 +410,7 @@ impl<A: App> Simulator<A> {
         let mut msg = Some(msg);
         for i in 0..copies {
             let jitter = if self.chaos.reorder_jitter_us > 0 {
-                self.rng.gen_range(0..=self.chaos.reorder_jitter_us)
+                self.rngs[from as usize].gen_range(0..=self.chaos.reorder_jitter_us)
             } else {
                 0
             };

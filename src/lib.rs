@@ -93,6 +93,7 @@ pub mod prelude {
         api::{stage, Mortar, Pipeline, QueryBuilder, QueryHandle},
         engine::{Engine, EngineConfig},
         error::MortarError,
+        feed::{BurstProfile, ChannelHub, FeedConnector, FeedSpec, FeedStats, IntakePolicy},
         metrics,
         op::{Cmp, CustomOp, OpKind, OpRegistry, Predicate},
         peer::{IndexingMode, MortarPeer, PeerConfig},
